@@ -1,0 +1,184 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§VII) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	experiments [-exp all|t1,t2,f5,f6,f7,f8,f9,t3,t4] [-datasets a,b] \
+//	            [-sizecap N] [-matchcap N] [-seed S] [-transformer]
+//
+// The default run uses the generators' CPU-scaled dataset sizes and the
+// rule-based string synthesizer; -transformer switches SERD's textual
+// synthesis to the DP transformer bank (much slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"serd/internal/experiments"
+	"serd/internal/textsynth"
+)
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "comma-separated experiments: t1,t2,f5,f6,f7,f8,f9,t3,t4 or all")
+		datasets    = flag.String("datasets", "", "comma-separated dataset names (default: all four)")
+		sizeCap     = flag.Int("sizecap", 0, "cap relation sizes (0 = scaled defaults)")
+		matchCap    = flag.Int("matchcap", 0, "cap match counts (0 = scaled defaults)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		transformer = flag.Bool("transformer", false, "use the DP transformer bank for textual synthesis (slow)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Seed:           *seed,
+		SizeCap:        *sizeCap,
+		MatchCap:       *matchCap,
+		UseTransformer: *transformer,
+	}
+	if *transformer {
+		cfg.Transformer = textsynth.TransformerOptions{
+			Buckets:        4,
+			PairsPerBucket: 24,
+			Epochs:         1,
+			BatchSize:      4,
+			DP:             &textsynth.DPOptions{ClipNorm: 1, Noise: 1.1, Delta: 1e-5},
+		}
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	suite := experiments.NewSuite(cfg)
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	run := func(id, name string, fn func() error) {
+		if !all && !want[id] {
+			return
+		}
+		start := time.Now()
+		fmt.Printf("==== %s ====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("t2", "Table II — dataset statistics", func() error {
+		rows, err := suite.TableII()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableII(os.Stdout, rows)
+		return nil
+	})
+	run("t1", "Table I — synthesized string examples", func() error {
+		rows, err := suite.TableI()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableI(os.Stdout, rows)
+		return nil
+	})
+	run("f5", "Figure 5 — Exp-1 user study", func() error {
+		rows, err := suite.UserStudy()
+		if err != nil {
+			return err
+		}
+		experiments.PrintFigure5(os.Stdout, rows)
+		return nil
+	})
+	run("f6", "Figure 6 — Exp-2 Magellan model evaluation", func() error {
+		rows, err := suite.ModelEvaluation(experiments.Magellan)
+		if err != nil {
+			return err
+		}
+		experiments.PrintEvalRows(os.Stdout, "FIGURE 6 — MAGELLAN, TRAINED ON REAL/SYN, TESTED ON T_real", rows)
+		return nil
+	})
+	run("f7", "Figure 7 — Exp-2 Deepmatcher model evaluation", func() error {
+		rows, err := suite.ModelEvaluation(experiments.Deepmatcher)
+		if err != nil {
+			return err
+		}
+		experiments.PrintEvalRows(os.Stdout, "FIGURE 7 — DEEPMATCHER, TRAINED ON REAL/SYN, TESTED ON T_real", rows)
+		return nil
+	})
+	run("f8", "Figure 8 — Exp-3 Magellan data evaluation", func() error {
+		rows, err := suite.DataEvaluation(experiments.Magellan)
+		if err != nil {
+			return err
+		}
+		experiments.PrintEvalRows(os.Stdout, "FIGURE 8 — MAGELLAN M_real, TESTED ON T_real vs T_syn", rows)
+		return nil
+	})
+	run("f9", "Figure 9 — Exp-3 Deepmatcher data evaluation", func() error {
+		rows, err := suite.DataEvaluation(experiments.Deepmatcher)
+		if err != nil {
+			return err
+		}
+		experiments.PrintEvalRows(os.Stdout, "FIGURE 9 — DEEPMATCHER M_real, TESTED ON T_real vs T_syn", rows)
+		return nil
+	})
+	run("t3", "Table III — Exp-4 privacy evaluation", func() error {
+		rows, err := suite.TableIII()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableIII(os.Stdout, rows)
+		return nil
+	})
+	run("t4", "Table IV — Exp-5 efficiency evaluation", func() error {
+		rows, err := suite.TableIV()
+		if err != nil {
+			return err
+		}
+		experiments.PrintTableIV(os.Stdout, rows)
+		return nil
+	})
+	// Extensions and ablations beyond the paper's evaluation (not part of
+	// -exp all).
+	run("ext1", "Extension — scale-up synthesis", func() error {
+		rows, err := suite.ScaleUp(2.0)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScaleUp(os.Stdout, rows)
+		return nil
+	})
+	ablDataset := "Restaurant"
+	if len(cfg.Datasets) > 0 {
+		ablDataset = cfg.Datasets[0]
+	}
+	run("abl1", "Ablation — rejection alpha", func() error {
+		rows, err := suite.AblationAlpha(ablDataset, []float64{0.8, 1.0, 1.5, 3.0})
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationAlpha(os.Stdout, ablDataset, rows)
+		return nil
+	})
+	run("abl2", "Ablation — discriminator beta", func() error {
+		rows, err := suite.AblationBeta(ablDataset, []float64{0.2, 0.5, 0.8})
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationBeta(os.Stdout, ablDataset, rows)
+		return nil
+	})
+	run("abl3", "Ablation — similarity buckets", func() error {
+		rows, err := suite.AblationBuckets(ablDataset, []int{2, 4, 8}, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblationBuckets(os.Stdout, ablDataset, rows)
+		return nil
+	})
+}

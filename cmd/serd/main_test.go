@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serd"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("title:text,venue:cat,year:num:1995:2005,released:date:0:7300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("got %d columns", s.Len())
+	}
+	wantKinds := []serd.Kind{serd.Textual, serd.Categorical, serd.Numeric, serd.Date}
+	for i, k := range wantKinds {
+		if s.Cols[i].Kind != k {
+			t.Errorf("column %d kind = %v, want %v", i, s.Cols[i].Kind, k)
+		}
+	}
+	if s.Cols[2].Sim.(serd.NumericSim).Min != 1995 {
+		t.Error("numeric range not parsed")
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"title",
+		"title:blob",
+		"year:num",
+		"year:num:a:b",
+		"year:num:1:x",
+		"dup:text,dup:text",
+	}
+	for _, spec := range cases {
+		if _, err := parseSchema(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestReadLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.txt")
+	if err := os.WriteFile(path, []byte("one\n\n  two  \nthree\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := readLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 || lines[1] != "two" {
+		t.Fatalf("lines = %q", lines)
+	}
+	if _, err := readLines(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module serd
+
+go 1.22

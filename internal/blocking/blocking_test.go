@@ -1,0 +1,155 @@
+package blocking
+
+import (
+	"testing"
+
+	"serd/internal/datagen"
+	"serd/internal/dataset"
+)
+
+func fixture(t *testing.T) *datagen.Generated {
+	t.Helper()
+	gen, err := datagen.Scholar(datagen.Config{Seed: 1, SizeA: 120, SizeB: 120, Matches: 60, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func titleCol(t *testing.T, g *datagen.Generated) int {
+	t.Helper()
+	ci := g.ER.Schema().ColumnIndex("title")
+	if ci < 0 {
+		t.Fatal("no title column")
+	}
+	return ci
+}
+
+func TestQGramBlockingRecallAndReduction(t *testing.T) {
+	g := fixture(t)
+	bl := QGram{Column: titleCol(t, g)}
+	cands := bl.Candidates(g.ER.A, g.ER.B)
+	q := Evaluate(g.ER, cands)
+	// Matching pairs have near-identical titles, so q-gram blocking must
+	// recover essentially all of them while pruning most of the pair space.
+	if q.Recall < 0.95 {
+		t.Errorf("recall = %v", q.Recall)
+	}
+	if q.ReductionRatio < 0.3 {
+		t.Errorf("reduction ratio = %v (candidates %d of %d)", q.ReductionRatio, q.Candidates, g.ER.A.Len()*g.ER.B.Len())
+	}
+}
+
+func TestTokenBlockingRecall(t *testing.T) {
+	g := fixture(t)
+	bl := Token{Column: titleCol(t, g)}
+	q := Evaluate(g.ER, bl.Candidates(g.ER.A, g.ER.B))
+	if q.Recall < 0.95 {
+		t.Errorf("recall = %v", q.Recall)
+	}
+}
+
+func TestSortedNeighborhoodRecall(t *testing.T) {
+	g := fixture(t)
+	bl := SortedNeighborhood{Column: titleCol(t, g), Window: 8}
+	q := Evaluate(g.ER, bl.Candidates(g.ER.A, g.ER.B))
+	// Sorted neighborhood keys on the title prefix; case-folded duplicate
+	// titles sort adjacently. (Typo'd first characters can escape the
+	// window, so the bar is lower than index-based blocking.)
+	if q.Recall < 0.7 {
+		t.Errorf("recall = %v", q.Recall)
+	}
+	if q.ReductionRatio < 0.5 {
+		t.Errorf("reduction ratio = %v", q.ReductionRatio)
+	}
+}
+
+func TestUnionImprovesRecall(t *testing.T) {
+	g := fixture(t)
+	col := titleCol(t, g)
+	single := Evaluate(g.ER, SortedNeighborhood{Column: col, Window: 3}.Candidates(g.ER.A, g.ER.B))
+	union := Evaluate(g.ER, Union{
+		SortedNeighborhood{Column: col, Window: 3},
+		QGram{Column: col},
+	}.Candidates(g.ER.A, g.ER.B))
+	if union.Recall < single.Recall {
+		t.Errorf("union recall %v below single %v", union.Recall, single.Recall)
+	}
+}
+
+func TestCandidatesAreUniqueAndInRange(t *testing.T) {
+	g := fixture(t)
+	col := titleCol(t, g)
+	for name, bl := range map[string]Blocker{
+		"qgram": QGram{Column: col},
+		"token": Token{Column: col},
+		"snm":   SortedNeighborhood{Column: col},
+		"union": Union{QGram{Column: col}, Token{Column: col}},
+	} {
+		cands := bl.Candidates(g.ER.A, g.ER.B)
+		seen := make(map[dataset.Pair]bool, len(cands))
+		for _, p := range cands {
+			if seen[p] {
+				t.Fatalf("%s: duplicate candidate %v", name, p)
+			}
+			seen[p] = true
+			if p.A < 0 || p.A >= g.ER.A.Len() || p.B < 0 || p.B >= g.ER.B.Len() {
+				t.Fatalf("%s: out-of-range candidate %v", name, p)
+			}
+		}
+	}
+}
+
+func TestQGramMaxPerEntityCaps(t *testing.T) {
+	g := fixture(t)
+	bl := QGram{Column: titleCol(t, g), MaxPerEntity: 3}
+	cands := bl.Candidates(g.ER.A, g.ER.B)
+	perA := map[int]int{}
+	for _, p := range cands {
+		perA[p.A]++
+		if perA[p.A] > 3 {
+			t.Fatalf("entity %d has %d candidates, cap 3", p.A, perA[p.A])
+		}
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	g := fixture(t)
+	q := Evaluate(g.ER, nil)
+	if q.Recall != 0 || q.Candidates != 0 || q.ReductionRatio != 1 {
+		t.Errorf("empty candidates: %+v", q)
+	}
+}
+
+func TestMinHashRecallAndDeterminism(t *testing.T) {
+	g := fixture(t)
+	bl := MinHash{Column: titleCol(t, g)}
+	a := bl.Candidates(g.ER.A, g.ER.B)
+	q := Evaluate(g.ER, a)
+	// Near-duplicate titles have Jaccard ~0.8+; with 8 bands of 4 rows the
+	// collision probability at s=0.8 is ~0.97, so recall must be high.
+	if q.Recall < 0.9 {
+		t.Errorf("minhash recall = %v", q.Recall)
+	}
+	if q.ReductionRatio < 0.5 {
+		t.Errorf("minhash reduction = %v (candidates %d)", q.ReductionRatio, q.Candidates)
+	}
+	b := bl.Candidates(g.ER.A, g.ER.B)
+	if len(a) != len(b) {
+		t.Fatal("minhash not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("minhash candidate order not deterministic")
+		}
+	}
+}
+
+func TestMinHashBandRounding(t *testing.T) {
+	g := fixture(t)
+	// Hashes not divisible by Bands must not panic.
+	bl := MinHash{Column: titleCol(t, g), Hashes: 30, Bands: 8}
+	if cands := bl.Candidates(g.ER.A, g.ER.B); len(cands) == 0 {
+		t.Error("no candidates")
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"serd/internal/blocking"
+	"serd/internal/dataset"
+	"serd/internal/gan"
+	"serd/internal/gmm"
+	"serd/internal/textsynth"
+)
+
+// Options configures the SERD synthesizer.
+type Options struct {
+	// SizeA and SizeB are the synthesized table sizes n_a and n_b
+	// (default: the real table sizes, per the problem statement §II-D).
+	SizeA, SizeB int
+	// MatchFraction is the probability of drawing the sampled similarity
+	// vector from the M-distribution in step S2-2. The default,
+	// |M_real| / (SizeA + SizeB − 1), makes the expected number of sampled
+	// matching pairs equal the real match count, so E_syn reproduces the
+	// real dataset's labeled-match volume.
+	MatchFraction float64
+	// Learn controls S1 (ignored when Learned is set).
+	Learn LearnOptions
+	// Learned supplies a precomputed O_real, skipping S1.
+	Learned *gmm.Joint
+	// Synthesizers maps each textual column name to its string synthesizer
+	// (§VI). Required for every textual column.
+	Synthesizers map[string]textsynth.Synthesizer
+	// GAN enables cold start from the generator and discriminator-based
+	// entity rejection (§V case 1). Optional: without it, cold start is
+	// assembled per column (§IV-B2) and case-1 rejection is skipped.
+	GAN *gan.GAN
+	// GANDecode supplies decode candidates for GAN cold start.
+	GANDecode gan.DecodeOptions
+	// ColdStart supplies the manually prepared bootstrap entity of S2,
+	// overriding both GAN and per-column cold start.
+	ColdStart *dataset.Entity
+	// Alpha is the distribution-rejection slack of Eq. 10 (default 1).
+	Alpha float64
+	// Beta is the discriminator rejection threshold (default 0.6, the
+	// paper's setting).
+	Beta float64
+	// DisableRejection turns off both rejection checks — the SERD- ablation
+	// of §VII.
+	DisableRejection bool
+	// MaxRejections caps re-synthesis attempts per entity before the last
+	// candidate is accepted regardless (default 8; the paper instead tunes
+	// α/β to guarantee progress — the cap is a belt-and-braces bound).
+	MaxRejections int
+	// RejectionSample is t, the number of entities sampled from T_e when
+	// computing ΔX_syn (§V remark 1; default 25).
+	RejectionSample int
+	// JSDSamples is the Monte-Carlo sample count per JSD estimate
+	// (default 128).
+	JSDSamples int
+	// MinFitVectors is the number of labeled similarity vectors each of
+	// X+_syn and X−_syn must reach before distribution rejection activates
+	// (default 12; too few vectors cannot define O_syn).
+	MinFitVectors int
+	// S3Blocker, when set, restricts S3's posterior labeling to the
+	// blocker's candidate pairs; pairs outside the candidate set are
+	// assumed non-matching. Nil labels every pair (the paper's exact S3,
+	// which is quadratic in the table sizes).
+	S3Blocker blocking.Blocker
+	// Progress, when set, is called after each accepted entity with the
+	// number of entities synthesized so far and the total target — hook
+	// for CLI progress output on long runs.
+	Progress func(done, total int)
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (o Options) withDefaults(real *dataset.ER) Options {
+	if o.SizeA == 0 {
+		o.SizeA = real.A.Len()
+	}
+	if o.SizeB == 0 {
+		o.SizeB = real.B.Len()
+	}
+	if o.MatchFraction == 0 {
+		total := o.SizeA + o.SizeB - 1
+		if total < 1 {
+			total = 1
+		}
+		o.MatchFraction = float64(len(real.Matches)) / float64(total)
+		if o.MatchFraction > 0.5 {
+			o.MatchFraction = 0.5
+		}
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 1
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.6
+	}
+	if o.MaxRejections == 0 {
+		o.MaxRejections = 8
+	}
+	if o.RejectionSample == 0 {
+		o.RejectionSample = 25
+	}
+	if o.JSDSamples == 0 {
+		o.JSDSamples = 128
+	}
+	if o.MinFitVectors == 0 {
+		o.MinFitVectors = 12
+	}
+	return o
+}
+
+// Result is the output of Synthesize.
+type Result struct {
+	// Syn is the synthesized dataset E_syn, with M_syn holding both the
+	// pairs sampled as matching in S2 and the pairs labeled matching in S3.
+	Syn *dataset.ER
+	// OReal is the learned O-distribution of the real dataset.
+	OReal *gmm.Joint
+	// JSD is the final Monte-Carlo JSD between O_syn and O_real (0 when
+	// too few vectors accumulated to estimate O_syn).
+	JSD float64
+	// SampledMatches counts pairs labeled matching during S2 (the rest of
+	// M_syn comes from S3 posterior labeling).
+	SampledMatches int
+	// SampledMatchPairs lists the S2-sampled matching pairs — the pairs
+	// SERD explicitly synthesized as matches, as opposed to the additional
+	// pairs S3's posterior labeling marks matching.
+	SampledMatchPairs []dataset.Pair
+	// RejectedByDiscriminator and RejectedByDistribution count rejected
+	// candidate entities per §V case 1 and case 2.
+	RejectedByDiscriminator int
+	RejectedByDistribution  int
+}
+
+// Synthesize runs the full SERD pipeline (Figure 3) on the real dataset.
+func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
+	if real == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	opts = opts.withDefaults(real)
+	if opts.SizeA < 1 || opts.SizeB < 1 {
+		return nil, fmt.Errorf("core: synthesized sizes %d/%d must be positive", opts.SizeA, opts.SizeB)
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	// S1: learn O_real.
+	oReal := opts.Learned
+	if oReal == nil {
+		learn := opts.Learn
+		if learn.Rand == nil {
+			learn.Rand = rand.New(rand.NewSource(opts.Seed + 1))
+		}
+		var err error
+		oReal, err = LearnDistributions(real, learn)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if oReal.Dim() != real.Schema().Len() {
+		return nil, fmt.Errorf("core: O_real dim %d does not match schema arity %d", oReal.Dim(), real.Schema().Len())
+	}
+
+	vs, err := newValueSynth(real, opts.Synthesizers)
+	if err != nil {
+		return nil, err
+	}
+
+	schema := real.Schema()
+	synA := dataset.NewRelation("A_syn", schema)
+	synB := dataset.NewRelation("B_syn", schema)
+	res := &Result{OReal: oReal}
+
+	// S2 bootstrap: one fake A-entity.
+	first, err := bootstrap(vs, real, opts, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := synA.Append(first); err != nil {
+		return nil, err
+	}
+
+	dist := newDistState(oReal, opts)
+	sampled := make(map[dataset.Pair]bool) // S2-sampled labels
+	// matched tracks entities that already have a sampled match partner.
+	// Real benchmark matches are essentially one-to-one; synthesizing a
+	// second match against an already-matched entity creates transitive
+	// match clusters that inflate |M_syn| well beyond |M_real|, so matching
+	// vectors prefer unmatched source entities.
+	matched := map[*dataset.Relation]map[int]bool{synA: {}, synB: {}}
+
+	// S2 loop: one new entity per iteration.
+	for synA.Len() < opts.SizeA || synB.Len() < opts.SizeB {
+		// Decide the pair label first (the draw is independent of the
+		// entity choice), so S2-1 can respect one-to-one matching.
+		matching := r.Float64() < opts.MatchFraction
+
+		// S2-1: sample a synthesized entity (respecting §III remark 1).
+		var src *dataset.Relation
+		switch {
+		case synB.Len() >= opts.SizeB:
+			src = synB // B full: e from B, e' goes to A
+		case synA.Len() >= opts.SizeA:
+			src = synA // A full: e from A, e' goes to B
+		default:
+			if r.Intn(synA.Len()+synB.Len()) < synA.Len() {
+				src = synA
+			} else {
+				src = synB
+			}
+		}
+		eIdx := sampleEntity(src, matching, matched[src], r)
+		e := src.Entities[eIdx]
+		dstIsA := src == synB
+		dst := synB
+		if dstIsA {
+			dst = synA
+		}
+
+		for attempt := 0; ; attempt++ {
+			// S2-2: sample a similarity vector from O_real.
+			var x []float64
+			if matching {
+				x = oReal.M.SampleClamped(r)
+			} else {
+				x = oReal.N.SampleClamped(r)
+			}
+			// S2-3: synthesize e' from e and x.
+			id := fmt.Sprintf("sb%d", dst.Len()+1)
+			if dstIsA {
+				id = fmt.Sprintf("sa%d", dst.Len()+1)
+			}
+			cand := vs.synthesizeEntity(id, e, x, dstIsA, r)
+
+			// §V entity rejection, unless disabled (SERD-) or out of
+			// attempts.
+			if !opts.DisableRejection && attempt < opts.MaxRejections {
+				if opts.GAN != nil && opts.GAN.Discriminate(cand.Values) < opts.Beta {
+					res.RejectedByDiscriminator++
+					continue
+				}
+				delta := dist.deltaVectors(cand, src, r)
+				if dist.reject(delta, r) {
+					res.RejectedByDistribution++
+					continue
+				}
+				dist.commit(delta)
+			} else {
+				// Still fold the accepted entity's pairs into O_syn so the
+				// estimate tracks reality (SERD- skips the check, not the
+				// bookkeeping).
+				dist.commit(dist.deltaVectors(cand, src, r))
+			}
+
+			// S2-4: add e' and the sampled label.
+			if err := dst.Append(cand); err != nil {
+				return nil, err
+			}
+			var p dataset.Pair
+			if dstIsA {
+				p = dataset.Pair{A: dst.Len() - 1, B: eIdx}
+			} else {
+				p = dataset.Pair{A: eIdx, B: dst.Len() - 1}
+			}
+			sampled[p] = matching
+			if matching {
+				res.SampledMatches++
+				res.SampledMatchPairs = append(res.SampledMatchPairs, p)
+				matched[src][eIdx] = true
+				matched[dst][dst.Len()-1] = true
+			}
+			if opts.Progress != nil {
+				opts.Progress(synA.Len()+synB.Len(), opts.SizeA+opts.SizeB)
+			}
+			break
+		}
+	}
+
+	// S3: label all remaining pairs by posterior (§IV-C).
+	matches := labelAllPairs(oReal, schema, synA, synB, sampled, opts.S3Blocker)
+	syn, err := dataset.NewER(synA, synB, matches)
+	if err != nil {
+		return nil, err
+	}
+	res.Syn = syn
+	res.JSD = dist.finalJSD(r)
+	return res, nil
+}
+
+// sampleEntity picks the S2-1 source entity: uniform for non-matching
+// vectors; for matching vectors, uniform over entities without a sampled
+// match partner (falling back to uniform when every entity is matched).
+func sampleEntity(rel *dataset.Relation, matching bool, matchedIdx map[int]bool, r *rand.Rand) int {
+	if !matching || len(matchedIdx) >= rel.Len() {
+		return r.Intn(rel.Len())
+	}
+	for {
+		i := r.Intn(rel.Len())
+		if !matchedIdx[i] {
+			return i
+		}
+	}
+}
+
+// bootstrap produces the first fake A-entity (§IV-B2): a manually prepared
+// entity when given, else a GAN sample, else per-column cold start.
+func bootstrap(vs *valueSynth, real *dataset.ER, opts Options, r *rand.Rand) (*dataset.Entity, error) {
+	if opts.ColdStart != nil {
+		if len(opts.ColdStart.Values) != real.Schema().Len() {
+			return nil, fmt.Errorf("core: cold-start entity has %d values, schema has %d columns", len(opts.ColdStart.Values), real.Schema().Len())
+		}
+		e := opts.ColdStart.Clone()
+		e.ID = "sa1"
+		return e, nil
+	}
+	if opts.GAN != nil {
+		e, err := opts.GAN.SampleEntity("sa1", opts.GANDecode, r)
+		if err == nil {
+			return e, nil
+		}
+		// Fall back to per-column cold start when decode candidates are
+		// missing rather than failing the whole synthesis.
+	}
+	return vs.coldStart("sa1", real, r), nil
+}
+
+// labelAllPairs implements S3: every pair not labeled during S2 gets the
+// posterior-probability label P_m(x) >= P_n(x) (Eq. 7 / §IV-C). With a
+// blocker, only candidate pairs are scored and the rest default to
+// non-matching.
+func labelAllPairs(oReal *gmm.Joint, schema *dataset.Schema, a, b *dataset.Relation, sampled map[dataset.Pair]bool, blocker blocking.Blocker) []dataset.Pair {
+	var matches []dataset.Pair
+	for p, m := range sampled {
+		if m {
+			matches = append(matches, p)
+		}
+	}
+	score := func(p dataset.Pair) {
+		if _, ok := sampled[p]; ok {
+			return
+		}
+		x := schema.SimVector(a.Entities[p.A], b.Entities[p.B])
+		if oReal.IsMatch(x) {
+			matches = append(matches, p)
+		}
+	}
+	if blocker != nil {
+		for _, p := range blocker.Candidates(a, b) {
+			score(p)
+		}
+		sortPairs(matches)
+		return matches
+	}
+	for i := 0; i < a.Len(); i++ {
+		for j := 0; j < b.Len(); j++ {
+			score(dataset.Pair{A: i, B: j})
+		}
+	}
+	sortPairs(matches)
+	return matches
+}
+
+// sortPairs orders matches deterministically (sampled labels come from a
+// map, whose iteration order would otherwise leak into the output).
+func sortPairs(ps []dataset.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].A != ps[j].A {
+			return ps[i].A < ps[j].A
+		}
+		return ps[i].B < ps[j].B
+	})
+}

@@ -1,0 +1,123 @@
+// Package core implements SERD — Synthesize ER Datasets — the paper's
+// primary contribution (Algorithm overview in §III, Figure 3): S1 learns
+// the matching/non-matching similarity-vector distributions of the real
+// dataset as Gaussian mixtures; S2 iteratively samples a synthesized
+// entity and a similarity vector from O_real and synthesizes a counterpart
+// entity per column type, subject to the entity-rejection checks of §V;
+// S3 labels all remaining pairs by posterior probability.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"serd/internal/blocking"
+	"serd/internal/dataset"
+	"serd/internal/gmm"
+)
+
+// LearnOptions controls S1.
+type LearnOptions struct {
+	// MaxComponents bounds the AIC search for the number of mixture
+	// components g (default 3).
+	MaxComponents int
+	// MaxNonMatching caps the number of non-matching pairs sampled for
+	// learning the N-distribution (default 20·|M|, at least 2000). The
+	// quadratic non-matching space is always down-sampled in practice.
+	MaxNonMatching int
+	// Blocker supplies the candidate generator whose hardest non-matching
+	// pairs are mixed into X− (count = HardNonMatching). Real benchmark
+	// label sets are built from blocking survivors, so their N-distribution
+	// gives the near-miss clusters real weight; a uniform X− sample would
+	// miss them entirely and the synthesized dataset would teach matchers
+	// nothing about the decision boundary. Nil selects a q-gram union
+	// blocker over the textual columns; set NoHardNegatives to disable.
+	Blocker blocking.Blocker
+	// HardNonMatching is the number of hardest candidates mixed into X−
+	// (default 2·|M|).
+	HardNonMatching int
+	// NoHardNegatives restricts X− to the uniform sample (the literal
+	// reading of the paper's "all non-matching pairs", down-sampled).
+	NoHardNegatives bool
+	// Rand drives sampling and EM initialization.
+	Rand *rand.Rand
+}
+
+func (o LearnOptions) withDefaults(matches int) LearnOptions {
+	if o.MaxComponents == 0 {
+		// Real pair spaces carry several non-matching clusters (random
+		// pairs, key-sharing siblings, same-location pairs) plus clean and
+		// dirty match clusters; four components give AIC room to find them.
+		o.MaxComponents = 4
+	}
+	if o.MaxNonMatching == 0 {
+		o.MaxNonMatching = 20 * matches
+		if o.MaxNonMatching < 2000 {
+			o.MaxNonMatching = 2000
+		}
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// LearnDistributions performs S1: computes X+ and X− of the real dataset
+// and fits the M- and N-distributions with EM, selecting the component
+// count by AIC (§IV-A). π is |X+| / (|X+| + |X−|) over the full pair space.
+func LearnDistributions(real *dataset.ER, opts LearnOptions) (*gmm.Joint, error) {
+	if real == nil {
+		return nil, fmt.Errorf("core: nil dataset")
+	}
+	if len(real.Matches) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 matching pairs to learn the M-distribution, have %d", len(real.Matches))
+	}
+	opts = opts.withDefaults(len(real.Matches))
+	xp := real.MatchingVectors()
+	xn := real.NonMatchingVectors(opts.MaxNonMatching, opts.Rand)
+	if len(xn) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 non-matching pairs, have %d", len(xn))
+	}
+	if !opts.NoHardNegatives {
+		blocker := opts.Blocker
+		if blocker == nil {
+			blocker = defaultBlocker(real.Schema())
+		}
+		hardN := opts.HardNonMatching
+		if hardN == 0 {
+			hardN = 2 * len(real.Matches)
+		}
+		for _, lp := range dataset.HardestNonMatches(real, blocker.Candidates(real.A, real.B), hardN) {
+			xn = append(xn, lp.Vector)
+		}
+	}
+	fit := gmm.FitOptions{Rand: opts.Rand}
+	mModel, err := gmm.FitAIC(xp, opts.MaxComponents, fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)
+	}
+	nModel, err := gmm.FitAIC(xn, opts.MaxComponents, fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting N-distribution: %w", err)
+	}
+	// π = |X+| / (|X+| + |X−|) over the learning sets (§II-B). Note that S2
+	// uses a separate sampling fraction (Options.MatchFraction) so that the
+	// synthesized dataset reproduces the real match count.
+	pi := float64(len(xp)) / float64(len(xp)+len(xn))
+	return gmm.NewJoint(mModel, nModel, pi)
+}
+
+// defaultBlocker unions q-gram blocking over the textual columns (falling
+// back to the first column when none are textual).
+func defaultBlocker(schema *dataset.Schema) blocking.Blocker {
+	var union blocking.Union
+	for i, col := range schema.Cols {
+		if col.Kind == dataset.Textual {
+			union = append(union, blocking.QGram{Column: i})
+		}
+	}
+	if len(union) == 0 {
+		return blocking.QGram{Column: 0}
+	}
+	return union
+}

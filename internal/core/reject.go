@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+
+	"serd/internal/dataset"
+	"serd/internal/gmm"
+)
+
+// distState maintains the synthesized-side distribution O_syn and performs
+// the entity-rejection-by-distribution check of §V case 2. X_syn vectors
+// are labeled matching/non-matching by the O_real posterior (Eq. 7) and
+// folded into per-side GMM accumulators with the incremental update of
+// Eqs. 8-9; the check compares JSD(O'_syn, O_real) against
+// α·JSD(O_syn, O_real) (Eq. 10) using common random numbers so Monte-Carlo
+// noise cancels between the two estimates.
+type distState struct {
+	oReal      *gmm.Joint
+	schema     *dataset.Schema
+	opts       Options
+	pendingPos [][]float64
+	pendingNeg [][]float64
+	accM, accN *gmm.Accumulator
+	nPos, nNeg int
+}
+
+// delta carries the candidate's new pair vectors split by posterior label.
+type delta struct {
+	pos, neg [][]float64
+}
+
+func newDistState(oReal *gmm.Joint, opts Options) *distState {
+	return &distState{oReal: oReal, opts: opts}
+}
+
+// deltaVectors computes ΔX_syn for a candidate e' against (a sample of)
+// the entities of T_e — the table on the other side of the pair space from
+// e' (§V: "the potential generated pairs (e”, e'), ∀e” ∈ T_e").
+func (d *distState) deltaVectors(cand *dataset.Entity, te *dataset.Relation, r *rand.Rand) delta {
+	if d.schema == nil {
+		d.schema = te.Schema
+	}
+	n := te.Len()
+	idx := make([]int, 0, d.opts.RejectionSample)
+	if n <= d.opts.RejectionSample {
+		for i := 0; i < n; i++ {
+			idx = append(idx, i)
+		}
+	} else {
+		for _, i := range r.Perm(n)[:d.opts.RejectionSample] {
+			idx = append(idx, i)
+		}
+	}
+	var out delta
+	for _, i := range idx {
+		x := d.schema.SimVector(te.Entities[i], cand)
+		if d.oReal.IsMatch(x) {
+			out.pos = append(out.pos, x)
+		} else {
+			out.neg = append(out.neg, x)
+		}
+	}
+	return out
+}
+
+// active reports whether O_syn is estimable yet.
+func (d *distState) active() bool { return d.accM != nil && d.accN != nil }
+
+// reject applies Eq. 10 to the candidate's delta. Before O_syn is
+// estimable it never rejects (there is no distribution to protect yet).
+func (d *distState) reject(dl delta, r *rand.Rand) bool {
+	if !d.active() {
+		return false
+	}
+	snapM, snapN := d.accM, d.accN
+	if len(dl.pos) > 0 {
+		snapM = d.accM.Snapshot()
+		if err := snapM.Add(dl.pos); err != nil {
+			return false // numerically degenerate update; let it through
+		}
+	}
+	if len(dl.neg) > 0 {
+		snapN = d.accN.Snapshot()
+		if err := snapN.Add(dl.neg); err != nil {
+			return false
+		}
+	}
+	before, okB := d.joint(d.accM, d.accN, d.nPos, d.nNeg)
+	after, okA := d.joint(snapM, snapN, d.nPos+len(dl.pos), d.nNeg+len(dl.neg))
+	if !okB || !okA {
+		return false
+	}
+	// Common random numbers: the same sample stream scores both joints.
+	seed := r.Int63()
+	jsdBefore := gmm.JSD(before, d.oReal, d.opts.JSDSamples, rand.New(rand.NewSource(seed)))
+	jsdAfter := gmm.JSD(after, d.oReal, d.opts.JSDSamples, rand.New(rand.NewSource(seed)))
+	return jsdAfter > d.opts.Alpha*jsdBefore
+}
+
+// commit folds an accepted candidate's delta into O_syn, activating the
+// accumulators once both sides have enough vectors to fit.
+func (d *distState) commit(dl delta) {
+	if d.active() {
+		if len(dl.pos) > 0 {
+			_ = d.accM.Add(dl.pos) // degenerate updates only stale the estimate
+		}
+		if len(dl.neg) > 0 {
+			_ = d.accN.Add(dl.neg)
+		}
+		d.nPos += len(dl.pos)
+		d.nNeg += len(dl.neg)
+		return
+	}
+	d.pendingPos = append(d.pendingPos, dl.pos...)
+	d.pendingNeg = append(d.pendingNeg, dl.neg...)
+	d.nPos += len(dl.pos)
+	d.nNeg += len(dl.neg)
+	if len(d.pendingPos) >= d.opts.MinFitVectors && len(d.pendingNeg) >= d.opts.MinFitVectors {
+		fit := gmm.FitOptions{Rand: rand.New(rand.NewSource(d.opts.Seed + 2))}
+		mModel, errM := gmm.FitAIC(d.pendingPos, 2, fit)
+		nModel, errN := gmm.FitAIC(d.pendingNeg, 2, fit)
+		if errM != nil || errN != nil {
+			return // try again with more vectors on a later commit
+		}
+		accM, errM := gmm.NewAccumulator(mModel, d.pendingPos, 0)
+		accN, errN := gmm.NewAccumulator(nModel, d.pendingNeg, 0)
+		if errM != nil || errN != nil {
+			return
+		}
+		d.accM, d.accN = accM, accN
+		d.pendingPos, d.pendingNeg = nil, nil
+	}
+}
+
+// joint assembles the O_syn mixture from the two accumulators.
+func (d *distState) joint(accM, accN *gmm.Accumulator, nPos, nNeg int) (*gmm.Joint, bool) {
+	if nPos+nNeg == 0 {
+		return nil, false
+	}
+	pi := float64(nPos) / float64(nPos+nNeg)
+	j, err := gmm.NewJoint(accM.Model(), accN.Model(), pi)
+	if err != nil {
+		return nil, false
+	}
+	return j, true
+}
+
+// finalJSD reports JSD(O_syn, O_real) at the end of synthesis (0 when
+// O_syn never became estimable).
+func (d *distState) finalJSD(r *rand.Rand) float64 {
+	if !d.active() {
+		return 0
+	}
+	j, ok := d.joint(d.accM, d.accN, d.nPos, d.nNeg)
+	if !ok {
+		return 0
+	}
+	return gmm.JSD(j, d.oReal, 2*d.opts.JSDSamples, r)
+}

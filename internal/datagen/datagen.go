@@ -1,0 +1,229 @@
+// Package datagen deterministically generates the four surrogate ER
+// datasets used throughout the reproduction — scholar (DBLP-ACM-like),
+// restaurant, electronics (Walmart-Amazon-like) and music
+// (iTunes-Amazon-like) — together with same-domain background corpora drawn
+// from vocabulary disjoint with the active data (paper §II-D).
+//
+// The real benchmark CSVs the paper downloads are not available offline;
+// these generators reproduce their schemas, size ratios, match counts and,
+// critically, the bimodal matching/non-matching similarity-vector structure
+// that the SERD pipeline consumes. See DESIGN.md §1 for the substitution
+// argument.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"serd/internal/dataset"
+)
+
+// Config controls dataset generation. Zero values select the per-dataset
+// scaled defaults (paper-size ratios scaled to run on one CPU core).
+type Config struct {
+	Seed                int64
+	SizeA, SizeB        int
+	Matches             int
+	BackgroundPerColumn int // strings per textual column, default 300
+}
+
+func (c Config) withDefaults(sizeA, sizeB, matches int) Config {
+	if c.SizeA == 0 {
+		c.SizeA = sizeA
+	}
+	if c.SizeB == 0 {
+		c.SizeB = sizeB
+	}
+	if c.Matches == 0 {
+		c.Matches = matches
+	}
+	if c.Matches > c.SizeA {
+		c.Matches = c.SizeA
+	}
+	if c.Matches > c.SizeB {
+		c.Matches = c.SizeB
+	}
+	if c.BackgroundPerColumn == 0 {
+		c.BackgroundPerColumn = 300
+	}
+	return c
+}
+
+// Generated bundles a surrogate ER dataset with its background corpora.
+type Generated struct {
+	Name string
+	ER   *dataset.ER
+	// Background maps each textual column name to a same-domain corpus
+	// generated from the background vocabulary half.
+	Background map[string][]string
+	// PaperStats records the original dataset's Table II row for reporting
+	// alongside the scaled surrogate.
+	PaperStats dataset.Stats
+}
+
+// Generator produces one of the four named datasets.
+type Generator struct {
+	Name   string
+	Domain string
+	// PaperStats is the original dataset's Table II row.
+	PaperStats dataset.Stats
+	// ScaledStats is this generator's default (CPU-scaled) output shape.
+	ScaledStats dataset.Stats
+	Gen         func(Config) (*Generated, error)
+}
+
+// Registry lists the four paper datasets in Table II order.
+func Registry() []Generator {
+	return []Generator{
+		{
+			Name:        "DBLP-ACM",
+			Domain:      "scholar",
+			PaperStats:  dataset.Stats{SizeA: 2616, SizeB: 2294, Columns: 4, Matches: 2224},
+			ScaledStats: dataset.Stats{SizeA: 327, SizeB: 287, Columns: 4, Matches: 278},
+			Gen:         Scholar,
+		},
+		{
+			Name:        "Restaurant",
+			Domain:      "restaurant",
+			PaperStats:  dataset.Stats{SizeA: 864, SizeB: 864, Columns: 4, Matches: 112},
+			ScaledStats: dataset.Stats{SizeA: 432, SizeB: 432, Columns: 4, Matches: 56},
+			Gen:         Restaurant,
+		},
+		{
+			Name:        "Walmart-Amazon",
+			Domain:      "electronics",
+			PaperStats:  dataset.Stats{SizeA: 2554, SizeB: 22074, Columns: 5, Matches: 1154},
+			ScaledStats: dataset.Stats{SizeA: 160, SizeB: 1380, Columns: 5, Matches: 72},
+			Gen:         Products,
+		},
+		{
+			Name:        "iTunes-Amazon",
+			Domain:      "music",
+			PaperStats:  dataset.Stats{SizeA: 6907, SizeB: 55922, Columns: 8, Matches: 132},
+			ScaledStats: dataset.Stats{SizeA: 216, SizeB: 1748, Columns: 8, Matches: 132},
+			Gen:         Music,
+		},
+	}
+}
+
+// ByName returns the named generator (case-sensitive, Table II names).
+func ByName(name string) (Generator, error) {
+	for _, g := range Registry() {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("datagen: unknown dataset %q", name)
+}
+
+// spec is the per-dataset recipe assembled by assemble.
+type spec struct {
+	name   string
+	schema *dataset.Schema
+	// fresh generates an unrelated row for the given relation side and
+	// vocabulary half.
+	fresh func(h Half, side int, r *rand.Rand) []string
+	// perturbMatch turns an A-row into a dirty duplicate B-row.
+	perturbMatch func(row []string, r *rand.Rand) []string
+	// sibling, when non-nil, turns an A-row into a hard negative: an
+	// entity that shares identity signals (brand, venue, artist, city)
+	// without being the same real-world entity. Real benchmark pair spaces
+	// are full of these, and they are what makes the matcher's decision
+	// boundary non-trivial — without them every method trains a perfect
+	// matcher and the paper's SERD/SERD-/EMBench contrast collapses.
+	sibling func(row []string, r *rand.Rand) []string
+	// siblingFrac is the fraction of non-match B rows generated as
+	// siblings (default 0.35 when sibling is set).
+	siblingFrac float64
+	paperStats  dataset.Stats
+}
+
+// assemble builds the A and B relations: the first cfg.Matches B-rows are
+// dirty duplicates of distinct A-rows; remaining rows on both sides are
+// fresh or hard-negative siblings. Entity orders are shuffled so matches
+// are not positionally aligned.
+func assemble(s spec, cfg Config) (*Generated, error) {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	a := dataset.NewRelation("A", s.schema)
+	for i := 0; i < cfg.SizeA; i++ {
+		e := &dataset.Entity{ID: fmt.Sprintf("a%d", i+1), Values: s.fresh(Active, 0, r)}
+		if err := a.Append(e); err != nil {
+			return nil, err
+		}
+	}
+
+	// Choose which A entities get duplicates in B.
+	perm := r.Perm(cfg.SizeA)[:cfg.Matches]
+	b := dataset.NewRelation("B", s.schema)
+	matchOf := make(map[int]int, cfg.Matches) // B index -> A index
+	for i, ai := range perm {
+		vals := s.perturbMatch(a.Entities[ai].Values, r)
+		e := &dataset.Entity{ID: fmt.Sprintf("b%d", i+1), Values: vals}
+		if err := b.Append(e); err != nil {
+			return nil, err
+		}
+		matchOf[i] = ai
+	}
+	siblingFrac := s.siblingFrac
+	if s.sibling != nil && siblingFrac == 0 {
+		siblingFrac = 0.35
+	}
+	for i := cfg.Matches; i < cfg.SizeB; i++ {
+		var vals []string
+		if s.sibling != nil && r.Float64() < siblingFrac {
+			vals = s.sibling(a.Entities[r.Intn(a.Len())].Values, r)
+		} else {
+			vals = s.fresh(Active, 1, r)
+		}
+		e := &dataset.Entity{ID: fmt.Sprintf("b%d", i+1), Values: vals}
+		if err := b.Append(e); err != nil {
+			return nil, err
+		}
+	}
+	// Shuffle B so duplicates are not a prefix; remap the match indices.
+	order := r.Perm(b.Len())
+	shuffled := make([]*dataset.Entity, b.Len())
+	newIdx := make([]int, b.Len())
+	for newPos, oldPos := range order {
+		shuffled[newPos] = b.Entities[oldPos]
+		newIdx[oldPos] = newPos
+	}
+	b.Entities = shuffled
+	// Build the match list in B-index order: ranging over the map directly
+	// would leak map iteration order into the dataset (and through EM
+	// initialization into everything downstream).
+	matches := make([]dataset.Pair, 0, cfg.Matches)
+	for bi := 0; bi < cfg.Matches; bi++ {
+		matches = append(matches, dataset.Pair{A: matchOf[bi], B: newIdx[bi]})
+	}
+
+	er, err := dataset.NewER(a, b, matches)
+	if err != nil {
+		return nil, err
+	}
+
+	bg := make(map[string][]string)
+	for ci, col := range s.schema.Cols {
+		if col.Kind != dataset.Textual {
+			continue
+		}
+		seen := make(map[string]bool)
+		var corpus []string
+		// Prefer distinct strings, but some columns (e.g. genre) have a
+		// small background domain; after enough attempts accept repeats so
+		// corpus construction always terminates.
+		attempts := 0
+		for len(corpus) < cfg.BackgroundPerColumn {
+			row := s.fresh(Background, r.Intn(2), r)
+			v := row[ci]
+			attempts++
+			if v == "" || (seen[v] && attempts < 20*cfg.BackgroundPerColumn) {
+				continue // corpora carry text, never missing values
+			}
+			seen[v] = true
+			corpus = append(corpus, v)
+		}
+		bg[col.Name] = corpus
+	}
+	return &Generated{Name: s.name, ER: er, Background: bg, PaperStats: s.paperStats}, nil
+}

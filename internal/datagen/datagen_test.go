@@ -1,0 +1,284 @@
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"serd/internal/dataset"
+)
+
+func TestRegistryCoversTableII(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 4 {
+		t.Fatalf("registry has %d datasets, want 4", len(reg))
+	}
+	wantCols := map[string]int{"DBLP-ACM": 4, "Restaurant": 4, "Walmart-Amazon": 5, "iTunes-Amazon": 8}
+	for _, g := range reg {
+		if got := wantCols[g.Name]; g.PaperStats.Columns != got {
+			t.Errorf("%s: paper columns = %d, want %d", g.Name, g.PaperStats.Columns, got)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("DBLP-ACM"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestGeneratorsProduceRequestedSizes(t *testing.T) {
+	for _, g := range Registry() {
+		gen, err := g.Gen(Config{Seed: 1, SizeA: 50, SizeB: 80, Matches: 20, BackgroundPerColumn: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		st := gen.ER.Stats()
+		if st.SizeA != 50 || st.SizeB != 80 || st.Matches != 20 {
+			t.Errorf("%s: stats = %+v", g.Name, st)
+		}
+		if st.Columns != g.PaperStats.Columns {
+			t.Errorf("%s: columns = %d, want %d", g.Name, st.Columns, g.PaperStats.Columns)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Registry() {
+		a, err := g.Gen(Config{Seed: 7, SizeA: 30, SizeB: 40, Matches: 10, BackgroundPerColumn: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.Gen(Config{Seed: 7, SizeA: 30, SizeB: 40, Matches: 10, BackgroundPerColumn: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.ER.A.Entities {
+			ea, eb := a.ER.A.Entities[i], b.ER.A.Entities[i]
+			for j := range ea.Values {
+				if ea.Values[j] != eb.Values[j] {
+					t.Fatalf("%s: non-deterministic at entity %d col %d", g.Name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchesAreDirtyDuplicates(t *testing.T) {
+	// The key property the whole reproduction rests on: matching pairs must
+	// have clearly higher similarity vectors than non-matching pairs.
+	r := rand.New(rand.NewSource(1))
+	for _, g := range Registry() {
+		gen, err := g.Gen(Config{Seed: 2, SizeA: 80, SizeB: 120, Matches: 40, BackgroundPerColumn: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xp := gen.ER.MatchingVectors()
+		xn := gen.ER.NonMatchingVectors(200, r)
+		avg := func(xs [][]float64) float64 {
+			s, n := 0.0, 0
+			for _, x := range xs {
+				for _, v := range x {
+					s += v
+					n++
+				}
+			}
+			return s / float64(n)
+		}
+		mp, mn := avg(xp), avg(xn)
+		if mp-mn < 0.2 {
+			t.Errorf("%s: matching mean sim %.3f vs non-matching %.3f — not separated", g.Name, mp, mn)
+		}
+	}
+}
+
+func TestBackgroundDisjointFromActive(t *testing.T) {
+	for _, g := range Registry() {
+		gen, err := g.Gen(Config{Seed: 3, SizeA: 60, SizeB: 60, Matches: 20, BackgroundPerColumn: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema := gen.ER.Schema()
+		for ci, col := range schema.Cols {
+			if col.Kind != dataset.Textual {
+				continue
+			}
+			corpus, ok := gen.Background[col.Name]
+			if !ok {
+				t.Fatalf("%s: no background corpus for textual column %s", g.Name, col.Name)
+			}
+			if len(corpus) < 50 {
+				t.Fatalf("%s/%s: corpus size %d", g.Name, col.Name, len(corpus))
+			}
+			active := make(map[string]bool)
+			for _, e := range gen.ER.A.Entities {
+				active[strings.ToLower(e.Values[ci])] = true
+			}
+			for _, e := range gen.ER.B.Entities {
+				active[strings.ToLower(e.Values[ci])] = true
+			}
+			overlap := 0
+			for _, s := range corpus {
+				if active[strings.ToLower(s)] {
+					overlap++
+				}
+			}
+			if overlap > 0 {
+				t.Errorf("%s/%s: %d background strings appear in the active data", g.Name, col.Name, overlap)
+			}
+		}
+	}
+}
+
+func TestMatchesNotPositionallyAligned(t *testing.T) {
+	gen, err := Scholar(Config{Seed: 4, SizeA: 100, SizeB: 100, Matches: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := 0
+	for _, p := range gen.ER.Matches {
+		if p.A == p.B {
+			aligned++
+		}
+	}
+	if aligned > 20 {
+		t.Errorf("%d/100 matches positionally aligned; shuffle not working", aligned)
+	}
+}
+
+func TestDefaultScaledSizes(t *testing.T) {
+	cases := []struct {
+		gen                   func(Config) (*Generated, error)
+		sizeA, sizeB, matches int
+	}{
+		{Scholar, 327, 287, 278},
+		{Restaurant, 432, 432, 56},
+		{Products, 160, 1380, 72},
+		{Music, 216, 1748, 132},
+	}
+	for _, c := range cases {
+		g, err := c.gen(Config{Seed: 5, BackgroundPerColumn: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := g.ER.Stats()
+		if st.SizeA != c.sizeA || st.SizeB != c.sizeB || st.Matches != c.matches {
+			t.Errorf("%s default stats = %+v, want %d/%d/%d", g.Name, st, c.sizeA, c.sizeB, c.matches)
+		}
+	}
+}
+
+func TestMatchesCappedByRelationSizes(t *testing.T) {
+	g, err := Scholar(Config{Seed: 6, SizeA: 10, SizeB: 5, Matches: 50, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.ER.Matches); got != 5 {
+		t.Errorf("matches = %d, want clamp to 5", got)
+	}
+}
+
+func TestScholarVenueFormsDiffer(t *testing.T) {
+	// Matching pairs must exhibit the paper's low venue similarity (short
+	// vs long form), while titles stay near-identical.
+	gen, err := Scholar(Config{Seed: 7, SizeA: 60, SizeB: 60, Matches: 40, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := gen.ER.Schema()
+	venueIdx := s.ColumnIndex("venue")
+	titleIdx := s.ColumnIndex("title")
+	lowVenue, highTitle := 0, 0
+	for _, p := range gen.ER.Matches {
+		x := s.SimVector(gen.ER.A.Entities[p.A], gen.ER.B.Entities[p.B])
+		if x[venueIdx] < 0.5 {
+			lowVenue++
+		}
+		if x[titleIdx] > 0.7 {
+			highTitle++
+		}
+	}
+	n := len(gen.ER.Matches)
+	if lowVenue < n*3/4 {
+		t.Errorf("only %d/%d matches have low venue similarity", lowVenue, n)
+	}
+	if highTitle < n*6/10 {
+		t.Errorf("only %d/%d matches have high title similarity", highTitle, n)
+	}
+}
+
+func TestSiblingsMakeHardNegatives(t *testing.T) {
+	// With siblings in play, some non-matching pairs must sit close to a
+	// source entity (moderate overall similarity) — the hard negatives that
+	// keep the matcher task non-trivial. They are rare in the uniform pair
+	// space by construction, so scan each B-entity's best non-matching
+	// counterpart instead.
+	for _, g := range Registry() {
+		gen, err := g.Gen(Config{Seed: 22, SizeA: 60, SizeB: 150, Matches: 30, BackgroundPerColumn: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema := gen.ER.Schema()
+		matchSet := gen.ER.MatchSet()
+		hard := 0
+		for j, be := range gen.ER.B.Entities {
+			best := 0.0
+			for i, ae := range gen.ER.A.Entities {
+				if matchSet[dataset.Pair{A: i, B: j}] {
+					continue
+				}
+				x := schema.SimVector(ae, be)
+				mean := 0.0
+				for _, v := range x {
+					mean += v
+				}
+				mean /= float64(len(x))
+				if mean > best {
+					best = mean
+				}
+			}
+			if best > 0.45 {
+				hard++
+			}
+		}
+		if hard < 15 {
+			t.Errorf("%s: only %d/150 B-entities have a hard non-matching counterpart", g.Name, hard)
+		}
+	}
+}
+
+func TestHardMatchesExist(t *testing.T) {
+	// A share of matching pairs must be dirty (sub-0.7 title/key sim) so
+	// trained matchers stay below F1 = 1 — mirroring the real benchmarks.
+	gen, err := Scholar(Config{Seed: 23, SizeA: 150, SizeB: 150, Matches: 120, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	titleIdx := gen.ER.Schema().ColumnIndex("title")
+	dirty := 0
+	for _, x := range gen.ER.MatchingVectors() {
+		if x[titleIdx] < 0.7 {
+			dirty++
+		}
+	}
+	if dirty < 10 {
+		t.Errorf("only %d/120 scholar matches are dirty", dirty)
+	}
+	prod, err := Products(Config{Seed: 24, SizeA: 100, SizeB: 150, Matches: 80, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelIdx := prod.ER.Schema().ColumnIndex("modelno")
+	missing := 0
+	for _, p := range prod.ER.Matches {
+		if prod.ER.B.Entities[p.B].Values[modelIdx] == "" {
+			missing++
+		}
+	}
+	if missing < 5 {
+		t.Errorf("only %d/80 product matches miss the model number", missing)
+	}
+}

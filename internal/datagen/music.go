@@ -1,0 +1,135 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"serd/internal/dataset"
+	"serd/internal/perturb"
+	"serd/internal/simfn"
+)
+
+// MusicSchema returns the iTunes-Amazon schema: song_name, artist_name,
+// album_name, genre, copyright (textual), price (numeric), time and
+// released (date; time is track seconds, released a day ordinal).
+func MusicSchema() *dataset.Schema {
+	s, err := dataset.NewSchema([]dataset.Column{
+		{Name: "song_name", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "artist_name", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "album_name", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "genre", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "copyright", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "price", Kind: dataset.Numeric, Sim: simfn.Numeric{Min: 0, Max: 15}},
+		{Name: "time", Kind: dataset.Date, Sim: simfn.Date{Min: 120, Max: 600}},
+		{Name: "released", Kind: dataset.Date, Sim: simfn.Date{Min: 0, Max: 7300}},
+	})
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	return s
+}
+
+// Music generates the iTunes-Amazon-like dataset. Sizes default to the
+// paper's scaled by 1/32 (6907/55922 -> 216/1748); the match count is kept
+// at the paper's 132 rather than scaled, because a handful of matches is
+// too few to fit the M-distribution.
+func Music(cfg Config) (*Generated, error) {
+	cfg = cfg.withDefaults(216, 1748, 132)
+	suffixes := []string{"", "", "", " (Live)", " (Acoustic)", " (Remix)", " - Single Version", " (Radio Edit)"}
+	song := func(h Half, r *rand.Rand) string {
+		return pick(songThemes, h, r) + suffixes[r.Intn(len(suffixes))]
+	}
+	artist := func(h Half, r *rand.Rand) string {
+		name := pick(firstNames, h, r) + " " + pick(lastNames, h, r)
+		if r.Intn(4) == 0 {
+			return "The " + pick(lastNames, h, r) + " Band"
+		}
+		return name
+	}
+	albumWords := []string{"Sessions", "Anthology", "Collection", "LP", "Nights", "Tapes", "Chronicles", "Stories"}
+	prices := []string{"0.69", "0.99", "1.29", "9.99", "11.99", "14.99"}
+	s := spec{
+		name:   "iTunes-Amazon",
+		schema: MusicSchema(),
+		fresh: func(h Half, _ int, r *rand.Rand) []string {
+			label := pick(labels, h, r)
+			year := 2000 + r.Intn(20)
+			return []string{
+				song(h, r),
+				artist(h, r),
+				pick(songThemes, h, r) + " " + albumWords[r.Intn(len(albumWords))],
+				pick(genres, h, r),
+				fmt.Sprintf("(C) %d %s", year, label),
+				prices[r.Intn(len(prices))],
+				strconv.Itoa(120 + r.Intn(480)),
+				strconv.Itoa(r.Intn(7300)),
+			}
+		},
+		perturbMatch: func(row []string, r *rand.Rand) []string {
+			out := make([]string, len(row))
+			// Song name: near-identical, sometimes a suffix or case change.
+			out[0] = row[0]
+			switch r.Intn(4) {
+			case 0:
+				out[0] = perturb.LowerCase(row[0], r)
+			case 1:
+				out[0] = perturb.Typo(row[0], r)
+			}
+			// Artist: stable or abbreviated.
+			out[1] = row[1]
+			if r.Float64() < 0.3 {
+				out[1] = perturb.AbbreviateFirstNames(row[1], r)
+			}
+			// Album: small edit.
+			out[2] = row[2]
+			if r.Float64() < 0.4 {
+				out[2] = perturb.Typo(row[2], r)
+			}
+			out[3] = row[3] // genre stable
+			// Copyright: same label, occasionally re-issued a year later.
+			out[4] = row[4]
+			// Price differs between stores half the time.
+			out[5] = row[5]
+			if r.Float64() < 0.5 {
+				out[5] = prices[r.Intn(len(prices))]
+			}
+			// Track time agrees within a couple of seconds.
+			t, _ := strconv.Atoi(row[6])
+			out[6] = strconv.Itoa(t + r.Intn(5) - 2)
+			// Release date agrees within a month.
+			d, _ := strconv.Atoi(row[7])
+			nd := d + r.Intn(61) - 30
+			if nd < 0 {
+				nd = 0
+			}
+			if nd > 7300 {
+				nd = 7300
+			}
+			out[7] = strconv.Itoa(nd)
+			return out
+		},
+		sibling: func(row []string, r *rand.Rand) []string {
+			// Another track by the same artist on the same album — the
+			// iTunes-Amazon hard negative (132 matches in 380M pairs means
+			// almost everything similar is NOT a match).
+			out := make([]string, len(row))
+			out[0] = song(Active, r)
+			out[1] = row[1]
+			out[2] = row[2]
+			out[3] = row[3]
+			out[4] = row[4]
+			out[5] = row[5]
+			out[6] = strconv.Itoa(120 + r.Intn(480))
+			d, _ := strconv.Atoi(row[7])
+			nd := d + r.Intn(21) - 10
+			if nd < 0 {
+				nd = 0
+			}
+			out[7] = strconv.Itoa(nd)
+			return out
+		},
+		paperStats: dataset.Stats{SizeA: 6907, SizeB: 55922, Columns: 8, Matches: 132},
+	}
+	return assemble(s, cfg)
+}

@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"serd/internal/dataset"
+	"serd/internal/perturb"
+	"serd/internal/simfn"
+)
+
+// ProductsSchema returns the Walmart-Amazon schema: modelno, title, descr
+// (textual), brand (categorical), price (numeric).
+func ProductsSchema() *dataset.Schema {
+	s, err := dataset.NewSchema([]dataset.Column{
+		{Name: "modelno", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "title", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "descr", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "brand", Kind: dataset.Categorical, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "price", Kind: dataset.Numeric, Sim: simfn.Numeric{Min: 5, Max: 2500}},
+	})
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	return s
+}
+
+// Products generates the Walmart-Amazon-like electronics dataset. Defaults
+// are the paper's sizes scaled by 1/16 (2554/22074/1154 -> 160/1380/72).
+func Products(cfg Config) (*Generated, error) {
+	cfg = cfg.withDefaults(160, 1380, 72)
+	modelno := func(r *rand.Rand) string {
+		letters := "abcdefghijklmnopqrstuvwxyz"
+		return fmt.Sprintf("%c%c%d", letters[r.Intn(26)], letters[r.Intn(26)], 1000+r.Intn(9000))
+	}
+	sizes := []string{"11.6", "13.3", "14", "15.6", "17.3", "21.5", "24", "27"}
+	s := spec{
+		name:   "Walmart-Amazon",
+		schema: ProductsSchema(),
+		fresh: func(h Half, _ int, r *rand.Rand) []string {
+			brand := pick(productBrands, h, r)
+			ptype := pick(productTypes, h, r)
+			spec1 := pick(productSpecs, h, r)
+			size := sizes[r.Intn(len(sizes))]
+			title := fmt.Sprintf("%s %s %s %s", brand, size, ptype, spec1)
+			descr := fmt.Sprintf("%s %s with %s, includes %s warranty and %s support",
+				brand, ptype, spec1, pick(productSpecs, h, r), pick(productSpecs, h, r))
+			// Listings frequently omit the model number on both sides of
+			// the pair space, so a missing key can never be treated as a
+			// match signal by itself.
+			model := modelno(r)
+			if r.Float64() < 0.1 {
+				model = ""
+			}
+			return []string{
+				model,
+				title,
+				descr,
+				brand,
+				strconv.Itoa(10 + r.Intn(2400)),
+			}
+		},
+		perturbMatch: func(row []string, r *rand.Rand) []string {
+			out := make([]string, len(row))
+			// Model numbers agree up to case; a fifth of listings omit the
+			// model number entirely (the missing-key hard match that keeps
+			// Walmart-Amazon F1 well below 1 in the real benchmark).
+			out[0] = row[0]
+			switch {
+			case r.Float64() < 0.2:
+				out[0] = ""
+			case r.Float64() < 0.4:
+				out[0] = perturb.TitleCase(row[0], r)
+			}
+			// Titles: one or two token-level edits (the two stores describe
+			// the same SKU slightly differently).
+			out[1] = perturb.Apply(row[1], []perturb.Op{perturb.DropToken, perturb.SwapTokens, perturb.Typo, perturb.LowerCase}, 1+r.Intn(2), r)
+			// Descriptions diverge heavily across stores.
+			out[2] = perturb.Apply(row[2], perturb.Heavy(), 2+r.Intn(3), r)
+			out[3] = row[3] // brand is stable
+			// Price: identical or jittered a few percent.
+			out[4] = row[4]
+			if r.Float64() < 0.5 {
+				p, _ := strconv.Atoi(row[4])
+				jitter := 1 + r.Intn(1+p/20)
+				if r.Float64() < 0.5 {
+					jitter = -jitter
+				}
+				q := p + jitter
+				if q < 5 {
+					q = 5
+				}
+				out[4] = strconv.Itoa(q)
+			}
+			return out
+		},
+		sibling: func(row []string, r *rand.Rand) []string {
+			// Same brand and product family, different SKU: new model
+			// number (sometimes missing), one spec swapped, nearby price.
+			out := make([]string, len(row))
+			out[0] = modelno(r)
+			if r.Float64() < 0.2 {
+				out[0] = ""
+			}
+			out[1] = perturb.Apply(row[1], []perturb.Op{perturb.DropToken, perturb.SwapTokens}, 1, r) + " " + pick(productSpecs, Active, r)
+			out[2] = perturb.Apply(row[2], perturb.Heavy(), 2, r)
+			out[3] = row[3]
+			p, _ := strconv.Atoi(row[4])
+			q := p + r.Intn(1+p/4) - p/8
+			if q < 5 {
+				q = 5
+			}
+			out[4] = strconv.Itoa(q)
+			return out
+		},
+		paperStats: dataset.Stats{SizeA: 2554, SizeB: 22074, Columns: 5, Matches: 1154},
+	}
+	return assemble(s, cfg)
+}

@@ -1,0 +1,119 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"serd/internal/dataset"
+	"serd/internal/perturb"
+	"serd/internal/simfn"
+)
+
+// RestaurantSchema returns the Restaurant schema: name, address (textual),
+// city, flavor (categorical).
+func RestaurantSchema() *dataset.Schema {
+	s, err := dataset.NewSchema([]dataset.Column{
+		{Name: "name", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "address", Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "city", Kind: dataset.Categorical, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "flavor", Kind: dataset.Categorical, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+	})
+	if err != nil {
+		panic(err) // static schema; cannot fail
+	}
+	return s
+}
+
+// Restaurant generates the Restaurant-like dataset. The paper's original is
+// a single 864-entity table with 112 duplicate pairs inside it; we realize
+// the equivalent two-relation form (A and B of equal size with 112-scaled
+// duplicates across them), which carries the same M/N similarity structure.
+// Defaults are scaled by 1/2: 432/432/56.
+func Restaurant(cfg Config) (*Generated, error) {
+	cfg = cfg.withDefaults(432, 432, 56)
+	name := func(h Half, r *rand.Rand) string {
+		owner := pick(restaurantOwners, h, r)
+		kind := pick(restaurantKinds, h, r)
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("%s's %s", owner, kind)
+		}
+		return fmt.Sprintf("%s %s", owner, kind)
+	}
+	address := func(h Half, r *rand.Rand) string {
+		st := pick(streetNames, h, r)
+		switch r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d %s", 1+r.Intn(999), st)
+		case 1:
+			return fmt.Sprintf("%s around %s", st, pick(streetNames, h, r))
+		default:
+			return fmt.Sprintf("%s between %s and %s", st, pick(streetNames, h, r), pick(streetNames, h, r))
+		}
+	}
+	s := spec{
+		name:   "Restaurant",
+		schema: RestaurantSchema(),
+		fresh: func(h Half, _ int, r *rand.Rand) []string {
+			return []string{
+				name(h, r),
+				address(h, r),
+				pick(cities, h, r),
+				pick(flavors, h, r),
+			}
+		},
+		perturbMatch: func(row []string, r *rand.Rand) []string {
+			out := make([]string, len(row))
+			// Name: one listing carries a prefix or a small edit, the
+			// "De's Forest Family Restaurant" pattern of Table I. A slice
+			// of matches are renamed outright (ownership change) — the
+			// same place under a new name, identifiable only by address.
+			switch {
+			case r.Float64() < 0.15:
+				out[0] = name(Active, r) // renamed
+			case r.Float64() < 0.45:
+				out[0] = pick(restaurantOwners, Active, r) + "'s " + row[0]
+			case r.Float64() < 0.75:
+				out[0] = perturb.Typo(row[0], r)
+			default:
+				out[0] = perturb.LowerCase(row[0], r)
+			}
+			// Address: alternate phrasing of the same location (medium
+			// similarity, like Table I's 0.4 address pair).
+			out[1] = row[1]
+			if r.Float64() < 0.6 {
+				out[1] = perturb.Apply(row[1], []perturb.Op{perturb.DropToken, perturb.SwapTokens, perturb.Typo}, 1+r.Intn(2), r)
+			}
+			out[2] = row[2] // same city
+			out[3] = row[3] // same cuisine
+			if r.Float64() < 0.1 {
+				out[3] = pick(flavors, Active, r)
+			}
+			return out
+		},
+		sibling: func(row []string, r *rand.Rand) []string {
+			// A different restaurant in the same city with the same cuisine
+			// and the same kind of name — the classic restaurant-matching
+			// hard negative.
+			out := make([]string, len(row))
+			kind := row[0]
+			if i := strings.LastIndexByte(kind, ' '); i >= 0 {
+				kind = kind[i+1:]
+			}
+			out[0] = pick(restaurantOwners, Active, r) + "'s " + kind
+			// Usually a different address; sometimes the same food court
+			// or strip — and then with an unrelated name, which makes the
+			// pair indistinguishable from a renamed match.
+			out[1] = address(Active, r)
+			if r.Float64() < 0.3 {
+				out[1] = row[1]
+				out[0] = name(Active, r)
+			}
+			out[2] = row[2]
+			out[3] = row[3]
+			return out
+		},
+		paperStats: dataset.Stats{SizeA: 864, SizeB: 864, Columns: 4, Matches: 112},
+	}
+	return assemble(s, cfg)
+}

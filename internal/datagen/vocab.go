@@ -1,0 +1,171 @@
+package datagen
+
+import "math/rand"
+
+// Half selects which disjoint half of every vocabulary pool a generator
+// draws from. Active vocabulary builds the "real" surrogate datasets;
+// Background builds the same-domain background corpora used to train the
+// string synthesizer (paper §II-D: background data must share the domain
+// but not the active domain). Because the halves share no words, generated
+// strings are measurably disjoint.
+type Half int
+
+// The two vocabulary halves.
+const (
+	Active Half = iota
+	Background
+)
+
+// pick draws a word from the given half of the pool.
+func pick(words []string, h Half, r *rand.Rand) string {
+	n := len(words) / 2
+	if h == Active {
+		return words[r.Intn(n)]
+	}
+	return words[n+r.Intn(len(words)-n)]
+}
+
+// Word pools. Each slice is split in half: the first half feeds Active
+// generation, the second half feeds Background generation.
+var (
+	firstNames = []string{
+		"Alice", "Robert", "Carmen", "Diego", "Elena", "Frank", "Grace", "Hugo",
+		"Irene", "Javier", "Karen", "Louis", "Marta", "Noah", "Olga", "Pablo",
+		"Quinn", "Rosa", "Samuel", "Teresa", "Ulysses", "Vera", "Walter", "Ximena",
+		"Yusuf", "Zelda", "Andre", "Bianca", "Carlos", "Daphne", "Ethan", "Fiona",
+		"Henrik", "Ingrid", "Jonas", "Katya", "Lars", "Mireille", "Niels", "Oksana",
+		"Pierre", "Qiu", "Rainer", "Sofia", "Tomas", "Ursula", "Viktor", "Wanda",
+		"Xavier", "Yvonne", "Zoltan", "Agnes", "Bruno", "Celine", "Dmitri", "Elsa",
+		"Fabien", "Greta", "Horst", "Iris", "Jurgen", "Klara", "Ludvig", "Marlene",
+	}
+	lastNames = []string{
+		"Anderson", "Bennett", "Castillo", "Dawson", "Ellison", "Fleming", "Garza", "Holloway",
+		"Irving", "Jennings", "Kramer", "Lawson", "Mercer", "Nolan", "Osborne", "Pratt",
+		"Quimby", "Rollins", "Sampson", "Thornton", "Underhill", "Vance", "Whitfield", "Xiong",
+		"York", "Zimmer", "Abbott", "Barlow", "Crane", "Donovan", "Emerson", "Franks",
+		"Gustafsson", "Hoffmann", "Ivanov", "Jansen", "Kowalski", "Lindqvist", "Moreau", "Novak",
+		"Okonkwo", "Petrov", "Quist", "Rousseau", "Schneider", "Takahashi", "Ulrich", "Virtanen",
+		"Weber", "Xu", "Yamamoto", "Zhang", "Almeida", "Bergstrom", "Carvalho", "Dubois",
+		"Eriksson", "Fischer", "Garnier", "Hansen", "Ishikawa", "Johansson", "Keller", "Larsen",
+	}
+	paperAdjectives = []string{
+		"Adaptive", "Scalable", "Efficient", "Incremental", "Distributed", "Parallel",
+		"Robust", "Approximate", "Interactive", "Declarative", "Streaming", "Temporal",
+		"Probabilistic", "Hierarchical", "Federated", "Elastic", "Transactional", "Hybrid",
+		"Versioned", "Columnar", "Learned", "Adaptive-Grained", "Cost-Based", "Lock-Free",
+	}
+	paperNouns = []string{
+		"Query Optimization", "Join Processing", "Index Maintenance", "Data Cleaning",
+		"Entity Matching", "Schema Mapping", "View Selection", "Cardinality Estimation",
+		"Log Replay", "Crash Recovery", "Load Balancing", "Cache Management",
+		"Graph Traversal", "Vector Search", "Record Linkage", "Data Partitioning",
+		"Snapshot Isolation", "Query Compilation", "Buffer Eviction", "Workload Forecasting",
+		"Key Lookup", "Range Scanning", "Tuple Reconstruction", "Plan Enumeration",
+	}
+	paperContexts = []string{
+		"Relational Databases", "Data Lakes", "Column Stores", "Key-Value Stores",
+		"Stream Processors", "Sensor Networks", "Graph Engines", "Cloud Warehouses",
+		"Main-Memory Systems", "Embedded Systems", "Time-Series Stores", "Document Stores",
+		"Federated Clusters", "Serverless Backends", "Edge Deployments", "Shared-Nothing Clusters",
+		"Multi-Tenant Platforms", "Hardware Accelerators", "Persistent Memory", "Disaggregated Storage",
+		"Wide-Area Replicas", "Mobile Devices", "Scientific Archives", "Analytics Pipelines",
+	}
+	// venueForms pairs a short venue name with its long form; matching
+	// entities carry different forms of the same venue (cf. Figure 1, where
+	// "SIGMOD Conference" pairs with "International Conference on Management
+	// of Data" at similarity 0.16).
+	venueForms = [][2]string{
+		{"SIGMOD Conference", "International Conference on Management of Data"},
+		{"VLDB", "Very Large Data Bases"},
+		{"ICDE", "International Conference on Data Engineering"},
+		{"EDBT", "International Conference on Extending Database Technology"},
+		{"CIKM", "Conference on Information and Knowledge Management"},
+		{"KDD", "Knowledge Discovery and Data Mining"},
+		{"ACM Trans. Database Syst.", "ACM Transactions on Database Systems"},
+		{"ACM SIGMOD Record", "SIGMOD Record Quarterly"},
+	}
+	restaurantOwners = []string{
+		"Rosa", "Marco", "Lily", "Otto", "Nina", "Felix", "Dora", "Gus",
+		"Mabel", "Rex", "Stella", "Ivan", "Pearl", "Chester", "Wilma", "Amos",
+		"Freya", "Bodhi", "Cleo", "Dante", "Esme", "Flint", "Gilda", "Harlan",
+		"Isolde", "Jasper", "Kirby", "Leona", "Milo", "Nadia", "Orson", "Petra",
+	}
+	restaurantKinds = []string{
+		"Family Restaurant", "Grill", "Bistro", "Diner", "Kitchen", "Cantina",
+		"Trattoria", "Steakhouse", "Cafe", "Tavern", "Brasserie", "Smokehouse",
+		"Noodle House", "Chophouse", "Eatery", "Pizzeria", "Taqueria", "Bakehouse",
+		"Oyster Bar", "Tea Room", "Supper Club", "Carvery", "Rotisserie", "Gastropub",
+	}
+	streetNames = []string{
+		"broadway", "5th avenue", "main street", "oak lane", "sunset boulevard",
+		"river road", "elm street", "hill drive", "market street", "grand avenue",
+		"park place", "cedar court", "union square", "bay street", "harbor way",
+		"maple avenue", "spring street", "lake shore", "canal street", "summit road",
+		"willow lane", "forest drive", "granite way", "meadow court", "orchard street",
+		"pioneer square", "quarry road", "ridge avenue", "stone street", "terrace drive",
+		"valley lane", "wharf street",
+	}
+	cities = []string{
+		"new york", "los angeles", "chicago", "houston", "atlanta", "boston",
+		"seattle", "denver", "portland", "austin", "miami", "dallas",
+		"london", "paris", "berlin", "madrid", "rome", "vienna",
+		"amsterdam", "prague", "lisbon", "dublin", "copenhagen", "zurich",
+	}
+	flavors = []string{
+		"american", "italian", "mexican", "chinese", "japanese", "indian",
+		"french", "thai", "greek", "spanish", "korean", "vietnamese",
+		"lebanese", "moroccan", "turkish", "peruvian", "brazilian", "ethiopian",
+		"polish", "german", "russian", "cuban", "malaysian", "indonesian",
+	}
+	productBrands = []string{
+		"Asus", "Lenovo", "Dell", "HP", "Acer", "Samsung", "Sony", "Toshiba",
+		"Canon", "Epson", "Logitech", "Netgear", "Sandisk", "Kingston", "Corsair", "Seagate",
+		"Fujitsu", "Panasonic", "Sharp", "Philips", "Brother", "Ricoh", "Benq", "Viewsonic",
+		"Gigabyte", "Msi", "Zotac", "Evga", "Thermaltake", "Antec", "Lexar", "Crucial",
+	}
+	productTypes = []string{
+		"Laptop", "Tablet", "Monitor", "Printer", "Router", "Keyboard",
+		"Mouse", "Webcam", "Headset", "Speaker", "Hard Drive", "Flash Drive",
+		"Projector", "Scanner", "Docking Station", "Graphics Card", "Power Supply", "Motherboard",
+		"Memory Module", "Network Switch", "Media Player", "Sound Bar", "Charging Hub", "Case Fan",
+	}
+	productSpecs = []string{
+		"Intel Atom 2gb Memory 32gb Flash", "Quad Core 8gb Ram 256gb Ssd",
+		"Full Hd Led Backlit", "Wireless Dual Band", "Usb 3.0 Portable",
+		"Bluetooth Rechargeable", "1080p Wide Angle", "Mechanical Rgb Backlit",
+		"Gigabit 8 Port", "Compact Travel Edition", "Energy Star Certified", "Touchscreen Convertible",
+		"Octa Core 16gb Ram 512gb Nvme", "4k Uhd Hdr Ready", "Mesh Tri Band",
+		"Usb C Fast Charge", "Noise Cancelling Over Ear", "Silent Click Ergonomic",
+		"Thunderbolt Dual Display", "Raid Ready Enterprise", "Low Profile Ddr4", "Fanless Industrial",
+		"Wide Gamut Color Calibrated", "Hot Swap Tool Free",
+	}
+	songThemes = []string{
+		"I'll Be Home For The Holiday", "Midnight On The Water", "Run With The Wolves",
+		"Golden Hour Lullaby", "Shadows Of The City", "Paper Moon Serenade",
+		"Thunder In My Heart", "Last Train To Nowhere", "Dancing On The Wire",
+		"Fires Of September", "Blue Coat Morning", "Whispering Pines Waltz",
+		"Gravel Road Anthem", "Silver Lake Reprise", "Echoes Of A Stranger",
+		"Carousel Of Rain", "Neon Desert Drive", "Harvest Moon Parade",
+		"I'll Think Of You When Raining", "Velvet Static Dream", "Northbound And Restless",
+		"Candlelight Confession", "Wildflower Telegraph", "Avalanche Of Stars",
+		"Sleepless In The Valley", "Tidal Wave Goodbye", "Mercury Street Ballad",
+		"Ghost Of The Lighthouse", "Satellite Heartbeat", "Ragged Crown Rodeo",
+		"Ten Thousand Sundays", "Borrowed Time Boogie",
+	}
+	genres = []string{
+		"Pop", "Rock", "Country", "Jazz", "Blues", "Folk",
+		"Electronic", "Hip-Hop", "Classical", "Reggae", "Soul", "Funk",
+		"Ambient", "House", "Techno", "Bluegrass", "Gospel", "Latin",
+		"Ska", "Punk", "Metal", "Disco", "Trance", "Swing",
+	}
+	labels = []string{
+		"Sunrise Records", "Bluebird Music Group", "Harborline Entertainment",
+		"Crestwave Audio", "Meadowlark Records", "Ironwood Music",
+		"Starfall Recordings", "Copperfield Sound", "Lantern House Media",
+		"Driftwood Records", "Foxglove Music", "Granite Peak Audio",
+		"Silverbell Records", "Thistledown Music", "Umber Sky Recordings",
+		"Violet Harbor Sound", "Wren And Sparrow Media", "Yellowpine Records",
+		"Zephyr Lane Music", "Alder Grove Audio", "Basalt Records", "Cinder Block Sound",
+		"Dovetail Music Group", "Ember Coast Recordings",
+	}
+)

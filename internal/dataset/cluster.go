@@ -1,0 +1,131 @@
+package dataset
+
+import "sort"
+
+// MatchClusters groups entities connected by match edges into clusters
+// (connected components over the bipartite match graph) — the standard ER
+// post-processing step that turns pairwise matches into entity groups.
+// Each cluster lists A-side and B-side entity indices; singletons (matched
+// to nothing) are omitted.
+func MatchClusters(e *ER) []Cluster {
+	// Union-find over A-nodes [0, |A|) and B-nodes [|A|, |A|+|B|).
+	parent := make([]int, e.A.Len()+e.B.Len())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[ry] = rx
+		}
+	}
+	offset := e.A.Len()
+	for _, p := range e.Matches {
+		union(p.A, offset+p.B)
+	}
+	groups := make(map[int]*Cluster)
+	for _, p := range e.Matches {
+		root := find(p.A)
+		c, ok := groups[root]
+		if !ok {
+			c = &Cluster{}
+			groups[root] = c
+		}
+		c.addA(p.A)
+		c.addB(p.B)
+	}
+	out := make([]Cluster, 0, len(groups))
+	for _, c := range groups {
+		sort.Ints(c.A)
+		sort.Ints(c.B)
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A[0] != out[j].A[0] {
+			return out[i].A[0] < out[j].A[0]
+		}
+		return out[i].B[0] < out[j].B[0]
+	})
+	return out
+}
+
+// Cluster is one connected component of the match graph.
+type Cluster struct {
+	// A and B are the member entity indices per side, sorted.
+	A, B []int
+}
+
+func (c *Cluster) addA(i int) {
+	for _, v := range c.A {
+		if v == i {
+			return
+		}
+	}
+	c.A = append(c.A, i)
+}
+
+func (c *Cluster) addB(i int) {
+	for _, v := range c.B {
+		if v == i {
+			return
+		}
+	}
+	c.B = append(c.B, i)
+}
+
+// OneToOneViolations returns the clusters that are not simple 1-1 matches —
+// the transitivity diagnostics a dataset owner checks before release (real
+// benchmark match sets are near-1-1; big clusters usually signal labeling
+// or synthesis problems).
+func OneToOneViolations(e *ER) []Cluster {
+	var out []Cluster
+	for _, c := range MatchClusters(e) {
+		if len(c.A) != 1 || len(c.B) != 1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ColumnProfile summarizes one column of a relation for data auditing.
+type ColumnProfile struct {
+	Name     string
+	Kind     Kind
+	Distinct int
+	// MissingRate is the fraction of empty values.
+	MissingRate float64
+	// MeanLength is the mean value length in runes.
+	MeanLength float64
+}
+
+// Profile computes per-column summaries of a relation.
+func Profile(rel *Relation) []ColumnProfile {
+	out := make([]ColumnProfile, rel.Schema.Len())
+	for ci, col := range rel.Schema.Cols {
+		distinct := make(map[string]bool)
+		missing, totalLen := 0, 0
+		for _, e := range rel.Entities {
+			v := e.Values[ci]
+			distinct[v] = true
+			if v == "" {
+				missing++
+			}
+			totalLen += len([]rune(v))
+		}
+		p := ColumnProfile{Name: col.Name, Kind: col.Kind, Distinct: len(distinct)}
+		if rel.Len() > 0 {
+			p.MissingRate = float64(missing) / float64(rel.Len())
+			p.MeanLength = float64(totalLen) / float64(rel.Len())
+		}
+		out[ci] = p
+	}
+	return out
+}

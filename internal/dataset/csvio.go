@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteRelation writes a relation as CSV with an "id" column followed by
+// the schema columns.
+func WriteRelation(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, r.Schema.Len()+1)
+	header = append(header, "id")
+	for _, c := range r.Schema.Cols {
+		header = append(header, c.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, e := range r.Entities {
+		row[0] = e.ID
+		copy(row[1:], e.Values)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write entity %q: %w", e.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRelation parses a CSV produced by WriteRelation. The header must
+// start with "id" and contain exactly the schema's columns, in order.
+func ReadRelation(rd io.Reader, name string, schema *Schema) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	if len(header) != schema.Len()+1 || header[0] != "id" {
+		return nil, fmt.Errorf("dataset: header %v does not match schema (want id + %d columns)", header, schema.Len())
+	}
+	for i, c := range schema.Cols {
+		if header[i+1] != c.Name {
+			return nil, fmt.Errorf("dataset: header column %d is %q, schema has %q", i+1, header[i+1], c.Name)
+		}
+	}
+	rel := NewRelation(name, schema)
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read row: %w", err)
+		}
+		values := make([]string, schema.Len())
+		copy(values, row[1:])
+		if err := rel.Append(&Entity{ID: row[0], Values: values}); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// WriteMatches writes the match set as a two-column CSV of entity IDs.
+func WriteMatches(w io.Writer, e *ER) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id_a", "id_b"}); err != nil {
+		return fmt.Errorf("dataset: write matches header: %w", err)
+	}
+	for _, p := range e.Matches {
+		rec := []string{e.A.Entities[p.A].ID, e.B.Entities[p.B].ID}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write match %v: %w", rec, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMatches parses a match CSV against the given relations, resolving
+// entity IDs to indices.
+func ReadMatches(rd io.Reader, a, b *Relation) ([]Pair, error) {
+	idxA := make(map[string]int, a.Len())
+	for i, e := range a.Entities {
+		idxA[e.ID] = i
+	}
+	idxB := make(map[string]int, b.Len())
+	for i, e := range b.Entities {
+		idxB[e.ID] = i
+	}
+	cr := csv.NewReader(rd)
+	if _, err := cr.Read(); err != nil { // header
+		return nil, fmt.Errorf("dataset: read matches header: %w", err)
+	}
+	var out []Pair
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read match row: %w", err)
+		}
+		if len(row) != 2 {
+			return nil, fmt.Errorf("dataset: match row %v has %d fields, want 2", row, len(row))
+		}
+		ia, ok := idxA[row[0]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown A-entity id %q in matches", row[0])
+		}
+		ib, ok := idxB[row[1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: unknown B-entity id %q in matches", row[1])
+		}
+		out = append(out, Pair{A: ia, B: ib})
+	}
+	return out, nil
+}
+
+// SaveDir writes an ER dataset to dir as A.csv, B.csv and matches.csv.
+func SaveDir(dir string, e *ER) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	write := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("dataset: create %s: %w", name, err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	if err := write("A.csv", func(w io.Writer) error { return WriteRelation(w, e.A) }); err != nil {
+		return err
+	}
+	if err := write("B.csv", func(w io.Writer) error { return WriteRelation(w, e.B) }); err != nil {
+		return err
+	}
+	return write("matches.csv", func(w io.Writer) error { return WriteMatches(w, e) })
+}
+
+// LoadDir reads an ER dataset written by SaveDir.
+func LoadDir(dir string, schema *Schema) (*ER, error) {
+	readRel := func(name, relName string) (*Relation, error) {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: open %s: %w", name, err)
+		}
+		defer f.Close()
+		return ReadRelation(f, relName, schema)
+	}
+	a, err := readRel("A.csv", "A")
+	if err != nil {
+		return nil, err
+	}
+	b, err := readRel("B.csv", "B")
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "matches.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open matches.csv: %w", err)
+	}
+	defer f.Close()
+	matches, err := ReadMatches(f, a, b)
+	if err != nil {
+		return nil, err
+	}
+	return NewER(a, b, matches)
+}

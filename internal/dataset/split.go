@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// LabeledPair is a training/evaluation example for an ER matcher: the pair,
+// its similarity vector, and its ground-truth label.
+type LabeledPair struct {
+	Pair   Pair
+	Vector []float64
+	Match  bool
+}
+
+// LabeledPairs materializes a matcher workload from the dataset: every
+// matching pair plus negPerPos sampled non-matching pairs per match
+// (the standard ER training regime — the raw pair space is overwhelmingly
+// negative, so negatives are down-sampled). negPerPos <= 0 defaults to 3.
+func LabeledPairs(e *ER, negPerPos int, r *rand.Rand) []LabeledPair {
+	if negPerPos <= 0 {
+		negPerPos = 3
+	}
+	s := e.Schema()
+	out := make([]LabeledPair, 0, len(e.Matches)*(1+negPerPos))
+	for _, p := range e.Matches {
+		out = append(out, LabeledPair{
+			Pair:   p,
+			Vector: s.SimVector(e.A.Entities[p.A], e.B.Entities[p.B]),
+			Match:  true,
+		})
+	}
+	for _, p := range e.NonMatchingPairs(len(e.Matches)*negPerPos, r) {
+		out = append(out, LabeledPair{
+			Pair:   p,
+			Vector: s.SimVector(e.A.Entities[p.A], e.B.Entities[p.B]),
+			Match:  false,
+		})
+	}
+	return out
+}
+
+// LabeledPairsMixed materializes a matcher workload whose negatives are a
+// mix of hard and easy: half are the highest-similarity non-matching pairs
+// of the candidate pool (blocking candidates ranked by mean similarity —
+// exactly the near-miss pairs a real labeling pipeline surfaces and labels)
+// and half are drawn uniformly from the pair space. negPerPos <= 0 defaults
+// to 3. Candidate pairs that are true matches are skipped.
+func LabeledPairsMixed(e *ER, negPerPos int, candidates []Pair, r *rand.Rand) []LabeledPair {
+	if negPerPos <= 0 {
+		negPerPos = 3
+	}
+	s := e.Schema()
+	out := make([]LabeledPair, 0, len(e.Matches)*(1+negPerPos))
+	for _, p := range e.Matches {
+		out = append(out, LabeledPair{
+			Pair:   p,
+			Vector: s.SimVector(e.A.Entities[p.A], e.B.Entities[p.B]),
+			Match:  true,
+		})
+	}
+	wantNeg := len(e.Matches) * negPerPos
+	hardBudget := wantNeg / 2
+	seen := make(map[Pair]bool)
+	for _, lp := range HardestNonMatches(e, candidates, hardBudget) {
+		seen[lp.Pair] = true
+		out = append(out, lp)
+		wantNeg--
+	}
+	for _, p := range e.NonMatchingPairs(wantNeg, r) {
+		if seen[p] {
+			continue
+		}
+		out = append(out, LabeledPair{
+			Pair:   p,
+			Vector: s.SimVector(e.A.Entities[p.A], e.B.Entities[p.B]),
+			Match:  false,
+		})
+	}
+	return out
+}
+
+// HardestNonMatches scores every candidate pair and returns the top-n
+// non-matching pairs by mean similarity — the boundary cases that make a
+// matcher workload meaningful.
+func HardestNonMatches(e *ER, candidates []Pair, n int) []LabeledPair {
+	if n <= 0 {
+		return nil
+	}
+	s := e.Schema()
+	matchSet := e.MatchSet()
+	seen := make(map[Pair]bool, len(candidates))
+	type scoredPair struct {
+		lp   LabeledPair
+		mean float64
+	}
+	scored := make([]scoredPair, 0, len(candidates))
+	for _, p := range candidates {
+		if matchSet[p] || seen[p] {
+			continue
+		}
+		seen[p] = true
+		x := s.SimVector(e.A.Entities[p.A], e.B.Entities[p.B])
+		mean := 0.0
+		for _, v := range x {
+			mean += v
+		}
+		scored = append(scored, scoredPair{lp: LabeledPair{Pair: p, Vector: x}, mean: mean / float64(len(x))})
+	}
+	sort.SliceStable(scored, func(i, j int) bool { return scored[i].mean > scored[j].mean })
+	if len(scored) > n {
+		scored = scored[:n]
+	}
+	out := make([]LabeledPair, len(scored))
+	for i, sp := range scored {
+		out[i] = sp.lp
+	}
+	return out
+}
+
+// Split shuffles pairs with r and divides them into train and test sets,
+// with testFrac of the examples (rounded down, at least one when possible)
+// going to test. It splits matching and non-matching examples separately so
+// both sides of the label are represented in both splits (stratified split).
+func Split(pairs []LabeledPair, testFrac float64, r *rand.Rand) (train, test []LabeledPair, err error) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: testFrac %v outside (0,1)", testFrac)
+	}
+	var pos, neg []LabeledPair
+	for _, p := range pairs {
+		if p.Match {
+			pos = append(pos, p)
+		} else {
+			neg = append(neg, p)
+		}
+	}
+	splitOne := func(xs []LabeledPair) (tr, te []LabeledPair) {
+		r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		n := int(float64(len(xs)) * testFrac)
+		if n == 0 && len(xs) > 1 {
+			n = 1
+		}
+		return xs[n:], xs[:n]
+	}
+	trP, teP := splitOne(pos)
+	trN, teN := splitOne(neg)
+	train = append(append([]LabeledPair{}, trP...), trN...)
+	test = append(append([]LabeledPair{}, teP...), teN...)
+	r.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	r.Shuffle(len(test), func(i, j int) { test[i], test[j] = test[j], test[i] })
+	return train, test, nil
+}
+
+// Vectors extracts the similarity vectors and labels from labeled pairs,
+// the input format of the matcher package.
+func Vectors(pairs []LabeledPair) (xs [][]float64, ys []bool) {
+	xs = make([][]float64, len(pairs))
+	ys = make([]bool, len(pairs))
+	for i, p := range pairs {
+		xs[i] = p.Vector
+		ys[i] = p.Match
+	}
+	return xs, ys
+}

@@ -1,0 +1,213 @@
+// Package dp implements the differential-privacy machinery of the paper:
+// the DP-SGD update of Algorithm 1 (per-example gradient clipping plus
+// Gaussian noise), an RDP-based privacy accountant for reporting the
+// (ε, δ) guarantee of a training run, and the scalar Laplace and Gaussian
+// mechanisms.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serd/internal/nn"
+)
+
+// SGD is the DP-SGD optimizer of Algorithm 1. Training code computes the
+// gradient of ONE example at a time (forward + Backward), calls
+// AccumulateExample — which clips the per-example gradient to L2 norm
+// ClipNorm (line 8) and adds it to the minibatch sum — and after the
+// minibatch calls Step, which adds N(0, σ²V²) noise, averages (line 9) and
+// descends (line 10).
+type SGD struct {
+	Params   []*nn.Tensor
+	LR       float64 // learning rate η
+	ClipNorm float64 // gradient norm bound V
+	Noise    float64 // noise scale σ
+	Rand     *rand.Rand
+
+	sums  [][]float64
+	count int
+	steps int
+}
+
+// NewSGD validates and returns a DP-SGD optimizer.
+func NewSGD(params []*nn.Tensor, lr, clipNorm, noise float64, r *rand.Rand) (*SGD, error) {
+	switch {
+	case len(params) == 0:
+		return nil, errors.New("dp: no parameters")
+	case lr <= 0:
+		return nil, fmt.Errorf("dp: learning rate %v", lr)
+	case clipNorm <= 0:
+		return nil, fmt.Errorf("dp: clip norm %v", clipNorm)
+	case noise < 0:
+		return nil, fmt.Errorf("dp: noise scale %v", noise)
+	case r == nil:
+		return nil, errors.New("dp: nil rand source")
+	}
+	o := &SGD{Params: params, LR: lr, ClipNorm: clipNorm, Noise: noise, Rand: r}
+	o.sums = make([][]float64, len(params))
+	for i, p := range params {
+		o.sums[i] = make([]float64, len(p.Data))
+	}
+	return o, nil
+}
+
+// AccumulateExample clips the current per-example gradient
+// (ḡ = g / max(1, ||g||₂/V), Algorithm 1 line 8), adds it to the minibatch
+// sum and zeroes the gradients for the next example.
+func (o *SGD) AccumulateExample() {
+	norm := nn.GradNorm(o.Params)
+	scale := 1.0
+	if norm > o.ClipNorm {
+		scale = o.ClipNorm / norm
+	}
+	for i, p := range o.Params {
+		sum := o.sums[i]
+		for j, g := range p.Grad {
+			sum[j] += g * scale
+		}
+	}
+	nn.ZeroGrads(o.Params)
+	o.count++
+}
+
+// Step adds Gaussian noise N(0, σ²V²) to the summed clipped gradients,
+// divides by the minibatch size J and applies the descent update
+// (Algorithm 1 lines 9-10). It reports an error when no examples were
+// accumulated.
+func (o *SGD) Step() error {
+	if o.count == 0 {
+		return errors.New("dp: Step with no accumulated examples")
+	}
+	invJ := 1 / float64(o.count)
+	sd := o.Noise * o.ClipNorm
+	for i, p := range o.Params {
+		sum := o.sums[i]
+		for j := range sum {
+			g := (sum[j] + sd*o.Rand.NormFloat64()) * invJ
+			p.Data[j] -= o.LR * g
+			sum[j] = 0
+		}
+	}
+	o.count = 0
+	o.steps++
+	return nil
+}
+
+// Steps returns the number of noisy updates applied so far, the T consumed
+// by the accountant.
+func (o *SGD) Steps() int { return o.steps }
+
+// Accountant computes the (ε, δ) privacy guarantee of a DP-SGD run via
+// Rényi differential privacy. For the subsampled Gaussian mechanism with
+// sampling ratio q and noise multiplier σ, each step satisfies
+// RDP(α) ≤ q²·α / σ² (the standard moments-accountant bound of Abadi et
+// al., valid in the regime σ ≥ 1, q ≪ 1 used here); RDP composes linearly
+// over steps and converts to (ε, δ)-DP by
+// ε = min_α [ T·rdp(α) + log(1/δ)/(α−1) ].
+type Accountant struct {
+	// Q is the sampling ratio: minibatch size / dataset size.
+	Q float64
+	// Noise is the noise multiplier σ.
+	Noise float64
+}
+
+// Epsilon returns the ε of (ε, δ)-DP after steps noisy updates. A zero
+// noise multiplier yields +Inf (no privacy).
+func (a Accountant) Epsilon(steps int, delta float64) float64 {
+	if a.Noise <= 0 || steps <= 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for alpha := 1.25; alpha <= 512; alpha *= 1.1 {
+		rdp := float64(steps) * a.Q * a.Q * alpha / (a.Noise * a.Noise)
+		eps := rdp + math.Log(1/delta)/(alpha-1)
+		if eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// NoiseForEpsilon searches for the smallest noise multiplier σ such that
+// the run of the given length satisfies (ε, δ)-DP. It returns an error if
+// even a huge σ cannot reach the target.
+func NoiseForEpsilon(q float64, steps int, epsilon, delta float64) (float64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon %v must be positive", epsilon)
+	}
+	lo, hi := 1e-3, 1e4
+	if (Accountant{Q: q, Noise: hi}).Epsilon(steps, delta) > epsilon {
+		return 0, fmt.Errorf("dp: cannot reach epsilon %v with %d steps at q=%v", epsilon, steps, q)
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if (Accountant{Q: q, Noise: mid}).Epsilon(steps, delta) > epsilon {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// LaplaceMechanism releases value + Lap(sensitivity/ε), which is ε-DP for a
+// query with the given L1 sensitivity.
+func LaplaceMechanism(value, sensitivity, epsilon float64, r *rand.Rand) float64 {
+	b := sensitivity / epsilon
+	u := r.Float64() - 0.5
+	return value - b*sign(u)*math.Log(1-2*math.Abs(u))
+}
+
+// GaussianMechanism releases value + N(0, σ²) with
+// σ = sensitivity·sqrt(2·ln(1.25/δ))/ε, which is (ε, δ)-DP for a query with
+// the given L2 sensitivity (Dwork & Roth, Thm 3.22).
+func GaussianMechanism(value, sensitivity, epsilon, delta float64, r *rand.Rand) float64 {
+	sigma := sensitivity * math.Sqrt(2*math.Log(1.25/delta)) / epsilon
+	return value + sigma*r.NormFloat64()
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Ledger accumulates the privacy cost of a sequence of mechanism
+// invocations against the same dataset. DP-SGD runs compose via the RDP
+// accountant; scalar Laplace/Gaussian releases compose additively on ε (the
+// basic composition bound — conservative but always valid).
+type Ledger struct {
+	entries []ledgerEntry
+}
+
+type ledgerEntry struct {
+	label      string
+	eps, delta float64
+}
+
+// RecordSGD adds a DP-SGD run's (ε, δ) as computed by the accountant.
+func (l *Ledger) RecordSGD(label string, a Accountant, steps int, delta float64) {
+	l.entries = append(l.entries, ledgerEntry{label: label, eps: a.Epsilon(steps, delta), delta: delta})
+}
+
+// RecordMechanism adds a scalar mechanism release.
+func (l *Ledger) RecordMechanism(label string, epsilon, delta float64) {
+	l.entries = append(l.entries, ledgerEntry{label: label, eps: epsilon, delta: delta})
+}
+
+// Total returns the basic-composition bound over everything recorded:
+// ε values and δ values both add.
+func (l *Ledger) Total() (epsilon, delta float64) {
+	for _, e := range l.entries {
+		epsilon += e.eps
+		delta += e.delta
+	}
+	return epsilon, delta
+}
+
+// Len returns the number of recorded releases.
+func (l *Ledger) Len() int { return len(l.entries) }

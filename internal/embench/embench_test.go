@@ -1,0 +1,133 @@
+package embench
+
+import (
+	"math/rand"
+	"testing"
+
+	"serd/internal/datagen"
+)
+
+func TestSynthesizePreservesShapeAndLabels(t *testing.T) {
+	gen, err := datagen.Scholar(datagen.Config{Seed: 1, SizeA: 60, SizeB: 70, Matches: 30, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(gen.ER, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, sr := syn.Stats(), gen.ER.Stats()
+	if st.SizeA != sr.SizeA || st.SizeB != sr.SizeB || st.Matches != sr.Matches {
+		t.Errorf("shape changed: %+v vs %+v", st, sr)
+	}
+	for i, p := range syn.Matches {
+		if p != gen.ER.Matches[i] {
+			t.Fatal("match labels must carry over index-for-index")
+		}
+	}
+}
+
+func TestSynthesizedEntitiesDifferButResemble(t *testing.T) {
+	// EMBench's defining property (and privacy weakness): synthesized
+	// entities are modified copies, so they stay close to the real ones.
+	gen, err := datagen.Scholar(datagen.Config{Seed: 3, SizeA: 50, SizeB: 50, Matches: 20, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(gen.ER, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := gen.ER.Schema()
+	titleIdx := schema.ColumnIndex("title")
+	changed, similar := 0, 0
+	for i, e := range syn.A.Entities {
+		orig := gen.ER.A.Entities[i]
+		if e.Values[titleIdx] != orig.Values[titleIdx] {
+			changed++
+		}
+		if schema.Cols[titleIdx].Sim.Sim(e.Values[titleIdx], orig.Values[titleIdx]) > 0.5 {
+			similar++
+		}
+	}
+	if changed < 10 {
+		t.Errorf("only %d/50 titles modified", changed)
+	}
+	if changed > 45 {
+		t.Errorf("%d/50 titles modified; EMBench applies rules selectively", changed)
+	}
+	if similar < 40 {
+		t.Errorf("only %d/50 titles stayed recognizable — EMBench should produce near-copies", similar)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	gen, err := datagen.Restaurant(datagen.Config{Seed: 5, SizeA: 30, SizeB: 30, Matches: 10, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Synthesize(gen.ER, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(gen.ER, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.A.Entities {
+		for j := range a.A.Entities[i].Values {
+			if a.A.Entities[i].Values[j] != b.A.Entities[i].Values[j] {
+				t.Fatal("non-deterministic for equal seeds")
+			}
+		}
+	}
+}
+
+func TestMatchingPairsStillSeparated(t *testing.T) {
+	// Modified duplicates must remain more similar than modified
+	// non-duplicates, else no matcher could learn anything from EMBench
+	// output (the paper's Figures 6-9 show EMBench matchers do learn,
+	// just a distribution-shifted decision boundary).
+	gen, err := datagen.Scholar(datagen.Config{Seed: 7, SizeA: 60, SizeB: 60, Matches: 30, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(gen.ER, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	avg := func(xs [][]float64) float64 {
+		s, n := 0.0, 0
+		for _, x := range xs {
+			for _, v := range x {
+				s += v
+				n++
+			}
+		}
+		return s / float64(n)
+	}
+	mp := avg(syn.MatchingVectors())
+	mn := avg(syn.NonMatchingVectors(200, r))
+	if mp-mn < 0.1 {
+		t.Errorf("EMBench matches (%.3f) not separated from non-matches (%.3f)", mp, mn)
+	}
+}
+
+func TestSynthesizeNumericShift(t *testing.T) {
+	gen, err := datagen.Scholar(datagen.Config{Seed: 10, SizeA: 40, SizeB: 40, Matches: 10, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := Synthesize(gen.ER, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yearIdx := gen.ER.Schema().ColumnIndex("year")
+	for i, e := range syn.A.Entities {
+		f := gen.ER.Schema().Cols[yearIdx].Sim
+		if s := f.Sim(e.Values[yearIdx], gen.ER.A.Entities[i].Values[yearIdx]); s < 0.85 {
+			t.Fatalf("year shifted too far: %q vs %q", e.Values[yearIdx], gen.ER.A.Entities[i].Values[yearIdx])
+		}
+	}
+}

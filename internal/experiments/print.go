@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// PrintTableI renders Table I rows.
+func PrintTableI(w io.Writer, rows []TableIRow) {
+	fmt.Fprintln(w, "TABLE I — EXAMPLES OF SYNTHESIZED STRINGS")
+	fmt.Fprintf(w, "%-28s | %-52s | %5s | %-52s | %5s\n", "domain", "input string s", "sim", "output string s'", "sim'")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s | %-52s | %5.2f | %-52s | %5.2f\n",
+			r.Domain, clip(r.Input, 52), r.TargetSim, clip(r.Output, 52), r.AchievedSim)
+	}
+}
+
+// PrintTableII renders Table II rows (paper sizes alongside the scaled
+// surrogate actually generated).
+func PrintTableII(w io.Writer, rows []TableIIRow) {
+	fmt.Fprintln(w, "TABLE II — STATISTICS OF DATASETS (paper / scaled surrogate)")
+	fmt.Fprintf(w, "%-15s %-12s %12s %12s %7s %12s\n", "Dataset", "Domain", "|A_real|", "|B_real|", "#-Col", "|M_real|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %-12s %6d/%-6d %6d/%-6d %7d %6d/%-6d\n",
+			r.Dataset, r.Domain,
+			r.Paper.SizeA, r.Scaled.SizeA,
+			r.Paper.SizeB, r.Scaled.SizeB,
+			r.Scaled.Columns,
+			r.Paper.Matches, r.Scaled.Matches)
+	}
+}
+
+// PrintFigure5 renders the user-study outcome.
+func PrintFigure5(w io.Writer, rows []Figure5Row) {
+	fmt.Fprintln(w, "FIGURE 5 — USER STUDY (simulated annotators)")
+	fmt.Fprintln(w, "(a) S1: is the synthesized entity real?")
+	fmt.Fprintf(w, "%-15s %8s %8s %9s %9s\n", "Dataset", "Agree", "Neutral", "Disagree", "#judged")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %7.1f%% %7.1f%% %8.1f%% %9d\n", r.Dataset, 100*r.Agree, 100*r.Neutral, 100*r.Disagree, r.EntitiesJudged)
+	}
+	fmt.Fprintln(w, "(b) S2: is the synthesized pair matching? (row = synthetic label)")
+	fmt.Fprintf(w, "%-15s %12s %12s %12s %12s %9s\n", "Dataset", "M->match", "M->non", "N->match", "N->non", "#judged")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %11.1f%% %11.1f%% %11.1f%% %11.1f%% %9d\n",
+			r.Dataset, 100*r.MatchAsMatch, 100*r.MatchAsNon, 100*r.NonAsMatch, 100*r.NonAsNon, r.PairsJudged)
+	}
+}
+
+// PrintEvalRows renders Figures 6-9 rows with the paper's layout: one
+// block per dataset, methods as bars, diffs to Real alongside.
+func PrintEvalRows(w io.Writer, title string, rows []EvalRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-15s %-8s %9s %9s %9s %8s %8s %8s\n",
+		"Dataset", "Method", "Precision", "Recall", "F1", "dPrec", "dRec", "dF1")
+	last := ""
+	for _, r := range rows {
+		if r.Dataset != last && last != "" {
+			fmt.Fprintln(w, "")
+		}
+		last = r.Dataset
+		if r.Method == MethodReal {
+			fmt.Fprintf(w, "%-15s %-8s %9.4f %9.4f %9.4f %8s %8s %8s\n",
+				r.Dataset, r.Method, r.Metrics.Precision(), r.Metrics.Recall(), r.Metrics.F1(), "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-15s %-8s %9.4f %9.4f %9.4f %7.2f%% %7.2f%% %7.2f%%\n",
+			r.Dataset, r.Method, r.Metrics.Precision(), r.Metrics.Recall(), r.Metrics.F1(),
+			100*r.DPrec, 100*r.DRec, 100*r.DF1)
+	}
+}
+
+// PrintTableIII renders the privacy evaluation.
+func PrintTableIII(w io.Writer, rows []TableIIIRow) {
+	fmt.Fprintln(w, "TABLE III — PRIVACY EVALUATION (Hitting Rate %, DCR)")
+	fmt.Fprintf(w, "%-15s | %9s %9s %9s | %7s %7s %7s\n",
+		"Dataset", "HR(SERD)", "HR(SERD-)", "HR(EMB)", "DCR(S)", "DCR(S-)", "DCR(E)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s | %8.3f%% %8.3f%% %8.3f%% | %7.3f %7.3f %7.3f\n",
+			r.Dataset,
+			r.HittingRate[MethodSERD], r.HittingRate[MethodSERDMinus], r.HittingRate[MethodEMBench],
+			r.DCR[MethodSERD], r.DCR[MethodSERDMinus], r.DCR[MethodEMBench])
+	}
+}
+
+// PrintTableIV renders the efficiency evaluation.
+func PrintTableIV(w io.Writer, rows []TableIVRow) {
+	fmt.Fprintln(w, "TABLE IV — EFFICIENCY EVALUATION (CPU-scaled models)")
+	fmt.Fprintf(w, "%-15s %12s %12s %10s %10s\n", "Dataset", "Offline", "Online", "#text-col", "#entities")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %12s %12s %10d %10d\n",
+			r.Dataset, r.Offline.Round(time.Millisecond), r.Online.Round(time.Millisecond), r.TextualColumns, r.Entities)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// PrintScaleUp renders the scale-up extension rows.
+func PrintScaleUp(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintln(w, "EXTENSION — SCALE-UP SYNTHESIS (train on k× synthesized data)")
+	fmt.Fprintf(w, "%-15s %7s %9s %9s %9s %9s %9s\n", "Dataset", "factor", "|A_syn|", "|B_syn|", "|M_syn|", "F1(syn)", "F1(real)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %7.2f %9d %9d %9d %9.4f %9.4f\n",
+			r.Dataset, r.Factor, r.Syn.SizeA, r.Syn.SizeB, r.Syn.Matches, r.SynF1, r.RealF1)
+	}
+}
+
+// PrintAblationAlpha renders the rejection-α sweep.
+func PrintAblationAlpha(w io.Writer, dataset string, rows []AlphaRow) {
+	fmt.Fprintf(w, "ABLATION — REJECTION ALPHA (Eq. 10) on %s\n", dataset)
+	fmt.Fprintf(w, "%8s %10s %10s %10s\n", "alpha", "JSD", "rejected", "|M_syn|")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.2f %10.4f %10d %10d\n", r.Alpha, r.JSD, r.Rejected, r.Matches)
+	}
+}
+
+// PrintAblationBeta renders the discriminator-β sweep.
+func PrintAblationBeta(w io.Writer, dataset string, rows []BetaRow) {
+	fmt.Fprintf(w, "ABLATION — DISCRIMINATOR BETA (§V case 1) on %s\n", dataset)
+	fmt.Fprintf(w, "%8s %12s %10s\n", "beta", "rejectedByD", "JSD")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.2f %12d %10.4f\n", r.Beta, r.RejectedByD, r.JSD)
+	}
+}
+
+// PrintAblationBuckets renders the transformer bucket-count sweep.
+func PrintAblationBuckets(w io.Writer, dataset string, rows []BucketRow) {
+	fmt.Fprintf(w, "ABLATION — SIMILARITY BUCKETS (§VI) on %s\n", dataset)
+	fmt.Fprintf(w, "%8s %16s %10s\n", "buckets", "mean|sim'-sim|", "epsilon")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %16.4f %10.3f\n", r.Buckets, r.MeanError, r.Epsilon)
+	}
+}

@@ -1,0 +1,254 @@
+// Package gan implements the tabular GAN of the paper (§IV-B2, §V case 1):
+// a generator/discriminator pair over fixed-width entity feature encodings,
+// used to bootstrap the first fake entity (cold start) and to reject
+// synthesized entities that do not look real (discriminator threshold β).
+package gan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"serd/internal/dataset"
+	"serd/internal/simfn"
+)
+
+// DefaultHashDim is the width of the hashed character-trigram block used
+// for textual columns.
+const DefaultHashDim = 24
+
+// Encoder maps entities to fixed-width feature vectors in [0,1]^Dim:
+// numeric and date columns become one min-max-scaled dimension, categorical
+// columns a one-hot block over observed values, and textual columns an
+// L2-normalized hashed character-trigram histogram.
+type Encoder struct {
+	schema  *dataset.Schema
+	hashDim int
+	// per-column metadata
+	catValues [][]string
+	catIndex  []map[string]int
+	numMin    []float64
+	numMax    []float64
+	offsets   []int
+	dim       int
+}
+
+// NewEncoder builds an encoder from the schema and the relations whose
+// value domains define categorical blocks and numeric ranges. hashDim <= 0
+// selects DefaultHashDim.
+func NewEncoder(schema *dataset.Schema, rels []*dataset.Relation, hashDim int) (*Encoder, error) {
+	if schema == nil || len(rels) == 0 {
+		return nil, errors.New("gan: encoder needs a schema and at least one relation")
+	}
+	if hashDim <= 0 {
+		hashDim = DefaultHashDim
+	}
+	e := &Encoder{
+		schema:    schema,
+		hashDim:   hashDim,
+		catValues: make([][]string, schema.Len()),
+		catIndex:  make([]map[string]int, schema.Len()),
+		numMin:    make([]float64, schema.Len()),
+		numMax:    make([]float64, schema.Len()),
+		offsets:   make([]int, schema.Len()),
+	}
+	for ci, col := range schema.Cols {
+		e.offsets[ci] = e.dim
+		switch col.Kind {
+		case dataset.Numeric, dataset.Date:
+			lo, hi := numericRange(col, rels, ci)
+			e.numMin[ci], e.numMax[ci] = lo, hi
+			e.dim++
+		case dataset.Categorical:
+			seen := make(map[string]int)
+			for _, rel := range rels {
+				for _, v := range rel.ColumnValues(ci) {
+					if _, ok := seen[v]; !ok {
+						seen[v] = len(e.catValues[ci])
+						e.catValues[ci] = append(e.catValues[ci], v)
+					}
+				}
+			}
+			e.catIndex[ci] = seen
+			e.dim += len(e.catValues[ci])
+		case dataset.Textual:
+			e.dim += hashDim
+		default:
+			return nil, fmt.Errorf("gan: column %q has unknown kind %v", col.Name, col.Kind)
+		}
+	}
+	return e, nil
+}
+
+// numericRange prefers the similarity function's declared range (which is
+// what synthesis uses) and falls back to the observed min/max.
+func numericRange(col dataset.Column, rels []*dataset.Relation, ci int) (float64, float64) {
+	switch f := col.Sim.(type) {
+	case simfn.Numeric:
+		return f.Min, f.Max
+	case simfn.Date:
+		return f.Min, f.Max
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, rel := range rels {
+		for _, e := range rel.Entities {
+			if v, err := strconv.ParseFloat(e.Values[ci], 64); err == nil {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+// Dim returns the feature width.
+func (e *Encoder) Dim() int { return e.dim }
+
+// Encode maps an entity's values to its feature vector.
+func (e *Encoder) Encode(values []string) []float64 {
+	out := make([]float64, e.dim)
+	for ci, col := range e.schema.Cols {
+		off := e.offsets[ci]
+		switch col.Kind {
+		case dataset.Numeric, dataset.Date:
+			v, err := strconv.ParseFloat(values[ci], 64)
+			span := e.numMax[ci] - e.numMin[ci]
+			if err == nil && span > 0 {
+				out[off] = clamp01((v - e.numMin[ci]) / span)
+			}
+		case dataset.Categorical:
+			if idx, ok := e.catIndex[ci][values[ci]]; ok {
+				out[off+idx] = 1
+			}
+		case dataset.Textual:
+			hashTrigrams(values[ci], out[off:off+e.hashDim])
+		}
+	}
+	return out
+}
+
+// DecodeOptions supplies the candidate strings used to invert textual
+// feature blocks during cold start.
+type DecodeOptions struct {
+	// TextCandidates maps column name to the candidate pool (typically the
+	// background corpus) from which the nearest string is chosen.
+	TextCandidates map[string][]string
+}
+
+// Decode inverts a feature vector into entity values: numeric blocks are
+// de-normalized, categorical blocks arg-maxed over observed values, and
+// textual blocks resolved to the candidate whose trigram encoding is
+// nearest in cosine similarity (this is how a feature-space GAN sample
+// becomes an actual cold-start entity).
+func (e *Encoder) Decode(vec []float64, opts DecodeOptions) ([]string, error) {
+	if len(vec) != e.dim {
+		return nil, fmt.Errorf("gan: decode vector dim %d, want %d", len(vec), e.dim)
+	}
+	out := make([]string, e.schema.Len())
+	for ci, col := range e.schema.Cols {
+		off := e.offsets[ci]
+		switch col.Kind {
+		case dataset.Numeric, dataset.Date:
+			v := e.numMin[ci] + clamp01(vec[off])*(e.numMax[ci]-e.numMin[ci])
+			out[ci] = strconv.FormatFloat(math.Round(v), 'f', -1, 64)
+		case dataset.Categorical:
+			vals := e.catValues[ci]
+			if len(vals) == 0 {
+				return nil, fmt.Errorf("gan: column %q has no categorical values", col.Name)
+			}
+			best, bestV := 0, math.Inf(-1)
+			for i := range vals {
+				if vec[off+i] > bestV {
+					best, bestV = i, vec[off+i]
+				}
+			}
+			out[ci] = vals[best]
+		case dataset.Textual:
+			cands := opts.TextCandidates[col.Name]
+			if len(cands) == 0 {
+				return nil, fmt.Errorf("gan: no text candidates for column %q", col.Name)
+			}
+			block := vec[off : off+e.hashDim]
+			buf := make([]float64, e.hashDim)
+			best, bestV := 0, math.Inf(-1)
+			for i, s := range cands {
+				for j := range buf {
+					buf[j] = 0
+				}
+				hashTrigrams(s, buf)
+				if c := dot(block, buf); c > bestV {
+					best, bestV = i, c
+				}
+			}
+			out[ci] = cands[best]
+		}
+	}
+	return out, nil
+}
+
+// hashTrigrams accumulates an L2-normalized hashed character-trigram
+// histogram of s into dst.
+func hashTrigrams(s string, dst []float64) {
+	s = strings.ToLower(s)
+	r := []rune(s)
+	if len(r) == 0 {
+		return
+	}
+	add := func(g string) {
+		h := fnv32(g)
+		dst[int(h)%len(dst)]++
+	}
+	if len(r) < 3 {
+		add(string(r))
+	} else {
+		for i := 0; i+3 <= len(r); i++ {
+			add(string(r[i : i+3]))
+		}
+	}
+	norm := 0.0
+	for _, v := range dst {
+		norm += v * v
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range dst {
+			dst[i] /= norm
+		}
+	}
+}
+
+func fnv32(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

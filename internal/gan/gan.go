@@ -1,0 +1,186 @@
+package gan
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"serd/internal/dataset"
+	"serd/internal/nn"
+)
+
+// mlp is a small fully connected network with tanh hidden layers.
+type mlp struct {
+	ws, bs []*nn.Tensor
+	outAct func(*nn.Tensor) *nn.Tensor
+}
+
+func newMLP(dims []int, outAct func(*nn.Tensor) *nn.Tensor, r *rand.Rand) *mlp {
+	m := &mlp{outAct: outAct}
+	for i := 0; i+1 < len(dims); i++ {
+		m.ws = append(m.ws, nn.NewParam(dims[i], dims[i+1]).XavierInit(r))
+		m.bs = append(m.bs, nn.NewParam(1, dims[i+1]))
+	}
+	return m
+}
+
+func (m *mlp) params() []*nn.Tensor {
+	out := make([]*nn.Tensor, 0, 2*len(m.ws))
+	out = append(out, m.ws...)
+	out = append(out, m.bs...)
+	return out
+}
+
+func (m *mlp) forward(x *nn.Tensor) *nn.Tensor {
+	for i := range m.ws {
+		x = nn.AddRow(nn.MatMul(x, m.ws[i]), m.bs[i])
+		if i+1 < len(m.ws) {
+			x = nn.Tanh(x)
+		}
+	}
+	return m.outAct(x)
+}
+
+// Options configures GAN training.
+type Options struct {
+	ZDim      int     // latent dimension, default 16
+	Hidden    int     // hidden width, default 64
+	Epochs    int     // passes over the data, default 30
+	BatchSize int     // default 32
+	LR        float64 // Adam learning rate, default 1e-3
+	Seed      int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ZDim == 0 {
+		o.ZDim = 16
+	}
+	if o.Hidden == 0 {
+		o.Hidden = 64
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 30
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	if o.LR == 0 {
+		o.LR = 1e-3
+	}
+	return o
+}
+
+// GAN holds the trained generator and discriminator.
+type GAN struct {
+	enc  *Encoder
+	gen  *mlp
+	disc *mlp
+	zDim int
+	rand *rand.Rand
+}
+
+// Train fits a GAN on the feature encodings of the given entity values
+// (§IV-B2: G maps noise to a fake entity matrix, D classifies real vs
+// fake; the two play the adversarial minimax game).
+func Train(enc *Encoder, rows [][]string, opts Options) (*GAN, error) {
+	if enc == nil {
+		return nil, errors.New("gan: nil encoder")
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("gan: no training entities")
+	}
+	opts = opts.withDefaults()
+	r := rand.New(rand.NewSource(opts.Seed))
+	real := make([][]float64, len(rows))
+	for i, row := range rows {
+		real[i] = enc.Encode(row)
+	}
+	dim := enc.Dim()
+	g := &GAN{
+		enc:  enc,
+		gen:  newMLP([]int{opts.ZDim, opts.Hidden, dim}, nn.Sigmoid, r),
+		disc: newMLP([]int{dim, opts.Hidden, 1}, nn.Sigmoid, r),
+		zDim: opts.ZDim,
+		rand: r,
+	}
+	optG := nn.NewAdam(opts.LR)
+	optD := nn.NewAdam(opts.LR)
+
+	sampleZ := func(n int) *nn.Tensor {
+		z := nn.NewTensor(n, opts.ZDim)
+		for i := range z.Data {
+			z.Data[i] = r.NormFloat64()
+		}
+		return z
+	}
+	steps := opts.Epochs * (len(real) + opts.BatchSize - 1) / opts.BatchSize
+	for step := 0; step < steps; step++ {
+		// Discriminator step: real batch labeled 1, fake batch labeled 0.
+		batch := make([][]float64, opts.BatchSize)
+		for i := range batch {
+			batch[i] = real[r.Intn(len(real))]
+		}
+		fake := g.gen.forward(sampleZ(opts.BatchSize))
+		fakeConst := nn.NewTensor(fake.Rows, fake.Cols) // detach from G
+		copy(fakeConst.Data, fake.Data)
+
+		nn.ZeroGrads(g.disc.params())
+		lossReal := nn.BCE(g.disc.forward(nn.FromRows(batch)), ones(opts.BatchSize))
+		lossReal.Backward()
+		lossFake := nn.BCE(g.disc.forward(fakeConst), zeros(opts.BatchSize))
+		lossFake.Backward()
+		optD.Step(g.disc.params())
+
+		// Generator step: fool D into predicting 1 on fakes.
+		nn.ZeroGrads(g.gen.params())
+		nn.ZeroGrads(g.disc.params())
+		out := g.disc.forward(g.gen.forward(sampleZ(opts.BatchSize)))
+		nn.BCE(out, ones(opts.BatchSize)).Backward()
+		optG.Step(g.gen.params())
+	}
+	return g, nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func zeros(n int) []float64 { return make([]float64, n) }
+
+// Discriminate returns the discriminator's probability that the entity
+// values are real. Entity rejection (§V case 1) rejects when this falls
+// below β.
+func (g *GAN) Discriminate(values []string) float64 {
+	x := nn.FromRows([][]float64{g.enc.Encode(values)})
+	return g.disc.forward(x).Data[0]
+}
+
+// SampleFeatures draws one generator output in feature space.
+func (g *GAN) SampleFeatures(r *rand.Rand) []float64 {
+	z := nn.NewTensor(1, g.zDim)
+	for i := range z.Data {
+		z.Data[i] = r.NormFloat64()
+	}
+	out := g.gen.forward(z)
+	v := make([]float64, len(out.Data))
+	copy(v, out.Data)
+	return v
+}
+
+// SampleEntity synthesizes a cold-start entity: a generator sample decoded
+// back to column values (§IV-B2 "we can also use the GAN model to
+// synthesize a new entity").
+func (g *GAN) SampleEntity(id string, opts DecodeOptions, r *rand.Rand) (*dataset.Entity, error) {
+	values, err := g.enc.Decode(g.SampleFeatures(r), opts)
+	if err != nil {
+		return nil, fmt.Errorf("gan: cold start decode: %w", err)
+	}
+	return &dataset.Entity{ID: id, Values: values}, nil
+}
+
+// Encoder returns the feature encoder the GAN was trained with.
+func (g *GAN) Encoder() *Encoder { return g.enc }

@@ -1,0 +1,220 @@
+package gan
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"serd/internal/datagen"
+	"serd/internal/dataset"
+	"serd/internal/nn"
+)
+
+func nnRow(v []float64) *nn.Tensor { return nn.FromRows([][]float64{v}) }
+
+func scholarFixture(t *testing.T) (*datagen.Generated, *Encoder) {
+	t.Helper()
+	gen, err := datagen.Scholar(datagen.Config{Seed: 1, SizeA: 80, SizeB: 80, Matches: 30, BackgroundPerColumn: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(gen.ER.Schema(), []*dataset.Relation{gen.ER.A, gen.ER.B}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen, enc
+}
+
+func TestEncoderDim(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	// title(24) + authors(24) + venue(one-hot) + year(1)
+	venues := map[string]bool{}
+	for _, rel := range []*dataset.Relation{gen.ER.A, gen.ER.B} {
+		for _, v := range rel.ColumnValues(2) {
+			venues[v] = true
+		}
+	}
+	want := 24 + 24 + len(venues) + 1
+	if enc.Dim() != want {
+		t.Errorf("Dim = %d, want %d", enc.Dim(), want)
+	}
+}
+
+func TestEncodeRange(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	for _, e := range gen.ER.A.Entities[:10] {
+		v := enc.Encode(e.Values)
+		for i, x := range v {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("feature[%d] = %v outside [0,1]", i, x)
+			}
+		}
+	}
+}
+
+func TestEncodeNumericScaling(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	e := gen.ER.A.Entities[0].Clone()
+	e.Values[3] = "1995"
+	lo := enc.Encode(e.Values)
+	e.Values[3] = "2005"
+	hi := enc.Encode(e.Values)
+	last := enc.Dim() - 1
+	if lo[last] != 0 || hi[last] != 1 {
+		t.Errorf("year scaling: min -> %v, max -> %v", lo[last], hi[last])
+	}
+}
+
+func TestEncodeSimilarStringsCloserThanDifferent(t *testing.T) {
+	_, enc := scholarFixture(t)
+	base := []string{"Scalable Join Processing in Data Lakes", "Alice Anderson", "VLDB", "2000"}
+	near := []string{"Scalable Join Processing in Data Pools", "Alice Anderson", "VLDB", "2000"}
+	far := []string{"Quantum Chromodynamics on Lattices", "Alice Anderson", "VLDB", "2000"}
+	d := func(a, b []string) float64 {
+		va, vb := enc.Encode(a), enc.Encode(b)
+		s := 0.0
+		for i := range va {
+			s += (va[i] - vb[i]) * (va[i] - vb[i])
+		}
+		return s
+	}
+	if d(base, near) >= d(base, far) {
+		t.Errorf("trigram hashing: near dist %v >= far dist %v", d(base, near), d(base, far))
+	}
+}
+
+func TestDecodeRoundTripsCategoricalAndNumeric(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	opts := DecodeOptions{TextCandidates: map[string][]string{
+		"title":   gen.Background["title"],
+		"authors": gen.Background["authors"],
+	}}
+	src := gen.ER.A.Entities[3]
+	vals, err := enc.Decode(enc.Encode(src.Values), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[2] != src.Values[2] {
+		t.Errorf("venue decode = %q, want %q", vals[2], src.Values[2])
+	}
+	y1, _ := strconv.Atoi(vals[3])
+	y2, _ := strconv.Atoi(src.Values[3])
+	if abs := y1 - y2; abs < -1 || abs > 1 {
+		t.Errorf("year decode = %d, want ~%d", y1, y2)
+	}
+	// Text decodes to some background candidate.
+	found := false
+	for _, c := range gen.Background["title"] {
+		if c == vals[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("title decode %q not from candidate pool", vals[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	if _, err := enc.Decode([]float64{1, 2}, DecodeOptions{}); err == nil {
+		t.Error("wrong dim accepted")
+	}
+	// Missing text candidates must error, not panic.
+	if _, err := enc.Decode(enc.Encode(gen.ER.A.Entities[0].Values), DecodeOptions{}); err == nil {
+		t.Error("missing candidates accepted")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	_, enc := scholarFixture(t)
+	if _, err := Train(nil, [][]string{{"a"}}, Options{}); err == nil {
+		t.Error("nil encoder accepted")
+	}
+	if _, err := Train(enc, nil, Options{}); err == nil {
+		t.Error("no rows accepted")
+	}
+}
+
+func TestGANDiscriminatorSeparates(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	var rows [][]string
+	for _, e := range gen.ER.A.Entities {
+		rows = append(rows, e.Values)
+	}
+	for _, e := range gen.ER.B.Entities {
+		rows = append(rows, e.Values)
+	}
+	g, err := Train(enc, rows, Options{Epochs: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversarial property: real entities average a higher D score than
+	// the generator's own samples (D is only ever trained against G's
+	// fakes, so that is the separation it must exhibit).
+	realSum := 0.0
+	for _, e := range gen.ER.A.Entities[:30] {
+		realSum += g.Discriminate(e.Values)
+	}
+	r := rand.New(rand.NewSource(12))
+	fakeSum := 0.0
+	for i := 0; i < 30; i++ {
+		x := nnRow(g.SampleFeatures(r))
+		fakeSum += g.disc.forward(x).Data[0]
+	}
+	if realSum <= fakeSum {
+		t.Errorf("discriminator does not separate: real %v vs fake %v", realSum/30, fakeSum/30)
+	}
+}
+
+func TestGANSampleEntity(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	var rows [][]string
+	for _, e := range gen.ER.A.Entities {
+		rows = append(rows, e.Values)
+	}
+	g, err := Train(enc, rows, Options{Epochs: 5, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	opts := DecodeOptions{TextCandidates: map[string][]string{
+		"title":   gen.Background["title"],
+		"authors": gen.Background["authors"],
+	}}
+	e, err := g.SampleEntity("cold1", opts, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != "cold1" || len(e.Values) != 4 {
+		t.Fatalf("entity = %+v", e)
+	}
+	if y, err := strconv.Atoi(e.Values[3]); err != nil || y < 1995 || y > 2005 {
+		t.Errorf("cold-start year %q outside range", e.Values[3])
+	}
+}
+
+func TestSampleFeaturesInRange(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	var rows [][]string
+	for _, e := range gen.ER.A.Entities[:30] {
+		rows = append(rows, e.Values)
+	}
+	g, err := Train(enc, rows, Options{Epochs: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gen
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		f := g.SampleFeatures(r)
+		if len(f) != enc.Dim() {
+			t.Fatalf("feature dim %d, want %d", len(f), enc.Dim())
+		}
+		for _, v := range f {
+			if v < 0 || v > 1 {
+				t.Fatalf("generator output %v outside sigmoid range", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package gan
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"serd/internal/nn"
+)
+
+// savedGAN is the gob wire format. The encoder is rebuilt by the loader
+// from the original schema/relations, so only the network weights and
+// latent size travel.
+type savedGAN struct {
+	ZDim      int
+	GenDims   []int
+	GenData   [][]float64
+	DiscDims  []int
+	DiscData  [][]float64
+	EncoderOK bool
+}
+
+// Save writes the generator and discriminator weights. The feature encoder
+// is schema-derived; Load rebuilds it from the same relations.
+func (g *GAN) Save(w io.Writer) error {
+	dto := savedGAN{ZDim: g.zDim, EncoderOK: g.enc != nil}
+	dto.GenDims, dto.GenData = mlpDTO(g.gen)
+	dto.DiscDims, dto.DiscData = mlpDTO(g.disc)
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("gan: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a GAN written by Save, attaching the encoder (which must be
+// built over the same schema and value domains the GAN was trained with —
+// a dimensionality mismatch is rejected).
+func Load(r io.Reader, enc *Encoder) (*GAN, error) {
+	var dto savedGAN
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("gan: decode: %w", err)
+	}
+	if enc == nil {
+		return nil, fmt.Errorf("gan: Load needs an encoder")
+	}
+	if len(dto.GenDims) < 2 || dto.GenDims[len(dto.GenDims)-1] != enc.Dim() {
+		return nil, fmt.Errorf("gan: saved generator emits %d features, encoder has %d", dto.GenDims[len(dto.GenDims)-1], enc.Dim())
+	}
+	g := &GAN{enc: enc, zDim: dto.ZDim}
+	var err error
+	if g.gen, err = mlpFromDTO(dto.GenDims, dto.GenData, true); err != nil {
+		return nil, fmt.Errorf("gan: generator: %w", err)
+	}
+	if g.disc, err = mlpFromDTO(dto.DiscDims, dto.DiscData, true); err != nil {
+		return nil, fmt.Errorf("gan: discriminator: %w", err)
+	}
+	return g, nil
+}
+
+func mlpDTO(m *mlp) (dims []int, data [][]float64) {
+	dims = append(dims, m.ws[0].Rows)
+	for _, w := range m.ws {
+		dims = append(dims, w.Cols)
+	}
+	for i := range m.ws {
+		data = append(data, m.ws[i].Data, m.bs[i].Data)
+	}
+	return dims, data
+}
+
+func mlpFromDTO(dims []int, data [][]float64, sigmoidOut bool) (*mlp, error) {
+	_ = sigmoidOut // both GAN networks use sigmoid outputs
+	m := newMLP(dims, nn.Sigmoid, rand.New(rand.NewSource(0)))
+	if len(data) != 2*len(m.ws) {
+		return nil, fmt.Errorf("gan: %d weight blocks for %d layers", len(data), len(m.ws))
+	}
+	for i := range m.ws {
+		if len(data[2*i]) != len(m.ws[i].Data) || len(data[2*i+1]) != len(m.bs[i].Data) {
+			return nil, fmt.Errorf("gan: layer %d size mismatch", i)
+		}
+		copy(m.ws[i].Data, data[2*i])
+		copy(m.bs[i].Data, data[2*i+1])
+	}
+	return m, nil
+}

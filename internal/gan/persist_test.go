@@ -1,0 +1,66 @@
+package gan
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"serd/internal/dataset"
+)
+
+func TestGANSaveLoadRoundTrip(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	var rows [][]string
+	for _, e := range gen.ER.A.Entities {
+		rows = append(rows, e.Values)
+	}
+	g, err := Train(enc, rows, Options{Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range gen.ER.A.Entities[:10] {
+		want := g.Discriminate(e.Values)
+		got := back.Discriminate(e.Values)
+		if math.Abs(want-got) > 1e-12 {
+			t.Fatalf("discriminator differs after round trip: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestGANLoadRejectsMismatchedEncoder(t *testing.T) {
+	gen, enc := scholarFixture(t)
+	var rows [][]string
+	for _, e := range gen.ER.A.Entities[:20] {
+		rows = append(rows, e.Values)
+	}
+	g, err := Train(enc, rows, Options{Epochs: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// An encoder with a different hash width has a different feature dim.
+	other, err := NewEncoder(gen.ER.Schema(), []*dataset.Relation{gen.ER.A}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, other); err == nil {
+		t.Error("mismatched encoder accepted")
+	}
+	if _, err := Load(&buf, nil); err == nil {
+		t.Error("nil encoder accepted")
+	}
+	if _, err := Load(bytes.NewBufferString("junk"), enc); err == nil {
+		t.Error("garbage accepted")
+	}
+}

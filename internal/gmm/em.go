@@ -1,0 +1,253 @@
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serd/internal/stats"
+)
+
+// FitOptions controls EM fitting.
+type FitOptions struct {
+	// MaxIter bounds EM iterations. Default 100.
+	MaxIter int
+	// Tol is the absolute log-likelihood improvement below which EM stops.
+	// Default 1e-6.
+	Tol float64
+	// Ridge is the covariance regularization. Default DefaultRidge.
+	Ridge float64
+	// Diagonal restricts covariances to their diagonal. Useful for
+	// higher-dimensional schemas (e.g. the 8-column music dataset), where
+	// full covariances cost d² parameters per component and overfit small
+	// match sets.
+	Diagonal bool
+	// Rand seeds the k-means++-style initialization. Required.
+	Rand *rand.Rand
+}
+
+func (o FitOptions) withDefaults() FitOptions {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-6
+	}
+	if o.Ridge == 0 {
+		o.Ridge = DefaultRidge
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Fit learns a g-component mixture from xs with the EM algorithm
+// (paper §IV-A, Eqs. 4-6).
+func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
+	opts = opts.withDefaults()
+	if len(xs) == 0 {
+		return nil, errors.New("gmm: no samples")
+	}
+	if g <= 0 {
+		return nil, fmt.Errorf("gmm: invalid component count %d", g)
+	}
+	if g > len(xs) {
+		g = len(xs)
+	}
+	dim := len(xs[0])
+	for i, x := range xs {
+		if len(x) != dim {
+			return nil, fmt.Errorf("gmm: sample %d has dim %d, want %d", i, len(x), dim)
+		}
+	}
+
+	model, err := initModel(xs, g, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	gamma := make([][]float64, len(xs)) // responsibilities, n×g
+	for i := range gamma {
+		gamma[i] = make([]float64, g)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// E-step (Eq. 5).
+		ll := 0.0
+		for i, x := range xs {
+			copy(gamma[i], model.Responsibilities(x))
+			ll += model.LogPDF(x)
+		}
+		// M-step (Eq. 6).
+		next, err := maximize(xs, gamma, g, opts.Ridge, opts.Diagonal)
+		if err != nil {
+			return nil, err
+		}
+		model = next
+		if math.Abs(ll-prevLL) < opts.Tol {
+			break
+		}
+		prevLL = ll
+	}
+	return model, nil
+}
+
+// FitAIC fits mixtures with 1..maxG components and returns the one that
+// minimizes the Akaike information criterion (§IV-A).
+func FitAIC(xs [][]float64, maxG int, opts FitOptions) (*Model, error) {
+	return fitCriterion(xs, maxG, opts, func(m *Model) float64 { return m.AIC(xs) })
+}
+
+// FitBIC is FitAIC with the Bayesian information criterion
+// (k·ln n − 2·logL), which penalizes components harder on small samples.
+func FitBIC(xs [][]float64, maxG int, opts FitOptions) (*Model, error) {
+	n := float64(len(xs))
+	return fitCriterion(xs, maxG, opts, func(m *Model) float64 {
+		return float64(m.NumParams())*math.Log(n) - 2*m.LogLikelihood(xs)
+	})
+}
+
+func fitCriterion(xs [][]float64, maxG int, opts FitOptions, criterion func(*Model) float64) (*Model, error) {
+	if maxG < 1 {
+		maxG = 1
+	}
+	var best *Model
+	bestScore := math.Inf(1)
+	var firstErr error
+	for g := 1; g <= maxG; g++ {
+		m, err := Fit(xs, g, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if score := criterion(m); score < bestScore {
+			bestScore = score
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("gmm: no candidate model fit: %w", firstErr)
+	}
+	return best, nil
+}
+
+// initModel seeds EM with k-means++-style centers and the global covariance.
+func initModel(xs [][]float64, g int, opts FitOptions) (*Model, error) {
+	dim := len(xs[0])
+	centers := make([][]float64, 0, g)
+	first := xs[opts.Rand.Intn(len(xs))]
+	centers = append(centers, first)
+	d2 := make([]float64, len(xs))
+	for len(centers) < g {
+		total := 0.0
+		for i, x := range xs {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := sqDist(x, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var pick []float64
+		if total == 0 {
+			pick = xs[opts.Rand.Intn(len(xs))]
+		} else {
+			u := opts.Rand.Float64() * total
+			acc := 0.0
+			pick = xs[len(xs)-1]
+			for i, w := range d2 {
+				acc += w
+				if u <= acc {
+					pick = xs[i]
+					break
+				}
+			}
+		}
+		centers = append(centers, pick)
+	}
+
+	globalMean := stats.MeanVector(xs)
+	globalCov := stats.CovarianceMatrix(xs, globalMean)
+	stats.RegularizeCovariance(globalCov, opts.Ridge)
+
+	comps := make([]Component, g)
+	for i := 0; i < g; i++ {
+		mean := make([]float64, dim)
+		copy(mean, centers[i])
+		comps[i] = Component{Weight: 1 / float64(g), Mean: mean, Cov: globalCov.Clone()}
+	}
+	return New(comps)
+}
+
+// maximize performs the M-step of Eq. 6 given responsibilities.
+func maximize(xs [][]float64, gamma [][]float64, g int, ridge float64, diagonal bool) (*Model, error) {
+	dim := len(xs[0])
+	n := len(xs)
+	comps := make([]Component, g)
+	for k := 0; k < g; k++ {
+		nk := 0.0
+		mean := make([]float64, dim)
+		for i, x := range xs {
+			w := gamma[i][k]
+			nk += w
+			for j, v := range x {
+				mean[j] += w * v
+			}
+		}
+		if nk < 1e-12 {
+			// A component lost all its mass; re-seed it at a random-ish
+			// sample to keep the mixture full rank.
+			nk = 1e-12
+			copy(mean, xs[k%n])
+			for j := range mean {
+				mean[j] *= nk
+			}
+		}
+		for j := range mean {
+			mean[j] /= nk
+		}
+		cov := stats.NewMat(dim, dim)
+		for i, x := range xs {
+			w := gamma[i][k]
+			if w == 0 {
+				continue
+			}
+			for a := 0; a < dim; a++ {
+				da := x[a] - mean[a]
+				for b := 0; b < dim; b++ {
+					cov.Add(a, b, w*da*(x[b]-mean[b]))
+				}
+			}
+		}
+		for i := range cov.Data {
+			cov.Data[i] /= nk
+		}
+		if diagonal {
+			for a := 0; a < dim; a++ {
+				for b := 0; b < dim; b++ {
+					if a != b {
+						cov.Set(a, b, 0)
+					}
+				}
+			}
+		}
+		stats.RegularizeCovariance(cov, ridge)
+		comps[k] = Component{Weight: nk / float64(n), Mean: mean, Cov: cov}
+	}
+	return New(comps)
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,124 @@
+package gmm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Joint is the O-distribution of the paper (§II-B): the mixture
+// p(x) = π·p_m(x) + (1-π)·p_n(x) of the matching (M) and non-matching (N)
+// similarity-vector distributions.
+type Joint struct {
+	M  *Model  // matching distribution
+	N  *Model  // non-matching distribution
+	Pi float64 // probability of matching, |X+| / (|X+|+|X-|)
+}
+
+// NewJoint validates and assembles an O-distribution.
+func NewJoint(m, n *Model, pi float64) (*Joint, error) {
+	switch {
+	case m == nil || n == nil:
+		return nil, errors.New("gmm: Joint needs both M and N models")
+	case m.Dim() != n.Dim():
+		return nil, errors.New("gmm: M and N dimensionality differ")
+	case pi < 0 || pi > 1 || math.IsNaN(pi):
+		return nil, errors.New("gmm: pi outside [0,1]")
+	}
+	return &Joint{M: m, N: n, Pi: pi}, nil
+}
+
+// Dim returns the similarity-vector dimensionality.
+func (j *Joint) Dim() int { return j.M.Dim() }
+
+// PDF evaluates the O-distribution density π·p_m + (1-π)·p_n at x.
+func (j *Joint) PDF(x []float64) float64 {
+	return j.Pi*j.M.PDF(x) + (1-j.Pi)*j.N.PDF(x)
+}
+
+// LogPDF evaluates the log of PDF with log-sum-exp stability.
+func (j *Joint) LogPDF(x []float64) float64 {
+	lm := math.Log(j.Pi) + j.M.LogPDF(x)
+	ln := math.Log(1-j.Pi) + j.N.LogPDF(x)
+	if j.Pi == 0 {
+		return ln
+	}
+	if j.Pi == 1 {
+		return lm
+	}
+	hi := math.Max(lm, ln)
+	return hi + math.Log(math.Exp(lm-hi)+math.Exp(ln-hi))
+}
+
+// PosteriorMatch returns P_m(x), the posterior probability that x belongs to
+// the M-distribution (paper §IV-C):
+// P_m(x) = π p_m(x) / (π p_m(x) + (1-π) p_n(x)).
+func (j *Joint) PosteriorMatch(x []float64) float64 {
+	lm := math.Log(j.Pi) + j.M.LogPDF(x)
+	ln := math.Log(1-j.Pi) + j.N.LogPDF(x)
+	if math.IsInf(lm, -1) && math.IsInf(ln, -1) {
+		return 0.5
+	}
+	// Sigmoid of the log-odds.
+	return 1 / (1 + math.Exp(ln-lm))
+}
+
+// IsMatch labels x matching when P_m(x) >= P_n(x) (§IV-C).
+func (j *Joint) IsMatch(x []float64) bool { return j.PosteriorMatch(x) >= 0.5 }
+
+// Sample draws a similarity vector: from M with probability π (matching=true)
+// and from N otherwise (step S2-2 of SERD). Coordinates are clamped to the
+// valid similarity range [0, 1].
+func (j *Joint) Sample(r *rand.Rand) (x []float64, matching bool) {
+	if r.Float64() < j.Pi {
+		return j.M.SampleClamped(r), true
+	}
+	return j.N.SampleClamped(r), false
+}
+
+// JSD estimates the Jensen-Shannon divergence between the O-distributions p
+// and q (Eq. 3) by Monte-Carlo with n samples from each side:
+// JSD = ½ E_p[log p/m] + ½ E_q[log q/m], m = (p+q)/2. The result is in
+// [0, log 2] up to sampling noise and is symmetric in distribution (the
+// estimator uses both directions).
+func JSD(p, q *Joint, n int, r *rand.Rand) float64 {
+	if n <= 0 {
+		n = 256
+	}
+	half := func(a, b *Joint) float64 {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x, _ := a.Sample(r)
+			la := a.LogPDF(x)
+			lb := b.LogPDF(x)
+			// log m = log((exp la + exp lb)/2)
+			hi := math.Max(la, lb)
+			lm := hi + math.Log(math.Exp(la-hi)+math.Exp(lb-hi)) - math.Ln2
+			sum += la - lm
+		}
+		return sum / float64(n)
+	}
+	jsd := 0.5*half(p, q) + 0.5*half(q, p)
+	if jsd < 0 {
+		return 0 // Monte-Carlo noise can dip slightly below zero
+	}
+	return jsd
+}
+
+// KL estimates the Kullback-Leibler divergence KL(p || q) between two
+// mixture models by Monte-Carlo with n samples from p.
+func KL(p, q *Model, n int, r *rand.Rand) float64 {
+	if n <= 0 {
+		n = 256
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := p.Sample(r)
+		sum += p.LogPDF(x) - q.LogPDF(x)
+	}
+	kl := sum / float64(n)
+	if kl < 0 {
+		return 0
+	}
+	return kl
+}

@@ -1,0 +1,193 @@
+// Package gmm implements the multivariate Gaussian mixture models SERD uses
+// to represent the matching (M), non-matching (N) and overall (O)
+// distributions of similarity vectors (paper §II-B, §IV-A), including EM
+// fitting with AIC model selection, the incremental parameter update of
+// §V (Eqs. 8-9), and Monte-Carlo Jensen-Shannon divergence (Eq. 3).
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serd/internal/stats"
+)
+
+// DefaultRidge is the diagonal regularization added to every fitted
+// covariance so that Cholesky factorization succeeds even for degenerate
+// clusters (e.g. a column whose matching similarity is constantly 1).
+const DefaultRidge = 1e-4
+
+// Component is one weighted Gaussian of a mixture.
+type Component struct {
+	Weight float64
+	Mean   []float64
+	Cov    *stats.Mat
+	dist   *stats.MVN
+}
+
+// Model is a Gaussian mixture over similarity vectors.
+type Model struct {
+	Comps []Component
+	dim   int
+}
+
+// New builds a mixture from explicit components. Weights are normalized to
+// sum to one; covariances are regularized with DefaultRidge if they fail to
+// factorize as given.
+func New(comps []Component) (*Model, error) {
+	if len(comps) == 0 {
+		return nil, errors.New("gmm: no components")
+	}
+	dim := len(comps[0].Mean)
+	total := 0.0
+	for i := range comps {
+		if len(comps[i].Mean) != dim {
+			return nil, fmt.Errorf("gmm: component %d has dim %d, want %d", i, len(comps[i].Mean), dim)
+		}
+		total += comps[i].Weight
+	}
+	if total <= 0 {
+		return nil, errors.New("gmm: non-positive total weight")
+	}
+	m := &Model{Comps: make([]Component, len(comps)), dim: dim}
+	for i, c := range comps {
+		c.Weight /= total
+		cov := c.Cov.Clone()
+		dist, err := stats.NewMVN(c.Mean, cov.Clone())
+		if err != nil {
+			stats.RegularizeCovariance(cov, DefaultRidge)
+			dist, err = stats.NewMVN(c.Mean, cov)
+			if err != nil {
+				return nil, fmt.Errorf("gmm: component %d covariance: %w", i, err)
+			}
+		}
+		c.Cov = cov
+		c.dist = dist
+		m.Comps[i] = c
+	}
+	return m, nil
+}
+
+// Dim returns the dimensionality of the mixture.
+func (m *Model) Dim() int { return m.dim }
+
+// LogPDF returns the log density of the mixture at x.
+func (m *Model) LogPDF(x []float64) float64 {
+	// log-sum-exp over components for numerical stability.
+	maxLog := math.Inf(-1)
+	logs := make([]float64, len(m.Comps))
+	for i, c := range m.Comps {
+		logs[i] = math.Log(c.Weight) + c.dist.LogPDF(x)
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		return maxLog
+	}
+	sum := 0.0
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(sum)
+}
+
+// PDF returns the density of the mixture at x.
+func (m *Model) PDF(x []float64) float64 { return math.Exp(m.LogPDF(x)) }
+
+// Sample draws one vector from the mixture.
+func (m *Model) Sample(r *rand.Rand) []float64 {
+	u := r.Float64()
+	acc := 0.0
+	for _, c := range m.Comps {
+		acc += c.Weight
+		if u <= acc {
+			return c.dist.Sample(r)
+		}
+	}
+	return m.Comps[len(m.Comps)-1].dist.Sample(r)
+}
+
+// SampleClamped draws one vector and clamps every coordinate into [0, 1],
+// the valid range of similarity scores.
+func (m *Model) SampleClamped(r *rand.Rand) []float64 {
+	x := m.Sample(r)
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		} else if v > 1 {
+			x[i] = 1
+		}
+	}
+	return x
+}
+
+// Responsibilities returns γ_i = P(component i | x) for each component
+// (Eq. 5, evaluated at the current parameters).
+func (m *Model) Responsibilities(x []float64) []float64 {
+	logs := make([]float64, len(m.Comps))
+	maxLog := math.Inf(-1)
+	for i, c := range m.Comps {
+		logs[i] = math.Log(c.Weight) + c.dist.LogPDF(x)
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+	}
+	out := make([]float64, len(m.Comps))
+	if math.IsInf(maxLog, -1) {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	sum := 0.0
+	for i, l := range logs {
+		out[i] = math.Exp(l - maxLog)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogLikelihood returns Σ log p(x) over xs (Eq. 4).
+func (m *Model) LogLikelihood(xs [][]float64) float64 {
+	ll := 0.0
+	for _, x := range xs {
+		ll += m.LogPDF(x)
+	}
+	return ll
+}
+
+// NumParams returns the number of free parameters, used by AIC: per
+// component a mean (d), a full symmetric covariance (d(d+1)/2), and g-1 free
+// weights.
+func (m *Model) NumParams() int {
+	d := m.dim
+	perComp := d + d*(d+1)/2
+	return len(m.Comps)*perComp + (len(m.Comps) - 1)
+}
+
+// AIC returns the Akaike information criterion 2k - 2·logL on xs (§IV-A).
+func (m *Model) AIC(xs [][]float64) float64 {
+	return 2*float64(m.NumParams()) - 2*m.LogLikelihood(xs)
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	comps := make([]Component, len(m.Comps))
+	for i, c := range m.Comps {
+		mean := make([]float64, len(c.Mean))
+		copy(mean, c.Mean)
+		comps[i] = Component{Weight: c.Weight, Mean: mean, Cov: c.Cov.Clone()}
+	}
+	out, err := New(comps)
+	if err != nil {
+		// The source model was valid, so a copy must be too.
+		panic(fmt.Sprintf("gmm: Clone: %v", err))
+	}
+	return out
+}

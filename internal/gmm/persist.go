@@ -1,0 +1,72 @@
+package gmm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"serd/internal/stats"
+)
+
+// jointJSON is the serialized form of a Joint.
+type jointJSON struct {
+	Pi float64    `json:"pi"`
+	M  []compJSON `json:"m"`
+	N  []compJSON `json:"n"`
+}
+
+type compJSON struct {
+	Weight float64     `json:"weight"`
+	Mean   []float64   `json:"mean"`
+	Cov    [][]float64 `json:"cov"`
+}
+
+// SaveJoint writes a learned O-distribution as JSON — the offline/online
+// split of the paper: distributions are learned once offline, then reused
+// for any number of synthesis runs.
+func SaveJoint(w io.Writer, j *Joint) error {
+	dto := jointJSON{Pi: j.Pi, M: compsToJSON(j.M), N: compsToJSON(j.N)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dto); err != nil {
+		return fmt.Errorf("gmm: encode joint: %w", err)
+	}
+	return nil
+}
+
+// LoadJoint reads a Joint written by SaveJoint.
+func LoadJoint(r io.Reader) (*Joint, error) {
+	var dto jointJSON
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("gmm: decode joint: %w", err)
+	}
+	m, err := compsFromJSON(dto.M)
+	if err != nil {
+		return nil, fmt.Errorf("gmm: M-distribution: %w", err)
+	}
+	n, err := compsFromJSON(dto.N)
+	if err != nil {
+		return nil, fmt.Errorf("gmm: N-distribution: %w", err)
+	}
+	return NewJoint(m, n, dto.Pi)
+}
+
+func compsToJSON(m *Model) []compJSON {
+	out := make([]compJSON, len(m.Comps))
+	for i, c := range m.Comps {
+		cov := make([][]float64, c.Cov.Rows)
+		for r := 0; r < c.Cov.Rows; r++ {
+			cov[r] = append([]float64(nil), c.Cov.Row(r)...)
+		}
+		out[i] = compJSON{Weight: c.Weight, Mean: append([]float64(nil), c.Mean...), Cov: cov}
+	}
+	return out
+}
+
+func compsFromJSON(comps []compJSON) (*Model, error) {
+	out := make([]Component, len(comps))
+	for i, c := range comps {
+		out[i] = Component{Weight: c.Weight, Mean: c.Mean, Cov: stats.MatFromRows(c.Cov)}
+	}
+	return New(out)
+}

@@ -1,0 +1,54 @@
+package gmm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJointSaveLoadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := twoClusterData(r, 200)
+	m, err := Fit(xs[:200], 2, FitOptions{Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Fit(xs[200:], 1, FitOptions{Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := NewJoint(m, n, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveJoint(&buf, j); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Pi != j.Pi {
+		t.Errorf("pi = %v, want %v", back.Pi, j.Pi)
+	}
+	for i := 0; i < 50; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		if math.Abs(back.PDF(x)-j.PDF(x)) > 1e-9*(1+j.PDF(x)) {
+			t.Fatalf("PDF mismatch at %v: %v vs %v", x, back.PDF(x), j.PDF(x))
+		}
+		if back.IsMatch(x) != j.IsMatch(x) {
+			t.Fatalf("label mismatch at %v", x)
+		}
+	}
+}
+
+func TestLoadJointRejectsGarbage(t *testing.T) {
+	if _, err := LoadJoint(bytes.NewBufferString("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadJoint(bytes.NewBufferString(`{"pi":0.5,"m":[],"n":[]}`)); err == nil {
+		t.Error("empty mixtures accepted")
+	}
+}

@@ -1,0 +1,184 @@
+package matcher
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serd/internal/nn"
+)
+
+// LogisticRegression is an L2-regularized logistic matcher trained with
+// full-batch gradient descent.
+type LogisticRegression struct {
+	// LR is the learning rate (default 0.5).
+	LR float64
+	// Epochs is the number of gradient steps (default 200).
+	Epochs int
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+
+	w []float64
+	b float64
+}
+
+// Fit implements Matcher.
+func (m *LogisticRegression) Fit(xs [][]float64, ys []bool) error {
+	dim, err := validateTraining(xs, ys)
+	if err != nil {
+		return err
+	}
+	if m.LR == 0 {
+		m.LR = 0.5
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 200
+	}
+	if m.L2 == 0 {
+		m.L2 = 1e-4
+	}
+	m.w = make([]float64, dim)
+	m.b = 0
+	n := float64(len(xs))
+	gw := make([]float64, dim)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		for j := range gw {
+			gw[j] = 0
+		}
+		gb := 0.0
+		for i, x := range xs {
+			p := m.Score(x)
+			t := 0.0
+			if ys[i] {
+				t = 1
+			}
+			d := p - t
+			for j, v := range x {
+				gw[j] += d * v
+			}
+			gb += d
+		}
+		for j := range m.w {
+			m.w[j] -= m.LR * (gw[j]/n + m.L2*m.w[j])
+		}
+		m.b -= m.LR * gb / n
+	}
+	return nil
+}
+
+// Score implements Scorer.
+func (m *LogisticRegression) Score(x []float64) float64 {
+	z := m.b
+	for j, v := range x {
+		z += m.w[j] * v
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// Predict implements Matcher.
+func (m *LogisticRegression) Predict(x []float64) bool { return m.Score(x) >= 0.5 }
+
+// MLP is the deep matcher standing in for Deepmatcher: a multi-layer
+// neural network over attribute similarity features trained with Adam (see
+// DESIGN.md §1 for the substitution argument).
+type MLP struct {
+	// Hidden lists hidden-layer widths (default [32, 16]).
+	Hidden []int
+	// Epochs is the number of full-batch Adam steps (default 300).
+	Epochs int
+	// LR is the Adam learning rate (default 0.01).
+	LR float64
+	// Seed drives weight initialization.
+	Seed int64
+
+	ws, bs []*nn.Tensor
+}
+
+// Fit implements Matcher.
+func (m *MLP) Fit(xs [][]float64, ys []bool) error {
+	dim, err := validateTraining(xs, ys)
+	if err != nil {
+		return err
+	}
+	if len(m.Hidden) == 0 {
+		m.Hidden = []int{32, 16}
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 300
+	}
+	if m.LR == 0 {
+		m.LR = 0.01
+	}
+	r := rand.New(rand.NewSource(m.Seed))
+	dims := append([]int{dim}, m.Hidden...)
+	dims = append(dims, 1)
+	m.ws, m.bs = nil, nil
+	for i := 0; i+1 < len(dims); i++ {
+		m.ws = append(m.ws, nn.NewParam(dims[i], dims[i+1]).XavierInit(r))
+		m.bs = append(m.bs, nn.NewParam(1, dims[i+1]))
+	}
+	params := m.params()
+	inputs := nn.FromRows(xs)
+	targets := make([]float64, len(ys))
+	for i, y := range ys {
+		if y {
+			targets[i] = 1
+		}
+	}
+	opt := nn.NewAdam(m.LR)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		nn.ZeroGrads(params)
+		nn.BCE(m.forward(inputs), targets).Backward()
+		opt.Step(params)
+	}
+	return nil
+}
+
+func (m *MLP) params() []*nn.Tensor {
+	out := make([]*nn.Tensor, 0, 2*len(m.ws))
+	out = append(out, m.ws...)
+	out = append(out, m.bs...)
+	return out
+}
+
+func (m *MLP) forward(x *nn.Tensor) *nn.Tensor {
+	for i := range m.ws {
+		x = nn.AddRow(nn.MatMul(x, m.ws[i]), m.bs[i])
+		if i+1 < len(m.ws) {
+			x = nn.ReLU(x)
+		}
+	}
+	return nn.Sigmoid(x)
+}
+
+// restore rebuilds the network from serialized dimensions and weights
+// (see SaveMatcher/LoadMatcher).
+func (m *MLP) restore(dims []int, data [][]float64) error {
+	if len(dims) < 2 {
+		return fmt.Errorf("matcher: MLP payload has %d dims", len(dims))
+	}
+	m.ws, m.bs = nil, nil
+	for i := 0; i+1 < len(dims); i++ {
+		m.ws = append(m.ws, nn.NewParam(dims[i], dims[i+1]))
+		m.bs = append(m.bs, nn.NewParam(1, dims[i+1]))
+	}
+	if len(data) != 2*len(m.ws) {
+		return fmt.Errorf("matcher: MLP payload has %d weight blocks for %d layers", len(data), len(m.ws))
+	}
+	for i := range m.ws {
+		if len(data[2*i]) != len(m.ws[i].Data) || len(data[2*i+1]) != len(m.bs[i].Data) {
+			return fmt.Errorf("matcher: MLP layer %d size mismatch", i)
+		}
+		copy(m.ws[i].Data, data[2*i])
+		copy(m.bs[i].Data, data[2*i+1])
+	}
+	return nil
+}
+
+// Score implements Scorer.
+func (m *MLP) Score(x []float64) float64 {
+	return m.forward(nn.FromRows([][]float64{x})).Data[0]
+}
+
+// Predict implements Matcher.
+func (m *MLP) Predict(x []float64) bool { return m.Score(x) >= 0.5 }

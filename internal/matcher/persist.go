@@ -1,0 +1,164 @@
+package matcher
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Trained matchers are shipped alongside synthesized datasets (a company
+// can publish E_syn plus a matcher trained on it); Save/Load serialize the
+// three main families with gob. The wire format tags the concrete type so
+// Load can reconstruct it.
+
+type savedMatcher struct {
+	Kind   string
+	Forest *savedForest
+	Linear *savedLinear
+	MLP    *savedMLP
+}
+
+type savedForest struct {
+	Trees []savedTree
+}
+
+type savedTree struct {
+	Nodes []savedNode
+}
+
+// savedNode flattens a treeNode; children are indices into Nodes (-1 =
+// none).
+type savedNode struct {
+	Feature     int
+	Threshold   float64
+	Left, Right int
+	Leaf        bool
+	Prob        float64
+}
+
+type savedLinear struct {
+	W []float64
+	B float64
+	// SVM marks a LinearSVM (predicts on the margin, not a 0.5 cut).
+	SVM bool
+}
+
+type savedMLP struct {
+	Dims []int
+	Data [][]float64
+}
+
+// SaveMatcher serializes a trained RandomForest, DecisionTree,
+// LogisticRegression, LinearSVM or MLP.
+func SaveMatcher(w io.Writer, m Matcher) error {
+	var dto savedMatcher
+	switch t := m.(type) {
+	case *RandomForest:
+		dto.Kind = "forest"
+		dto.Forest = &savedForest{}
+		for _, tree := range t.ensemble {
+			dto.Forest.Trees = append(dto.Forest.Trees, flattenTree(tree))
+		}
+	case *DecisionTree:
+		dto.Kind = "tree"
+		dto.Forest = &savedForest{Trees: []savedTree{flattenTree(t)}}
+	case *LogisticRegression:
+		dto.Kind = "logreg"
+		dto.Linear = &savedLinear{W: t.w, B: t.b}
+	case *LinearSVM:
+		dto.Kind = "svm"
+		dto.Linear = &savedLinear{W: t.w, B: t.b, SVM: true}
+	case *MLP:
+		dto.Kind = "mlp"
+		dto.MLP = &savedMLP{}
+		if len(t.ws) == 0 {
+			return fmt.Errorf("matcher: MLP not fitted")
+		}
+		dto.MLP.Dims = append(dto.MLP.Dims, t.ws[0].Rows)
+		for _, w := range t.ws {
+			dto.MLP.Dims = append(dto.MLP.Dims, w.Cols)
+		}
+		for i := range t.ws {
+			dto.MLP.Data = append(dto.MLP.Data, t.ws[i].Data, t.bs[i].Data)
+		}
+	default:
+		return fmt.Errorf("matcher: cannot serialize %T", m)
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("matcher: encode: %w", err)
+	}
+	return nil
+}
+
+// LoadMatcher reads a matcher written by SaveMatcher.
+func LoadMatcher(r io.Reader) (Matcher, error) {
+	var dto savedMatcher
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("matcher: decode: %w", err)
+	}
+	switch dto.Kind {
+	case "forest":
+		f := &RandomForest{}
+		for _, st := range dto.Forest.Trees {
+			tree := &DecisionTree{root: unflattenTree(st)}
+			f.ensemble = append(f.ensemble, tree)
+		}
+		return f, nil
+	case "tree":
+		if len(dto.Forest.Trees) != 1 {
+			return nil, fmt.Errorf("matcher: tree payload has %d trees", len(dto.Forest.Trees))
+		}
+		return &DecisionTree{root: unflattenTree(dto.Forest.Trees[0])}, nil
+	case "logreg":
+		return &LogisticRegression{w: dto.Linear.W, b: dto.Linear.B}, nil
+	case "svm":
+		return &LinearSVM{w: dto.Linear.W, b: dto.Linear.B}, nil
+	case "mlp":
+		m := &MLP{}
+		if err := m.restore(dto.MLP.Dims, dto.MLP.Data); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("matcher: unknown kind %q", dto.Kind)
+	}
+}
+
+func flattenTree(t *DecisionTree) savedTree {
+	var out savedTree
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil {
+			return -1
+		}
+		idx := len(out.Nodes)
+		out.Nodes = append(out.Nodes, savedNode{
+			Feature: n.feature, Threshold: n.threshold, Leaf: n.leaf, Prob: n.prob,
+			Left: -1, Right: -1,
+		})
+		l := walk(n.left)
+		r := walk(n.right)
+		out.Nodes[idx].Left, out.Nodes[idx].Right = l, r
+		return idx
+	}
+	walk(t.root)
+	return out
+}
+
+func unflattenTree(st savedTree) *treeNode {
+	if len(st.Nodes) == 0 {
+		return nil
+	}
+	var build func(i int) *treeNode
+	build = func(i int) *treeNode {
+		if i < 0 {
+			return nil
+		}
+		sn := st.Nodes[i]
+		return &treeNode{
+			feature: sn.Feature, threshold: sn.Threshold, leaf: sn.Leaf, prob: sn.Prob,
+			left: build(sn.Left), right: build(sn.Right),
+		}
+	}
+	return build(0)
+}

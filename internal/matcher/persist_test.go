@@ -1,0 +1,59 @@
+package matcher
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadAllMatcherKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs, ys := separableData(r, 300, 0.05)
+	probe, _ := separableData(r, 50, 0)
+	kinds := []Matcher{
+		&RandomForest{Trees: 10, Seed: 1},
+		&DecisionTree{},
+		&LogisticRegression{},
+		&LinearSVM{Seed: 1},
+		&MLP{Seed: 1, Epochs: 100},
+	}
+	for _, m := range kinds {
+		if err := m.Fit(xs, ys); err != nil {
+			t.Fatalf("%T: %v", m, err)
+		}
+		var buf bytes.Buffer
+		if err := SaveMatcher(&buf, m); err != nil {
+			t.Fatalf("%T save: %v", m, err)
+		}
+		back, err := LoadMatcher(&buf)
+		if err != nil {
+			t.Fatalf("%T load: %v", m, err)
+		}
+		for _, x := range probe {
+			if m.Predict(x) != back.Predict(x) {
+				t.Fatalf("%T: prediction changed after round trip", m)
+			}
+			ms, bs := m.(Scorer).Score(x), back.(Scorer).Score(x)
+			if math.Abs(ms-bs) > 1e-12 {
+				t.Fatalf("%T: score %v vs %v after round trip", m, ms, bs)
+			}
+		}
+	}
+}
+
+func TestSaveMatcherRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveMatcher(&buf, &NaiveBayes{}); err == nil {
+		t.Error("unsupported matcher accepted")
+	}
+	if err := SaveMatcher(&buf, &MLP{}); err == nil {
+		t.Error("unfitted MLP accepted")
+	}
+}
+
+func TestLoadMatcherRejectsGarbage(t *testing.T) {
+	if _, err := LoadMatcher(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,199 @@
+package matcher
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LinearSVM is a soft-margin linear support-vector matcher trained by
+// stochastic subgradient descent on the hinge loss (Pegasos-style), one of
+// the traditional matcher families the Magellan system offers.
+type LinearSVM struct {
+	// Lambda is the L2 regularization strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of passes over the data (default 50).
+	Epochs int
+	// Seed drives example shuffling.
+	Seed int64
+
+	w []float64
+	b float64
+}
+
+// Fit implements Matcher.
+func (m *LinearSVM) Fit(xs [][]float64, ys []bool) error {
+	dim, err := validateTraining(xs, ys)
+	if err != nil {
+		return err
+	}
+	if m.Lambda == 0 {
+		m.Lambda = 1e-3
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 50
+	}
+	m.w = make([]float64, dim)
+	m.b = 0
+	r := rand.New(rand.NewSource(m.Seed))
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	t := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1 / (m.Lambda * float64(t))
+			y := -1.0
+			if ys[i] {
+				y = 1
+			}
+			margin := y * (m.dot(xs[i]) + m.b)
+			for j := range m.w {
+				m.w[j] *= 1 - eta*m.Lambda
+			}
+			if margin < 1 {
+				for j, v := range xs[i] {
+					m.w[j] += eta * y * v
+				}
+				m.b += eta * y
+			}
+		}
+	}
+	return nil
+}
+
+func (m *LinearSVM) dot(x []float64) float64 {
+	s := 0.0
+	for j, v := range x {
+		s += m.w[j] * v
+	}
+	return s
+}
+
+// Score implements Scorer via a logistic squash of the margin (not a
+// calibrated probability; monotone in the decision value).
+func (m *LinearSVM) Score(x []float64) float64 {
+	return 1 / (1 + math.Exp(-(m.dot(x) + m.b)))
+}
+
+// Predict implements Matcher.
+func (m *LinearSVM) Predict(x []float64) bool { return m.dot(x)+m.b >= 0 }
+
+// NaiveBayes is a Gaussian naive-Bayes matcher: per-class, per-feature
+// normal densities with a class prior.
+type NaiveBayes struct {
+	prior      float64 // P(match)
+	mu, sigma2 [2][]float64
+}
+
+// Fit implements Matcher.
+func (m *NaiveBayes) Fit(xs [][]float64, ys []bool) error {
+	dim, err := validateTraining(xs, ys)
+	if err != nil {
+		return err
+	}
+	var counts [2]int
+	for c := 0; c < 2; c++ {
+		m.mu[c] = make([]float64, dim)
+		m.sigma2[c] = make([]float64, dim)
+	}
+	for i, x := range xs {
+		c := class(ys[i])
+		counts[c]++
+		for j, v := range x {
+			m.mu[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		for j := range m.mu[c] {
+			m.mu[c][j] /= float64(counts[c])
+		}
+	}
+	for i, x := range xs {
+		c := class(ys[i])
+		for j, v := range x {
+			d := v - m.mu[c][j]
+			m.sigma2[c][j] += d * d
+		}
+	}
+	const minVar = 1e-4 // variance floor for constant features
+	for c := 0; c < 2; c++ {
+		for j := range m.sigma2[c] {
+			m.sigma2[c][j] = m.sigma2[c][j]/float64(counts[c]) + minVar
+		}
+	}
+	m.prior = float64(counts[1]) / float64(len(xs))
+	return nil
+}
+
+func class(match bool) int {
+	if match {
+		return 1
+	}
+	return 0
+}
+
+// Score implements Scorer.
+func (m *NaiveBayes) Score(x []float64) float64 {
+	if m.mu[0] == nil {
+		return 0
+	}
+	logOdds := math.Log(m.prior+1e-12) - math.Log(1-m.prior+1e-12)
+	for j, v := range x {
+		logOdds += logNormal(v, m.mu[1][j], m.sigma2[1][j]) - logNormal(v, m.mu[0][j], m.sigma2[0][j])
+	}
+	return 1 / (1 + math.Exp(-logOdds))
+}
+
+func logNormal(x, mu, sigma2 float64) float64 {
+	d := x - mu
+	return -0.5*math.Log(2*math.Pi*sigma2) - d*d/(2*sigma2)
+}
+
+// Predict implements Matcher.
+func (m *NaiveBayes) Predict(x []float64) bool { return m.Score(x) >= 0.5 }
+
+// CrossValidate runs k-fold cross validation of a matcher constructor on a
+// labeled workload and returns the mean F1 across folds.
+func CrossValidate(mk func() Matcher, xs [][]float64, ys []bool, k int, r *rand.Rand) (float64, error) {
+	if k < 2 {
+		k = 5
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	order := r.Perm(len(xs))
+	total := 0.0
+	folds := 0
+	for f := 0; f < k; f++ {
+		var trX, teX [][]float64
+		var trY, teY []bool
+		for pos, i := range order {
+			if pos%k == f {
+				teX = append(teX, xs[i])
+				teY = append(teY, ys[i])
+			} else {
+				trX = append(trX, xs[i])
+				trY = append(trY, ys[i])
+			}
+		}
+		m := mk()
+		if err := m.Fit(trX, trY); err != nil {
+			continue // fold without both classes; skip
+		}
+		total += Evaluate(m, teX, teY).F1()
+		folds++
+	}
+	if folds == 0 {
+		return 0, errNoFolds
+	}
+	return total / float64(folds), nil
+}
+
+var errNoFolds = errorString("matcher: no cross-validation fold had both classes")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,239 @@
+package matcher
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// DecisionTree is a CART-style binary classification tree with Gini
+// impurity splits.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (default 8).
+	MaxDepth int
+	// MinLeaf is the minimum examples per leaf (default 2).
+	MinLeaf int
+	// FeatureFrac is the fraction of features considered per split
+	// (default 1.0; random forests lower it). Requires Rand when < 1.
+	FeatureFrac float64
+	// Rand drives feature subsampling; may be nil when FeatureFrac == 1.
+	Rand *rand.Rand
+
+	root *treeNode
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	leaf        bool
+	prob        float64 // P(match) at a leaf
+}
+
+// Fit implements Matcher.
+func (t *DecisionTree) Fit(xs [][]float64, ys []bool) error {
+	if _, err := validateTraining(xs, ys); err != nil {
+		return err
+	}
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 8
+	}
+	if t.MinLeaf == 0 {
+		t.MinLeaf = 2
+	}
+	if t.FeatureFrac == 0 {
+		t.FeatureFrac = 1
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(xs, ys, idx, 0)
+	return nil
+}
+
+func (t *DecisionTree) build(xs [][]float64, ys []bool, idx []int, depth int) *treeNode {
+	pos := 0
+	for _, i := range idx {
+		if ys[i] {
+			pos++
+		}
+	}
+	prob := float64(pos) / float64(len(idx))
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf || pos == 0 || pos == len(idx) {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	feature, threshold, ok := t.bestSplit(xs, ys, idx)
+	if !ok {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if xs[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.MinLeaf || len(right) < t.MinLeaf {
+		return &treeNode{leaf: true, prob: prob}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.build(xs, ys, left, depth+1),
+		right:     t.build(xs, ys, right, depth+1),
+	}
+}
+
+// bestSplit scans candidate features for the threshold minimizing weighted
+// Gini impurity.
+func (t *DecisionTree) bestSplit(xs [][]float64, ys []bool, idx []int) (feature int, threshold float64, ok bool) {
+	dim := len(xs[0])
+	features := make([]int, dim)
+	for i := range features {
+		features[i] = i
+	}
+	if t.FeatureFrac < 1 && t.Rand != nil {
+		t.Rand.Shuffle(dim, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		k := int(float64(dim) * t.FeatureFrac)
+		if k < 1 {
+			k = 1
+		}
+		features = features[:k]
+	}
+	bestGini := 2.0
+	type fv struct {
+		v float64
+		y bool
+	}
+	vals := make([]fv, len(idx))
+	for _, f := range features {
+		for j, i := range idx {
+			vals[j] = fv{v: xs[i][f], y: ys[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		totalPos := 0
+		for _, e := range vals {
+			if e.y {
+				totalPos++
+			}
+		}
+		leftPos, leftN := 0, 0
+		for j := 0; j+1 < len(vals); j++ {
+			if vals[j].y {
+				leftPos++
+			}
+			leftN++
+			if vals[j].v == vals[j+1].v {
+				continue // cannot split between equal values
+			}
+			rightPos := totalPos - leftPos
+			rightN := len(vals) - leftN
+			g := weightedGini(leftPos, leftN, rightPos, rightN)
+			if g < bestGini {
+				bestGini = g
+				feature = f
+				threshold = (vals[j].v + vals[j+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+func weightedGini(leftPos, leftN, rightPos, rightN int) float64 {
+	gini := func(pos, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		p := float64(pos) / float64(n)
+		return 2 * p * (1 - p)
+	}
+	total := float64(leftN + rightN)
+	return float64(leftN)/total*gini(leftPos, leftN) + float64(rightN)/total*gini(rightPos, rightN)
+}
+
+// Score implements Scorer.
+func (t *DecisionTree) Score(x []float64) float64 {
+	n := t.root
+	for n != nil && !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	if n == nil {
+		return 0
+	}
+	return n.prob
+}
+
+// Predict implements Matcher.
+func (t *DecisionTree) Predict(x []float64) bool { return t.Score(x) >= 0.5 }
+
+// RandomForest is a bagged ensemble of decision trees with feature
+// subsampling — the Magellan system's default matcher family.
+type RandomForest struct {
+	// Trees is the ensemble size (default 20).
+	Trees int
+	// MaxDepth per tree (default 8).
+	MaxDepth int
+	// Seed drives bootstrap resampling and feature subsampling.
+	Seed int64
+
+	ensemble []*DecisionTree
+}
+
+// Fit implements Matcher.
+func (f *RandomForest) Fit(xs [][]float64, ys []bool) error {
+	if _, err := validateTraining(xs, ys); err != nil {
+		return err
+	}
+	if f.Trees == 0 {
+		f.Trees = 20
+	}
+	if f.MaxDepth == 0 {
+		f.MaxDepth = 8
+	}
+	r := rand.New(rand.NewSource(f.Seed))
+	f.ensemble = f.ensemble[:0]
+	n := len(xs)
+	for t := 0; t < f.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := r.Intn(n)
+			bx[i], by[i] = xs[j], ys[j]
+		}
+		tree := &DecisionTree{
+			MaxDepth:    f.MaxDepth,
+			FeatureFrac: 0.7,
+			Rand:        rand.New(rand.NewSource(r.Int63())),
+		}
+		if err := tree.Fit(bx, by); err != nil {
+			// A bootstrap sample can be single-class; retry with the full
+			// data for this tree.
+			if err := tree.Fit(xs, ys); err != nil {
+				return err
+			}
+		}
+		f.ensemble = append(f.ensemble, tree)
+	}
+	return nil
+}
+
+// Score implements Scorer: the mean of tree probabilities.
+func (f *RandomForest) Score(x []float64) float64 {
+	if len(f.ensemble) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, t := range f.ensemble {
+		s += t.Score(x)
+	}
+	return s / float64(len(f.ensemble))
+}
+
+// Predict implements Matcher.
+func (f *RandomForest) Predict(x []float64) bool { return f.Score(x) >= 0.5 }

@@ -1,0 +1,117 @@
+package matcher
+
+import (
+	"errors"
+	"math/rand"
+
+	"serd/internal/gmm"
+)
+
+// ZeroER is the unsupervised matcher of Wu et al. (SIGMOD 2020) that the
+// paper builds its distribution model on (§II-B): similarity vectors of a
+// pair space are modeled as a two-class Gaussian mixture — a matching and
+// a non-matching component — learned by EM with no labels at all. A pair
+// is predicted matching when the posterior of the match component wins.
+//
+// ZeroER.Fit satisfies the Matcher interface but ignores the labels; use
+// FitUnlabeled when no labels exist at all.
+type ZeroER struct {
+	// ComponentsPerClass is the number of Gaussians per class (default 1;
+	// ZeroER's core model is one Gaussian per class with regularization).
+	ComponentsPerClass int
+	// Seed drives EM initialization.
+	Seed int64
+
+	joint *gmm.Joint
+}
+
+// FitUnlabeled learns the match/non-match mixture from unlabeled
+// similarity vectors.
+func (z *ZeroER) FitUnlabeled(xs [][]float64) error {
+	if len(xs) < 4 {
+		return errors.New("matcher: ZeroER needs at least 4 vectors")
+	}
+	g := z.ComponentsPerClass
+	if g <= 0 {
+		g = 1
+	}
+	r := rand.New(rand.NewSource(z.Seed))
+	// Fit a mixture with an AIC-chosen component count (at least two, at
+	// most 2g+2): real candidate pools are not cleanly bimodal — there is
+	// a large mid-similarity mass between the non-match floor and the
+	// match cluster, and it needs its own component or it gets absorbed
+	// into the match class. The g components with the highest mean
+	// similarity mass form the match class.
+	model, err := gmm.FitAIC(xs, 2*g+2, gmm.FitOptions{Rand: r})
+	if err != nil {
+		return err
+	}
+	if len(model.Comps) < 2 {
+		model, err = gmm.Fit(xs, 2, gmm.FitOptions{Rand: r})
+		if err != nil {
+			return err
+		}
+	}
+	if g >= len(model.Comps) {
+		g = len(model.Comps) - 1
+	}
+	type scored struct {
+		idx  int
+		mass float64
+	}
+	comps := make([]scored, len(model.Comps))
+	for i, c := range model.Comps {
+		s := 0.0
+		for _, v := range c.Mean {
+			s += v
+		}
+		comps[i] = scored{idx: i, mass: s}
+	}
+	// Selection sort by mass descending (tiny fixed-size slice).
+	for i := range comps {
+		for j := i + 1; j < len(comps); j++ {
+			if comps[j].mass > comps[i].mass {
+				comps[i], comps[j] = comps[j], comps[i]
+			}
+		}
+	}
+	var matchComps, nonComps []gmm.Component
+	pi := 0.0
+	for rank, sc := range comps {
+		c := model.Comps[sc.idx]
+		if rank < g {
+			matchComps = append(matchComps, c)
+			pi += c.Weight
+		} else {
+			nonComps = append(nonComps, c)
+		}
+	}
+	mModel, err := gmm.New(matchComps)
+	if err != nil {
+		return err
+	}
+	nModel, err := gmm.New(nonComps)
+	if err != nil {
+		return err
+	}
+	z.joint, err = gmm.NewJoint(mModel, nModel, pi)
+	return err
+}
+
+// Fit implements Matcher. The labels are ignored — ZeroER is unsupervised;
+// the signature exists so it can drop into any harness expecting a Matcher.
+func (z *ZeroER) Fit(xs [][]float64, _ []bool) error { return z.FitUnlabeled(xs) }
+
+// Score implements Scorer: the posterior P(match | x).
+func (z *ZeroER) Score(x []float64) float64 {
+	if z.joint == nil {
+		return 0
+	}
+	return z.joint.PosteriorMatch(x)
+}
+
+// Predict implements Matcher.
+func (z *ZeroER) Predict(x []float64) bool { return z.Score(x) >= 0.5 }
+
+// Joint exposes the learned mixture (nil before fitting).
+func (z *ZeroER) Joint() *gmm.Joint { return z.joint }

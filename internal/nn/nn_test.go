@@ -1,0 +1,323 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numGrad computes the finite-difference gradient of loss() w.r.t. p.
+func numGrad(p *Tensor, loss func() float64) []float64 {
+	const h = 1e-6
+	out := make([]float64, len(p.Data))
+	for i := range p.Data {
+		orig := p.Data[i]
+		p.Data[i] = orig + h
+		up := loss()
+		p.Data[i] = orig - h
+		down := loss()
+		p.Data[i] = orig
+		out[i] = (up - down) / (2 * h)
+	}
+	return out
+}
+
+func checkGrads(t *testing.T, name string, p *Tensor, analytic []float64, loss func() float64) {
+	t.Helper()
+	num := numGrad(p, loss)
+	for i := range num {
+		if math.Abs(num[i]-analytic[i]) > 1e-4*(1+math.Abs(num[i])) {
+			t.Errorf("%s: grad[%d] analytic %v vs numeric %v", name, i, analytic[i], num[i])
+		}
+	}
+}
+
+func TestMatMulGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := NewParam(3, 4).XavierInit(r)
+	b := NewParam(4, 2).XavierInit(r)
+	loss := func() float64 {
+		out := MatMul(a, b)
+		return Mean(out).Data[0]
+	}
+	ZeroGrads([]*Tensor{a, b})
+	l := Mean(MatMul(a, b))
+	l.Backward()
+	checkGrads(t, "matmul/a", a, a.Grad, loss)
+	checkGrads(t, "matmul/b", b, b.Grad, loss)
+}
+
+func TestSoftmaxCrossEntropyGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	w := NewParam(3, 5).XavierInit(r)
+	targets := []int{1, 4, 0}
+	loss := func() float64 { return CrossEntropyLogits(w, targets).Data[0] }
+	ZeroGrads([]*Tensor{w})
+	CrossEntropyLogits(w, targets).Backward()
+	checkGrads(t, "xent", w, w.Grad, loss)
+}
+
+func TestSoftmaxRowsGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	w := NewParam(2, 4).XavierInit(r)
+	tgt := []float64{0.1, 0.2, 0.3, 0.4, 0.4, 0.3, 0.2, 0.1}
+	loss := func() float64 { return MSE(SoftmaxRows(w), tgt).Data[0] }
+	ZeroGrads([]*Tensor{w})
+	MSE(SoftmaxRows(w), tgt).Backward()
+	checkGrads(t, "softmax", w, w.Grad, loss)
+}
+
+func TestLayerNormGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	x := NewParam(3, 6).XavierInit(r)
+	gain := NewParam(1, 6)
+	for i := range gain.Data {
+		gain.Data[i] = 1 + 0.1*r.NormFloat64()
+	}
+	bias := NewParam(1, 6).XavierInit(r)
+	tgt := make([]float64, 18)
+	for i := range tgt {
+		tgt[i] = r.NormFloat64()
+	}
+	loss := func() float64 { return MSE(LayerNormRows(x, gain, bias), tgt).Data[0] }
+	ZeroGrads([]*Tensor{x, gain, bias})
+	MSE(LayerNormRows(x, gain, bias), tgt).Backward()
+	checkGrads(t, "ln/x", x, x.Grad, loss)
+	checkGrads(t, "ln/gain", gain, gain.Grad, loss)
+	checkGrads(t, "ln/bias", bias, bias.Grad, loss)
+}
+
+func TestActivationsGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for name, act := range map[string]func(*Tensor) *Tensor{"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid} {
+		x := NewParam(2, 3).XavierInit(r)
+		tgt := []float64{0.1, -0.2, 0.3, 0.5, 0.2, -0.1}
+		loss := func() float64 { return MSE(act(x), tgt).Data[0] }
+		ZeroGrads([]*Tensor{x})
+		MSE(act(x), tgt).Backward()
+		checkGrads(t, name, x, x.Grad, loss)
+	}
+}
+
+func TestEmbedGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	table := NewParam(5, 3).XavierInit(r)
+	ids := []int{0, 2, 2, 4}
+	tgt := make([]float64, 12)
+	loss := func() float64 { return MSE(Embed(table, ids), tgt).Data[0] }
+	ZeroGrads([]*Tensor{table})
+	MSE(Embed(table, ids), tgt).Backward()
+	checkGrads(t, "embed", table, table.Grad, loss)
+}
+
+func TestAddRowTransposeConcatSliceGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := NewParam(3, 4).XavierInit(r)
+	b := NewParam(1, 4).XavierInit(r)
+	c := NewParam(3, 2).XavierInit(r)
+	tgt := make([]float64, 3*6)
+	for i := range tgt {
+		tgt[i] = r.NormFloat64()
+	}
+	build := func() *Tensor {
+		x := AddRow(a, b)                      // 3x4
+		y := Transpose(Transpose(x))           // 3x4
+		z := ConcatCols(SliceCols(y, 0, 4), c) // 3x6
+		return MSE(z, tgt)
+	}
+	loss := func() float64 { return build().Data[0] }
+	ZeroGrads([]*Tensor{a, b, c})
+	build().Backward()
+	checkGrads(t, "addrow/a", a, a.Grad, loss)
+	checkGrads(t, "addrow/b", b, b.Grad, loss)
+	checkGrads(t, "concat/c", c, c.Grad, loss)
+}
+
+func TestMulElemScaleGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	a := NewParam(2, 2).XavierInit(r)
+	b := NewParam(2, 2).XavierInit(r)
+	loss := func() float64 { return Mean(Scale(MulElem(a, b), 3)).Data[0] }
+	ZeroGrads([]*Tensor{a, b})
+	Mean(Scale(MulElem(a, b), 3)).Backward()
+	checkGrads(t, "mul/a", a, a.Grad, loss)
+	checkGrads(t, "mul/b", b, b.Grad, loss)
+}
+
+func TestBCEGradients(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	x := NewParam(1, 4).XavierInit(r)
+	y := []float64{1, 0, 1, 0}
+	loss := func() float64 { return BCE(Sigmoid(x), y).Data[0] }
+	ZeroGrads([]*Tensor{x})
+	BCE(Sigmoid(x), y).Backward()
+	checkGrads(t, "bce", x, x.Grad, loss)
+}
+
+func TestGradAccumulationAcrossBackward(t *testing.T) {
+	// Two Backward passes without ZeroGrads must accumulate.
+	a := NewParam(1, 1)
+	a.Data[0] = 2
+	Mean(Scale(a, 3)).Backward()
+	first := a.Grad[0]
+	Mean(Scale(a, 3)).Backward()
+	if a.Grad[0] != 2*first {
+		t.Errorf("grads did not accumulate: %v then %v", first, a.Grad[0])
+	}
+}
+
+func TestSGDStepReducesLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	w := NewParam(1, 3).XavierInit(r)
+	tgt := []float64{1, -1, 0.5}
+	lossVal := func() float64 { return MSE(w, tgt).Data[0] }
+	before := lossVal()
+	opt := SGD{LR: 0.1}
+	for i := 0; i < 50; i++ {
+		ZeroGrads([]*Tensor{w})
+		MSE(w, tgt).Backward()
+		opt.Step([]*Tensor{w})
+	}
+	if after := lossVal(); after >= before/10 {
+		t.Errorf("SGD failed to reduce loss: %v -> %v", before, after)
+	}
+}
+
+func TestAdamConvergesOnXOR(t *testing.T) {
+	// A 2-layer MLP trained with Adam must fit XOR — an end-to-end check of
+	// the whole engine.
+	r := rand.New(rand.NewSource(11))
+	w1 := NewParam(2, 8).XavierInit(r)
+	b1 := NewParam(1, 8)
+	w2 := NewParam(8, 1).XavierInit(r)
+	b2 := NewParam(1, 1)
+	params := []*Tensor{w1, b1, w2, b2}
+	inputs := FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	targets := []float64{0, 1, 1, 0}
+	forward := func() *Tensor {
+		h := Tanh(AddRow(MatMul(inputs, w1), b1))
+		return Sigmoid(AddRow(MatMul(h, w2), b2))
+	}
+	opt := NewAdam(0.05)
+	for i := 0; i < 600; i++ {
+		ZeroGrads(params)
+		BCE(forward(), targets).Backward()
+		opt.Step(params)
+	}
+	out := forward()
+	for i, want := range targets {
+		got := out.Data[i]
+		if math.Abs(got-want) > 0.2 {
+			t.Errorf("XOR[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestGradNormAndScale(t *testing.T) {
+	a := NewParam(1, 2)
+	a.Grad[0], a.Grad[1] = 3, 4
+	if n := GradNorm([]*Tensor{a}); math.Abs(n-5) > 1e-12 {
+		t.Errorf("GradNorm = %v, want 5", n)
+	}
+	ScaleGrads([]*Tensor{a}, 0.5)
+	if a.Grad[0] != 1.5 || a.Grad[1] != 2 {
+		t.Errorf("ScaleGrads: %v", a.Grad)
+	}
+}
+
+func TestDropout(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	a := NewParam(10, 10)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	// Identity in eval mode.
+	if out := Dropout(a, 0.5, false, r); out != a {
+		t.Error("Dropout in eval mode should be identity")
+	}
+	out := Dropout(a, 0.5, true, r)
+	zeros, scaled := 0, 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Errorf("dropout produced %d zeros, %d scaled", zeros, scaled)
+	}
+}
+
+func TestBackwardPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewParam(2, 2).Backward()
+}
+
+func TestMatMulLinearityProperty(t *testing.T) {
+	// Property: (αA)·B == α(A·B) for random small matrices.
+	r := rand.New(rand.NewSource(13))
+	cfg := &quick.Config{MaxCount: 50, Rand: r}
+	err := quick.Check(func(seed int64, alphaRaw uint8) bool {
+		rr := rand.New(rand.NewSource(seed))
+		alpha := 1 + float64(alphaRaw%7)
+		a := NewTensor(3, 4)
+		b := NewTensor(4, 2)
+		for i := range a.Data {
+			a.Data[i] = rr.NormFloat64()
+		}
+		for i := range b.Data {
+			b.Data[i] = rr.NormFloat64()
+		}
+		left := MatMul(Scale(a, alpha), b)
+		right := Scale(MatMul(a, b), alpha)
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxRowsAlwaysDistributes(t *testing.T) {
+	// Property: every softmax row is a probability distribution.
+	r := rand.New(rand.NewSource(14))
+	cfg := &quick.Config{MaxCount: 100, Rand: r}
+	err := quick.Check(func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a := NewTensor(4, 6)
+		for i := range a.Data {
+			a.Data[i] = rr.NormFloat64() * 10
+		}
+		out := SoftmaxRows(a)
+		for i := 0; i < out.Rows; i++ {
+			sum := 0.0
+			for j := 0; j < out.Cols; j++ {
+				v := out.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	out := newResult(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i, g := range out.Grad {
+				if a.Data[i] > 0 {
+					a.Grad[i] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor {
+	out := newResult(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * (1 - out.Data[i]*out.Data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Sigmoid applies 1/(1+e^-x) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	out := newResult(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i, g := range out.Grad {
+				s := out.Data[i]
+				a.Grad[i] += g * s * (1 - s)
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies softmax independently to each row.
+func SoftmaxRows(a *Tensor) *Tensor {
+	out := newResult(a.Rows, a.Cols, a)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			orow[j] = math.Exp(v - maxV)
+			sum += orow[j]
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i := 0; i < a.Rows; i++ {
+				orow := out.Data[i*a.Cols : (i+1)*a.Cols]
+				grow := out.Grad[i*a.Cols : (i+1)*a.Cols]
+				dot := 0.0
+				for j := range orow {
+					dot += orow[j] * grow[j]
+				}
+				for j := range orow {
+					a.Grad[i*a.Cols+j] += orow[j] * (grow[j] - dot)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LayerNormRows normalizes each row to zero mean / unit variance and applies
+// learnable gain and bias (both 1×cols).
+func LayerNormRows(a, gain, bias *Tensor) *Tensor {
+	if gain.Cols != a.Cols || bias.Cols != a.Cols || gain.Rows != 1 || bias.Rows != 1 {
+		panic("nn: LayerNormRows gain/bias shape")
+	}
+	const eps = 1e-5
+	out := newResult(a.Rows, a.Cols, a, gain, bias)
+	means := make([]float64, a.Rows)
+	invStd := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		m := 0.0
+		for _, v := range row {
+			m += v
+		}
+		m /= float64(a.Cols)
+		va := 0.0
+		for _, v := range row {
+			va += (v - m) * (v - m)
+		}
+		va /= float64(a.Cols)
+		means[i] = m
+		invStd[i] = 1 / math.Sqrt(va+eps)
+		for j, v := range row {
+			out.Data[i*a.Cols+j] = gain.Data[j]*(v-m)*invStd[i] + bias.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			n := float64(a.Cols)
+			for i := 0; i < a.Rows; i++ {
+				row := a.Data[i*a.Cols : (i+1)*a.Cols]
+				grow := out.Grad[i*a.Cols : (i+1)*a.Cols]
+				m, is := means[i], invStd[i]
+				// Precompute sums for the row.
+				var sumG, sumGX float64
+				for j := range row {
+					gj := grow[j] * gain.Data[j]
+					xj := (row[j] - m) * is
+					sumG += gj
+					sumGX += gj * xj
+					if gain.requiresGrad {
+						gain.Grad[j] += grow[j] * xj
+					}
+					if bias.requiresGrad {
+						bias.Grad[j] += grow[j]
+					}
+				}
+				if a.requiresGrad {
+					for j := range row {
+						gj := grow[j] * gain.Data[j]
+						xj := (row[j] - m) * is
+						a.Grad[i*a.Cols+j] += is * (gj - sumG/n - xj*sumGX/n)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Embed gathers rows of table for each id, producing a len(ids)×d tensor.
+func Embed(table *Tensor, ids []int) *Tensor {
+	out := newResult(len(ids), table.Cols, table)
+	for i, id := range ids {
+		if id < 0 || id >= table.Rows {
+			panic(fmt.Sprintf("nn: Embed id %d outside table of %d rows", id, table.Rows))
+		}
+		copy(out.Data[i*table.Cols:(i+1)*table.Cols], table.Data[id*table.Cols:(id+1)*table.Cols])
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i, id := range ids {
+				for j := 0; j < table.Cols; j++ {
+					table.Grad[id*table.Cols+j] += out.Grad[i*table.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CrossEntropyLogits returns the mean negative log-likelihood of targets
+// under row-wise softmax of logits, as a 1×1 tensor.
+func CrossEntropyLogits(logits *Tensor, targets []int) *Tensor {
+	if len(targets) != logits.Rows {
+		panic(fmt.Sprintf("nn: %d targets for %d logit rows", len(targets), logits.Rows))
+	}
+	out := newResult(1, 1, logits)
+	probs := make([]float64, len(logits.Data))
+	total := 0.0
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Data[i*logits.Cols : (i+1)*logits.Cols]
+		prow := probs[i*logits.Cols : (i+1)*logits.Cols]
+		maxV := math.Inf(-1)
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			prow[j] = math.Exp(v - maxV)
+			sum += prow[j]
+		}
+		for j := range prow {
+			prow[j] /= sum
+		}
+		t := targets[i]
+		if t < 0 || t >= logits.Cols {
+			panic(fmt.Sprintf("nn: target %d outside %d classes", t, logits.Cols))
+		}
+		total += -math.Log(prow[t] + 1e-12)
+	}
+	out.Data[0] = total / float64(logits.Rows)
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := out.Grad[0] / float64(logits.Rows)
+			for i := 0; i < logits.Rows; i++ {
+				prow := probs[i*logits.Cols : (i+1)*logits.Cols]
+				for j := range prow {
+					d := prow[j]
+					if j == targets[i] {
+						d -= 1
+					}
+					logits.Grad[i*logits.Cols+j] += g * d
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BCE returns the mean binary cross-entropy between predicted probabilities
+// p (any shape) and targets y of the same length, as a 1×1 tensor.
+func BCE(p *Tensor, y []float64) *Tensor {
+	if len(y) != len(p.Data) {
+		panic(fmt.Sprintf("nn: BCE %d targets for %d predictions", len(y), len(p.Data)))
+	}
+	const eps = 1e-9
+	out := newResult(1, 1, p)
+	total := 0.0
+	for i, v := range p.Data {
+		total += -(y[i]*math.Log(v+eps) + (1-y[i])*math.Log(1-v+eps))
+	}
+	out.Data[0] = total / float64(len(y))
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := out.Grad[0] / float64(len(y))
+			for i, v := range p.Data {
+				p.Grad[i] += g * (-(y[i] / (v + eps)) + (1-y[i])/(1-v+eps))
+			}
+		}
+	}
+	return out
+}
+
+// MSE returns the mean squared error between a and constant targets y.
+func MSE(a *Tensor, y []float64) *Tensor {
+	if len(y) != len(a.Data) {
+		panic("nn: MSE length mismatch")
+	}
+	out := newResult(1, 1, a)
+	total := 0.0
+	for i, v := range a.Data {
+		d := v - y[i]
+		total += d * d
+	}
+	out.Data[0] = total / float64(len(y))
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := out.Grad[0] * 2 / float64(len(y))
+			for i, v := range a.Data {
+				a.Grad[i] += g * (v - y[i])
+			}
+		}
+	}
+	return out
+}
+
+// Dropout zeroes each element with probability rate and scales survivors by
+// 1/(1-rate) (inverted dropout). With train=false it is the identity.
+func Dropout(a *Tensor, rate float64, train bool, r *rand.Rand) *Tensor {
+	if !train || rate <= 0 {
+		return a
+	}
+	keep := 1 - rate
+	mask := make([]float64, len(a.Data))
+	for i := range mask {
+		if r.Float64() < keep {
+			mask[i] = 1 / keep
+		}
+	}
+	out := newResult(a.Rows, a.Cols, a)
+	for i, v := range a.Data {
+		out.Data[i] = v * mask[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * mask[i]
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the scalar mean of all elements.
+func Mean(a *Tensor) *Tensor {
+	out := newResult(1, 1, a)
+	s := 0.0
+	for _, v := range a.Data {
+		s += v
+	}
+	out.Data[0] = s / float64(len(a.Data))
+	if out.requiresGrad {
+		out.backFn = func() {
+			g := out.Grad[0] / float64(len(a.Data))
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}

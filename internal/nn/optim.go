@@ -1,0 +1,87 @@
+package nn
+
+import "math"
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Tensor) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// GradNorm returns the global L2 norm of all parameter gradients — the
+// quantity clipped by DP-SGD (paper Algorithm 1, line 8).
+func GradNorm(params []*Tensor) float64 {
+	s := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ScaleGrads multiplies every gradient by c.
+func ScaleGrads(params []*Tensor, c float64) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= c
+		}
+	}
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct {
+	LR float64
+}
+
+// Step applies one update p -= lr * grad and leaves gradients intact
+// (callers zero them explicitly).
+func (o SGD) Step(params []*Tensor) {
+	for _, p := range params {
+		for i, g := range p.Grad {
+			p.Data[i] -= o.LR * g
+		}
+	}
+}
+
+// Adam is the Adam optimizer with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update to params; the param list must be identical
+// (same tensors, same order) across calls.
+func (o *Adam) Step(params []*Tensor) {
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, len(p.Data))
+			o.v[i] = make([]float64, len(p.Data))
+		}
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		m, v := o.m[i], o.v[i]
+		for j, g := range p.Grad {
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g*g
+			p.Data[j] -= o.LR * (m[j] / bc1) / (math.Sqrt(v[j]/bc2) + o.Eps)
+		}
+	}
+}

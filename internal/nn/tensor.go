@@ -1,0 +1,351 @@
+// Package nn is the neural-network substrate of the reproduction: a small
+// 2-D tensor type with reverse-mode automatic differentiation, the layer
+// operations needed by the transformer (matmul, softmax, layer norm,
+// embeddings, attention masking), and SGD/Adam optimizers. Everything works
+// on float64 matrices with batch handled by the caller (one sequence per
+// graph), which is what makes per-example gradient clipping for DP-SGD
+// (paper Algorithm 1) natural.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a rows×cols matrix node in a dynamically built computation
+// graph. Tensors created by operations carry closures that propagate
+// gradients to their parents.
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+	Grad       []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backFn       func()
+	visited      bool // topological-sort mark, reset per Backward
+}
+
+// NewTensor returns a zeroed rows×cols tensor that does not require
+// gradients.
+func NewTensor(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewParam returns a zeroed tensor that participates in gradient descent.
+func NewParam(rows, cols int) *Tensor {
+	t := NewTensor(rows, cols)
+	t.requiresGrad = true
+	t.Grad = make([]float64, rows*cols)
+	return t
+}
+
+// XavierInit fills the tensor with Uniform(-a, a), a = sqrt(6/(rows+cols)).
+func (t *Tensor) XavierInit(r *rand.Rand) *Tensor {
+	a := math.Sqrt(6.0 / float64(t.Rows+t.Cols))
+	for i := range t.Data {
+		t.Data[i] = (2*r.Float64() - 1) * a
+	}
+	return t
+}
+
+// FromRows builds a constant tensor from row slices.
+func FromRows(rows [][]float64) *Tensor {
+	t := NewTensor(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != t.Cols {
+			panic("nn: ragged rows")
+		}
+		copy(t.Data[i*t.Cols:], r)
+	}
+	return t
+}
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// RequiresGrad reports whether the tensor accumulates gradients.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// newResult allocates an op output whose gradient flows to parents.
+func newResult(rows, cols int, parents ...*Tensor) *Tensor {
+	t := NewTensor(rows, cols)
+	for _, p := range parents {
+		if p.requiresGrad {
+			t.requiresGrad = true
+		}
+	}
+	if t.requiresGrad {
+		t.Grad = make([]float64, rows*cols)
+	}
+	t.parents = parents
+	return t
+}
+
+// Backward runs reverse-mode differentiation from t, which must be a 1×1
+// scalar (a loss). Gradients accumulate into every reachable parameter.
+func (t *Tensor) Backward() {
+	if t.Rows != 1 || t.Cols != 1 {
+		panic(fmt.Sprintf("nn: Backward on non-scalar %dx%d tensor", t.Rows, t.Cols))
+	}
+	if !t.requiresGrad {
+		return // nothing upstream wants gradients
+	}
+	order := make([]*Tensor, 0, 64)
+	var visit func(*Tensor)
+	visit = func(n *Tensor) {
+		if n.visited || !n.requiresGrad {
+			return
+		}
+		n.visited = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(t)
+	for _, n := range order {
+		n.visited = false
+	}
+	t.Grad[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		if order[i].backFn != nil {
+			order[i].backFn()
+		}
+	}
+}
+
+// MatMul returns t × b.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := newResult(a.Rows, b.Cols, a, b)
+	for i := 0; i < a.Rows; i++ {
+		ai := a.Data[i*a.Cols : (i+1)*a.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range bk {
+				oi[j] += av * bv
+			}
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			// dA = dOut × Bᵀ ; dB = Aᵀ × dOut
+			if a.requiresGrad {
+				for i := 0; i < a.Rows; i++ {
+					gi := out.Grad[i*out.Cols : (i+1)*out.Cols]
+					for k := 0; k < a.Cols; k++ {
+						bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+						s := 0.0
+						for j, gv := range gi {
+							s += gv * bk[j]
+						}
+						a.Grad[i*a.Cols+k] += s
+					}
+				}
+			}
+			if b.requiresGrad {
+				for k := 0; k < b.Rows; k++ {
+					for i := 0; i < a.Rows; i++ {
+						av := a.Data[i*a.Cols+k]
+						if av == 0 {
+							continue
+						}
+						gi := out.Grad[i*out.Cols : (i+1)*out.Cols]
+						bg := b.Grad[k*b.Cols : (k+1)*b.Cols]
+						for j, gv := range gi {
+							bg[j] += av * gv
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise; shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: Add %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := newResult(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				for i, g := range out.Grad {
+					a.Grad[i] += g
+				}
+			}
+			if b.requiresGrad {
+				for i, g := range out.Grad {
+					b.Grad[i] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddRow broadcasts a 1×d row vector b over every row of a.
+func AddRow(a, b *Tensor) *Tensor {
+	if b.Rows != 1 || b.Cols != a.Cols {
+		panic(fmt.Sprintf("nn: AddRow %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := newResult(a.Rows, a.Cols, a, b)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[i*a.Cols+j] = a.Data[i*a.Cols+j] + b.Data[j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				for i, g := range out.Grad {
+					a.Grad[i] += g
+				}
+			}
+			if b.requiresGrad {
+				for i := 0; i < a.Rows; i++ {
+					for j := 0; j < a.Cols; j++ {
+						b.Grad[j] += out.Grad[i*a.Cols+j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulElem returns the elementwise product.
+func MulElem(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MulElem %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := newResult(a.Rows, a.Cols, a, b)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			if a.requiresGrad {
+				for i, g := range out.Grad {
+					a.Grad[i] += g * b.Data[i]
+				}
+			}
+			if b.requiresGrad {
+				for i, g := range out.Grad {
+					b.Grad[i] += g * a.Data[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns a scaled by constant c.
+func Scale(a *Tensor, c float64) *Tensor {
+	out := newResult(a.Rows, a.Cols, a)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * c
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * c
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Tensor) *Tensor {
+	out := newResult(a.Cols, a.Rows, a)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Data[j*out.Cols+i] = a.Data[i*a.Cols+j]
+		}
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += out.Grad[j*out.Cols+i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts along columns.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	rows := ts[0].Rows
+	cols := 0
+	for _, t := range ts {
+		if t.Rows != rows {
+			panic("nn: ConcatCols row mismatch")
+		}
+		cols += t.Cols
+	}
+	out := newResult(rows, cols, ts...)
+	off := 0
+	for _, t := range ts {
+		for i := 0; i < rows; i++ {
+			copy(out.Data[i*cols+off:i*cols+off+t.Cols], t.Data[i*t.Cols:(i+1)*t.Cols])
+		}
+		off += t.Cols
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			off := 0
+			for _, t := range ts {
+				if t.requiresGrad {
+					for i := 0; i < rows; i++ {
+						for j := 0; j < t.Cols; j++ {
+							t.Grad[i*t.Cols+j] += out.Grad[i*cols+off+j]
+						}
+					}
+				}
+				off += t.Cols
+			}
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [from, to) of a as a new node.
+func SliceCols(a *Tensor, from, to int) *Tensor {
+	if from < 0 || to > a.Cols || from >= to {
+		panic(fmt.Sprintf("nn: SliceCols [%d,%d) of %d cols", from, to, a.Cols))
+	}
+	w := to - from
+	out := newResult(a.Rows, w, a)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*w:(i+1)*w], a.Data[i*a.Cols+from:i*a.Cols+to])
+	}
+	if out.requiresGrad {
+		out.backFn = func() {
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < w; j++ {
+					a.Grad[i*a.Cols+from+j] += out.Grad[i*w+j]
+				}
+			}
+		}
+	}
+	return out
+}

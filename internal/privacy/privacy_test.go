@@ -1,0 +1,201 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serd/internal/datagen"
+	"serd/internal/dataset"
+	"serd/internal/embench"
+)
+
+func fixture(t *testing.T) *datagen.Generated {
+	t.Helper()
+	gen, err := datagen.Scholar(datagen.Config{Seed: 1, SizeA: 60, SizeB: 60, Matches: 25, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestHittingRateSelfIsHigh(t *testing.T) {
+	gen := fixture(t)
+	// A dataset compared with itself: every entity hits at least itself.
+	hr, err := HittingRate(gen.ER, gen.ER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minRate := 100.0 / float64(gen.ER.A.Len()+gen.ER.B.Len()) * 0.999
+	if hr < minRate {
+		t.Errorf("self hitting rate %v below %v", hr, minRate)
+	}
+}
+
+func TestHittingRateDisjointIsZero(t *testing.T) {
+	gen := fixture(t)
+	// A second dataset from a different seed shares no entities.
+	other, err := datagen.Scholar(datagen.Config{Seed: 99, SizeA: 60, SizeB: 60, Matches: 25, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := HittingRate(gen.ER, other.ER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr > 0.5 {
+		t.Errorf("disjoint hitting rate = %v, want ~0", hr)
+	}
+}
+
+func TestEMBenchLeaksMoreThanFreshData(t *testing.T) {
+	// The core Table III relationship: EMBench (modified copies) must have
+	// a much higher hitting rate and lower DCR than independently generated
+	// data.
+	gen := fixture(t)
+	emb, err := embench.Synthesize(gen.ER, embench.Options{Seed: 2, EditsPerValue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := datagen.Scholar(datagen.Config{Seed: 77, SizeA: 60, SizeB: 60, Matches: 25, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcrEmb, err := DCR(gen.ER, emb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcrFresh, err := DCR(gen.ER, fresh.ER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcrEmb >= dcrFresh {
+		t.Errorf("DCR(EMBench)=%v should be below DCR(fresh)=%v", dcrEmb, dcrFresh)
+	}
+}
+
+func TestDCRZeroOnSelf(t *testing.T) {
+	gen := fixture(t)
+	d, err := DCR(gen.ER, gen.ER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-9 {
+		t.Errorf("DCR of a dataset against itself = %v, want 0", d)
+	}
+}
+
+func TestDCRBounds(t *testing.T) {
+	gen := fixture(t)
+	other, err := datagen.Scholar(datagen.Config{Seed: 123, SizeA: 40, SizeB: 40, Matches: 10, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := DCR(gen.ER, other.ER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0 || d > 1 || math.IsNaN(d) {
+		t.Errorf("DCR = %v outside [0,1]", d)
+	}
+}
+
+func TestSamplingOptionsRespected(t *testing.T) {
+	gen := fixture(t)
+	r := rand.New(rand.NewSource(3))
+	hr, err := HittingRate(gen.ER, gen.ER, Options{MaxSyn: 10, Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr <= 0 {
+		t.Errorf("sampled self hitting rate = %v, want > 0", hr)
+	}
+	if _, err := DCR(gen.ER, gen.ER, Options{MaxReal: 10, Rand: r}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarDefinition(t *testing.T) {
+	gen := fixture(t)
+	schema := gen.ER.Schema()
+	e := gen.ER.A.Entities[0]
+	if !Similar(schema, e, e, 0.9) {
+		t.Error("entity must be similar to itself")
+	}
+	// Changing the categorical venue breaks similarity regardless of text.
+	mod := e.Clone()
+	mod.Values[schema.ColumnIndex("venue")] = "Completely Different Venue"
+	if Similar(schema, e, mod, 0.9) {
+		t.Error("categorical mismatch must break similarity")
+	}
+	// A fresh title far from the original breaks the textual threshold.
+	mod2 := e.Clone()
+	mod2.Values[schema.ColumnIndex("title")] = "zzzz qqqq xxxx"
+	if Similar(schema, e, mod2, 0.9) {
+		t.Error("textual mismatch must break similarity")
+	}
+}
+
+func TestEntitySimilarityRange(t *testing.T) {
+	gen := fixture(t)
+	schema := gen.ER.Schema()
+	a, b := gen.ER.A.Entities[0], gen.ER.B.Entities[0]
+	s := EntitySimilarity(schema, a, b)
+	if s < 0 || s > 1 {
+		t.Errorf("entity similarity %v outside [0,1]", s)
+	}
+	if EntitySimilarity(schema, a, a) != 1 {
+		t.Error("self similarity must be 1")
+	}
+}
+
+func TestErrorsOnEmpty(t *testing.T) {
+	gen := fixture(t)
+	empty := &dataset.ER{A: dataset.NewRelation("A", gen.ER.Schema()), B: dataset.NewRelation("B", gen.ER.Schema())}
+	if _, err := HittingRate(gen.ER, empty, Options{}); err == nil {
+		t.Error("empty syn accepted")
+	}
+	if _, err := DCR(empty, gen.ER, Options{}); err == nil {
+		t.Error("empty real accepted")
+	}
+	if _, err := HittingRate(nil, gen.ER, Options{}); err == nil {
+		t.Error("nil accepted")
+	}
+}
+
+func TestNNDRHigherForFreshData(t *testing.T) {
+	gen := fixture(t)
+	emb, err := embench.Synthesize(gen.ER, embench.Options{Seed: 4, EditsPerValue: 1, ModifyProb: 0.3, UntouchedProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := datagen.Scholar(datagen.Config{Seed: 55, SizeA: 60, SizeB: 60, Matches: 25, BackgroundPerColumn: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearCopies, err := NNDR(gen.ER, emb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrelated, err := NNDR(gen.ER, fresh.ER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(nearCopies < unrelated) {
+		t.Errorf("NNDR(near-copies)=%v should be below NNDR(fresh)=%v", nearCopies, unrelated)
+	}
+	if unrelated <= 0 || unrelated > 1.0001 {
+		t.Errorf("NNDR out of range: %v", unrelated)
+	}
+}
+
+func TestNNDRValidation(t *testing.T) {
+	gen := fixture(t)
+	if _, err := NNDR(nil, gen.ER, Options{}); err == nil {
+		t.Error("nil accepted")
+	}
+	tiny := &dataset.ER{A: dataset.NewRelation("A", gen.ER.Schema()), B: dataset.NewRelation("B", gen.ER.Schema())}
+	if _, err := NNDR(gen.ER, tiny, Options{}); err == nil {
+		t.Error("too-small syn accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package simfn
+
+// EditSim is the normalized Levenshtein similarity:
+// 1 - editDistance(a, b) / max(len(a), len(b)), over runes.
+type EditSim struct{}
+
+// Name implements Func.
+func (EditSim) Name() string { return "edit-sim" }
+
+// Sim implements Func. Both-empty inputs compare equal (similarity 1).
+func (EditSim) Sim(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	n := len(ra)
+	if len(rb) > n {
+		n = len(rb)
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(n)
+}
+
+// EditDistance returns the Levenshtein distance between a and b over runes,
+// with unit costs for insertion, deletion and substitution.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Single-row dynamic program.
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

@@ -1,0 +1,226 @@
+package simfn
+
+import (
+	"math"
+	"strings"
+)
+
+// JaroWinkler is the Jaro-Winkler similarity, the classic measure for
+// short name-like strings (prefix-weighted Jaro).
+type JaroWinkler struct {
+	// PrefixScale is the Winkler prefix boost per shared prefix character
+	// (default 0.1, capped at 4 characters, the standard parameters).
+	PrefixScale float64
+}
+
+// Name implements Func.
+func (JaroWinkler) Name() string { return "jaro-winkler" }
+
+// Sim implements Func.
+func (f JaroWinkler) Sim(a, b string) float64 {
+	j := jaro([]rune(a), []rune(b))
+	if j == 0 {
+		return 0
+	}
+	scale := f.PrefixScale
+	if scale == 0 {
+		scale = 0.1
+	}
+	// Shared prefix length, up to 4.
+	ra, rb := []rune(a), []rune(b)
+	l := 0
+	for l < len(ra) && l < len(rb) && l < 4 && ra[l] == rb[l] {
+		l++
+	}
+	return j + float64(l)*scale*(1-j)
+}
+
+func jaro(a, b []rune) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	window := len(a)
+	if len(b) > window {
+		window = len(b)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(a))
+	matchB := make([]bool, len(b))
+	matches := 0
+	for i, ca := range a {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && b[j] == ca {
+				matchA[i], matchB[j] = true, true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Transpositions: compare matched characters in order.
+	transpositions := 0
+	j := 0
+	for i := range a {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(a)) + m/float64(len(b)) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// Overlap is the overlap coefficient over q-grams:
+// |A ∩ B| / min(|A|, |B|) — more forgiving than Jaccard when one value is
+// a substring-like fragment of the other (abbreviated titles).
+type Overlap struct {
+	Q    int
+	Fold bool
+}
+
+// Name implements Func.
+func (Overlap) Name() string { return "qgram-overlap" }
+
+// Sim implements Func.
+func (f Overlap) Sim(a, b string) float64 {
+	q := f.Q
+	if q <= 0 {
+		q = 3
+	}
+	if f.Fold {
+		a, b = strings.ToLower(a), strings.ToLower(b)
+	}
+	ga, gb := QGrams(a, q), QGrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if _, ok := gb[g]; ok {
+			inter++
+		}
+	}
+	den := len(ga)
+	if len(gb) < den {
+		den = len(gb)
+	}
+	return float64(inter) / float64(den)
+}
+
+// CosineTokens is the cosine similarity of token count vectors — the
+// bag-of-words measure for long text columns (product descriptions).
+type CosineTokens struct {
+	Fold bool
+}
+
+// Name implements Func.
+func (CosineTokens) Name() string { return "cosine-tokens" }
+
+// Sim implements Func.
+func (f CosineTokens) Sim(a, b string) float64 {
+	if f.Fold {
+		a, b = strings.ToLower(a), strings.ToLower(b)
+	}
+	ca, cb := tokenCounts(a), tokenCounts(b)
+	if len(ca) == 0 && len(cb) == 0 {
+		return 1
+	}
+	if len(ca) == 0 || len(cb) == 0 {
+		return 0
+	}
+	dot := 0.0
+	for t, n := range ca {
+		dot += float64(n * cb[t])
+	}
+	// Guard against floating-point drift pushing identical inputs above 1.
+	return math.Min(1, dot/(norm(ca)*norm(cb)))
+}
+
+func tokenCounts(s string) map[string]int {
+	out := make(map[string]int)
+	for _, t := range strings.Fields(s) {
+		out[t]++
+	}
+	return out
+}
+
+func norm(c map[string]int) float64 {
+	s := 0.0
+	for _, n := range c {
+		s += float64(n * n)
+	}
+	return math.Sqrt(s)
+}
+
+// MongeElkan is the Monge-Elkan similarity: the mean, over tokens of a, of
+// the best Inner similarity against tokens of b — the standard measure for
+// multi-token person-name fields.
+type MongeElkan struct {
+	// Inner scores token pairs (default JaroWinkler).
+	Inner Func
+	// Fold lower-cases before comparison.
+	Fold bool
+}
+
+// Name implements Func.
+func (MongeElkan) Name() string { return "monge-elkan" }
+
+// Sim implements Func. Monge-Elkan is asymmetric by definition; this
+// implementation symmetrizes by averaging both directions so it satisfies
+// the Func contract.
+func (f MongeElkan) Sim(a, b string) float64 {
+	inner := f.Inner
+	if inner == nil {
+		inner = JaroWinkler{}
+	}
+	if f.Fold {
+		a, b = strings.ToLower(a), strings.ToLower(b)
+	}
+	ta, tb := strings.Fields(a), strings.Fields(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDir(ta, tb, inner) + mongeElkanDir(tb, ta, inner)) / 2
+}
+
+func mongeElkanDir(ta, tb []string, inner Func) float64 {
+	total := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := inner.Sim(x, y); s > best {
+				best = s
+			}
+		}
+		total += best
+	}
+	return total / float64(len(ta))
+}

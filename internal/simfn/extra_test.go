@@ -1,0 +1,120 @@
+package simfn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	f := JaroWinkler{}
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9611},
+		{"DIXON", "DICKSONX", 0.8133},
+		{"JELLYFISH", "SMELLYFISH", 0.8962}, // no shared prefix: plain Jaro
+		{"abc", "abc", 1},
+		{"", "", 1},
+		{"abc", "", 0},
+	}
+	for _, c := range cases {
+		got := f.Sim(c.a, c.b)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("JaroWinkler(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerBoundsAndSymmetry(t *testing.T) {
+	f := JaroWinkler{}
+	err := quick.Check(func(a, b string) bool {
+		s := f.Sim(a, b)
+		return s >= 0 && s <= 1+1e-12 && math.Abs(s-f.Sim(b, a)) < 1e-12
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapForgivesFragments(t *testing.T) {
+	j := QGramJaccard{Q: 3}
+	o := Overlap{Q: 3}
+	full := "International Conference on Management of Data"
+	frag := "Conference on Management"
+	if o.Sim(full, frag) <= j.Sim(full, frag) {
+		t.Errorf("overlap %v should exceed jaccard %v on fragments",
+			o.Sim(full, frag), j.Sim(full, frag))
+	}
+	if o.Sim(full, full) != 1 {
+		t.Error("overlap self-sim must be 1")
+	}
+	if o.Sim("abc", "") != 0 || o.Sim("", "") != 1 {
+		t.Error("overlap empty handling")
+	}
+}
+
+func TestOverlapFold(t *testing.T) {
+	o := Overlap{Q: 3, Fold: true}
+	if o.Sim("ABCDEF", "abcdef") != 1 {
+		t.Error("folded overlap should ignore case")
+	}
+}
+
+func TestCosineTokens(t *testing.T) {
+	f := CosineTokens{}
+	if f.Sim("a b c", "a b c") != 1 {
+		t.Error("self cosine must be 1")
+	}
+	if f.Sim("x y", "p q") != 0 {
+		t.Error("disjoint tokens must be 0")
+	}
+	// "a b" vs "a c": dot = 1, norms sqrt(2) each -> 0.5.
+	if got := f.Sim("a b", "a c"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("cosine = %v, want 0.5", got)
+	}
+	// Repeated tokens weigh more.
+	if f.Sim("a a b", "a a c") <= f.Sim("a b", "a c") {
+		t.Error("repeated shared token should raise cosine")
+	}
+	if f.Sim("", "") != 1 || f.Sim("a", "") != 0 {
+		t.Error("cosine empty handling")
+	}
+}
+
+func TestMongeElkanNameOrderInvariance(t *testing.T) {
+	f := MongeElkan{Fold: true}
+	a := "Donald Kossmann Alfons Kemper"
+	b := "Alfons Kemper Donald Kossmann"
+	if got := f.Sim(a, b); got < 0.99 {
+		t.Errorf("reordered names should score ~1, got %v", got)
+	}
+	// Abbreviated names still score high under the JaroWinkler inner.
+	c := "D. Kossmann A. Kemper"
+	if got := f.Sim(a, c); got < 0.6 {
+		t.Errorf("abbreviated names = %v, want moderate-high", got)
+	}
+	// Unrelated names score low.
+	if got := f.Sim(a, "Xavier Quimby"); got > 0.6 {
+		t.Errorf("unrelated names = %v, want low", got)
+	}
+}
+
+func TestMongeElkanSymmetric(t *testing.T) {
+	f := MongeElkan{}
+	err := quick.Check(func(a, b string) bool {
+		return math.Abs(f.Sim(a, b)-f.Sim(b, a)) < 1e-12
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtraFuncNames(t *testing.T) {
+	for _, f := range []Func{JaroWinkler{}, Overlap{}, CosineTokens{}, MongeElkan{}} {
+		if f.Name() == "" {
+			t.Errorf("%T has empty name", f)
+		}
+	}
+}

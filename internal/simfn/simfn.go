@@ -1,0 +1,256 @@
+// Package simfn provides the attribute similarity functions used throughout
+// the SERD pipeline (paper §II-B).
+//
+// Every function maps a pair of attribute values, represented as strings, to
+// a similarity score in [0, 1]. The paper's default configuration — 3-gram
+// Jaccard for categorical and textual columns, min-max scaled absolute
+// difference for numeric and date columns — is available through
+// DefaultForKind.
+package simfn
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Func computes a similarity score in [0, 1] between two attribute values.
+type Func interface {
+	// Name identifies the function, e.g. "3gram-jaccard".
+	Name() string
+	// Sim returns the similarity of a and b. Implementations must be
+	// symmetric (Sim(a,b) == Sim(b,a)) and return values in [0, 1].
+	Sim(a, b string) float64
+}
+
+// Inverter is implemented by similarity functions that can synthesize a
+// counterpart value: given an existing value and a target similarity, Invert
+// returns a value v with Sim(a, v) as close as possible to target. The
+// returned similarity is Sim(a, v). next is a deterministic source of
+// uniform floats in [0,1) used to break ties (e.g. the ± choice for numeric
+// columns, paper §IV-B1).
+type Inverter interface {
+	Func
+	Invert(a string, target float64, next func() float64) (v string, sim float64)
+}
+
+// QGramJaccard is the q-gram Jaccard similarity. The paper uses Q = 3
+// ("3-gram jaccard") for categorical and textual columns. With Fold set,
+// values are lower-cased before comparison — the paper's Figure 1(c) scores
+// a case-only title difference as 1.0, implying case folding.
+type QGramJaccard struct {
+	Q    int
+	Fold bool
+}
+
+// Name implements Func.
+func (f QGramJaccard) Name() string { return fmt.Sprintf("%dgram-jaccard", f.q()) }
+
+func (f QGramJaccard) q() int {
+	if f.Q <= 0 {
+		return 3
+	}
+	return f.Q
+}
+
+// Sim implements Func. Both-empty inputs compare equal (similarity 1).
+func (f QGramJaccard) Sim(a, b string) float64 {
+	if f.Fold {
+		a, b = strings.ToLower(a), strings.ToLower(b)
+	}
+	return jaccard(QGrams(a, f.q()), QGrams(b, f.q()))
+}
+
+// QGrams returns the multiset-collapsed set of q-grams of s, computed over
+// runes. A non-empty string shorter than q contributes itself as a single
+// gram, so short values still compare meaningfully.
+func QGrams(s string, q int) map[string]struct{} {
+	set := make(map[string]struct{})
+	if s == "" {
+		return set
+	}
+	r := []rune(s)
+	if len(r) < q {
+		set[string(r)] = struct{}{}
+		return set
+	}
+	for i := 0; i+q <= len(r); i++ {
+		set[string(r[i:i+q])] = struct{}{}
+	}
+	return set
+}
+
+func jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range a {
+		if _, ok := b[g]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// TokenJaccard is the Jaccard similarity over whitespace-separated tokens.
+type TokenJaccard struct{}
+
+// Name implements Func.
+func (TokenJaccard) Name() string { return "token-jaccard" }
+
+// Sim implements Func.
+func (TokenJaccard) Sim(a, b string) float64 {
+	return jaccard(tokenSet(a), tokenSet(b))
+}
+
+func tokenSet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	start := -1
+	for i, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' {
+			if start >= 0 {
+				set[s[start:i]] = struct{}{}
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		set[s[start:]] = struct{}{}
+	}
+	return set
+}
+
+// Exact is the 0/1 equality similarity.
+type Exact struct{}
+
+// Name implements Func.
+func (Exact) Name() string { return "exact" }
+
+// Sim implements Func.
+func (Exact) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Numeric is the min-max scaled absolute-difference similarity the paper
+// uses for numeric columns: 1 - |a-b| / (Max-Min) (Example 2). Values that
+// fail to parse as floats, or fall far outside [Min, Max], clamp to
+// similarity 0.
+type Numeric struct {
+	Min, Max float64
+}
+
+// Name implements Func.
+func (Numeric) Name() string { return "numeric-minmax" }
+
+// Sim implements Func.
+func (f Numeric) Sim(a, b string) float64 {
+	x, errX := strconv.ParseFloat(a, 64)
+	y, errY := strconv.ParseFloat(b, 64)
+	if errX != nil || errY != nil {
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	span := f.Max - f.Min
+	if span <= 0 {
+		if x == y {
+			return 1
+		}
+		return 0
+	}
+	s := 1 - math.Abs(x-y)/span
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Invert implements Inverter: it solves 1 - |a-v|/(Max-Min) = target for v,
+// choosing the + or - branch uniformly (the paper samples one of the two
+// roots, §IV-B1) and clamping to [Min, Max]. When a does not parse, the
+// original value is returned with similarity 1.
+func (f Numeric) Invert(a string, target float64, next func() float64) (string, float64) {
+	x, err := strconv.ParseFloat(a, 64)
+	if err != nil {
+		return a, 1
+	}
+	span := f.Max - f.Min
+	if span <= 0 {
+		return a, 1
+	}
+	delta := (1 - clamp01(target)) * span
+	v := x + delta
+	if next() < 0.5 {
+		v = x - delta
+	}
+	// Clamp into the column's range; if clamping moved us, the opposite
+	// branch may fit better.
+	if v < f.Min || v > f.Max {
+		alt := x + delta
+		if v == alt {
+			alt = x - delta
+		}
+		if alt >= f.Min && alt <= f.Max {
+			v = alt
+		} else {
+			v = math.Max(f.Min, math.Min(f.Max, v))
+		}
+	}
+	out := formatLike(a, v)
+	return out, f.Sim(a, out)
+}
+
+// formatLike renders v with the same decimal precision as the source value
+// a, so synthesized numeric values look like the column they join (years
+// stay integers, prices keep two decimals).
+func formatLike(a string, v float64) string {
+	decimals := 0
+	if i := strings.IndexByte(a, '.'); i >= 0 {
+		decimals = len(a) - i - 1
+	}
+	if decimals == 0 {
+		return strconv.FormatInt(int64(math.Round(v)), 10)
+	}
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Date treats values as integer day ordinals (or any integer-valued time
+// unit) with min-max scaling, mirroring the paper's statement that "date
+// type has a similar synthesizing process with the numerical type". Callers
+// convert real date strings to ordinals in the dataset layer.
+type Date struct {
+	Min, Max float64
+}
+
+// Name implements Func.
+func (Date) Name() string { return "date-minmax" }
+
+// Sim implements Func.
+func (f Date) Sim(a, b string) float64 { return Numeric(f).Sim(a, b) }
+
+// Invert implements Inverter.
+func (f Date) Invert(a string, target float64, next func() float64) (string, float64) {
+	return Numeric(f).Invert(a, target, next)
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MVN is a multivariate normal distribution N(mean, cov), held in a
+// factorized form ready for density evaluation and sampling.
+type MVN struct {
+	mean   []float64
+	chol   *Mat // lower Cholesky factor of cov
+	logDet float64
+}
+
+// NewMVN builds an MVN from a mean vector and covariance matrix. The
+// covariance must be symmetric positive definite (callers that fit
+// covariances from data should regularize first; see RegularizeCovariance).
+func NewMVN(mean []float64, cov *Mat) (*MVN, error) {
+	if cov.Rows != len(mean) || cov.Cols != len(mean) {
+		return nil, fmt.Errorf("stats: covariance %dx%d does not match mean dim %d", cov.Rows, cov.Cols, len(mean))
+	}
+	l, err := Cholesky(cov)
+	if err != nil {
+		return nil, err
+	}
+	logDet := 0.0
+	for i := 0; i < l.Rows; i++ {
+		logDet += 2 * math.Log(l.At(i, i))
+	}
+	m := make([]float64, len(mean))
+	copy(m, mean)
+	return &MVN{mean: m, chol: l, logDet: logDet}, nil
+}
+
+// Dim returns the dimensionality of the distribution.
+func (d *MVN) Dim() int { return len(d.mean) }
+
+// Mean returns a copy of the mean vector.
+func (d *MVN) Mean() []float64 {
+	m := make([]float64, len(d.mean))
+	copy(m, d.mean)
+	return m
+}
+
+// LogPDF returns the log density at x.
+func (d *MVN) LogPDF(x []float64) float64 {
+	k := len(d.mean)
+	if len(x) != k {
+		panic(fmt.Sprintf("stats: LogPDF dim %d, want %d", len(x), k))
+	}
+	diff := make([]float64, k)
+	for i := range diff {
+		diff[i] = x[i] - d.mean[i]
+	}
+	// Quadratic form (x-μ)ᵀ Σ⁻¹ (x-μ) = ||L⁻¹(x-μ)||².
+	y := ForwardSolve(d.chol, diff)
+	quad := 0.0
+	for _, v := range y {
+		quad += v * v
+	}
+	return -0.5 * (float64(k)*math.Log(2*math.Pi) + d.logDet + quad)
+}
+
+// PDF returns the density at x.
+func (d *MVN) PDF(x []float64) float64 { return math.Exp(d.LogPDF(x)) }
+
+// Sample draws one vector from the distribution using r.
+func (d *MVN) Sample(r *rand.Rand) []float64 {
+	k := len(d.mean)
+	z := make([]float64, k)
+	for i := range z {
+		z[i] = r.NormFloat64()
+	}
+	// x = μ + L·z
+	x := make([]float64, k)
+	for i := 0; i < k; i++ {
+		sum := d.mean[i]
+		for j := 0; j <= i; j++ {
+			sum += d.chol.At(i, j) * z[j]
+		}
+		x[i] = sum
+	}
+	return x
+}
+
+// RegularizeCovariance adds ridge*I to cov in place and returns it. GMM
+// covariance estimates from few or degenerate samples are frequently
+// singular; a small ridge restores positive definiteness without visibly
+// distorting the density.
+func RegularizeCovariance(cov *Mat, ridge float64) *Mat {
+	for i := 0; i < cov.Rows; i++ {
+		cov.Add(i, i, ridge)
+	}
+	return cov
+}
+
+// MeanVector returns the per-dimension mean of the rows of xs.
+func MeanVector(xs [][]float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	dim := len(xs[0])
+	mean := make([]float64, dim)
+	for _, x := range xs {
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(xs))
+	}
+	return mean
+}
+
+// CovarianceMatrix returns the (biased, 1/n) sample covariance of the rows
+// of xs around mean.
+func CovarianceMatrix(xs [][]float64, mean []float64) *Mat {
+	dim := len(mean)
+	cov := NewMat(dim, dim)
+	if len(xs) == 0 {
+		return cov
+	}
+	for _, x := range xs {
+		for i := 0; i < dim; i++ {
+			di := x[i] - mean[i]
+			for j := 0; j < dim; j++ {
+				cov.Add(i, j, di*(x[j]-mean[j]))
+			}
+		}
+	}
+	n := float64(len(xs))
+	for i := range cov.Data {
+		cov.Data[i] /= n
+	}
+	return cov
+}

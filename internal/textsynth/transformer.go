@@ -1,0 +1,273 @@
+package textsynth
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serd/internal/dp"
+	"serd/internal/nn"
+	"serd/internal/perturb"
+	"serd/internal/simfn"
+	"serd/internal/transformer"
+)
+
+// DPOptions enables differentially private training (paper Algorithm 1).
+type DPOptions struct {
+	// ClipNorm is the per-example gradient bound V.
+	ClipNorm float64
+	// Noise is the noise multiplier σ.
+	Noise float64
+	// Delta is the δ at which ε is reported.
+	Delta float64
+}
+
+// TransformerOptions configures TrainTransformer.
+type TransformerOptions struct {
+	// Buckets is the number of similarity intervals k (default 10, the
+	// paper's setting).
+	Buckets int
+	// PairsPerBucket is the number of training pairs assembled per bucket
+	// (default 120).
+	PairsPerBucket int
+	// Epochs over each bucket's pairs (default 3).
+	Epochs int
+	// BatchSize is the minibatch size J (default 8).
+	BatchSize int
+	// LR is the learning rate (default 1e-3 for Adam, 0.05 for DP-SGD).
+	LR float64
+	// Model overrides the transformer dimensions; the vocabulary is always
+	// built from the corpus.
+	Model transformer.Config
+	// DP switches training to DP-SGD when non-nil.
+	DP *DPOptions
+	// Candidates is the number of sampled decodes per synthesis call
+	// (default 10, the paper's setting).
+	Candidates int
+	// Temperature for candidate sampling (default 0.8).
+	Temperature float64
+	// Seed drives everything.
+	Seed int64
+}
+
+func (o TransformerOptions) withDefaults() TransformerOptions {
+	if o.Buckets == 0 {
+		o.Buckets = 10
+	}
+	if o.PairsPerBucket == 0 {
+		o.PairsPerBucket = 120
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 3
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 8
+	}
+	if o.LR == 0 {
+		if o.DP != nil {
+			o.LR = 0.05
+		} else {
+			o.LR = 1e-3
+		}
+	}
+	if o.Candidates == 0 {
+		o.Candidates = 10
+	}
+	if o.Temperature == 0 {
+		o.Temperature = 0.8
+	}
+	return o
+}
+
+// Pair is one training example for a bucket model.
+type Pair struct {
+	S, T string
+	Sim  float64
+}
+
+// BuildPairs assembles similarity-bucketed training pairs from a background
+// corpus: it enumerates sampled corpus pairs (which populate the low
+// buckets) and augments sparse buckets with edit-walked variants of corpus
+// strings (still background-domain text), following §VI's "enumerate the
+// strings in pairs, calculate the similarities, divide them into buckets".
+func BuildPairs(corpus []string, sim simfn.Func, buckets, perBucket int, r *rand.Rand) [][]Pair {
+	out := make([][]Pair, buckets)
+	if len(corpus) < 2 {
+		return out
+	}
+	// Pass 1: random corpus pairs.
+	budget := buckets * perBucket * 4
+	for i := 0; i < budget; i++ {
+		a := corpus[r.Intn(len(corpus))]
+		b := corpus[r.Intn(len(corpus))]
+		if a == b {
+			continue
+		}
+		s := sim.Sim(a, b)
+		bk := Bucket(s, buckets)
+		if len(out[bk]) < perBucket {
+			out[bk] = append(out[bk], Pair{S: a, T: b, Sim: s})
+		}
+	}
+	// Pass 2: fill sparse buckets with perturbation-derived pairs.
+	for bk := range out {
+		center := BucketCenter(bk, buckets)
+		attempts := 0
+		for len(out[bk]) < perBucket && attempts < perBucket*20 {
+			attempts++
+			a := corpus[r.Intn(len(corpus))]
+			b, s := perturb.TowardSimilarity(a, center, 0.05, sim.Sim, 150, r)
+			if Bucket(s, buckets) == bk && a != b {
+				out[bk] = append(out[bk], Pair{S: a, T: b, Sim: s})
+			}
+		}
+	}
+	return out
+}
+
+// TransformerSynthesizer is the bank of bucketed seq2seq models M_1..M_k of
+// §VI with sampling-based candidate generation at inference (Figure 4).
+type TransformerSynthesizer struct {
+	sim         simfn.Func
+	buckets     int
+	models      []*transformer.Model
+	candidates  int
+	temperature float64
+	epsilons    []float64
+	rand        *rand.Rand
+}
+
+// TrainTransformer builds the bucket pair sets from the background corpus
+// and trains one model per non-empty bucket, with DP-SGD when opts.DP is
+// set.
+func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) (*TransformerSynthesizer, error) {
+	if sim == nil {
+		return nil, errors.New("textsynth: nil similarity function")
+	}
+	if len(corpus) < 2 {
+		return nil, errors.New("textsynth: corpus too small")
+	}
+	opts = opts.withDefaults()
+	r := rand.New(rand.NewSource(opts.Seed))
+	pairSets := BuildPairs(corpus, sim, opts.Buckets, opts.PairsPerBucket, r)
+
+	vocab := transformer.BuildVocab(corpus)
+	ts := &TransformerSynthesizer{
+		sim:         sim,
+		buckets:     opts.Buckets,
+		models:      make([]*transformer.Model, opts.Buckets),
+		candidates:  opts.Candidates,
+		temperature: opts.Temperature,
+		epsilons:    make([]float64, opts.Buckets),
+		rand:        r,
+	}
+	for bk, pairs := range pairSets {
+		if len(pairs) < opts.BatchSize {
+			continue // too few examples to train a model for this interval
+		}
+		cfg := opts.Model
+		cfg.Vocab = vocab
+		m, err := transformer.New(cfg, opts.Seed+int64(bk))
+		if err != nil {
+			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+		}
+		eps, err := trainOne(m, pairs, opts, r)
+		if err != nil {
+			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+		}
+		ts.models[bk] = m
+		ts.epsilons[bk] = eps
+	}
+	for _, m := range ts.models {
+		if m != nil {
+			return ts, nil
+		}
+	}
+	return nil, errors.New("textsynth: no bucket had enough training pairs")
+}
+
+// trainOne trains a single bucket model (Algorithm 1 when DP is enabled)
+// and returns the ε consumed (or +Inf without DP — no guarantee claimed).
+func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *rand.Rand) (float64, error) {
+	m.SetTrain(true)
+	defer m.SetTrain(false)
+	steps := opts.Epochs * (len(pairs) + opts.BatchSize - 1) / opts.BatchSize
+	if opts.DP != nil {
+		o, err := dp.NewSGD(m.Params(), opts.LR, opts.DP.ClipNorm, opts.DP.Noise, r)
+		if err != nil {
+			return 0, err
+		}
+		for step := 0; step < steps; step++ {
+			for j := 0; j < opts.BatchSize; j++ {
+				p := pairs[r.Intn(len(pairs))]
+				m.Loss(p.S, p.T).Backward()
+				o.AccumulateExample()
+			}
+			if err := o.Step(); err != nil {
+				return 0, err
+			}
+		}
+		acct := dp.Accountant{Q: float64(opts.BatchSize) / float64(len(pairs)), Noise: opts.DP.Noise}
+		return acct.Epsilon(o.Steps(), opts.DP.Delta), nil
+	}
+	opt := nn.NewAdam(opts.LR)
+	for step := 0; step < steps; step++ {
+		nn.ZeroGrads(m.Params())
+		for j := 0; j < opts.BatchSize; j++ {
+			p := pairs[r.Intn(len(pairs))]
+			m.Loss(p.S, p.T).Backward()
+		}
+		opt.Step(m.Params())
+	}
+	return math.Inf(1), nil
+}
+
+// Synthesize implements Synthesizer: route to the bucket model for the
+// target, decode Candidates samples, return the one whose similarity is
+// closest to the target (§VI inference).
+func (ts *TransformerSynthesizer) Synthesize(s string, target float64, r *rand.Rand) (string, float64) {
+	m := ts.modelFor(target)
+	best, bestSim := s, ts.sim.Sim(s, s)
+	for i := 0; i < ts.candidates; i++ {
+		c := m.Generate(s, ts.temperature, r)
+		if c == "" {
+			continue
+		}
+		cs := ts.sim.Sim(s, c)
+		if math.Abs(cs-target) < math.Abs(bestSim-target) {
+			best, bestSim = c, cs
+		}
+	}
+	return best, bestSim
+}
+
+// modelFor returns the trained model nearest to the target's bucket.
+func (ts *TransformerSynthesizer) modelFor(target float64) *transformer.Model {
+	want := Bucket(target, ts.buckets)
+	if ts.models[want] != nil {
+		return ts.models[want]
+	}
+	for d := 1; d < ts.buckets; d++ {
+		if i := want - d; i >= 0 && ts.models[i] != nil {
+			return ts.models[i]
+		}
+		if i := want + d; i < ts.buckets && ts.models[i] != nil {
+			return ts.models[i]
+		}
+	}
+	return nil // unreachable: TrainTransformer guarantees one model
+}
+
+// Epsilon returns the largest per-bucket ε consumed by training — the
+// guarantee reported for the whole bank (buckets are disjoint training
+// sets, so parallel composition applies and the max governs).
+func (ts *TransformerSynthesizer) Epsilon() float64 {
+	eps := 0.0
+	for i, m := range ts.models {
+		if m != nil && ts.epsilons[i] > eps {
+			eps = ts.epsilons[i]
+		}
+	}
+	return eps
+}

@@ -1,0 +1,100 @@
+package textsynth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serd/internal/simfn"
+	"serd/internal/transformer"
+)
+
+// microOptions keeps the transformer tiny so tests run on one CPU core.
+func microOptions(dp *DPOptions) TransformerOptions {
+	return TransformerOptions{
+		Buckets:        4,
+		PairsPerBucket: 12,
+		Epochs:         1,
+		BatchSize:      4,
+		Model: transformer.Config{
+			DModel:    16,
+			Heads:     2,
+			EncLayers: 1,
+			DecLayers: 1,
+			FFDim:     32,
+			MaxLen:    40,
+		},
+		DP:         dp,
+		Candidates: 3,
+		Seed:       1,
+	}
+}
+
+func smallCorpus() []string {
+	return []string{
+		"alpha beta gamma", "beta gamma delta", "gamma delta epsilon",
+		"delta epsilon zeta", "epsilon zeta eta", "zeta eta theta",
+		"eta theta iota", "theta iota kappa", "iota kappa lambda",
+		"kappa lambda mu", "lambda mu nu", "mu nu xi",
+		"nu xi omicron", "xi omicron pi", "omicron pi rho",
+		"pi rho sigma", "rho sigma tau", "sigma tau upsilon",
+	}
+}
+
+func TestTrainTransformerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transformer training")
+	}
+	ts, err := TrainTransformer(smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, microOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	got, sim := ts.Synthesize("alpha beta gamma", 0.5, r)
+	if got == "" {
+		t.Fatal("empty synthesis")
+	}
+	if sim < 0 || sim > 1 || math.IsNaN(sim) {
+		t.Fatalf("sim = %v", sim)
+	}
+	// Without DP no epsilon is claimed.
+	if !math.IsInf(ts.Epsilon(), 1) {
+		t.Errorf("non-DP training must report infinite epsilon, got %v", ts.Epsilon())
+	}
+}
+
+func TestTrainTransformerDPReportsEpsilon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transformer training")
+	}
+	dpOpts := &DPOptions{ClipNorm: 1.0, Noise: 1.1, Delta: 1e-5}
+	ts, err := TrainTransformer(smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, microOptions(dpOpts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := ts.Epsilon()
+	if math.IsInf(eps, 1) || eps <= 0 {
+		t.Errorf("DP training must report a finite positive epsilon, got %v", eps)
+	}
+	r := rand.New(rand.NewSource(3))
+	got, _ := ts.Synthesize("alpha beta gamma", 0.8, r)
+	if got == "" {
+		t.Fatal("DP-trained model produced empty synthesis")
+	}
+}
+
+func TestModelForFallsBackToNearestBucket(t *testing.T) {
+	ts := &TransformerSynthesizer{
+		buckets: 4,
+		models:  make([]*transformer.Model, 4),
+	}
+	v := transformer.BuildVocab([]string{"ab"})
+	m, err := transformer.New(transformer.Config{Vocab: v, DModel: 8, Heads: 1, EncLayers: 1, DecLayers: 1, FFDim: 8, MaxLen: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.models[3] = m
+	if ts.modelFor(0.1) != m {
+		t.Error("modelFor must fall back to the nearest trained bucket")
+	}
+}

@@ -1,0 +1,72 @@
+package transformer
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// savedModel is the gob wire format: the configuration, the vocabulary's
+// rune table, and the parameter tensors in Params() order (model
+// construction is deterministic, so the order round-trips).
+type savedModel struct {
+	DModel, Heads, EncLayers, DecLayers, FFDim, MaxLen int
+	Dropout                                            float64
+	VocabRunes                                         []rune
+	Params                                             [][]float64
+}
+
+// Save writes the model weights and configuration, enabling the paper's
+// offline/online split: train the transformer bank once, synthesize many
+// datasets later.
+func (m *Model) Save(w io.Writer) error {
+	dto := savedModel{
+		DModel:     m.cfg.DModel,
+		Heads:      m.cfg.Heads,
+		EncLayers:  m.cfg.EncLayers,
+		DecLayers:  m.cfg.DecLayers,
+		FFDim:      m.cfg.FFDim,
+		MaxLen:     m.cfg.MaxLen,
+		Dropout:    m.cfg.Dropout,
+		VocabRunes: m.cfg.Vocab.Runes(),
+	}
+	for _, p := range m.params {
+		dto.Params = append(dto.Params, p.Data)
+	}
+	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+		return fmt.Errorf("transformer: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var dto savedModel
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("transformer: decode model: %w", err)
+	}
+	cfg := Config{
+		Vocab:     VocabFromRunes(dto.VocabRunes),
+		DModel:    dto.DModel,
+		Heads:     dto.Heads,
+		EncLayers: dto.EncLayers,
+		DecLayers: dto.DecLayers,
+		FFDim:     dto.FFDim,
+		MaxLen:    dto.MaxLen,
+		Dropout:   dto.Dropout,
+	}
+	m, err := New(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(dto.Params) != len(m.params) {
+		return nil, fmt.Errorf("transformer: saved model has %d tensors, architecture has %d", len(dto.Params), len(m.params))
+	}
+	for i, data := range dto.Params {
+		if len(data) != len(m.params[i].Data) {
+			return nil, fmt.Errorf("transformer: tensor %d has %d values, want %d", i, len(data), len(m.params[i].Data))
+		}
+		copy(m.params[i].Data, data)
+	}
+	return m, nil
+}

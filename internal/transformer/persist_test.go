@@ -1,0 +1,65 @@
+package transformer
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"serd/internal/nn"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := tinyModel(t, []string{"hello world", "gopher"})
+	// Nudge weights away from init so the round trip is meaningful.
+	opt := nn.NewAdam(0.01)
+	m.SetTrain(true)
+	for i := 0; i < 5; i++ {
+		nn.ZeroGrads(m.Params())
+		m.Loss("hello", "world").Backward()
+		opt.Step(m.Params())
+	}
+	m.SetTrain(false)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical loss on identical input proves the weights round-tripped.
+	want := m.Loss("hello", "world").Data[0]
+	got := back.Loss("hello", "world").Data[0]
+	if math.Abs(want-got) > 1e-12 {
+		t.Errorf("loss after round trip %v, want %v", got, want)
+	}
+	// Greedy decodes agree.
+	r := rand.New(rand.NewSource(1))
+	if a, b := m.Generate("hello", 0, r), back.Generate("hello", 0, r); a != b {
+		t.Errorf("greedy decode differs: %q vs %q", a, b)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestVocabFromRunesRoundTrip(t *testing.T) {
+	v := BuildVocab([]string{"abcab", "xyz"})
+	back := VocabFromRunes(v.Runes())
+	if back.Size() != v.Size() {
+		t.Fatalf("size %d, want %d", back.Size(), v.Size())
+	}
+	for _, s := range []string{"abc", "zyx", "q"} {
+		a, b := v.Encode(s, true), back.Encode(s, true)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("encoding differs for %q", s)
+			}
+		}
+	}
+}

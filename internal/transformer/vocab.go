@@ -1,0 +1,91 @@
+// Package transformer implements the character-level sequence-to-sequence
+// transformer of the paper's §VI (Figure 4): an encoder-decoder with
+// multi-head attention and sinusoidal positional encodings that maps an
+// input string to an output string, trained with teacher forcing and
+// decoded with temperature sampling to produce candidate sets. A bank of
+// bucketed models (one per similarity interval, §VI) lives in bank.go.
+package transformer
+
+import "strings"
+
+// Special token ids.
+const (
+	BOS = 0 // beginning of sequence
+	EOS = 1 // end of sequence
+	UNK = 2 // unknown rune
+	// firstRune is the id of the first real character.
+	firstRune = 3
+)
+
+// Vocab is a character vocabulary ("the token of the transformer is
+// character", paper §VII settings).
+type Vocab struct {
+	runes []rune
+	ids   map[rune]int
+}
+
+// BuildVocab collects the distinct runes of the corpus, in first-seen
+// order, after the three special tokens.
+func BuildVocab(corpus []string) *Vocab {
+	v := &Vocab{ids: make(map[rune]int)}
+	for _, s := range corpus {
+		for _, r := range s {
+			if _, ok := v.ids[r]; !ok {
+				v.ids[r] = firstRune + len(v.runes)
+				v.runes = append(v.runes, r)
+			}
+		}
+	}
+	return v
+}
+
+// VocabFromRunes rebuilds a vocabulary from its rune table (persistence).
+func VocabFromRunes(runes []rune) *Vocab {
+	v := &Vocab{ids: make(map[rune]int, len(runes))}
+	for _, r := range runes {
+		if _, ok := v.ids[r]; !ok {
+			v.ids[r] = firstRune + len(v.runes)
+			v.runes = append(v.runes, r)
+		}
+	}
+	return v
+}
+
+// Runes returns the vocabulary's rune table in id order (persistence).
+func (v *Vocab) Runes() []rune { return append([]rune(nil), v.runes...) }
+
+// Size returns the vocabulary size including special tokens — the input
+// dimension of the model.
+func (v *Vocab) Size() int { return firstRune + len(v.runes) }
+
+// Encode maps a string to token ids; unknown runes become UNK. When wrap is
+// true the sequence is surrounded by BOS/EOS.
+func (v *Vocab) Encode(s string, wrap bool) []int {
+	out := make([]int, 0, len(s)+2)
+	if wrap {
+		out = append(out, BOS)
+	}
+	for _, r := range s {
+		id, ok := v.ids[r]
+		if !ok {
+			id = UNK
+		}
+		out = append(out, id)
+	}
+	if wrap {
+		out = append(out, EOS)
+	}
+	return out
+}
+
+// Decode maps token ids back to a string, skipping special tokens.
+func (v *Vocab) Decode(ids []int) string {
+	var b strings.Builder
+	for _, id := range ids {
+		if id < firstRune || id-firstRune >= len(v.runes) {
+			continue
+		}
+		b.WriteRune(v.runes[id-firstRune])
+	}
+	return b.String()
+}

@@ -1,0 +1,274 @@
+// Package userstudy simulates the crowdsourced user study of the paper's
+// Exp-1 (Figure 5). Real Appen workers are not available offline, so two
+// judge models stand in (see DESIGN.md §1):
+//
+//   - S1 (Q1 "is this entity real?"): a character n-gram language model is
+//     trained on in-domain text; an entity's realness score is its average
+//     per-column perplexity standardized against real-entity calibration
+//     data. Simulated workers answer agree/neutral/disagree through noisy
+//     thresholds on that score and are aggregated by majority vote, exactly
+//     as the paper aggregates 5 workers.
+//   - S2 (Q2 "is this pair matching?"): workers label a pair matching when
+//     its mean attribute similarity clears a noisy threshold; 3 workers are
+//     majority-voted.
+package userstudy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+
+	"serd/internal/dataset"
+)
+
+// Answer is a worker's (or the majority's) response to Q1.
+type Answer int
+
+// Q1 answer values.
+const (
+	Disagree Answer = iota
+	Neutral
+	Agree
+)
+
+// NGramLM is an additive-smoothed character trigram language model.
+type NGramLM struct {
+	counts   map[string]int
+	context  map[string]int
+	vocab    map[rune]bool
+	order    int
+	smoothed float64
+}
+
+// NewNGramLM trains an order-3 LM on the corpus with add-k smoothing.
+func NewNGramLM(corpus []string) *NGramLM {
+	lm := &NGramLM{
+		counts:   make(map[string]int),
+		context:  make(map[string]int),
+		vocab:    make(map[rune]bool),
+		order:    3,
+		smoothed: 0.1,
+	}
+	for _, s := range corpus {
+		s = strings.ToLower(s)
+		for _, r := range s {
+			lm.vocab[r] = true
+		}
+		runes := []rune("^^" + s + "$")
+		for i := 0; i+lm.order <= len(runes); i++ {
+			lm.counts[string(runes[i:i+lm.order])]++
+			lm.context[string(runes[i:i+lm.order-1])]++
+		}
+	}
+	return lm
+}
+
+// LogProb returns the average per-character log probability of s.
+func (lm *NGramLM) LogProb(s string) float64 {
+	s = strings.ToLower(s)
+	runes := []rune("^^" + s + "$")
+	v := float64(len(lm.vocab) + 1)
+	total, n := 0.0, 0
+	for i := 0; i+lm.order <= len(runes); i++ {
+		gram := string(runes[i : i+lm.order])
+		ctx := string(runes[i : i+lm.order-1])
+		p := (float64(lm.counts[gram]) + lm.smoothed) / (float64(lm.context[ctx]) + lm.smoothed*v)
+		total += math.Log(p)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// Perplexity returns exp(−LogProb(s)).
+func (lm *NGramLM) Perplexity(s string) float64 { return math.Exp(-lm.LogProb(s)) }
+
+// RealnessJudge simulates Q1 annotators.
+type RealnessJudge struct {
+	schema  *dataset.Schema
+	lms     map[int]*NGramLM // per textual column
+	mu      float64          // mean real-entity perplexity (calibration)
+	Workers int              // default 5 (paper: 5 workers per Q1)
+	rand    *rand.Rand
+}
+
+// NewRealnessJudge trains per-column LMs on the calibration entities (real
+// in-domain data) and records the real-entity perplexity distribution.
+// domainCorpus optionally supplies additional in-domain text per column
+// name (e.g. the background corpora): human annotators judge whether text
+// is plausible for the domain, not whether it reuses the active dataset's
+// vocabulary, so the LM should cover the domain, not just the dataset.
+func NewRealnessJudge(schema *dataset.Schema, calibration []*dataset.Entity, domainCorpus map[string][]string, seed int64) (*RealnessJudge, error) {
+	if schema == nil || len(calibration) == 0 {
+		return nil, errors.New("userstudy: judge needs a schema and calibration entities")
+	}
+	j := &RealnessJudge{
+		schema:  schema,
+		lms:     make(map[int]*NGramLM),
+		Workers: 5,
+		rand:    rand.New(rand.NewSource(seed)),
+	}
+	for ci, col := range schema.Cols {
+		if col.Kind != dataset.Textual {
+			continue
+		}
+		var corpus []string
+		for _, e := range calibration {
+			corpus = append(corpus, e.Values[ci])
+		}
+		corpus = append(corpus, domainCorpus[col.Name]...)
+		j.lms[ci] = NewNGramLM(corpus)
+	}
+	if len(j.lms) == 0 {
+		return nil, errors.New("userstudy: schema has no textual columns to judge")
+	}
+	// Calibrate on the same real entities: their scores define "looks real".
+	var scores []float64
+	for _, e := range calibration {
+		scores = append(scores, j.score(e))
+	}
+	mu, _ := meanStd(scores)
+	if mu == 0 {
+		mu = 1
+	}
+	j.mu = mu
+	return j, nil
+}
+
+// score is the entity's mean textual-column perplexity.
+func (j *RealnessJudge) score(e *dataset.Entity) float64 {
+	s, n := 0.0, 0
+	for ci, lm := range j.lms {
+		s += lm.Perplexity(e.Values[ci])
+		n++
+	}
+	return s / float64(n)
+}
+
+// Judge returns the majority answer of Workers simulated annotators for
+// "is this entity real?". Workers see the ratio of the entity's perplexity
+// to the mean real-entity perplexity and answer through a noisy threshold:
+// text within ~1.6× of in-domain perplexity reads as real, far-out text as
+// fake, with a neutral band in between.
+func (j *RealnessJudge) Judge(e *dataset.Entity) Answer {
+	ratio := j.score(e) / j.mu
+	votes := map[Answer]int{}
+	for w := 0; w < j.Workers; w++ {
+		// Crowd workers are lenient: real dirty data is full of typos and
+		// abbreviations, so only clearly out-of-domain text reads as fake.
+		t := 2.2 + 0.25*j.rand.NormFloat64()
+		var a Answer
+		switch {
+		case ratio < t:
+			a = Agree
+		case ratio < t+1.2:
+			a = Neutral
+		default:
+			a = Disagree
+		}
+		votes[a]++
+	}
+	best, bestN := Agree, -1
+	for _, a := range []Answer{Agree, Neutral, Disagree} {
+		if votes[a] > bestN {
+			best, bestN = a, votes[a]
+		}
+	}
+	return best
+}
+
+// Proportions judges every entity and returns the fraction answering
+// agree/neutral/disagree — one bar group of Figure 5(a).
+func (j *RealnessJudge) Proportions(entities []*dataset.Entity) (agree, neutral, disagree float64) {
+	if len(entities) == 0 {
+		return 0, 0, 0
+	}
+	var counts [3]int
+	for _, e := range entities {
+		counts[j.Judge(e)]++
+	}
+	n := float64(len(entities))
+	return float64(counts[Agree]) / n, float64(counts[Neutral]) / n, float64(counts[Disagree]) / n
+}
+
+// MatchJudge simulates Q2 annotators: 3 workers with noisy similarity
+// thresholds, majority-voted.
+type MatchJudge struct {
+	schema  *dataset.Schema
+	Workers int // default 3 (paper: 3 workers per Q2)
+	rand    *rand.Rand
+}
+
+// NewMatchJudge returns a Q2 judge.
+func NewMatchJudge(schema *dataset.Schema, seed int64) (*MatchJudge, error) {
+	if schema == nil {
+		return nil, errors.New("userstudy: nil schema")
+	}
+	return &MatchJudge{schema: schema, Workers: 3, rand: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Judge returns the majority matching verdict for the pair.
+func (j *MatchJudge) Judge(a, b *dataset.Entity) bool {
+	// Workers weigh the identifying attributes: textual columns (titles,
+	// names) count double relative to categorical/numeric ones, because
+	// that is what a human reads to decide "same entity".
+	s, w := 0.0, 0.0
+	for ci, col := range j.schema.Cols {
+		weight := 1.0
+		if col.Kind == dataset.Textual {
+			weight = 2
+		}
+		s += weight * col.Sim.Sim(a.Values[ci], b.Values[ci])
+		w += weight
+	}
+	s /= w
+	votes := 0
+	for w := 0; w < j.Workers; w++ {
+		t := 0.55 + 0.07*j.rand.NormFloat64()
+		if s > t {
+			votes++
+		}
+	}
+	return votes*2 > j.Workers
+}
+
+// ConfusionProportions judges the given labeled pairs and returns the
+// fractions of Figure 5(b)'s 2×2 matrix: of the synthesized matching pairs,
+// the share judged matching/non-matching, and likewise for non-matching.
+func (j *MatchJudge) ConfusionProportions(er *dataset.ER, matching, nonMatching []dataset.Pair) (mAsM, mAsN, nAsM, nAsN float64) {
+	judgePairs := func(pairs []dataset.Pair) (yes, no float64) {
+		if len(pairs) == 0 {
+			return 0, 0
+		}
+		c := 0
+		for _, p := range pairs {
+			if j.Judge(er.A.Entities[p.A], er.B.Entities[p.B]) {
+				c++
+			}
+		}
+		n := float64(len(pairs))
+		return float64(c) / n, float64(len(pairs)-c) / n
+	}
+	mAsM, mAsN = judgePairs(matching)
+	nAsM, nAsN = judgePairs(nonMatching)
+	return mAsM, mAsN, nAsM, nAsN
+}
+
+func meanStd(xs []float64) (float64, float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	m := 0.0
+	for _, v := range xs {
+		m += v
+	}
+	m /= float64(len(xs))
+	va := 0.0
+	for _, v := range xs {
+		va += (v - m) * (v - m)
+	}
+	return m, math.Sqrt(va / float64(len(xs)))
+}
