@@ -4,11 +4,16 @@
 // Usage:
 //
 //	experiments [-exp all|t1,t2,f5,f6,f7,f8,f9,t3,t4] [-datasets a,b] \
-//	            [-sizecap N] [-matchcap N] [-seed S] [-transformer]
+//	            [-sizecap N] [-matchcap N] [-seed S] [-transformer] \
+//	            [-metrics-addr :9090] [-report path] [-bench-out path]
 //
 // The default run uses the generators' CPU-scaled dataset sizes and the
 // rule-based string synthesizer; -transformer switches SERD's textual
-// synthesis to the DP transformer bank (much slower).
+// synthesis to the DP transformer bank (much slower). -metrics-addr
+// serves the live run inspector for the duration of the run, -report
+// writes the final metric snapshot as a run report, and -bench-out runs
+// the core synthesis bench and writes BENCH_core.json-style output
+// instead of the experiment tables.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"serd/internal/experiments"
+	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
 
@@ -30,6 +36,9 @@ func main() {
 		matchCap    = flag.Int("matchcap", 0, "cap match counts (0 = scaled defaults)")
 		seed        = flag.Int64("seed", 1, "random seed")
 		transformer = flag.Bool("transformer", false, "use the DP transformer bank for textual synthesis (slow)")
+		metricsAddr = flag.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
+		reportPath  = flag.String("report", "", "write the final run report (JSON) to this path")
+		benchOut    = flag.String("bench-out", "", "run the core synthesis bench and write BENCH_core.json to this path (skips the tables)")
 	)
 	flag.Parse()
 
@@ -50,6 +59,39 @@ func main() {
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if *benchOut != "" {
+		start := time.Now()
+		rows, err := experiments.CoreBench(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "core bench:", err)
+			os.Exit(1)
+		}
+		rep := experiments.CoreBenchReport{Time: start, Seed: *seed, Rows: rows}
+		if err := experiments.WriteCoreBench(*benchOut, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "core bench:", err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-16s %6d entities  %8.1f ent/s  JSD=%.4f  attempts=%.0f\n",
+				r.Dataset, r.Entities, r.EntitiesPerSec, r.JSD, r.Attempts)
+		}
+		fmt.Printf("core bench -> %s (%s)\n", *benchOut, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	start := time.Now()
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
 	}
 	suite := experiments.NewSuite(cfg)
 
@@ -181,4 +223,20 @@ func main() {
 		experiments.PrintAblationBuckets(os.Stdout, ablDataset, rows)
 		return nil
 	})
+
+	if *reportPath != "" {
+		rep := &telemetry.RunReport{
+			Tool:        "experiments",
+			Dataset:     strings.Join(suite.Config().Datasets, ","),
+			Seed:        *seed,
+			Start:       start,
+			WallSeconds: time.Since(start).Seconds(),
+			Metrics:     reg.Snapshot(),
+		}
+		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "run report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run report -> %s\n", *reportPath)
+	}
 }

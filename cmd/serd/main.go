@@ -11,57 +11,82 @@
 // Column spec syntax: <name>:text | <name>:cat | <name>:num:<min>:<max> |
 // <name>:date:<min>:<max>. Text and categorical columns use 3-gram Jaccard
 // (case-folded); numeric/date use min-max scaled absolute difference.
+//
+// Observability: -metrics-addr starts the live run inspector
+// (/metrics.json, /metrics in Prometheus text format, /debug/pprof/)
+// for the duration of the run, and a structured run report (per-phase
+// durations, rejection counters, EM iterations, DP budget) is written to
+// <out>/run_report.json unless -no-report is given.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"serd"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serd:", err)
+		os.Exit(1)
+	}
+}
+
+// testHookServing is called with the inspector's bound address once it is
+// listening, so tests can hit the live endpoints mid-run.
+var testHookServing = func(addr string) {}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serd", flag.ContinueOnError)
 	var (
-		in         = flag.String("in", "", "input dataset directory (required)")
-		out        = flag.String("out", "", "output directory for the synthesized dataset (required)")
-		schemaSpec = flag.String("schema", "", "column spec, e.g. 'title:text,venue:cat,year:num:1995:2005' (required)")
-		sizeA      = flag.Int("size-a", 0, "synthesized |A| (0 = same as input)")
-		sizeB      = flag.Int("size-b", 0, "synthesized |B| (0 = same as input)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		noReject   = flag.Bool("no-reject", false, "disable entity rejection (the SERD- ablation)")
-		saveDist   = flag.String("save-dist", "", "write the learned O-distribution (JSON) to this path")
-		loadDist   = flag.String("load-dist", "", "reuse a previously saved O-distribution instead of re-learning")
-		audit      = flag.Bool("audit", false, "print privacy metrics (hitting rate, DCR, NNDR) after synthesis")
-		progress   = flag.Bool("progress", false, "print synthesis progress")
+		in          = fs.String("in", "", "input dataset directory (required)")
+		out         = fs.String("out", "", "output directory for the synthesized dataset (required)")
+		schemaSpec  = fs.String("schema", "", "column spec, e.g. 'title:text,venue:cat,year:num:1995:2005' (required)")
+		sizeA       = fs.Int("size-a", 0, "synthesized |A| (0 = same as input)")
+		sizeB       = fs.Int("size-b", 0, "synthesized |B| (0 = same as input)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		noReject    = fs.Bool("no-reject", false, "disable entity rejection (the SERD- ablation)")
+		saveDist    = fs.String("save-dist", "", "write the learned O-distribution (JSON) to this path")
+		loadDist    = fs.String("load-dist", "", "reuse a previously saved O-distribution instead of re-learning")
+		audit       = fs.Bool("audit", false, "print privacy metrics (hitting rate, DCR, NNDR) after synthesis")
+		progress    = fs.Bool("progress", false, "print synthesis progress")
+		metricsAddr = fs.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
+		reportPath  = fs.String("report", "", "run-report path (default <out>/run_report.json)")
+		noReport    = fs.Bool("no-report", false, "skip writing the run report")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" || *out == "" || *schemaSpec == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("-in, -out and -schema are required")
 	}
 
 	schema, err := parseSchema(*schemaSpec)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	real, err := serd.LoadDataset(*in, schema)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if errs := serd.ValidateDataset(real); len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "invalid input:", e)
 		}
-		os.Exit(1)
+		return fmt.Errorf("input dataset failed validation (%d problems)", len(errs))
 	}
-	fmt.Printf("loaded %+v\n", real.Stats())
+	fmt.Fprintf(stdout, "loaded %+v\n", real.Stats())
 
 	synths := make(map[string]serd.Synthesizer)
 	for _, col := range schema.Cols {
@@ -70,13 +95,27 @@ func main() {
 		}
 		corpus, err := readLines(filepath.Join(*in, "background_"+col.Name+".txt"))
 		if err != nil {
-			log.Fatalf("textual column %q needs a background corpus: %v", col.Name, err)
+			return fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
 		}
 		rs, err := serd.NewRuleSynthesizer(col.Sim, corpus)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		synths[col.Name] = rs
+	}
+
+	// The registry feeds the live inspector and the run report; it stays
+	// on even without -metrics-addr so the report is always complete.
+	reg := serd.NewMetricsRegistry()
+	start := time.Now()
+	if *metricsAddr != "" {
+		srv, err := serd.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
+		testHookServing(srv.Addr())
 	}
 
 	opts := serd.Options{
@@ -84,14 +123,15 @@ func main() {
 		SizeB:            *sizeB,
 		Synthesizers:     synths,
 		DisableRejection: *noReject,
+		Metrics:          reg,
 		Seed:             *seed,
 	}
 	if *progress {
 		opts.Progress = func(done, total int) {
 			if done%50 == 0 || done == total {
-				fmt.Printf("\rsynthesized %d/%d entities", done, total)
+				fmt.Fprintf(stdout, "\rsynthesized %d/%d entities", done, total)
 				if done == total {
-					fmt.Println()
+					fmt.Fprintln(stdout)
 				}
 			}
 		}
@@ -99,55 +139,84 @@ func main() {
 	if *loadDist != "" {
 		f, err := os.Open(*loadDist)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		opts.Learned, err = serd.LoadDistributions(f)
 		f.Close()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("reusing O-distribution from %s\n", *loadDist)
+		fmt.Fprintf(stdout, "reusing O-distribution from %s\n", *loadDist)
 	}
 	res, err := serd.Synthesize(real, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *saveDist != "" {
 		f, err := os.Create(*saveDist)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := serd.SaveDistributions(f, res.OReal); err != nil {
-			log.Fatal(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("saved O-distribution to %s\n", *saveDist)
+		fmt.Fprintf(stdout, "saved O-distribution to %s\n", *saveDist)
 	}
 	if err := serd.SaveDataset(*out, res.Syn); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("synthesized %+v -> %s\n", res.Syn.Stats(), *out)
-	fmt.Printf("JSD(O_syn, O_real)=%.4f  sampled matches=%d  rejected: %d by distribution, %d by discriminator\n",
+	fmt.Fprintf(stdout, "synthesized %+v -> %s\n", res.Syn.Stats(), *out)
+	fmt.Fprintf(stdout, "JSD(O_syn, O_real)=%.4f  sampled matches=%d  rejected: %d by distribution, %d by discriminator\n",
 		res.JSD, res.SampledMatches, res.RejectedByDistribution, res.RejectedByDiscriminator)
+
+	if !*noReport {
+		path := *reportPath
+		if path == "" {
+			path = filepath.Join(*out, "run_report.json")
+		}
+		rep := &serd.RunReport{
+			Tool:        "serd",
+			Dataset:     filepath.Base(filepath.Clean(*in)),
+			Seed:        *seed,
+			Start:       start,
+			WallSeconds: time.Since(start).Seconds(),
+			Summary: map[string]float64{
+				"jsd":                       res.JSD,
+				"entities":                  float64(res.Syn.A.Len() + res.Syn.B.Len()),
+				"matches":                   float64(len(res.Syn.Matches)),
+				"sampled_matches":           float64(res.SampledMatches),
+				"rejected_by_distribution":  float64(res.RejectedByDistribution),
+				"rejected_by_discriminator": float64(res.RejectedByDiscriminator),
+			},
+			Metrics: reg.Snapshot(),
+		}
+		if err := serd.WriteRunReport(path, rep); err != nil {
+			return fmt.Errorf("run report: %w", err)
+		}
+		fmt.Fprintf(stdout, "run report -> %s\n", path)
+	}
 
 	if *audit {
 		r := rand.New(rand.NewSource(*seed))
 		hr, err := serd.HittingRate(real, res.Syn, 0.9, r)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		dcr, err := serd.DCR(real, res.Syn, r)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		nndr, err := serd.NNDR(real, res.Syn, r)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("privacy audit: hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", hr, dcr, nndr)
+		fmt.Fprintf(stdout, "privacy audit: hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", hr, dcr, nndr)
 	}
+	return nil
 }
 
 // parseSchema turns the -schema flag into a dataset schema.

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"serd"
@@ -60,4 +64,123 @@ func TestReadLines(t *testing.T) {
 	if _, err := readLines(filepath.Join(dir, "missing.txt")); err == nil {
 		t.Error("missing file accepted")
 	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Fatal("run with no flags accepted")
+	}
+	if err := run([]string{"-in", "x"}, io.Discard); err == nil {
+		t.Fatal("run without -out/-schema accepted")
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// writeSampleInput materializes a small Restaurant dataset plus its
+// background corpora in the cmd/serd on-disk layout.
+func writeSampleInput(t *testing.T, dir string) {
+	t.Helper()
+	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 1, SizeA: 30, SizeB: 30, Matches: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serd.SaveDataset(dir, g.ER); err != nil {
+		t.Fatal(err)
+	}
+	for col, corpus := range g.Background {
+		path := filepath.Join(dir, "background_"+col+".txt")
+		if err := os.WriteFile(path, []byte(strings.Join(corpus, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	outDir := filepath.Join(dir, "out")
+	writeSampleInput(t, inDir)
+
+	// Capture the live inspector while the run is in flight.
+	var liveJSON, liveProm string
+	oldHook := testHookServing
+	testHookServing = func(addr string) {
+		liveJSON = httpGet(t, "http://"+addr+"/metrics.json")
+		liveProm = httpGet(t, "http://"+addr+"/metrics")
+	}
+	defer func() { testHookServing = oldHook }()
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", inDir, "-out", outDir,
+		"-schema", "name:text,address:text,city:cat,flavor:cat",
+		"-seed", "7",
+		"-metrics-addr", "127.0.0.1:0",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(liveJSON, "uptime_seconds") {
+		t.Errorf("live /metrics.json = %q", liveJSON)
+	}
+	if !strings.Contains(liveProm, "serd_uptime_seconds") {
+		t.Errorf("live /metrics = %q", liveProm)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "A.csv")); err != nil {
+		t.Errorf("synthesized dataset not written: %v", err)
+	}
+
+	rep, err := serd.ReadRunReport(filepath.Join(outDir, "run_report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "serd" || rep.Dataset != "in" || rep.Seed != 7 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if rep.Metrics.Counters["core.s2.accepted"] == 0 {
+		t.Error("report missing core.s2.accepted counter")
+	}
+	if _, ok := rep.Metrics.Phases["core.s2"]; !ok {
+		t.Error("report missing core.s2 phase")
+	}
+	if _, ok := rep.Summary["jsd"]; !ok {
+		t.Error("report missing jsd summary")
+	}
+}
+
+func TestRunNoReport(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	outDir := filepath.Join(dir, "out")
+	writeSampleInput(t, inDir)
+	err := run([]string{
+		"-in", inDir, "-out", outDir,
+		"-schema", "name:text,address:text,city:cat,flavor:cat",
+		"-no-report",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(outDir, "run_report.json")); !os.IsNotExist(err) {
+		t.Errorf("run_report.json written despite -no-report (stat err = %v)", err)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
 }

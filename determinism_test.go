@@ -1,0 +1,88 @@
+package serd_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"serd"
+)
+
+// synthesizeTo runs a full same-seed pipeline and saves the result,
+// returning the run's recorder (nil stays nil — the no-op path).
+func synthesizeTo(t *testing.T, dir string, rec *serd.MetricsRegistry) {
+	t.Helper()
+	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := serd.RuleSynthesizers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := serd.Options{Synthesizers: synths, Seed: 9}
+	if rec != nil {
+		opts.Metrics = rec
+	}
+	res, err := serd.Synthesize(g.ER, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serd.SaveDataset(dir, res.Syn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readDataset(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, name := range []string{"A.csv", "B.csv", "matches.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = string(data)
+	}
+	return out
+}
+
+// TestSynthesizeDeterministicUnderTelemetry is the instrumentation
+// regression guard: telemetry must never perturb the RNG stream. Two
+// same-seed instrumented runs must produce byte-identical datasets AND
+// identical counter values, and both must match an uninstrumented run.
+func TestSynthesizeDeterministicUnderTelemetry(t *testing.T) {
+	base := t.TempDir()
+	dirNop := filepath.Join(base, "nop")
+	dir1 := filepath.Join(base, "rec1")
+	dir2 := filepath.Join(base, "rec2")
+
+	synthesizeTo(t, dirNop, nil)
+	reg1 := serd.NewMetricsRegistry()
+	synthesizeTo(t, dir1, reg1)
+	reg2 := serd.NewMetricsRegistry()
+	synthesizeTo(t, dir2, reg2)
+
+	want := readDataset(t, dirNop)
+	for _, dir := range []string{dir1, dir2} {
+		got := readDataset(t, dir)
+		for name := range want {
+			if got[name] != want[name] {
+				t.Errorf("%s/%s differs from the uninstrumented run", filepath.Base(dir), name)
+			}
+		}
+	}
+
+	s1, s2 := reg1.Snapshot(), reg2.Snapshot()
+	if len(s1.Counters) == 0 {
+		t.Fatal("instrumented run recorded no counters")
+	}
+	if !reflect.DeepEqual(s1.Counters, s2.Counters) {
+		t.Errorf("counter values differ between same-seed runs:\nrun1: %v\nrun2: %v", s1.Counters, s2.Counters)
+	}
+	for _, name := range []string{"core.s2.accepted", "core.s2.attempts", "gmm.em.fits"} {
+		if s1.Counters[name] == 0 {
+			t.Errorf("counter %s not recorded", name)
+		}
+	}
+}

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"serd/internal/blocking"
 	"serd/internal/dataset"
 	"serd/internal/gan"
 	"serd/internal/gmm"
+	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
 
@@ -69,8 +71,21 @@ type Options struct {
 	S3Blocker blocking.Blocker
 	// Progress, when set, is called after each accepted entity with the
 	// number of entities synthesized so far and the total target — hook
-	// for CLI progress output on long runs.
+	// for CLI progress output on long runs. It also fires (with the same
+	// done count) on rejection-streak heartbeats; see HeartbeatEvery.
 	Progress func(done, total int)
+	// Metrics receives pipeline telemetry: S1/S2/S3 phase spans, per-attempt
+	// rejection counters, the JSD trajectory, EM iteration counts and
+	// entities/sec. Nil means no recording (an allocation-free no-op);
+	// recording never touches the RNG stream, so instrumented and
+	// uninstrumented runs with the same seed produce identical datasets.
+	Metrics telemetry.Recorder
+	// HeartbeatEvery emits a liveness heartbeat every N rejected attempts —
+	// a "core.s2.heartbeat" counter tick plus a Progress callback — so long
+	// rejection streaks (which add no entities and would otherwise stay
+	// silent) are distinguishable from a hang. Default 64; negative
+	// disables.
+	HeartbeatEvery int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -110,6 +125,10 @@ func (o Options) withDefaults(real *dataset.ER) Options {
 	if o.MinFitVectors == 0 {
 		o.MinFitVectors = 12
 	}
+	o.Metrics = telemetry.OrNop(o.Metrics)
+	if o.HeartbeatEvery == 0 {
+		o.HeartbeatEvery = 64
+	}
 	return o
 }
 
@@ -146,13 +165,18 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: synthesized sizes %d/%d must be positive", opts.SizeA, opts.SizeB)
 	}
 	r := rand.New(rand.NewSource(opts.Seed))
+	rec := opts.Metrics
 
 	// S1: learn O_real.
+	s1 := rec.StartSpan("core.s1")
 	oReal := opts.Learned
 	if oReal == nil {
 		learn := opts.Learn
 		if learn.Rand == nil {
 			learn.Rand = rand.New(rand.NewSource(opts.Seed + 1))
+		}
+		if learn.Metrics == nil {
+			learn.Metrics = rec
 		}
 		var err error
 		oReal, err = LearnDistributions(real, learn)
@@ -160,6 +184,7 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	s1.End()
 	if oReal.Dim() != real.Schema().Len() {
 		return nil, fmt.Errorf("core: O_real dim %d does not match schema arity %d", oReal.Dim(), real.Schema().Len())
 	}
@@ -192,6 +217,24 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	// vectors prefer unmatched source entities.
 	matched := map[*dataset.Relation]map[int]bool{synA: {}, synB: {}}
 
+	s2 := rec.StartSpan("core.s2")
+	s2Start := time.Now()
+	totalTarget := opts.SizeA + opts.SizeB
+	rec.Set("core.s2.total", float64(totalTarget))
+	// heartbeat keeps the run observably alive through rejection streaks:
+	// every HeartbeatEvery-th rejected attempt ticks a counter and re-fires
+	// the legacy Progress callback with the unchanged done count.
+	rejections := 0
+	heartbeat := func(done int) {
+		rejections++
+		if opts.HeartbeatEvery > 0 && rejections%opts.HeartbeatEvery == 0 {
+			rec.Add("core.s2.heartbeat", 1)
+			if opts.Progress != nil {
+				opts.Progress(done, totalTarget)
+			}
+		}
+	}
+
 	// S2 loop: one new entity per iteration.
 	for synA.Len() < opts.SizeA || synB.Len() < opts.SizeB {
 		// Decide the pair label first (the draw is independent of the
@@ -221,6 +264,7 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 		}
 
 		for attempt := 0; ; attempt++ {
+			rec.Add("core.s2.attempts", 1)
 			// S2-2: sample a similarity vector from O_real.
 			var x []float64
 			if matching {
@@ -240,11 +284,15 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 			if !opts.DisableRejection && attempt < opts.MaxRejections {
 				if opts.GAN != nil && opts.GAN.Discriminate(cand.Values) < opts.Beta {
 					res.RejectedByDiscriminator++
+					rec.Add("core.s2.rejected.discriminator", 1)
+					heartbeat(synA.Len() + synB.Len())
 					continue
 				}
 				delta := dist.deltaVectors(cand, src, r)
 				if dist.reject(delta, r) {
 					res.RejectedByDistribution++
+					rec.Add("core.s2.rejected.distribution", 1)
+					heartbeat(synA.Len() + synB.Len())
 					continue
 				}
 				dist.commit(delta)
@@ -271,22 +319,34 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 				res.SampledMatchPairs = append(res.SampledMatchPairs, p)
 				matched[src][eIdx] = true
 				matched[dst][dst.Len()-1] = true
+				rec.Add("core.s2.sampled_matches", 1)
 			}
+			rec.Add("core.s2.accepted", 1)
+			rec.Observe("core.s2.attempts_per_entity", float64(attempt+1))
+			rec.Set("core.s2.done", float64(synA.Len()+synB.Len()))
 			if opts.Progress != nil {
-				opts.Progress(synA.Len()+synB.Len(), opts.SizeA+opts.SizeB)
+				opts.Progress(synA.Len()+synB.Len(), totalTarget)
 			}
 			break
 		}
 	}
+	s2.End()
+	if elapsed := time.Since(s2Start).Seconds(); elapsed > 0 {
+		rec.Set("core.s2.entities_per_sec", float64(totalTarget)/elapsed)
+	}
 
 	// S3: label all remaining pairs by posterior (§IV-C).
+	s3 := rec.StartSpan("core.s3")
 	matches := labelAllPairs(oReal, schema, synA, synB, sampled, opts.S3Blocker)
+	s3.End()
+	rec.Set("core.s3.matches", float64(len(matches)))
 	syn, err := dataset.NewER(synA, synB, matches)
 	if err != nil {
 		return nil, err
 	}
 	res.Syn = syn
 	res.JSD = dist.finalJSD(r)
+	rec.Set("core.s2.jsd_final", res.JSD)
 	return res, nil
 }
 

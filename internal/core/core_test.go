@@ -9,6 +9,7 @@ import (
 	"serd/internal/datagen"
 	"serd/internal/dataset"
 	"serd/internal/gmm"
+	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
 
@@ -408,5 +409,97 @@ func TestProgressCallback(t *testing.T) {
 	}
 	if lastDone != 30 || lastTotal != 30 {
 		t.Errorf("final progress = %d/%d, want 30/30", lastDone, lastTotal)
+	}
+}
+
+func TestSynthesizeRecordsTelemetry(t *testing.T) {
+	gen, synths := fixture(t, 40, 40, 16)
+	reg := telemetry.NewRegistry()
+	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Metrics: reg, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, phase := range []string{"core.s1", "core.s2", "core.s3"} {
+		if _, ok := snap.Phases[phase]; !ok {
+			t.Errorf("phase %s not recorded", phase)
+		}
+	}
+	accepted := snap.Counters["core.s2.accepted"]
+	if accepted == 0 || snap.Counters["core.s2.attempts"] < accepted {
+		t.Errorf("attempts=%v accepted=%v", snap.Counters["core.s2.attempts"], accepted)
+	}
+	if snap.Counters["gmm.em.fits"] == 0 || snap.Counters["gmm.em.iterations"] == 0 {
+		t.Error("EM effort not recorded")
+	}
+	if got, ok := reg.Gauge("core.s2.jsd_final"); !ok || got != res.JSD {
+		t.Errorf("core.s2.jsd_final = %v, %v; want %v", got, ok, res.JSD)
+	}
+	if h, ok := snap.Histograms["core.s2.attempts_per_entity"]; !ok || h.Count != uint64(accepted) {
+		t.Errorf("attempts_per_entity histogram = %+v, %v; want count %v", h, ok, accepted)
+	}
+}
+
+// TestHeartbeatFiresOnRejectionStreaks drives Eq. 10 with a near-zero α so
+// almost every candidate is rejected once O_syn activates, and checks that
+// the rejection streaks emit heartbeats on both surfaces: the
+// "core.s2.heartbeat" counter and the legacy Progress callback (which must
+// fire with an unchanged done-count during a streak).
+func TestHeartbeatFiresOnRejectionStreaks(t *testing.T) {
+	gen, synths := fixture(t, 40, 40, 16)
+	reg := telemetry.NewRegistry()
+	var calls, repeats int
+	lastDone := -1
+	res, err := Synthesize(gen.ER, Options{
+		Synthesizers:   synths,
+		Alpha:          1e-9,
+		MatchFraction:  0.5,
+		MinFitVectors:  6,
+		HeartbeatEvery: 1,
+		Metrics:        reg,
+		Progress: func(done, total int) {
+			calls++
+			if done == lastDone {
+				repeats++
+			}
+			lastDone = done
+		},
+		Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RejectedByDistribution == 0 {
+		t.Fatal("alpha=1e-9 produced no rejections; heartbeat path not exercised")
+	}
+	hb := reg.Counter("core.s2.heartbeat")
+	if hb == 0 {
+		t.Error("core.s2.heartbeat never ticked")
+	}
+	if hb != float64(res.RejectedByDistribution+res.RejectedByDiscriminator) {
+		t.Errorf("heartbeat=%v, want one per rejection (%d)", hb, res.RejectedByDistribution+res.RejectedByDiscriminator)
+	}
+	if repeats == 0 {
+		t.Error("Progress never fired mid-streak (no repeated done-count)")
+	}
+}
+
+func TestHeartbeatDisabled(t *testing.T) {
+	gen, synths := fixture(t, 30, 30, 12)
+	reg := telemetry.NewRegistry()
+	_, err := Synthesize(gen.ER, Options{
+		Synthesizers:   synths,
+		Alpha:          1e-9,
+		MatchFraction:  0.5,
+		MinFitVectors:  6,
+		HeartbeatEvery: -1,
+		Metrics:        reg,
+		Seed:           23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb := reg.Counter("core.s2.heartbeat"); hb != 0 {
+		t.Errorf("heartbeat ticked %v times despite HeartbeatEvery=-1", hb)
 	}
 }

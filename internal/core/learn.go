@@ -14,6 +14,7 @@ import (
 	"serd/internal/blocking"
 	"serd/internal/dataset"
 	"serd/internal/gmm"
+	"serd/internal/telemetry"
 )
 
 // LearnOptions controls S1.
@@ -39,6 +40,9 @@ type LearnOptions struct {
 	// NoHardNegatives restricts X− to the uniform sample (the literal
 	// reading of the paper's "all non-matching pairs", down-sampled).
 	NoHardNegatives bool
+	// Metrics receives S1 telemetry (EM iteration counts and log-likelihood
+	// trajectories, threaded into gmm.FitOptions). Nil disables recording.
+	Metrics telemetry.Recorder
 	// Rand drives sampling and EM initialization.
 	Rand *rand.Rand
 }
@@ -59,6 +63,7 @@ func (o LearnOptions) withDefaults(matches int) LearnOptions {
 	if o.Rand == nil {
 		o.Rand = rand.New(rand.NewSource(1))
 	}
+	o.Metrics = telemetry.OrNop(o.Metrics)
 	return o
 }
 
@@ -91,7 +96,7 @@ func LearnDistributions(real *dataset.ER, opts LearnOptions) (*gmm.Joint, error)
 			xn = append(xn, lp.Vector)
 		}
 	}
-	fit := gmm.FitOptions{Rand: opts.Rand}
+	fit := gmm.FitOptions{Rand: opts.Rand, Metrics: opts.Metrics}
 	mModel, err := gmm.FitAIC(xp, opts.MaxComponents, fit)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)

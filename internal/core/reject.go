@@ -94,6 +94,9 @@ func (d *distState) reject(dl delta, r *rand.Rand) bool {
 	seed := r.Int63()
 	jsdBefore := gmm.JSD(before, d.oReal, d.opts.JSDSamples, rand.New(rand.NewSource(seed)))
 	jsdAfter := gmm.JSD(after, d.oReal, d.opts.JSDSamples, rand.New(rand.NewSource(seed)))
+	// The running JSD(O_syn, O_real) is the pipeline's convergence signal;
+	// expose it as a gauge so the live inspector shows the trajectory.
+	d.opts.Metrics.Set("core.s2.jsd", jsdBefore)
 	return jsdAfter > d.opts.Alpha*jsdBefore
 }
 
@@ -116,7 +119,7 @@ func (d *distState) commit(dl delta) {
 	d.nPos += len(dl.pos)
 	d.nNeg += len(dl.neg)
 	if len(d.pendingPos) >= d.opts.MinFitVectors && len(d.pendingNeg) >= d.opts.MinFitVectors {
-		fit := gmm.FitOptions{Rand: rand.New(rand.NewSource(d.opts.Seed + 2))}
+		fit := gmm.FitOptions{Rand: rand.New(rand.NewSource(d.opts.Seed + 2)), Metrics: d.opts.Metrics}
 		mModel, errM := gmm.FitAIC(d.pendingPos, 2, fit)
 		nModel, errN := gmm.FitAIC(d.pendingNeg, 2, fit)
 		if errM != nil || errN != nil {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"serd/internal/nn"
+	"serd/internal/telemetry"
 )
 
 // SGD is the DP-SGD optimizer of Algorithm 1. Training code computes the
@@ -26,6 +27,10 @@ type SGD struct {
 	ClipNorm float64 // gradient norm bound V
 	Noise    float64 // noise scale σ
 	Rand     *rand.Rand
+	// Metrics, when set, receives DP-SGD telemetry: the "dp.sgd.steps" and
+	// "dp.sgd.examples" counters plus a pre-clip gradient-norm histogram
+	// ("dp.sgd.gradnorm"). Defaults to a no-op.
+	Metrics telemetry.Recorder
 
 	sums  [][]float64
 	count int
@@ -46,7 +51,7 @@ func NewSGD(params []*nn.Tensor, lr, clipNorm, noise float64, r *rand.Rand) (*SG
 	case r == nil:
 		return nil, errors.New("dp: nil rand source")
 	}
-	o := &SGD{Params: params, LR: lr, ClipNorm: clipNorm, Noise: noise, Rand: r}
+	o := &SGD{Params: params, LR: lr, ClipNorm: clipNorm, Noise: noise, Rand: r, Metrics: telemetry.Nop}
 	o.sums = make([][]float64, len(params))
 	for i, p := range params {
 		o.sums[i] = make([]float64, len(p.Data))
@@ -59,6 +64,8 @@ func NewSGD(params []*nn.Tensor, lr, clipNorm, noise float64, r *rand.Rand) (*SG
 // sum and zeroes the gradients for the next example.
 func (o *SGD) AccumulateExample() {
 	norm := nn.GradNorm(o.Params)
+	o.Metrics.Observe("dp.sgd.gradnorm", norm)
+	o.Metrics.Add("dp.sgd.examples", 1)
 	scale := 1.0
 	if norm > o.ClipNorm {
 		scale = o.ClipNorm / norm
@@ -93,6 +100,7 @@ func (o *SGD) Step() error {
 	}
 	o.count = 0
 	o.steps++
+	o.Metrics.Add("dp.sgd.steps", 1)
 	return nil
 }
 
@@ -129,6 +137,18 @@ func (a Accountant) Epsilon(steps int, delta float64) float64 {
 		}
 	}
 	return best
+}
+
+// RecordEpsilon publishes the (ε, δ) spent after the given number of noisy
+// steps to the recorder as the "dp.epsilon" and "dp.delta" gauges — called
+// after each Step, it turns the accountant into a live privacy-budget
+// trajectory on the run inspector.
+func (a Accountant) RecordEpsilon(rec telemetry.Recorder, steps int, delta float64) {
+	if !telemetry.Enabled(rec) {
+		return // skip the ε search when nobody is listening
+	}
+	rec.Set("dp.epsilon", a.Epsilon(steps, delta))
+	rec.Set("dp.delta", delta)
 }
 
 // NoiseForEpsilon searches for the smallest noise multiplier σ such that

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"serd/internal/telemetry"
+)
+
+// CoreBenchRow is one dataset's core-synthesis performance profile, the
+// row format of BENCH_core.json.
+type CoreBenchRow struct {
+	Dataset     string  `json:"dataset"`
+	Entities    int     `json:"entities"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// EntitiesPerSec is S2 throughput (accepted entities over S2 wall time).
+	EntitiesPerSec float64 `json:"entities_per_sec"`
+	// JSD is the final Jensen-Shannon divergence between O_real and O_syn.
+	JSD float64 `json:"jsd"`
+	// Attempts counts every S2 synthesis attempt; the two rejection columns
+	// split the failures by cause (§V case 1 vs case 2).
+	Attempts              float64 `json:"attempts"`
+	RejectedDiscriminator float64 `json:"rejected_discriminator"`
+	RejectedDistribution  float64 `json:"rejected_distribution"`
+	// EMIterations is the total EM iteration count across every GMM fit of
+	// the run (S1 learning plus S2 tentative refits).
+	EMIterations float64 `json:"em_iterations"`
+}
+
+// CoreBench synthesizes each configured dataset once with a private
+// telemetry registry and distills the counters the bench harness tracks
+// over time: throughput, distribution fidelity, and rejection pressure.
+// Any Metrics recorder already in cfg is ignored — each dataset gets an
+// isolated registry so counters are not conflated across datasets.
+func CoreBench(cfg Config) ([]CoreBenchRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []CoreBenchRow
+	for _, name := range cfg.Datasets {
+		reg := telemetry.NewRegistry()
+		one := cfg
+		one.Datasets = []string{name}
+		one.Metrics = reg
+		suite := NewSuite(one)
+		start := time.Now()
+		syn, err := suite.SynER(name, MethodSERD)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: core bench %s: %w", name, err)
+		}
+		wall := time.Since(start).Seconds()
+		snap := reg.Snapshot()
+		eps, _ := reg.Gauge("core.s2.entities_per_sec")
+		jsd, _ := reg.Gauge("core.s2.jsd_final")
+		rows = append(rows, CoreBenchRow{
+			Dataset:               name,
+			Entities:              syn.A.Len() + syn.B.Len(),
+			WallSeconds:           wall,
+			EntitiesPerSec:        eps,
+			JSD:                   jsd,
+			Attempts:              snap.Counters["core.s2.attempts"],
+			RejectedDiscriminator: snap.Counters["core.s2.rejected.discriminator"],
+			RejectedDistribution:  snap.Counters["core.s2.rejected.distribution"],
+			EMIterations:          snap.Counters["gmm.em.iterations"],
+		})
+	}
+	return rows, nil
+}
+
+// CoreBenchReport is the top-level BENCH_core.json document.
+type CoreBenchReport struct {
+	Time time.Time      `json:"time"`
+	Seed int64          `json:"seed"`
+	Rows []CoreBenchRow `json:"rows"`
+}
+
+// WriteCoreBench writes the report atomically (temp file + rename).
+func WriteCoreBench(path string, rep CoreBenchReport) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

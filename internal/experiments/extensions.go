@@ -28,6 +28,7 @@ func (s *Suite) ScaleUp(factor float64) ([]ScaleRow, error) {
 	if factor <= 0 {
 		return nil, fmt.Errorf("experiments: scale factor %v must be positive", factor)
 	}
+	done := s.track("scale_up")
 	var rows []ScaleRow
 	for _, name := range s.cfg.Datasets {
 		g, err := s.Generated(name)
@@ -78,6 +79,7 @@ func (s *Suite) ScaleUp(factor float64) ([]ScaleRow, error) {
 			RealF1:  realF1,
 		})
 	}
+	done(len(rows))
 	return rows, nil
 }
 

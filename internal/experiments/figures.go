@@ -43,14 +43,16 @@ const (
 )
 
 func (s *Suite) newMatcher(kind MatcherKind) (matcher.Matcher, error) {
+	var m matcher.Matcher
 	switch kind {
 	case Magellan:
-		return &matcher.RandomForest{Trees: 20, Seed: s.cfg.Seed + 11}, nil
+		m = &matcher.RandomForest{Trees: 20, Seed: s.cfg.Seed + 11}
 	case Deepmatcher:
-		return &matcher.MLP{Seed: s.cfg.Seed + 13, Epochs: 250}, nil
+		m = &matcher.MLP{Seed: s.cfg.Seed + 13, Epochs: 250}
 	default:
 		return nil, fmt.Errorf("experiments: unknown matcher kind %q", kind)
 	}
+	return matcher.Instrument(string(kind), m, s.cfg.Metrics), nil
 }
 
 // EvalRow is one bar group of Figures 6-9.
@@ -68,6 +70,7 @@ type EvalRow struct {
 // synthesized dataset, then evaluate all of them on the same real test
 // split T.
 func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
+	done := s.track("model_eval." + string(kind))
 	var rows []EvalRow
 	for _, name := range s.cfg.Datasets {
 		g, err := s.Generated(name)
@@ -112,6 +115,7 @@ func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			rows = append(rows, EvalRow{Dataset: name, Method: method, Metrics: met, DPrec: dp, DRec: dr, DF1: df})
 		}
 	}
+	done(len(rows))
 	return rows, nil
 }
 
@@ -120,6 +124,7 @@ func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
 // the real test set T_real and on same-size test sets T_syn sampled from
 // each synthesized dataset.
 func (s *Suite) DataEvaluation(kind MatcherKind) ([]EvalRow, error) {
+	done := s.track("data_eval." + string(kind))
 	var rows []EvalRow
 	for _, name := range s.cfg.Datasets {
 		g, err := s.Generated(name)
@@ -167,6 +172,7 @@ func (s *Suite) DataEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			rows = append(rows, EvalRow{Dataset: name, Method: method, Metrics: met, DPrec: dp, DRec: dr, DF1: df})
 		}
 	}
+	done(len(rows))
 	return rows, nil
 }
 
@@ -237,6 +243,7 @@ type Figure5Row struct {
 // samples up to 500 synthesized entities per dataset, Q2 samples matching
 // and non-matching synthesized pairs (paper: 500/100/500/100 per dataset).
 func (s *Suite) UserStudy() ([]Figure5Row, error) {
+	done := s.track("user_study")
 	pairBudget := map[string]int{
 		"DBLP-ACM": 500, "Restaurant": 100, "Walmart-Amazon": 500, "iTunes-Amazon": 100,
 	}
@@ -298,5 +305,6 @@ func (s *Suite) UserStudy() ([]Figure5Row, error) {
 			EntitiesJudged: len(pool), PairsJudged: len(matching) + len(nonMatching),
 		})
 	}
+	done(len(rows))
 	return rows, nil
 }

@@ -16,6 +16,7 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/embench"
 	"serd/internal/gan"
+	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
 
@@ -59,6 +60,12 @@ type Config struct {
 	// UseGAN enables the paper's GAN path: cold start from the generator
 	// and discriminator rejection at β = 0.6 (§IV-B2, §V case 1).
 	UseGAN bool
+	// Metrics receives harness telemetry — per-table/figure wall-clock
+	// spans ("experiments.<id>"), row provenance counters
+	// ("experiments.<id>.rows", "experiments.synth.<method>") — and is
+	// threaded into core.Synthesize and matcher training so the whole
+	// pipeline reports into one registry. Nil disables recording.
+	Metrics telemetry.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +80,7 @@ func (c Config) withDefaults() Config {
 	if c.TestFrac == 0 {
 		c.TestFrac = 0.3
 	}
+	c.Metrics = telemetry.OrNop(c.Metrics)
 	return c
 }
 
@@ -197,6 +205,10 @@ func (s *Suite) SynER(name string, m Method) (*dataset.ER, error) {
 		s.syns[name] = make(map[Method]*dataset.ER)
 	}
 	s.syns[name][m] = er
+	// Provenance: which method produced a dataset, and how many entities it
+	// contributed to downstream rows.
+	s.cfg.Metrics.Add("experiments.synth."+string(m), 1)
+	s.cfg.Metrics.Add("experiments.synth.entities", float64(er.A.Len()+er.B.Len()))
 	return er, nil
 }
 
@@ -218,6 +230,7 @@ func (s *Suite) runSERDLocked(g *datagen.Generated, minus bool) (*core.Result, e
 	opts := core.Options{
 		Synthesizers:     synths,
 		DisableRejection: minus,
+		Metrics:          s.cfg.Metrics,
 		Seed:             s.cfg.Seed + 5,
 	}
 	if s.cfg.UseGAN {
@@ -256,6 +269,17 @@ func (s *Suite) trainGAN(g *datagen.Generated) (*gan.GAN, gan.DecodeOptions, err
 		return nil, gan.DecodeOptions{}, err
 	}
 	return trained, gan.DecodeOptions{TextCandidates: g.Background}, nil
+}
+
+// track opens the "experiments.<id>" wall-clock span for one table or
+// figure; the returned func ends it and records the row count under
+// "experiments.<id>.rows" — call it with len(rows) on success.
+func (s *Suite) track(id string) func(rows int) {
+	sp := s.cfg.Metrics.StartSpan("experiments." + id)
+	return func(rows int) {
+		sp.End()
+		s.cfg.Metrics.Add("experiments."+id+".rows", float64(rows))
+	}
 }
 
 // Rand returns a fresh deterministic RNG derived from the suite seed.

@@ -26,6 +26,7 @@ type TableIRow struct {
 // string synthesizer trained/configured on that dataset's background
 // corpus.
 func (s *Suite) TableI() ([]TableIRow, error) {
+	done := s.track("table1")
 	cases := []struct {
 		dataset, column, domain, input string
 		target                         float64
@@ -59,6 +60,7 @@ func (s *Suite) TableI() ([]TableIRow, error) {
 			Output: out, AchievedSim: achieved,
 		})
 	}
+	done(len(rows))
 	return rows, nil
 }
 
@@ -71,6 +73,7 @@ type TableIIRow struct {
 
 // TableII reproduces the dataset-statistics table.
 func (s *Suite) TableII() ([]TableIIRow, error) {
+	done := s.track("table2")
 	var rows []TableIIRow
 	for _, name := range s.cfg.Datasets {
 		g, err := s.Generated(name)
@@ -85,6 +88,7 @@ func (s *Suite) TableII() ([]TableIIRow, error) {
 		}
 		rows = append(rows, TableIIRow{Dataset: name, Domain: domain, Paper: g.PaperStats, Scaled: g.ER.Stats()})
 	}
+	done(len(rows))
 	return rows, nil
 }
 
@@ -101,6 +105,7 @@ type TableIIIRow struct {
 // caps) to bound the quadratic cost; the metrics are averages, so uniform
 // sampling is unbiased.
 func (s *Suite) TableIII() ([]TableIIIRow, error) {
+	done := s.track("table3")
 	var rows []TableIIIRow
 	for _, name := range s.cfg.Datasets {
 		g, err := s.Generated(name)
@@ -131,6 +136,7 @@ func (s *Suite) TableIII() ([]TableIIIRow, error) {
 		}
 		rows = append(rows, row)
 	}
+	done(len(rows))
 	return rows, nil
 }
 
@@ -153,6 +159,7 @@ type TableIVRow struct {
 // hours, but the proportionality to #textual-columns (offline) and
 // #entities (online) is what the experiment checks.
 func (s *Suite) TableIV() ([]TableIVRow, error) {
+	done := s.track("table4")
 	var rows []TableIVRow
 	for _, name := range s.cfg.Datasets {
 		g, err := s.Generated(name)
@@ -203,6 +210,7 @@ func (s *Suite) TableIV() ([]TableIVRow, error) {
 			TextualColumns: textCols, Entities: g.ER.A.Len() + g.ER.B.Len(),
 		})
 	}
+	done(len(rows))
 	return rows, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 
 	"serd/internal/stats"
+	"serd/internal/telemetry"
 )
 
 // FitOptions controls EM fitting.
@@ -23,6 +24,10 @@ type FitOptions struct {
 	// full covariances cost d² parameters per component and overfit small
 	// match sets.
 	Diagonal bool
+	// Metrics receives EM telemetry: "gmm.em.fits" / "gmm.em.iterations"
+	// counters, the per-fit iteration histogram, and the final
+	// log-likelihood gauge. Nil disables recording.
+	Metrics telemetry.Recorder
 	// Rand seeds the k-means++-style initialization. Required.
 	Rand *rand.Rand
 }
@@ -40,6 +45,7 @@ func (o FitOptions) withDefaults() FitOptions {
 	if o.Rand == nil {
 		o.Rand = rand.New(rand.NewSource(1))
 	}
+	o.Metrics = telemetry.OrNop(o.Metrics)
 	return o
 }
 
@@ -73,7 +79,9 @@ func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
 		gamma[i] = make([]float64, g)
 	}
 	prevLL := math.Inf(-1)
+	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		iters = iter + 1
 		// E-step (Eq. 5).
 		ll := 0.0
 		for i, x := range xs {
@@ -86,11 +94,21 @@ func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
 			return nil, err
 		}
 		model = next
+		// The per-iteration improvement traces the LL trajectory: a
+		// histogram over improvements shows how fast fits converge. The
+		// first iteration has no predecessor (prevLL = -Inf), so skip it.
+		if !math.IsInf(prevLL, -1) {
+			opts.Metrics.Observe("gmm.em.loglik_improvement", ll-prevLL)
+		}
+		opts.Metrics.Set("gmm.em.loglik", ll)
 		if math.Abs(ll-prevLL) < opts.Tol {
 			break
 		}
 		prevLL = ll
 	}
+	opts.Metrics.Add("gmm.em.fits", 1)
+	opts.Metrics.Add("gmm.em.iterations", float64(iters))
+	opts.Metrics.Observe("gmm.em.iterations_per_fit", float64(iters))
 	return model, nil
 }
 

@@ -1,0 +1,54 @@
+package matcher
+
+import (
+	"serd/internal/telemetry"
+)
+
+// Instrument wraps a matcher so that Fit durations land in the
+// "matcher.<name>.fit_seconds" phase and Predict volume in the
+// "matcher.<name>.predictions" counter. The wrapper preserves the Scorer
+// interface when the underlying matcher implements it (BestThreshold and
+// the threshold-sweeping callers keep working). A nil or no-op recorder
+// returns m unwrapped.
+func Instrument(name string, m Matcher, rec telemetry.Recorder) Matcher {
+	if !telemetry.Enabled(rec) {
+		return m
+	}
+	in := instrumented{
+		m:           m,
+		rec:         rec,
+		fitSpan:     "matcher." + name + ".fit_seconds",
+		predictName: "matcher." + name + ".predictions",
+	}
+	if s, ok := m.(Scorer); ok {
+		return &instrumentedScorer{instrumented: in, s: s}
+	}
+	return &in
+}
+
+type instrumented struct {
+	m                    Matcher
+	rec                  telemetry.Recorder
+	fitSpan, predictName string
+}
+
+func (in *instrumented) Fit(xs [][]float64, ys []bool) error {
+	sp := in.rec.StartSpan(in.fitSpan)
+	defer sp.End()
+	return in.m.Fit(xs, ys)
+}
+
+func (in *instrumented) Predict(x []float64) bool {
+	in.rec.Add(in.predictName, 1)
+	return in.m.Predict(x)
+}
+
+type instrumentedScorer struct {
+	instrumented
+	s Scorer
+}
+
+func (in *instrumentedScorer) Score(x []float64) float64 {
+	in.rec.Add(in.predictName, 1)
+	return in.s.Score(x)
+}

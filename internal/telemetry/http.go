@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live run inspector: an HTTP server bound to a Registry.
+//
+//	/             — endpoint index
+//	/metrics.json — full Snapshot as JSON
+//	/metrics      — Prometheus text exposition
+//	/debug/pprof/ — the standard pprof handlers
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve starts the inspector on addr (e.g. ":9090"; ":0" picks a free
+// port). It returns as soon as the listener is bound; the accept loop runs
+// in a goroutine until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close is the normal exit
+	return &Server{lis: lis, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:9090".
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the inspector down immediately.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the inspector's routes without binding a listener — for
+// embedding into an existing mux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot()) //nolint:errcheck // client gone is not actionable
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		WritePrometheus(w, reg.Snapshot()) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		s := reg.Snapshot()
+		fmt.Fprintf(w, "serd run inspector — uptime %.1fs\n\n", s.UptimeSeconds)
+		fmt.Fprintln(w, "endpoints:")
+		fmt.Fprintln(w, "  /metrics.json   JSON snapshot (counters, gauges, histograms, phases)")
+		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
+		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
+		fmt.Fprintf(w, "\n%d counters, %d gauges, %d histograms, %d phases recorded\n",
+			len(s.Counters), len(s.Gauges), len(s.Histograms), len(s.Phases))
+	})
+	return mux
+}

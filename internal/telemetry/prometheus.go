@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Dotted metric names become underscore-separated
+// and gain a "serd_" prefix: "core.s2.rejected.distribution" exports as
+// serd_core_s2_rejected_distribution_total. Histograms export cumulative
+// le-labeled buckets; phases export _seconds_sum and _seconds_count pairs
+// (the classic summary-less timing shape).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var err error
+	emit := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	emit("# TYPE serd_uptime_seconds gauge\nserd_uptime_seconds %s\n", formatFloat(s.UptimeSeconds))
+
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name) + "_total"
+		emit("# TYPE %s counter\n%s %s\n", m, m, formatFloat(s.Counters[name]))
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := promName(name)
+		emit("# TYPE %s gauge\n%s %s\n", m, m, formatFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := promName(name)
+		emit("# TYPE %s histogram\n", m)
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			emit("%s_bucket{le=%q} %d\n", m, formatFloat(b.UpperBound), cum)
+		}
+		emit("%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		emit("%s_sum %s\n%s_count %d\n", m, formatFloat(h.Sum), m, h.Count)
+	}
+	for _, name := range sortedKeys(s.Phases) {
+		p := s.Phases[name]
+		m := promName(name) + "_seconds"
+		emit("# TYPE %s_sum counter\n%s_sum %s\n", m, m, formatFloat(p.TotalSeconds))
+		emit("# TYPE %s_count counter\n%s_count %d\n", m, m, p.Count)
+		emit("# TYPE %s_last gauge\n%s_last %s\n", m, m, formatFloat(p.LastSeconds))
+	}
+	return err
+}
+
+// promName sanitizes a dotted metric name into the Prometheus charset
+// [a-zA-Z0-9_:] under the serd_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("serd_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is the concrete Recorder: a mutex-protected aggregate of
+// counters, gauges, histograms and phase timings. One Registry covers one
+// run; the HTTP inspector and the run report both read it via Snapshot.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*histogram
+	phases   map[string]*phaseStat
+}
+
+// NewRegistry returns an empty registry with the uptime clock started.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*histogram),
+		phases:   make(map[string]*phaseStat),
+	}
+}
+
+// Add implements Recorder.
+func (g *Registry) Add(name string, delta float64) {
+	g.mu.Lock()
+	g.counters[name] += delta
+	g.mu.Unlock()
+}
+
+// Set implements Recorder.
+func (g *Registry) Set(name string, value float64) {
+	g.mu.Lock()
+	g.gauges[name] = value
+	g.mu.Unlock()
+}
+
+// Observe implements Recorder.
+func (g *Registry) Observe(name string, value float64) {
+	g.mu.Lock()
+	h := g.hists[name]
+	if h == nil {
+		h = newHistogram()
+		g.hists[name] = h
+	}
+	h.observe(value)
+	g.mu.Unlock()
+}
+
+// StartSpan implements Recorder.
+func (g *Registry) StartSpan(name string) Span {
+	return &regSpan{reg: g, name: name, t0: time.Now()}
+}
+
+type regSpan struct {
+	reg  *Registry
+	name string
+	t0   time.Time
+}
+
+func (s *regSpan) End() {
+	elapsed := time.Since(s.t0).Seconds()
+	g := s.reg
+	g.mu.Lock()
+	p := g.phases[s.name]
+	if p == nil {
+		p = &phaseStat{min: math.Inf(1)}
+		g.phases[s.name] = p
+	}
+	p.count++
+	p.total += elapsed
+	p.last = elapsed
+	if elapsed < p.min {
+		p.min = elapsed
+	}
+	if elapsed > p.max {
+		p.max = elapsed
+	}
+	g.mu.Unlock()
+}
+
+type phaseStat struct {
+	count                 int
+	total, min, max, last float64
+}
+
+// histogram is a log-bucketed (base-2) histogram. Bucket i holds values in
+// (2^(i-1), 2^i]; non-positive values land in a dedicated underflow bucket.
+// Exponents are clamped to [minExp, maxExp], giving ~1ns..~8e9 coverage for
+// seconds and 1..1e9+ for counts with 64 buckets.
+type histogram struct {
+	count    uint64
+	sum      float64
+	min, max float64
+	under    uint64         // values <= 0
+	buckets  map[int]uint64 // exponent -> count
+}
+
+const (
+	histMinExp = -30 // smallest bucket upper bound 2^-30 ≈ 9.3e-10
+	histMaxExp = 33  // largest finite bucket upper bound 2^33 ≈ 8.6e9
+)
+
+func newHistogram() *histogram {
+	return &histogram{min: math.Inf(1), max: math.Inf(-1), buckets: make(map[int]uint64)}
+}
+
+func (h *histogram) observe(v float64) {
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if v <= 0 || math.IsNaN(v) {
+		h.under++
+		return
+	}
+	exp := int(math.Ceil(math.Log2(v)))
+	if exp < histMinExp {
+		exp = histMinExp
+	}
+	if exp > histMaxExp {
+		exp = histMaxExp
+	}
+	h.buckets[exp]++
+}
+
+// Snapshot is a point-in-time copy of a Registry, JSON-serializable for
+// /metrics.json and the run report.
+type Snapshot struct {
+	// Time is the capture time in RFC 3339 format.
+	Time string `json:"time"`
+	// UptimeSeconds is the age of the registry at capture.
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Counters      map[string]float64       `json:"counters,omitempty"`
+	Gauges        map[string]float64       `json:"gauges,omitempty"`
+	Histograms    map[string]HistSnapshot  `json:"histograms,omitempty"`
+	Phases        map[string]PhaseSnapshot `json:"phases,omitempty"`
+}
+
+// HistSnapshot summarizes one histogram.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets are non-cumulative counts per upper bound, ascending. The
+	// underflow bucket (values <= 0) has upper bound 0.
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// HistBucket is one histogram bucket: count of observations with
+// value <= UpperBound (and > the previous bucket's bound).
+type HistBucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// PhaseSnapshot summarizes one span name's recorded durations.
+type PhaseSnapshot struct {
+	Count        int     `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	LastSeconds  float64 `json:"last_seconds"`
+}
+
+// Snapshot captures the registry's current state.
+func (g *Registry) Snapshot() Snapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := time.Now()
+	s := Snapshot{
+		Time:          now.UTC().Format(time.RFC3339Nano),
+		UptimeSeconds: now.Sub(g.start).Seconds(),
+		Counters:      make(map[string]float64, len(g.counters)),
+		Gauges:        make(map[string]float64, len(g.gauges)),
+		Histograms:    make(map[string]HistSnapshot, len(g.hists)),
+		Phases:        make(map[string]PhaseSnapshot, len(g.phases)),
+	}
+	for k, v := range g.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range g.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range g.hists {
+		hs := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+		if h.count > 0 {
+			hs.Mean = h.sum / float64(h.count)
+		}
+		if h.under > 0 {
+			hs.Buckets = append(hs.Buckets, HistBucket{UpperBound: 0, Count: h.under})
+		}
+		exps := make([]int, 0, len(h.buckets))
+		for e := range h.buckets {
+			exps = append(exps, e)
+		}
+		sort.Ints(exps)
+		for _, e := range exps {
+			hs.Buckets = append(hs.Buckets, HistBucket{UpperBound: math.Ldexp(1, e), Count: h.buckets[e]})
+		}
+		s.Histograms[k] = hs
+	}
+	for k, p := range g.phases {
+		s.Phases[k] = PhaseSnapshot{
+			Count:        p.count,
+			TotalSeconds: p.total,
+			MinSeconds:   p.min,
+			MaxSeconds:   p.max,
+			LastSeconds:  p.last,
+		}
+	}
+	return s
+}
+
+// Counter returns the current value of one counter (0 when never added) —
+// convenience for tests and report assembly.
+func (g *Registry) Counter(name string) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.counters[name]
+}
+
+// Gauge returns the current value of one gauge and whether it was ever set.
+func (g *Registry) Gauge(name string) (float64, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.gauges[name]
+	return v, ok
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// RunReport is the machine-readable successor to the final printf lines of
+// cmd/serd: one JSON document per run, written next to the output dataset,
+// carrying run identity, headline results and the full metric snapshot
+// (per-phase durations, rejection counters, EM iterations, DP epsilon, …).
+type RunReport struct {
+	// Tool identifies the producing binary ("serd", "experiments").
+	Tool string `json:"tool"`
+	// Dataset names the input (directory or sample-dataset name).
+	Dataset string `json:"dataset,omitempty"`
+	// Seed is the run's random seed.
+	Seed int64 `json:"seed"`
+	// Start is the wall-clock start of the run.
+	Start time.Time `json:"start"`
+	// WallSeconds is the total run duration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Summary holds the headline scalars (jsd, sampled_matches,
+	// rejected_by_distribution, …) for consumers that don't want to dig
+	// through Metrics.
+	Summary map[string]float64 `json:"summary,omitempty"`
+	// Metrics is the full registry snapshot at the end of the run.
+	Metrics Snapshot `json:"metrics"`
+}
+
+// WriteRunReport writes the report as indented JSON, creating parent
+// directories as needed. The write goes through a temp file + rename so a
+// crashed run never leaves a truncated report.
+func WriteRunReport(path string, rep *RunReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: marshaling run report: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".run_report-*.json")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: writing run report: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+// ReadRunReport loads a report written by WriteRunReport.
+func ReadRunReport(path string) (*RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing run report %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,98 @@
+// Package telemetry is the stdlib-only observability substrate of the SERD
+// pipeline: counters, gauges, log-bucketed histograms and phase-scoped span
+// timers behind a Recorder interface with an allocation-free no-op default.
+//
+// Every long-running stage threads a Recorder through its options
+// (core.Options.Metrics, gmm.FitOptions.Metrics, textsynth
+// TransformerOptions.Metrics, dp.SGD.Metrics, experiments.Config.Metrics).
+// The concrete Registry implementation aggregates everything and exposes it
+// three ways:
+//
+//   - a live HTTP inspector (Serve): /metrics.json (snapshot), /metrics
+//     (Prometheus text exposition) and /debug/pprof/,
+//   - a structured run-report JSON written next to the output dataset
+//     (WriteRunReport),
+//   - the legacy Options.Progress callback, via the Progress adapter.
+//
+// Metric names are dotted paths, "<package>.<phase>.<signal>", e.g.
+// "core.s2.rejected.distribution". See DESIGN.md for the full name index.
+package telemetry
+
+// Recorder receives pipeline metrics. Implementations must be safe for
+// concurrent use: the synthesis loop records while the HTTP inspector reads.
+type Recorder interface {
+	// Add increments the named counter. Counters are monotonically
+	// increasing totals (attempts, rejections, EM iterations).
+	Add(name string, delta float64)
+	// Set updates the named gauge — a point-in-time value that may move in
+	// both directions (current JSD, entities/sec, epsilon spent).
+	Set(name string, value float64)
+	// Observe folds a value into the named log-bucketed histogram
+	// (per-entity attempt counts, training losses, gradient norms).
+	Observe(name string, value float64)
+	// StartSpan opens a phase timer; the returned Span's End records the
+	// elapsed wall-clock under the name. Spans of the same name aggregate.
+	StartSpan(name string) Span
+}
+
+// Span is an in-flight phase timer.
+type Span interface {
+	// End stops the timer and records the phase duration.
+	End()
+}
+
+// Nop is the default Recorder: every method is an allocation-free no-op,
+// cheap enough for per-attempt calls on the S2 hot loop.
+var Nop Recorder = nopRecorder{}
+
+type nopRecorder struct{}
+type nopSpan struct{}
+
+func (nopRecorder) Add(string, float64)     {}
+func (nopRecorder) Set(string, float64)     {}
+func (nopRecorder) Observe(string, float64) {}
+
+// StartSpan returns a shared zero-size span; converting a zero-size value
+// to an interface does not allocate.
+func (nopRecorder) StartSpan(string) Span { return nopSpan{} }
+
+func (nopSpan) End() {}
+
+// OrNop normalizes an optional Recorder field: nil becomes Nop, so call
+// sites never need a nil check.
+func OrNop(r Recorder) Recorder {
+	if r == nil {
+		return Nop
+	}
+	return r
+}
+
+// Enabled reports whether r actually records — the guard for metric work
+// that is itself costly (fmt.Sprintf'd names, derived values).
+func Enabled(r Recorder) bool {
+	return r != nil && r != Nop
+}
+
+// Progress returns an Options.Progress-compatible callback that mirrors
+// done/total into the "<prefix>.done" and "<prefix>.total" gauges — the
+// adapter that maps the legacy callback surface onto a Recorder.
+func Progress(r Recorder, prefix string) func(done, total int) {
+	r = OrNop(r)
+	doneName, totalName := prefix+".done", prefix+".total"
+	return func(done, total int) {
+		r.Set(doneName, float64(done))
+		r.Set(totalName, float64(total))
+	}
+}
+
+// MultiProgress fans one progress event out to several callbacks (e.g. the
+// legacy CLI printer plus a Progress adapter); nil entries are skipped.
+func MultiProgress(fns ...func(done, total int)) func(done, total int) {
+	return func(done, total int) {
+		for _, fn := range fns {
+			if fn != nil {
+				fn(done, total)
+			}
+		}
+	}
+}

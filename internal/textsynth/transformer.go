@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"serd/internal/dp"
 	"serd/internal/nn"
 	"serd/internal/perturb"
 	"serd/internal/simfn"
+	"serd/internal/telemetry"
 	"serd/internal/transformer"
 )
 
@@ -47,6 +49,11 @@ type TransformerOptions struct {
 	Candidates int
 	// Temperature for candidate sampling (default 0.8).
 	Temperature float64
+	// Metrics receives training telemetry: per-bucket training spans, the
+	// loss histogram ("textsynth.train.loss"), throughput
+	// ("textsynth.train.chars_per_sec") and — with DP — the live privacy
+	// budget via dp.Accountant.RecordEpsilon. Nil disables recording.
+	Metrics telemetry.Recorder
 	// Seed drives everything.
 	Seed int64
 }
@@ -77,6 +84,7 @@ func (o TransformerOptions) withDefaults() TransformerOptions {
 	if o.Temperature == 0 {
 		o.Temperature = 0.8
 	}
+	o.Metrics = telemetry.OrNop(o.Metrics)
 	return o
 }
 
@@ -149,6 +157,8 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 		return nil, errors.New("textsynth: corpus too small")
 	}
 	opts = opts.withDefaults()
+	span := opts.Metrics.StartSpan("textsynth.train")
+	defer span.End()
 	r := rand.New(rand.NewSource(opts.Seed))
 	pairSets := BuildPairs(corpus, sim, opts.Buckets, opts.PairsPerBucket, r)
 
@@ -176,8 +186,10 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 		if err != nil {
 			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
 		}
+		m.Metrics = opts.Metrics
 		ts.models[bk] = m
 		ts.epsilons[bk] = eps
+		opts.Metrics.Add("textsynth.train.buckets", 1)
 	}
 	for _, m := range ts.models {
 		if m != nil {
@@ -192,34 +204,56 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *rand.Rand) (float64, error) {
 	m.SetTrain(true)
 	defer m.SetTrain(false)
+	rec := opts.Metrics
+	span := rec.StartSpan("textsynth.train.bucket")
+	start := time.Now()
+	chars := 0
+	// example runs one teacher-forced forward+backward pass and records the
+	// loss trajectory plus the character volume behind chars/sec.
+	example := func() {
+		p := pairs[r.Intn(len(pairs))]
+		loss := m.Loss(p.S, p.T)
+		loss.Backward()
+		rec.Observe("textsynth.train.loss", loss.Data[0])
+		chars += len(p.S) + len(p.T)
+	}
+	finish := func() {
+		span.End()
+		rec.Add("textsynth.train.chars", float64(chars))
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			rec.Set("textsynth.train.chars_per_sec", float64(chars)/elapsed)
+		}
+	}
 	steps := opts.Epochs * (len(pairs) + opts.BatchSize - 1) / opts.BatchSize
 	if opts.DP != nil {
 		o, err := dp.NewSGD(m.Params(), opts.LR, opts.DP.ClipNorm, opts.DP.Noise, r)
 		if err != nil {
 			return 0, err
 		}
+		o.Metrics = rec
+		acct := dp.Accountant{Q: float64(opts.BatchSize) / float64(len(pairs)), Noise: opts.DP.Noise}
 		for step := 0; step < steps; step++ {
 			for j := 0; j < opts.BatchSize; j++ {
-				p := pairs[r.Intn(len(pairs))]
-				m.Loss(p.S, p.T).Backward()
+				example()
 				o.AccumulateExample()
 			}
 			if err := o.Step(); err != nil {
 				return 0, err
 			}
+			acct.RecordEpsilon(rec, o.Steps(), opts.DP.Delta)
 		}
-		acct := dp.Accountant{Q: float64(opts.BatchSize) / float64(len(pairs)), Noise: opts.DP.Noise}
+		finish()
 		return acct.Epsilon(o.Steps(), opts.DP.Delta), nil
 	}
 	opt := nn.NewAdam(opts.LR)
 	for step := 0; step < steps; step++ {
 		nn.ZeroGrads(m.Params())
 		for j := 0; j < opts.BatchSize; j++ {
-			p := pairs[r.Intn(len(pairs))]
-			m.Loss(p.S, p.T).Backward()
+			example()
 		}
 		opt.Step(m.Params())
 	}
+	finish()
 	return math.Inf(1), nil
 }
 

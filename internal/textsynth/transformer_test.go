@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"serd/internal/simfn"
+	"serd/internal/telemetry"
 	"serd/internal/transformer"
 )
 
@@ -68,13 +69,31 @@ func TestTrainTransformerDPReportsEpsilon(t *testing.T) {
 		t.Skip("transformer training")
 	}
 	dpOpts := &DPOptions{ClipNorm: 1.0, Noise: 1.1, Delta: 1e-5}
-	ts, err := TrainTransformer(smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, microOptions(dpOpts))
+	opts := microOptions(dpOpts)
+	reg := telemetry.NewRegistry()
+	opts.Metrics = reg
+	ts, err := TrainTransformer(smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	eps := ts.Epsilon()
 	if math.IsInf(eps, 1) || eps <= 0 {
 		t.Errorf("DP training must report a finite positive epsilon, got %v", eps)
+	}
+	// The live privacy budget and training trajectory must have landed in
+	// the registry.
+	if gauge, ok := reg.Gauge("dp.epsilon"); !ok || gauge != eps {
+		t.Errorf("dp.epsilon gauge = %v, %v; want final epsilon %v", gauge, ok, eps)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["dp.sgd.steps"] == 0 {
+		t.Error("dp.sgd.steps not counted")
+	}
+	if h, ok := snap.Histograms["textsynth.train.loss"]; !ok || h.Count == 0 {
+		t.Error("textsynth.train.loss histogram empty")
+	}
+	if _, ok := snap.Phases["textsynth.train.bucket"]; !ok {
+		t.Error("textsynth.train.bucket phase missing")
 	}
 	r := rand.New(rand.NewSource(3))
 	got, _ := ts.Synthesize("alpha beta gamma", 0.8, r)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"serd/internal/nn"
+	"serd/internal/telemetry"
 )
 
 // Config describes a model. The paper's configuration is d=256, 8 heads,
@@ -157,6 +158,11 @@ type Model struct {
 	params []*nn.Tensor
 	rand   *rand.Rand
 	train  bool
+
+	// Metrics, when set, receives decoding telemetry: the
+	// "transformer.generate.calls" and "transformer.generate.chars"
+	// counters. Defaults to a no-op; not serialized by persist.
+	Metrics telemetry.Recorder
 }
 
 // New builds a model with Xavier-initialized parameters.
@@ -173,9 +179,10 @@ func New(cfg Config, seed int64) (*Model, error) {
 		cfg:   cfg,
 		embed: nn.NewParam(cfg.Vocab.Size(), cfg.DModel).XavierInit(r),
 		pos:   sinusoidal(cfg.MaxLen, cfg.DModel),
-		outW:  nn.NewParam(cfg.DModel, cfg.Vocab.Size()).XavierInit(r),
-		outB:  nn.NewParam(1, cfg.Vocab.Size()),
-		rand:  r,
+		outW:    nn.NewParam(cfg.DModel, cfg.Vocab.Size()).XavierInit(r),
+		outB:    nn.NewParam(1, cfg.Vocab.Size()),
+		rand:    r,
+		Metrics: telemetry.Nop,
 	}
 	for i := 0; i < cfg.EncLayers; i++ {
 		m.enc = append(m.enc, &encLayer{
@@ -320,7 +327,10 @@ func (m *Model) Generate(src string, temperature float64, r *rand.Rand) string {
 		}
 		out = append(out, next)
 	}
-	return m.cfg.Vocab.Decode(out)
+	decoded := m.cfg.Vocab.Decode(out)
+	m.Metrics.Add("transformer.generate.calls", 1)
+	m.Metrics.Add("transformer.generate.chars", float64(len(decoded)))
+	return decoded
 }
 
 func (m *Model) truncate(ids []int) []int {

@@ -41,6 +41,7 @@ import (
 	"serd/internal/matcher"
 	"serd/internal/privacy"
 	"serd/internal/simfn"
+	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 	"serd/internal/transformer"
 )
@@ -229,6 +230,48 @@ type (
 	// corpora.
 	SampleDataset = datagen.Generated
 )
+
+// Telemetry (see internal/telemetry): pipeline-wide metrics, phase
+// tracing and the live run inspector.
+type (
+	// MetricsRecorder receives counters, gauges, histograms and phase
+	// spans from every pipeline stage; set it on Options.Metrics,
+	// TransformerOptions.Metrics or an experiments Config. A nil recorder
+	// disables recording at zero cost.
+	MetricsRecorder = telemetry.Recorder
+	// MetricsRegistry is the in-memory MetricsRecorder behind the
+	// /metrics endpoints and run reports.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's state.
+	MetricsSnapshot = telemetry.Snapshot
+	// MetricsServer is the live inspector HTTP server.
+	MetricsServer = telemetry.Server
+	// RunReport is the structured summary written next to an output
+	// dataset.
+	RunReport = telemetry.RunReport
+)
+
+// NewMetricsRegistry returns an empty, concurrency-safe registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ServeMetrics starts the live run inspector on addr (e.g. ":9090"),
+// serving /metrics.json, /metrics (Prometheus text) and /debug/pprof/.
+// Close the returned server when done.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return telemetry.Serve(addr, reg)
+}
+
+// MetricsProgress adapts a recorder into an Options.Progress callback
+// that mirrors done/total into "<prefix>.done"/"<prefix>.total" gauges.
+func MetricsProgress(rec MetricsRecorder, prefix string) func(done, total int) {
+	return telemetry.Progress(rec, prefix)
+}
+
+// WriteRunReport writes a run report atomically; ReadRunReport loads it.
+func WriteRunReport(path string, rep *RunReport) error { return telemetry.WriteRunReport(path, rep) }
+
+// ReadRunReport reads a report written by WriteRunReport.
+func ReadRunReport(path string) (*RunReport, error) { return telemetry.ReadRunReport(path) }
 
 // Synthesize runs the full SERD pipeline on a real dataset.
 func Synthesize(real *ER, opts Options) (*Result, error) {
