@@ -5,32 +5,59 @@
 //
 //	datagen -out DIR [-dataset all|DBLP-ACM|Restaurant|Walmart-Amazon|iTunes-Amazon]
 //	        [-seed S] [-size-a N] [-size-b N] [-matches N]
+//	        [-metrics-addr :9090] [-report PATH|-no-report] [-journal PATH|-no-journal]
+//
+// Like cmd/serd, each invocation records its provenance: a run report
+// (default <out>/run_report.json) and a hash-chained event journal
+// (default <out>/journal.jsonl) carrying the config, a lineage event per
+// generated dataset and the terminal status — so `serd audit show` works
+// on generation runs too.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"serd/internal/datagen"
 	"serd/internal/dataset"
+	"serd/internal/journal"
+	"serd/internal/telemetry"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		out     = flag.String("out", "", "output directory (required)")
-		name    = flag.String("dataset", "all", "dataset name or all")
-		seed    = flag.Int64("seed", 1, "random seed")
-		sizeA   = flag.Int("size-a", 0, "override |A| (0 = scaled default)")
-		sizeB   = flag.Int("size-b", 0, "override |B| (0 = scaled default)")
-		matches = flag.Int("matches", 0, "override |M| (0 = scaled default)")
+		out         = fs.String("out", "", "output directory (required)")
+		name        = fs.String("dataset", "all", "dataset name or all")
+		seed        = fs.Int64("seed", 1, "random seed")
+		sizeA       = fs.Int("size-a", 0, "override |A| (0 = scaled default)")
+		sizeB       = fs.Int("size-b", 0, "override |B| (0 = scaled default)")
+		matches     = fs.Int("matches", 0, "override |M| (0 = scaled default)")
+		metricsAddr = fs.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
+		reportPath  = fs.String("report", "", "run-report path (default <out>/run_report.json)")
+		noReport    = fs.Bool("no-report", false, "skip writing the run report")
+		journalPath = fs.String("journal", "", "event-journal path (default <out>/journal.jsonl)")
+		noJournal   = fs.Bool("no-journal", false, "skip writing the event journal")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *out == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errors.New("-out is required")
 	}
 
 	var gens []datagen.Generator
@@ -39,35 +66,128 @@ func main() {
 	} else {
 		g, err := datagen.ByName(*name)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		gens = []datagen.Generator{g}
 	}
-	for _, g := range gens {
-		cfg := datagen.Config{Seed: *seed, SizeA: *sizeA, SizeB: *sizeB, Matches: *matches}
-		gen, err := g.Gen(cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", g.Name, err)
-		}
-		dir := filepath.Join(*out, g.Name)
-		if err := dataset.SaveDir(dir, gen.ER); err != nil {
-			log.Fatalf("%s: %v", g.Name, err)
-		}
-		for col, corpus := range gen.Background {
-			path := filepath.Join(dir, "background_"+col+".txt")
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			for _, s := range corpus {
-				fmt.Fprintln(f, s)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-		}
-		st := gen.ER.Stats()
-		fmt.Printf("%-15s -> %s (|A|=%d |B|=%d |M|=%d, %d background corpora)\n",
-			g.Name, dir, st.SizeA, st.SizeB, st.Matches, len(gen.Background))
+
+	var jr *journal.Journal
+	jPath := *journalPath
+	if jPath == "" {
+		jPath = filepath.Join(*out, journal.DefaultName)
 	}
+	if !*noJournal {
+		var err error
+		jr, err = journal.Create(jPath)
+		if err != nil {
+			return err
+		}
+		defer jr.Close()
+		jr.RunStart("datagen", *seed, map[string]string{
+			"out":     *out,
+			"dataset": *name,
+			"size_a":  strconv.Itoa(*sizeA),
+			"size_b":  strconv.Itoa(*sizeB),
+			"matches": strconv.Itoa(*matches),
+		})
+	}
+
+	reg := telemetry.NewRegistry()
+	if *metricsAddr != "" {
+		srv, err := telemetry.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
+		testHookServing(srv.Addr())
+	}
+
+	start := time.Now()
+	summary := map[string]float64{}
+	err := func() error {
+		for _, g := range gens {
+			span := reg.StartSpan("datagen." + g.Name)
+			cfg := datagen.Config{Seed: *seed, SizeA: *sizeA, SizeB: *sizeB, Matches: *matches}
+			gen, err := g.Gen(cfg)
+			if err != nil {
+				span.End()
+				return fmt.Errorf("%s: %w", g.Name, err)
+			}
+			dir := filepath.Join(*out, g.Name)
+			if err := dataset.SaveDir(dir, gen.ER); err != nil {
+				span.End()
+				return fmt.Errorf("%s: %w", g.Name, err)
+			}
+			for col, corpus := range gen.Background {
+				path := filepath.Join(dir, "background_"+col+".txt")
+				f, err := os.Create(path)
+				if err != nil {
+					span.End()
+					return err
+				}
+				for _, s := range corpus {
+					fmt.Fprintln(f, s)
+				}
+				if err := f.Close(); err != nil {
+					span.End()
+					return err
+				}
+			}
+			span.End()
+			if jr != nil {
+				if err := jr.Lineage("output", dir); err != nil {
+					return err
+				}
+			}
+			st := gen.ER.Stats()
+			reg.Add("datagen.entities", float64(st.SizeA+st.SizeB))
+			reg.Add("datagen.matches", float64(st.Matches))
+			summary[g.Name+".entities"] = float64(st.SizeA + st.SizeB)
+			summary[g.Name+".matches"] = float64(st.Matches)
+			fmt.Fprintf(stdout, "%-15s -> %s (|A|=%d |B|=%d |M|=%d, %d background corpora)\n",
+				g.Name, dir, st.SizeA, st.SizeB, st.Matches, len(gen.Background))
+		}
+		return nil
+	}()
+
+	if err == nil && !*noReport {
+		path := *reportPath
+		if path == "" {
+			path = filepath.Join(*out, "run_report.json")
+		}
+		rep := &telemetry.RunReport{
+			Tool:        "datagen",
+			Dataset:     *name,
+			Seed:        *seed,
+			Start:       start,
+			WallSeconds: time.Since(start).Seconds(),
+			Summary:     summary,
+			Metrics:     reg.Snapshot(),
+		}
+		if jr != nil {
+			rep.Journal = jPath
+		}
+		if werr := telemetry.WriteRunReport(path, rep); werr != nil {
+			err = fmt.Errorf("run report: %w", werr)
+		} else {
+			fmt.Fprintf(stdout, "run report -> %s\n", path)
+		}
+	}
+
+	if jr != nil {
+		status, msg := journal.StatusDone, ""
+		if err != nil {
+			status, msg = journal.StatusFailed, err.Error()
+		}
+		jr.RunEnd(status, msg, summary, time.Since(start).Seconds())
+		if jerr := jr.Close(); err == nil && jerr != nil {
+			return jerr
+		}
+	}
+	return err
 }
+
+// testHookServing is called with the inspector's bound address once it is
+// listening, so tests can hit the live endpoints mid-run.
+var testHookServing = func(addr string) {}

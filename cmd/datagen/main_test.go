@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"serd/internal/journal"
+	"serd/internal/telemetry"
+)
+
+func TestRunMissingFlags(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Fatal("run with no flags accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "-dataset", "bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunWritesDatasetReportAndJournal(t *testing.T) {
+	out := t.TempDir()
+
+	var liveJSON string
+	oldHook := testHookServing
+	testHookServing = func(addr string) {
+		resp, err := http.Get("http://" + addr + "/metrics.json")
+		if err != nil {
+			t.Errorf("live inspector: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		liveJSON = string(body)
+	}
+	defer func() { testHookServing = oldHook }()
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-out", out, "-dataset", "Restaurant", "-seed", "3",
+		"-size-a", "25", "-size-b", "25", "-matches", "8",
+		"-metrics-addr", "127.0.0.1:0",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(liveJSON, "uptime_seconds") {
+		t.Errorf("live /metrics.json = %q", liveJSON)
+	}
+	for _, name := range []string{"A.csv", "B.csv", "matches.csv"} {
+		if _, err := os.Stat(filepath.Join(out, "Restaurant", name)); err != nil {
+			t.Errorf("dataset file missing: %v", err)
+		}
+	}
+
+	rep, err := telemetry.ReadRunReport(filepath.Join(out, "run_report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tool != "datagen" || rep.Seed != 3 {
+		t.Errorf("report header = %+v", rep)
+	}
+	if rep.Summary["Restaurant.entities"] != 50 {
+		t.Errorf("report entities = %v", rep.Summary["Restaurant.entities"])
+	}
+	if rep.Journal == "" {
+		t.Error("report does not link the journal")
+	}
+
+	events, err := journal.Read(filepath.Join(out, journal.DefaultName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := journal.VerifyChain(events); i != -1 {
+		t.Errorf("journal chain broken at %d", i)
+	}
+	sum, err := journal.Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Tool != "datagen" || sum.Status != journal.StatusDone {
+		t.Errorf("summary = tool %q status %q", sum.Tool, sum.Status)
+	}
+	if len(sum.Lineage) != 1 || sum.Lineage[0].Role != "output" {
+		t.Fatalf("lineage = %+v", sum.Lineage)
+	}
+	// The journaled lineage must pin the files actually on disk.
+	files, combined, err := journal.HashDataset(filepath.Join(out, "Restaurant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if combined != sum.Lineage[0].Combined {
+		t.Errorf("lineage combined hash does not match disk (%d files)", len(files))
+	}
+}
+
+func TestRunOptOuts(t *testing.T) {
+	out := t.TempDir()
+	err := run([]string{
+		"-out", out, "-dataset", "Restaurant",
+		"-size-a", "20", "-size-b", "20", "-matches", "6",
+		"-no-report", "-no-journal",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "run_report.json")); !os.IsNotExist(err) {
+		t.Errorf("report written despite -no-report (stat err = %v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, journal.DefaultName)); !os.IsNotExist(err) {
+		t.Errorf("journal written despite -no-journal (stat err = %v)", err)
+	}
+}

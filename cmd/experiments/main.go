@@ -5,7 +5,8 @@
 //
 //	experiments [-exp all|t1,t2,f5,f6,f7,f8,f9,t3,t4] [-datasets a,b] \
 //	            [-sizecap N] [-matchcap N] [-seed S] [-transformer] \
-//	            [-metrics-addr :9090] [-report path] [-bench-out path]
+//	            [-metrics-addr :9090] [-report path] \
+//	            [-bench-out path] [-bench-against baseline] [-bench-threshold F]
 //
 // The default run uses the generators' CPU-scaled dataset sizes and the
 // rule-based string synthesizer; -transformer switches SERD's textual
@@ -13,7 +14,11 @@
 // serves the live run inspector for the duration of the run, -report
 // writes the final metric snapshot as a run report, and -bench-out runs
 // the core synthesis bench and writes BENCH_core.json-style output
-// instead of the experiment tables.
+// instead of the experiment tables. -bench-against compares the fresh
+// bench against a committed baseline (the repo pins BENCH_core.json,
+// regenerated with `-sizecap 40 -matchcap 12 -bench-out BENCH_core.json`)
+// and exits non-zero when S2 throughput regresses more than
+// -bench-threshold (default 30%) on any dataset — the CI perf gate.
 package main
 
 import (
@@ -30,15 +35,17 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "comma-separated experiments: t1,t2,f5,f6,f7,f8,f9,t3,t4 or all")
-		datasets    = flag.String("datasets", "", "comma-separated dataset names (default: all four)")
-		sizeCap     = flag.Int("sizecap", 0, "cap relation sizes (0 = scaled defaults)")
-		matchCap    = flag.Int("matchcap", 0, "cap match counts (0 = scaled defaults)")
-		seed        = flag.Int64("seed", 1, "random seed")
-		transformer = flag.Bool("transformer", false, "use the DP transformer bank for textual synthesis (slow)")
-		metricsAddr = flag.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
-		reportPath  = flag.String("report", "", "write the final run report (JSON) to this path")
-		benchOut    = flag.String("bench-out", "", "run the core synthesis bench and write BENCH_core.json to this path (skips the tables)")
+		exp          = flag.String("exp", "all", "comma-separated experiments: t1,t2,f5,f6,f7,f8,f9,t3,t4 or all")
+		datasets     = flag.String("datasets", "", "comma-separated dataset names (default: all four)")
+		sizeCap      = flag.Int("sizecap", 0, "cap relation sizes (0 = scaled defaults)")
+		matchCap     = flag.Int("matchcap", 0, "cap match counts (0 = scaled defaults)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		transformer  = flag.Bool("transformer", false, "use the DP transformer bank for textual synthesis (slow)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
+		reportPath   = flag.String("report", "", "write the final run report (JSON) to this path")
+		benchOut     = flag.String("bench-out", "", "run the core synthesis bench and write BENCH_core.json to this path (skips the tables)")
+		benchAgainst = flag.String("bench-against", "", "compare the core bench against this baseline BENCH_core.json, exiting non-zero on a throughput regression (skips the tables)")
+		benchThresh  = flag.Float64("bench-threshold", 0.30, "allowed fractional throughput drop for -bench-against")
 	)
 	flag.Parse()
 
@@ -61,23 +68,40 @@ func main() {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}
 
-	if *benchOut != "" {
+	if *benchOut != "" || *benchAgainst != "" {
 		start := time.Now()
 		rows, err := experiments.CoreBench(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "core bench:", err)
 			os.Exit(1)
 		}
-		rep := experiments.CoreBenchReport{Time: start, Seed: *seed, Rows: rows}
-		if err := experiments.WriteCoreBench(*benchOut, rep); err != nil {
-			fmt.Fprintln(os.Stderr, "core bench:", err)
-			os.Exit(1)
-		}
+		rep := experiments.CoreBenchReport{Time: start, Seed: *seed, SizeCap: *sizeCap, MatchCap: *matchCap, Rows: rows}
 		for _, r := range rows {
 			fmt.Printf("%-16s %6d entities  %8.1f ent/s  JSD=%.4f  attempts=%.0f\n",
 				r.Dataset, r.Entities, r.EntitiesPerSec, r.JSD, r.Attempts)
 		}
-		fmt.Printf("core bench -> %s (%s)\n", *benchOut, time.Since(start).Round(time.Millisecond))
+		if *benchOut != "" {
+			if err := experiments.WriteCoreBench(*benchOut, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "core bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("core bench -> %s (%s)\n", *benchOut, time.Since(start).Round(time.Millisecond))
+		}
+		if *benchAgainst != "" {
+			baseline, err := experiments.ReadCoreBench(*benchAgainst)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "core bench baseline:", err)
+				os.Exit(1)
+			}
+			problems := experiments.CompareCoreBench(baseline, rep, *benchThresh)
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "bench regression:", p)
+			}
+			if len(problems) > 0 {
+				os.Exit(1)
+			}
+			fmt.Printf("core bench holds the %s baseline (threshold %.0f%%)\n", *benchAgainst, 100**benchThresh)
+		}
 		return
 	}
 

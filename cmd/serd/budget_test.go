@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serd/internal/journal"
+)
+
+// TestBudgetAbortBeforeTraining drives the DP transformer path against an
+// ε budget far below what one bucket costs: the up-front ledger charge
+// must abort the run before any DP-SGD step executes, the journal must
+// record the enforcement decision and an "aborted" terminal status, and
+// no synthesized dataset may be written.
+func TestBudgetAbortBeforeTraining(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	outDir := filepath.Join(dir, "out")
+	writeSampleInput(t, inDir)
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", inDir, "-out", outDir,
+		"-schema", "name:text,address:text,city:cat,flavor:cat",
+		"-seed", "7",
+		"-transformer", "-tx-buckets", "2", "-tx-pairs", "8", "-tx-epochs", "1", "-tx-batch", "4",
+		"-epsilon-budget", "0.001",
+	}, &buf)
+	if !errors.Is(err, journal.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if _, statErr := os.Stat(filepath.Join(outDir, "A.csv")); !os.IsNotExist(statErr) {
+		t.Error("synthesized dataset written despite budget abort")
+	}
+
+	events, jerr := journal.Read(filepath.Join(outDir, journal.DefaultName))
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	if i := journal.VerifyChain(events); i != -1 {
+		t.Errorf("aborted run's chain broken at %d", i)
+	}
+	sum, serr := journal.Summarize(events)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if sum.Status != journal.StatusAborted {
+		t.Errorf("status = %q, want %q", sum.Status, journal.StatusAborted)
+	}
+	if len(sum.Budget) == 0 || sum.Budget[0].Action != "abort" {
+		t.Fatalf("budget events = %+v, want an abort", sum.Budget)
+	}
+	// Enforcement fired before the spend: nothing may be charged.
+	if len(sum.Charges) != 0 {
+		t.Errorf("aborted run recorded %d charges, want 0", len(sum.Charges))
+	}
+	if sum.LedgerEps != 0 {
+		t.Errorf("aborted run composed ε = %v, want 0", sum.LedgerEps)
+	}
+}
+
+// TestBudgetWarnContinues exercises warn mode via the ledgered Laplace
+// release of the privacy-audit metrics: the run overspends, warns, and
+// still completes with a verifiable journal.
+func TestBudgetWarnContinues(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	outDir := filepath.Join(dir, "out")
+	writeSampleInput(t, inDir)
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-in", inDir, "-out", outDir,
+		"-schema", "name:text,address:text,city:cat,flavor:cat",
+		"-seed", "7",
+		"-audit", "-audit-epsilon", "3",
+		"-epsilon-budget", "1", "-budget-warn",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("warn mode aborted the run: %v\n%s", err, buf.String())
+	}
+
+	events, jerr := journal.Read(filepath.Join(outDir, journal.DefaultName))
+	if jerr != nil {
+		t.Fatal(jerr)
+	}
+	sum, serr := journal.Summarize(events)
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	if sum.Status != journal.StatusDone {
+		t.Errorf("status = %q, want done", sum.Status)
+	}
+	if len(sum.Budget) == 0 || sum.Budget[0].Action != "warn" {
+		t.Fatalf("budget events = %+v, want warnings", sum.Budget)
+	}
+	if len(sum.Charges) != 3 {
+		t.Errorf("charges = %d, want 3 (one per released metric)", len(sum.Charges))
+	}
+	if sum.LedgerEps != 3 {
+		t.Errorf("composed ε = %v, want 3", sum.LedgerEps)
+	}
+
+	// The overspent-but-warned run still verifies: the journal is honest
+	// about the spend.
+	if err := run([]string{"audit", "verify", outDir}, &buf); err != nil {
+		t.Fatalf("audit verify: %v\n%s", err, buf.String())
+	}
+}
+
+// TestLedgeredAuditRelease checks the exact-vs-ledgered audit paths: with
+// -audit-epsilon the released metrics differ from the exact ones (noise
+// was added) and the ledger carries the three Laplace charges.
+func TestLedgeredAuditRelease(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	writeSampleInput(t, inDir)
+
+	outExact := synthesizeRun(t, dir, inDir, "exact", "-audit")
+	outNoisy := synthesizeRun(t, dir, inDir, "noisy", "-audit", "-audit-epsilon", "0.3")
+
+	exactEvents, err := journal.Read(filepath.Join(outExact, journal.DefaultName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactSum, err := journal.Summarize(exactEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exactSum.Charges) != 0 {
+		t.Errorf("exact audit charged the ledger: %+v", exactSum.Charges)
+	}
+
+	noisyEvents, err := journal.Read(filepath.Join(outNoisy, journal.DefaultName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisySum, err := journal.Summarize(noisyEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noisySum.Charges) != 3 {
+		t.Fatalf("ledgered audit charges = %d, want 3", len(noisySum.Charges))
+	}
+	for _, c := range noisySum.Charges {
+		if c.Kind != "laplace" || math.Abs(c.Epsilon-0.1) > 1e-12 {
+			t.Errorf("charge = %+v, want laplace ε=0.1", c)
+		}
+	}
+}

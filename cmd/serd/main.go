@@ -17,6 +17,20 @@
 // for the duration of the run, and a structured run report (per-phase
 // durations, rejection counters, EM iterations, DP budget) is written to
 // <out>/run_report.json unless -no-report is given.
+//
+// Provenance: every run also writes an append-only, hash-chained event
+// journal to <out>/journal.jsonl (disable with -no-journal) recording the
+// run config, input/output dataset lineage hashes, phase boundaries, GMM
+// fit summaries, every DP expenditure and the terminal status. With
+// -transformer the textual columns are synthesized by the DP-SGD
+// transformer bank and each bucket's (ε, δ) is charged to the run's
+// privacy ledger; -epsilon-budget caps the composed ε (abort by default,
+// -budget-warn to continue with a journaled warning). Inspect recorded
+// runs with the audit subcommand:
+//
+//	serd audit show   <run-dir>           # pretty-print journal + ledger
+//	serd audit verify <run-dir>           # recompute ε, re-hash the dataset
+//	serd audit diff   <run-dirA> <run-dirB>
 package main
 
 import (
@@ -25,6 +39,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -33,6 +48,7 @@ import (
 	"time"
 
 	"serd"
+	"serd/internal/journal"
 )
 
 func main() {
@@ -47,6 +63,9 @@ func main() {
 var testHookServing = func(addr string) {}
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "audit" {
+		return runAudit(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("serd", flag.ContinueOnError)
 	var (
 		in          = fs.String("in", "", "input dataset directory (required)")
@@ -59,10 +78,23 @@ func run(args []string, stdout io.Writer) error {
 		saveDist    = fs.String("save-dist", "", "write the learned O-distribution (JSON) to this path")
 		loadDist    = fs.String("load-dist", "", "reuse a previously saved O-distribution instead of re-learning")
 		audit       = fs.Bool("audit", false, "print privacy metrics (hitting rate, DCR, NNDR) after synthesis")
+		auditEps    = fs.Float64("audit-epsilon", 0, "release the -audit metrics through the Laplace mechanism with this total ε, charged to the privacy ledger (0 = exact, unledgered release)")
 		progress    = fs.Bool("progress", false, "print synthesis progress")
 		metricsAddr = fs.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
 		reportPath  = fs.String("report", "", "run-report path (default <out>/run_report.json)")
 		noReport    = fs.Bool("no-report", false, "skip writing the run report")
+		journalPath = fs.String("journal", "", "event-journal path (default <out>/journal.jsonl)")
+		noJournal   = fs.Bool("no-journal", false, "skip writing the event journal")
+		epsBudget   = fs.Float64("epsilon-budget", 0, "abort (or warn, with -budget-warn) before any DP expenditure would push the composed ε past this cap (0 = unlimited)")
+		budgetWarn  = fs.Bool("budget-warn", false, "downgrade budget enforcement from abort to a journaled warning")
+		useTx       = fs.Bool("transformer", false, "synthesize textual columns with the DP-SGD transformer bank instead of the rule synthesizer (slow; spends ε)")
+		txBuckets   = fs.Int("tx-buckets", 4, "transformer bank: similarity buckets")
+		txPairs     = fs.Int("tx-pairs", 24, "transformer bank: training pairs per bucket")
+		txEpochs    = fs.Int("tx-epochs", 1, "transformer bank: epochs per bucket")
+		txBatch     = fs.Int("tx-batch", 4, "transformer bank: DP-SGD minibatch size")
+		dpNoise     = fs.Float64("dp-noise", 1.1, "transformer bank: DP-SGD noise multiplier σ")
+		dpClip      = fs.Float64("dp-clip", 1, "transformer bank: DP-SGD clip norm")
+		dpDelta     = fs.Float64("dp-delta", 1e-5, "transformer bank: δ at which ε is reported")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,28 +120,113 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "loaded %+v\n", real.Stats())
 
-	synths := make(map[string]serd.Synthesizer)
-	for _, col := range schema.Cols {
-		if col.Kind != serd.Textual {
-			continue
-		}
-		corpus, err := readLines(filepath.Join(*in, "background_"+col.Name+".txt"))
-		if err != nil {
-			return fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
-		}
-		rs, err := serd.NewRuleSynthesizer(col.Sim, corpus)
+	// The journal is the run's durable provenance record; it opens before
+	// the pipeline so even failed runs leave an explainable trail.
+	var jr *journal.Journal
+	jPath := *journalPath
+	if jPath == "" {
+		jPath = filepath.Join(*out, journal.DefaultName)
+	}
+	if !*noJournal {
+		jr, err = journal.Create(jPath)
 		if err != nil {
 			return err
 		}
-		synths[col.Name] = rs
+		defer jr.Close()
+		budgetMode := "abort"
+		if *budgetWarn {
+			budgetMode = "warn"
+		}
+		jr.RunStart("serd", *seed, map[string]string{
+			"in":             *in,
+			"out":            *out,
+			"schema":         *schemaSpec,
+			"size_a":         strconv.Itoa(*sizeA),
+			"size_b":         strconv.Itoa(*sizeB),
+			"no_reject":      strconv.FormatBool(*noReject),
+			"transformer":    strconv.FormatBool(*useTx),
+			"epsilon_budget": strconv.FormatFloat(*epsBudget, 'g', -1, 64),
+			"budget_mode":    budgetMode,
+		})
+		if err := jr.Lineage("input", *in); err != nil {
+			return err
+		}
 	}
+	ledger := journal.NewLedger(jr)
+	if *epsBudget > 0 {
+		mode := journal.BudgetAbort
+		if *budgetWarn {
+			mode = journal.BudgetWarn
+		}
+		ledger.SetBudget(*epsBudget, mode)
+	}
+	logger := slog.New(jr.Handler(slog.LevelInfo))
+	st := real.Stats()
+	logger.Info("dataset loaded", "size_a", st.SizeA, "size_b", st.SizeB, "matches", st.Matches)
 
-	// The registry feeds the live inspector and the run report; it stays
-	// on even without -metrics-addr so the report is always complete.
-	reg := serd.NewMetricsRegistry()
 	start := time.Now()
-	if *metricsAddr != "" {
-		srv, err := serd.ServeMetrics(*metricsAddr, reg)
+	err = synth(synthConfig{
+		fs: fs, in: *in, out: *out, schema: schema,
+		sizeA: *sizeA, sizeB: *sizeB, seed: *seed,
+		noReject: *noReject, saveDist: *saveDist, loadDist: *loadDist,
+		audit: *audit, auditEps: *auditEps, progress: *progress,
+		metricsAddr: *metricsAddr, reportPath: *reportPath, noReport: *noReport,
+		useTx: *useTx, txBuckets: *txBuckets, txPairs: *txPairs,
+		txEpochs: *txEpochs, txBatch: *txBatch,
+		dpNoise: *dpNoise, dpClip: *dpClip, dpDelta: *dpDelta,
+		journalPath: jPath, jr: jr, ledger: ledger, start: start,
+	}, real, stdout)
+
+	if jr != nil {
+		status := journal.StatusDone
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+			status = journal.StatusFailed
+			if errors.Is(err, journal.ErrBudgetExceeded) {
+				status = journal.StatusAborted
+			}
+		}
+		jr.RunEnd(status, msg, nil, time.Since(start).Seconds())
+		if jerr := jr.Close(); err == nil && jerr != nil {
+			return jerr
+		}
+	}
+	return err
+}
+
+// synthConfig carries the parsed flags into the pipeline body so the
+// journal's terminal-status accounting can wrap it.
+type synthConfig struct {
+	fs                                    *flag.FlagSet
+	in, out                               string
+	schema                                *serd.Schema
+	sizeA, sizeB                          int
+	seed                                  int64
+	noReject                              bool
+	saveDist, loadDist                    string
+	audit                                 bool
+	auditEps                              float64
+	progress                              bool
+	metricsAddr, reportPath               string
+	noReport                              bool
+	useTx                                 bool
+	txBuckets, txPairs, txEpochs, txBatch int
+	dpNoise, dpClip, dpDelta              float64
+	journalPath                           string
+	jr                                    *journal.Journal
+	ledger                                *journal.Ledger
+	start                                 time.Time
+}
+
+func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
+	// The registry feeds the live inspector and the run report; it stays
+	// on even without -metrics-addr so the report is always complete. The
+	// journal taps the same stream for phase boundaries and ε checkpoints.
+	reg := serd.NewMetricsRegistry()
+	rec := journal.Instrument(cfg.jr, reg)
+	if cfg.metricsAddr != "" {
+		srv, err := serd.ServeMetrics(cfg.metricsAddr, reg)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
@@ -118,15 +235,50 @@ func run(args []string, stdout io.Writer) error {
 		testHookServing(srv.Addr())
 	}
 
-	opts := serd.Options{
-		SizeA:            *sizeA,
-		SizeB:            *sizeB,
-		Synthesizers:     synths,
-		DisableRejection: *noReject,
-		Metrics:          reg,
-		Seed:             *seed,
+	synths := make(map[string]serd.Synthesizer)
+	for _, col := range cfg.schema.Cols {
+		if col.Kind != serd.Textual {
+			continue
+		}
+		corpus, err := readLines(filepath.Join(cfg.in, "background_"+col.Name+".txt"))
+		if err != nil {
+			return fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
+		}
+		if cfg.useTx {
+			ts, err := serd.TrainTransformer(corpus, col.Sim, serd.TransformerOptions{
+				Buckets:        cfg.txBuckets,
+				PairsPerBucket: cfg.txPairs,
+				Epochs:         cfg.txEpochs,
+				BatchSize:      cfg.txBatch,
+				DP:             &serd.DPOptions{ClipNorm: cfg.dpClip, Noise: cfg.dpNoise, Delta: cfg.dpDelta},
+				Metrics:        rec,
+				Privacy:        cfg.ledger,
+				Seed:           cfg.seed,
+			})
+			if err != nil {
+				return fmt.Errorf("training transformer bank for column %q: %w", col.Name, err)
+			}
+			fmt.Fprintf(stdout, "transformer bank for %q trained (ε=%.4f at δ=%g)\n", col.Name, ts.Epsilon(), cfg.dpDelta)
+			synths[col.Name] = ts
+			continue
+		}
+		rs, err := serd.NewRuleSynthesizer(col.Sim, corpus)
+		if err != nil {
+			return err
+		}
+		synths[col.Name] = rs
 	}
-	if *progress {
+
+	opts := serd.Options{
+		SizeA:            cfg.sizeA,
+		SizeB:            cfg.sizeB,
+		Synthesizers:     synths,
+		DisableRejection: cfg.noReject,
+		Metrics:          rec,
+		Journal:          cfg.jr,
+		Seed:             cfg.seed,
+	}
+	if cfg.progress {
 		opts.Progress = func(done, total int) {
 			if done%50 == 0 || done == total {
 				fmt.Fprintf(stdout, "\rsynthesized %d/%d entities", done, total)
@@ -136,8 +288,8 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 	}
-	if *loadDist != "" {
-		f, err := os.Open(*loadDist)
+	if cfg.loadDist != "" {
+		f, err := os.Open(cfg.loadDist)
 		if err != nil {
 			return err
 		}
@@ -146,14 +298,14 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "reusing O-distribution from %s\n", *loadDist)
+		fmt.Fprintf(stdout, "reusing O-distribution from %s\n", cfg.loadDist)
 	}
 	res, err := serd.Synthesize(real, opts)
 	if err != nil {
 		return err
 	}
-	if *saveDist != "" {
-		f, err := os.Create(*saveDist)
+	if cfg.saveDist != "" {
+		f, err := os.Create(cfg.saveDist)
 		if err != nil {
 			return err
 		}
@@ -164,26 +316,43 @@ func run(args []string, stdout io.Writer) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "saved O-distribution to %s\n", *saveDist)
+		fmt.Fprintf(stdout, "saved O-distribution to %s\n", cfg.saveDist)
 	}
-	if err := serd.SaveDataset(*out, res.Syn); err != nil {
+	if err := serd.SaveDataset(cfg.out, res.Syn); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "synthesized %+v -> %s\n", res.Syn.Stats(), *out)
+	if cfg.jr != nil {
+		if err := cfg.jr.Lineage("output", cfg.out); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "synthesized %+v -> %s\n", res.Syn.Stats(), cfg.out)
 	fmt.Fprintf(stdout, "JSD(O_syn, O_real)=%.4f  sampled matches=%d  rejected: %d by distribution, %d by discriminator\n",
 		res.JSD, res.SampledMatches, res.RejectedByDistribution, res.RejectedByDiscriminator)
 
-	if !*noReport {
-		path := *reportPath
+	if cfg.audit {
+		if err := privacyAudit(cfg, real, res.Syn, stdout); err != nil {
+			return err
+		}
+	}
+
+	epsTotal, deltaTotal := cfg.ledger.Finish()
+	if len(cfg.ledger.Entries()) > 0 {
+		fmt.Fprintf(stdout, "privacy ledger: composed ε=%.4f δ=%.2g over %d charges\n",
+			epsTotal, deltaTotal, len(cfg.ledger.Entries()))
+	}
+
+	if !cfg.noReport {
+		path := cfg.reportPath
 		if path == "" {
-			path = filepath.Join(*out, "run_report.json")
+			path = filepath.Join(cfg.out, "run_report.json")
 		}
 		rep := &serd.RunReport{
 			Tool:        "serd",
-			Dataset:     filepath.Base(filepath.Clean(*in)),
-			Seed:        *seed,
-			Start:       start,
-			WallSeconds: time.Since(start).Seconds(),
+			Dataset:     filepath.Base(filepath.Clean(cfg.in)),
+			Seed:        cfg.seed,
+			Start:       cfg.start,
+			WallSeconds: time.Since(cfg.start).Seconds(),
 			Summary: map[string]float64{
 				"jsd":                       res.JSD,
 				"entities":                  float64(res.Syn.A.Len() + res.Syn.B.Len()),
@@ -194,28 +363,60 @@ func run(args []string, stdout io.Writer) error {
 			},
 			Metrics: reg.Snapshot(),
 		}
+		if cfg.jr != nil {
+			rep.Journal = cfg.journalPath
+		}
+		if len(cfg.ledger.Entries()) > 0 {
+			rep.Privacy = cfg.ledger.Summary()
+		}
 		if err := serd.WriteRunReport(path, rep); err != nil {
 			return fmt.Errorf("run report: %w", err)
 		}
 		fmt.Fprintf(stdout, "run report -> %s\n", path)
 	}
+	return nil
+}
 
-	if *audit {
-		r := rand.New(rand.NewSource(*seed))
-		hr, err := serd.HittingRate(real, res.Syn, 0.9, r)
-		if err != nil {
-			return err
-		}
-		dcr, err := serd.DCR(real, res.Syn, r)
-		if err != nil {
-			return err
-		}
-		nndr, err := serd.NNDR(real, res.Syn, r)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "privacy audit: hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", hr, dcr, nndr)
+// privacyAudit computes the Table III privacy metrics over the run's real
+// and synthesized datasets. With -audit-epsilon, each metric is released
+// through the Laplace mechanism (ε/3 each, unit sensitivity assumed over
+// the subsampled evaluation — an illustrative ledgered release, not a
+// tight bound) and charged to the privacy ledger first, so budget
+// enforcement applies before the noisy values are computed.
+func privacyAudit(cfg synthConfig, real, syn *serd.ER, stdout io.Writer) error {
+	r := rand.New(rand.NewSource(cfg.seed))
+	hr, err := serd.HittingRate(real, syn, 0.9, r)
+	if err != nil {
+		return err
 	}
+	dcr, err := serd.DCR(real, syn, r)
+	if err != nil {
+		return err
+	}
+	nndr, err := serd.NNDR(real, syn, r)
+	if err != nil {
+		return err
+	}
+	if cfg.auditEps > 0 {
+		each := cfg.auditEps / 3
+		noise := rand.New(rand.NewSource(cfg.seed + 101))
+		for _, m := range []struct {
+			label string
+			value *float64
+		}{
+			{"privacy_audit.hitting_rate", &hr},
+			{"privacy_audit.dcr", &dcr},
+			{"privacy_audit.nndr", &nndr},
+		} {
+			if err := cfg.ledger.ChargeLaplace(m.label, each); err != nil {
+				return err
+			}
+			*m.value = serd.LaplaceRelease(*m.value, 1, each, noise)
+		}
+		fmt.Fprintf(stdout, "privacy audit (ε=%g Laplace): hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", cfg.auditEps, hr, dcr, nndr)
+		return nil
+	}
+	fmt.Fprintf(stdout, "privacy audit: hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", hr, dcr, nndr)
 	return nil
 }
 

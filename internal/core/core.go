@@ -11,6 +11,7 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/gan"
 	"serd/internal/gmm"
+	"serd/internal/journal"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
@@ -80,6 +81,13 @@ type Options struct {
 	// recording never touches the RNG stream, so instrumented and
 	// uninstrumented runs with the same seed produce identical datasets.
 	Metrics telemetry.Recorder
+	// Journal, when set, receives durable provenance events: the resolved
+	// synthesis configuration, S1's GMM fit summaries and the final
+	// synthesis summary. Phase boundaries and ε checkpoints arrive through
+	// the Metrics recorder when it is journal-instrumented
+	// (journal.Instrument). Journaling, like Metrics, never touches the
+	// RNG stream.
+	Journal *journal.Journal
 	// HeartbeatEvery emits a liveness heartbeat every N rejected attempts —
 	// a "core.s2.heartbeat" counter tick plus a Progress callback — so long
 	// rejection streaks (which add no entities and would otherwise stay
@@ -166,6 +174,15 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	}
 	r := rand.New(rand.NewSource(opts.Seed))
 	rec := opts.Metrics
+	opts.Journal.Config("core.options", map[string]string{
+		"size_a":         fmt.Sprint(opts.SizeA),
+		"size_b":         fmt.Sprint(opts.SizeB),
+		"match_fraction": fmt.Sprintf("%.6g", opts.MatchFraction),
+		"alpha":          fmt.Sprintf("%g", opts.Alpha),
+		"beta":           fmt.Sprintf("%g", opts.Beta),
+		"rejection":      fmt.Sprint(!opts.DisableRejection),
+		"seed":           fmt.Sprint(opts.Seed),
+	})
 
 	// S1: learn O_real.
 	s1 := rec.StartSpan("core.s1")
@@ -177,6 +194,9 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 		}
 		if learn.Metrics == nil {
 			learn.Metrics = rec
+		}
+		if learn.Journal == nil {
+			learn.Journal = opts.Journal
 		}
 		var err error
 		oReal, err = LearnDistributions(real, learn)
@@ -347,6 +367,14 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	res.Syn = syn
 	res.JSD = dist.finalJSD(r)
 	rec.Set("core.s2.jsd_final", res.JSD)
+	opts.Journal.Synthesis(journal.SynthesisData{
+		Entities:                synA.Len() + synB.Len(),
+		Matches:                 len(matches),
+		SampledMatches:          res.SampledMatches,
+		RejectedByDistribution:  res.RejectedByDistribution,
+		RejectedByDiscriminator: res.RejectedByDiscriminator,
+		JSD:                     res.JSD,
+	})
 	return res, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"serd/internal/blocking"
 	"serd/internal/dataset"
 	"serd/internal/gmm"
+	"serd/internal/journal"
 	"serd/internal/telemetry"
 )
 
@@ -43,6 +44,10 @@ type LearnOptions struct {
 	// Metrics receives S1 telemetry (EM iteration counts and log-likelihood
 	// trajectories, threaded into gmm.FitOptions). Nil disables recording.
 	Metrics telemetry.Recorder
+	// Journal, when set, receives one gmm_fit provenance event per fitted
+	// mixture (dimensionality, AIC-selected component count, sample count
+	// and final log-likelihood).
+	Journal *journal.Journal
 	// Rand drives sampling and EM initialization.
 	Rand *rand.Rand
 }
@@ -101,15 +106,32 @@ func LearnDistributions(real *dataset.ER, opts LearnOptions) (*gmm.Joint, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)
 	}
+	if opts.Journal != nil {
+		opts.Journal.GMMFit(fitSummary("s1.match", mModel, xp))
+	}
 	nModel, err := gmm.FitAIC(xn, opts.MaxComponents, fit)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting N-distribution: %w", err)
+	}
+	if opts.Journal != nil {
+		opts.Journal.GMMFit(fitSummary("s1.nonmatch", nModel, xn))
 	}
 	// π = |X+| / (|X+| + |X−|) over the learning sets (§II-B). Note that S2
 	// uses a separate sampling fraction (Options.MatchFraction) so that the
 	// synthesized dataset reproduces the real match count.
 	pi := float64(len(xp)) / float64(len(xp)+len(xn))
 	return gmm.NewJoint(mModel, nModel, pi)
+}
+
+// fitSummary distills one fitted mixture into its journal event.
+func fitSummary(name string, m *gmm.Model, xs [][]float64) journal.GMMFitData {
+	return journal.GMMFitData{
+		Name:          name,
+		Dim:           m.Dim(),
+		Components:    len(m.Comps),
+		Samples:       len(xs),
+		LogLikelihood: m.LogLikelihood(xs),
+	}
 }
 
 // defaultBlocker unions q-gram blocking over the textual columns (falling

@@ -142,13 +142,15 @@ func (a Accountant) Epsilon(steps int, delta float64) float64 {
 // RecordEpsilon publishes the (ε, δ) spent after the given number of noisy
 // steps to the recorder as the "dp.epsilon" and "dp.delta" gauges — called
 // after each Step, it turns the accountant into a live privacy-budget
-// trajectory on the run inspector.
+// trajectory on the run inspector. δ is published before ε: journal-backed
+// recorders treat each "dp.epsilon" update as an ε checkpoint and pair it
+// with the most recent δ.
 func (a Accountant) RecordEpsilon(rec telemetry.Recorder, steps int, delta float64) {
 	if !telemetry.Enabled(rec) {
 		return // skip the ε search when nobody is listening
 	}
-	rec.Set("dp.epsilon", a.Epsilon(steps, delta))
 	rec.Set("dp.delta", delta)
+	rec.Set("dp.epsilon", a.Epsilon(steps, delta))
 }
 
 // NoiseForEpsilon searches for the smallest noise multiplier σ such that
@@ -200,6 +202,11 @@ func sign(v float64) float64 {
 // invocations against the same dataset. DP-SGD runs compose via the RDP
 // accountant; scalar Laplace/Gaussian releases compose additively on ε (the
 // basic composition bound — conservative but always valid).
+//
+// Ledger is the in-memory tally only. Pipeline runs should prefer
+// journal.Ledger (internal/journal), which additionally journals every
+// expenditure with its mechanism parameters, supports parallel-composition
+// groups, and enforces an ε budget.
 type Ledger struct {
 	entries []ledgerEntry
 }

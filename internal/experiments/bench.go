@@ -70,9 +70,14 @@ func CoreBench(cfg Config) ([]CoreBenchRow, error) {
 
 // CoreBenchReport is the top-level BENCH_core.json document.
 type CoreBenchReport struct {
-	Time time.Time      `json:"time"`
-	Seed int64          `json:"seed"`
-	Rows []CoreBenchRow `json:"rows"`
+	Time time.Time `json:"time"`
+	Seed int64     `json:"seed"`
+	// SizeCap and MatchCap record the workload shape so a comparison
+	// against a baseline produced with different caps is rejected instead
+	// of producing meaningless throughput ratios.
+	SizeCap  int            `json:"size_cap,omitempty"`
+	MatchCap int            `json:"match_cap,omitempty"`
+	Rows     []CoreBenchRow `json:"rows"`
 }
 
 // WriteCoreBench writes the report atomically (temp file + rename).
@@ -100,4 +105,59 @@ func WriteCoreBench(path string, rep CoreBenchReport) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCoreBench loads a BENCH_core.json document.
+func ReadCoreBench(path string) (CoreBenchReport, error) {
+	var rep CoreBenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareCoreBench checks a fresh bench run against a committed baseline
+// and returns one human-readable problem per regression found:
+//
+//   - mismatched workload shape (seed or caps differ — the ratios would be
+//     meaningless);
+//   - a baseline dataset missing from the current run;
+//   - S2 throughput more than threshold (a fraction, e.g. 0.30) below the
+//     baseline's for any dataset.
+//
+// Faster runs, extra datasets and fidelity improvements are not problems.
+// An empty result means the run holds the baseline.
+func CompareCoreBench(baseline, current CoreBenchReport, threshold float64) []string {
+	var problems []string
+	if baseline.Seed != current.Seed || baseline.SizeCap != current.SizeCap || baseline.MatchCap != current.MatchCap {
+		problems = append(problems, fmt.Sprintf(
+			"workload mismatch: baseline (seed=%d sizecap=%d matchcap=%d) vs current (seed=%d sizecap=%d matchcap=%d); regenerate the baseline with the same flags",
+			baseline.Seed, baseline.SizeCap, baseline.MatchCap, current.Seed, current.SizeCap, current.MatchCap))
+		return problems
+	}
+	cur := make(map[string]CoreBenchRow, len(current.Rows))
+	for _, r := range current.Rows {
+		cur[r.Dataset] = r
+	}
+	for _, base := range baseline.Rows {
+		now, ok := cur[base.Dataset]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("dataset %s present in the baseline but not benched now", base.Dataset))
+			continue
+		}
+		if base.EntitiesPerSec <= 0 {
+			continue // nothing to hold the run to
+		}
+		floor := base.EntitiesPerSec * (1 - threshold)
+		if now.EntitiesPerSec < floor {
+			problems = append(problems, fmt.Sprintf(
+				"dataset %s: S2 throughput %.1f ent/s is %.0f%% below the %.1f ent/s baseline (floor %.1f at the %.0f%% threshold)",
+				base.Dataset, now.EntitiesPerSec, 100*(1-now.EntitiesPerSec/base.EntitiesPerSec), base.EntitiesPerSec, floor, 100*threshold))
+		}
+	}
+	return problems
 }

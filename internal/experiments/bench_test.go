@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func benchReport(eps float64) CoreBenchReport {
+	return CoreBenchReport{
+		Seed: 1, SizeCap: 40, MatchCap: 12,
+		Rows: []CoreBenchRow{
+			{Dataset: "Restaurant", Entities: 80, EntitiesPerSec: eps, JSD: 0.05},
+			{Dataset: "DBLP-ACM", Entities: 80, EntitiesPerSec: 2 * eps, JSD: 0.04},
+		},
+	}
+}
+
+func TestCompareCoreBench(t *testing.T) {
+	base := benchReport(100)
+
+	if p := CompareCoreBench(base, benchReport(100), 0.30); len(p) != 0 {
+		t.Errorf("identical runs flagged: %v", p)
+	}
+	if p := CompareCoreBench(base, benchReport(80), 0.30); len(p) != 0 {
+		t.Errorf("20%% drop within the 30%% threshold flagged: %v", p)
+	}
+	if p := CompareCoreBench(base, benchReport(500), 0.30); len(p) != 0 {
+		t.Errorf("speedup flagged: %v", p)
+	}
+
+	slow := benchReport(60) // 40% drop on every dataset
+	p := CompareCoreBench(base, slow, 0.30)
+	if len(p) != 2 {
+		t.Fatalf("40%% drop: got %d problems, want 2: %v", len(p), p)
+	}
+	if !strings.Contains(p[0], "Restaurant") && !strings.Contains(p[1], "Restaurant") {
+		t.Errorf("problems don't name the dataset: %v", p)
+	}
+
+	missing := benchReport(100)
+	missing.Rows = missing.Rows[:1]
+	if p := CompareCoreBench(base, missing, 0.30); len(p) != 1 || !strings.Contains(p[0], "DBLP-ACM") {
+		t.Errorf("missing dataset: %v", p)
+	}
+
+	otherWorkload := benchReport(100)
+	otherWorkload.SizeCap = 999
+	p = CompareCoreBench(base, otherWorkload, 0.30)
+	if len(p) != 1 || !strings.Contains(p[0], "workload mismatch") {
+		t.Errorf("cap mismatch: %v", p)
+	}
+}
+
+func TestCoreBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "BENCH_core.json")
+	rep := benchReport(123)
+	rep.Time = time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC)
+	if err := WriteCoreBench(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCoreBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != rep.Seed || got.SizeCap != 40 || len(got.Rows) != 2 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if got.Rows[0].Dataset != "Restaurant" || got.Rows[0].EntitiesPerSec != 123 {
+		t.Errorf("row 0 = %+v", got.Rows[0])
+	}
+	if _, err := ReadCoreBench(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"serd/internal/dataset"
 	"serd/internal/nn"
+	"serd/internal/telemetry"
 )
 
 // mlp is a small fully connected network with tanh hidden layers.
@@ -49,6 +50,11 @@ type Options struct {
 	BatchSize int     // default 32
 	LR        float64 // Adam learning rate, default 1e-3
 	Seed      int64
+	// Metrics receives training telemetry: the "gan.train" span, a
+	// "gan.train.steps" counter and the discriminator/generator loss
+	// histograms ("gan.train.d_loss", "gan.train.g_loss"). Nil disables
+	// recording; recording never touches the RNG stream.
+	Metrics telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -90,6 +96,9 @@ func Train(enc *Encoder, rows [][]string, opts Options) (*GAN, error) {
 		return nil, errors.New("gan: no training entities")
 	}
 	opts = opts.withDefaults()
+	rec := telemetry.OrNop(opts.Metrics)
+	span := rec.StartSpan("gan.train")
+	defer span.End()
 	r := rand.New(rand.NewSource(opts.Seed))
 	real := make([][]float64, len(rows))
 	for i, row := range rows {
@@ -130,13 +139,17 @@ func Train(enc *Encoder, rows [][]string, opts Options) (*GAN, error) {
 		lossFake := nn.BCE(g.disc.forward(fakeConst), zeros(opts.BatchSize))
 		lossFake.Backward()
 		optD.Step(g.disc.params())
+		rec.Observe("gan.train.d_loss", lossReal.Data[0]+lossFake.Data[0])
 
 		// Generator step: fool D into predicting 1 on fakes.
 		nn.ZeroGrads(g.gen.params())
 		nn.ZeroGrads(g.disc.params())
 		out := g.disc.forward(g.gen.forward(sampleZ(opts.BatchSize)))
-		nn.BCE(out, ones(opts.BatchSize)).Backward()
+		gLoss := nn.BCE(out, ones(opts.BatchSize))
+		gLoss.Backward()
 		optG.Step(g.gen.params())
+		rec.Observe("gan.train.g_loss", gLoss.Data[0])
+		rec.Add("gan.train.steps", 1)
 	}
 	return g, nil
 }

@@ -1,0 +1,346 @@
+// Package journal is SERD's durable run provenance layer: an append-only,
+// structured JSONL event journal that every pipeline stage writes to, plus
+// a privacy-budget ledger (ledger.go) and the audit machinery behind
+// `serd audit` (audit.go).
+//
+// One journal covers one run. Each line is one Event — run config and
+// seed, input/output dataset lineage hashes, S1/S2/S3 phase boundaries,
+// GMM fit summaries, per-bucket DP-SGD parameters, every ε checkpoint from
+// the RDP accountant, ledger charges, budget-enforcement decisions and the
+// terminal status. Events are hash-chained: every line carries
+// chain = SHA-256(prevChain | seq | type | data), so editing or dropping
+// any line breaks verification of every later line (see VerifyChain).
+//
+// Two fields are deliberately outside the chain: the wall-clock timestamp
+// (ts) and wall-clock durations (dur_s). They are the only nondeterministic
+// parts of a journal — two same-seed runs produce byte-identical journals
+// once ts/dur_s are stripped (the determinism regression test relies on
+// this), and the chain stays comparable across re-runs.
+//
+// The typed emitters below are the primary surface; Handler (slog.go)
+// adapts the same stream to a stdlib log/slog handler for free-form
+// structured notes.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultName is the journal filename written next to an output dataset,
+// the audit tooling's default lookup.
+const DefaultName = "journal.jsonl"
+
+// Event is one journal line.
+type Event struct {
+	// Seq is the 1-based position in the journal.
+	Seq int `json:"seq"`
+	// TS is the wall-clock emission time (RFC 3339). Volatile: excluded
+	// from the hash chain so same-seed runs chain identically.
+	TS string `json:"ts,omitempty"`
+	// DurS carries a wall-clock duration in seconds where the event has
+	// one (phase_end, run_end). Volatile like TS.
+	DurS float64 `json:"dur_s,omitempty"`
+	// Type names the event (run_start, lineage, phase_start, phase_end,
+	// gmm_fit, ledger_charge, budget, epsilon_checkpoint, ledger_total,
+	// synthesis, log, run_end).
+	Type string `json:"type"`
+	// Data is the type-specific payload.
+	Data json.RawMessage `json:"data,omitempty"`
+	// Chain is hex(SHA-256(prevChain | seq | "|" | type | "|" | data)),
+	// with an empty prevChain for the first event.
+	Chain string `json:"chain"`
+}
+
+// chainHash computes an event's chain value from its predecessor's.
+func chainHash(prev string, seq int, typ string, data []byte) string {
+	h := sha256.New()
+	io.WriteString(h, prev)
+	io.WriteString(h, strconv.Itoa(seq))
+	io.WriteString(h, "|")
+	io.WriteString(h, typ)
+	io.WriteString(h, "|")
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Journal appends events to a stream. Safe for concurrent use.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	c     io.Closer // nil when the writer is not ours to close
+	seq   int
+	chain string
+	err   error // first write error; subsequent emits are dropped
+	now   func() time.Time
+}
+
+// New wraps an existing writer (e.g. a bytes.Buffer in tests).
+func New(w io.Writer) *Journal {
+	return &Journal{w: w, now: time.Now}
+}
+
+// Create opens (truncating) a journal file at path, creating parent
+// directories as needed.
+func Create(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := New(f)
+	j.c = f
+	return j, nil
+}
+
+// Close flushes and closes the underlying file (no-op for New writers) and
+// returns the first write error encountered over the journal's lifetime.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.c != nil {
+		if err := j.c.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.c = nil
+	}
+	return j.err
+}
+
+// Err returns the first write error, if any.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// emit marshals data and appends one event. durS <= 0 omits the field.
+func (j *Journal) emit(typ string, data any, durS float64) {
+	if j == nil {
+		return
+	}
+	payload, err := json.Marshal(data)
+	if err != nil {
+		j.mu.Lock()
+		if j.err == nil {
+			j.err = fmt.Errorf("journal: marshaling %s event: %w", typ, err)
+		}
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.seq++
+	ev := Event{
+		Seq:  j.seq,
+		TS:   j.now().UTC().Format(time.RFC3339Nano),
+		Type: typ,
+		Data: payload,
+	}
+	if durS > 0 {
+		ev.DurS = durS
+	}
+	ev.Chain = chainHash(j.chain, ev.Seq, ev.Type, ev.Data)
+	line, err := json.Marshal(ev)
+	if err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+		return
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = fmt.Errorf("journal: %w", err)
+		return
+	}
+	j.chain = ev.Chain
+}
+
+// ---- typed event payloads ----
+
+// RunStartData opens a journal: producing tool, seed and the run's
+// configuration as resolved from flags/options.
+type RunStartData struct {
+	Tool   string            `json:"tool"`
+	Seed   int64             `json:"seed"`
+	Config map[string]string `json:"config,omitempty"`
+}
+
+// RunStart emits the opening run_start event.
+func (j *Journal) RunStart(tool string, seed int64, config map[string]string) {
+	j.emit("run_start", RunStartData{Tool: tool, Seed: seed, Config: config}, 0)
+}
+
+// LineageData records the content identity of a dataset the run consumed
+// (role "input") or produced (role "output").
+type LineageData struct {
+	Role string `json:"role"`
+	Dir  string `json:"dir"`
+	// Files maps filename to its SHA-256 (hex).
+	Files map[string]string `json:"files"`
+	// Combined is the SHA-256 over the sorted "name:hash" lines — one
+	// value identifying the whole dataset.
+	Combined string `json:"combined"`
+}
+
+// Lineage emits a lineage event for the dataset directory at dir; see
+// HashDataset for the file set covered.
+func (j *Journal) Lineage(role, dir string) error {
+	files, combined, err := HashDataset(dir)
+	if err != nil {
+		return err
+	}
+	j.emit("lineage", LineageData{Role: role, Dir: dir, Files: files, Combined: combined}, 0)
+	return nil
+}
+
+// PhaseData names a pipeline phase (core.s1, core.s2, core.s3,
+// textsynth.train, …).
+type PhaseData struct {
+	Name string `json:"name"`
+}
+
+// PhaseStart marks a phase boundary opening.
+func (j *Journal) PhaseStart(name string) { j.emit("phase_start", PhaseData{Name: name}, 0) }
+
+// PhaseEnd marks a phase boundary closing; the duration rides in the
+// volatile dur_s field so the chained payload stays deterministic.
+func (j *Journal) PhaseEnd(name string, durS float64) {
+	j.emit("phase_end", PhaseData{Name: name}, durS)
+}
+
+// GMMFitData summarizes one fitted mixture of S1.
+type GMMFitData struct {
+	// Name distinguishes the fit ("s1.match", "s1.nonmatch").
+	Name string `json:"name"`
+	// Dim is the similarity-vector dimensionality.
+	Dim int `json:"dim"`
+	// Components is the AIC-selected mixture size.
+	Components int `json:"components"`
+	// Samples is the training-set size.
+	Samples int `json:"samples"`
+	// LogLikelihood is the final training log-likelihood.
+	LogLikelihood float64 `json:"loglik"`
+}
+
+// GMMFit emits a gmm_fit event.
+func (j *Journal) GMMFit(d GMMFitData) { j.emit("gmm_fit", d, 0) }
+
+// CheckpointData is one ε reading from the RDP accountant mid-training.
+type CheckpointData struct {
+	Source  string  `json:"source"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
+}
+
+// EpsilonCheckpoint emits an epsilon_checkpoint event.
+func (j *Journal) EpsilonCheckpoint(source string, epsilon, delta float64) {
+	j.emit("epsilon_checkpoint", CheckpointData{Source: source, Epsilon: epsilon, Delta: delta}, 0)
+}
+
+// SynthesisData is the S2/S3 outcome summary.
+type SynthesisData struct {
+	Entities                int     `json:"entities"`
+	Matches                 int     `json:"matches"`
+	SampledMatches          int     `json:"sampled_matches"`
+	RejectedByDistribution  int     `json:"rejected_by_distribution"`
+	RejectedByDiscriminator int     `json:"rejected_by_discriminator"`
+	JSD                     float64 `json:"jsd"`
+}
+
+// Synthesis emits the synthesis summary event.
+func (j *Journal) Synthesis(d SynthesisData) { j.emit("synthesis", d, 0) }
+
+// Terminal run statuses.
+const (
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+	StatusAborted = "aborted" // stopped by privacy-budget enforcement
+)
+
+// RunEndData closes a journal.
+type RunEndData struct {
+	Status string `json:"status"`
+	// Error carries the failure/abort reason for non-done statuses.
+	Error string `json:"error,omitempty"`
+	// Summary holds headline scalars (jsd, entities, …) mirroring the run
+	// report.
+	Summary map[string]float64 `json:"summary,omitempty"`
+}
+
+// RunEnd emits the terminal run_end event; wallS is the run's wall-clock
+// duration (volatile field).
+func (j *Journal) RunEnd(status, errMsg string, summary map[string]float64, wallS float64) {
+	j.emit("run_end", RunEndData{Status: status, Error: errMsg, Summary: summary}, wallS)
+}
+
+// ConfigData is a free-form keyed configuration event (e.g. core's resolved
+// synthesis options).
+type ConfigData struct {
+	Name   string            `json:"name"`
+	Values map[string]string `json:"values"`
+}
+
+// Config emits a config event.
+func (j *Journal) Config(name string, values map[string]string) {
+	j.emit("config", ConfigData{Name: name, Values: values}, 0)
+}
+
+// ---- reading ----
+
+// Read loads and parses every event of a journal file. It does NOT verify
+// the hash chain; see VerifyChain.
+func Read(path string) ([]Event, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// Parse decodes JSONL journal bytes.
+func Parse(data []byte) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", len(events)+1, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// VerifyChain recomputes the hash chain over events and returns the index
+// (0-based) of the first broken link, or -1 when the chain is intact.
+// A broken link means the event at that index — or an earlier deletion —
+// does not match what was originally written.
+func VerifyChain(events []Event) int {
+	prev := ""
+	for i, ev := range events {
+		if ev.Seq != i+1 {
+			return i
+		}
+		if chainHash(prev, ev.Seq, ev.Type, ev.Data) != ev.Chain {
+			return i
+		}
+		prev = ev.Chain
+	}
+	return -1
+}

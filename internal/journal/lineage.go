@@ -1,0 +1,62 @@
+package journal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// HashDataset fingerprints an on-disk ER dataset directory (the
+// SaveDataset layout): A.csv, B.csv and matches.csv, plus any
+// background_*.txt corpora present. It returns per-file SHA-256 hashes and
+// a combined hash over the sorted "name:hash" lines — the single value a
+// lineage event pins the dataset to.
+func HashDataset(dir string) (files map[string]string, combined string, err error) {
+	names := []string{"A.csv", "B.csv", "matches.csv"}
+	corpora, err := filepath.Glob(filepath.Join(dir, "background_*.txt"))
+	if err != nil {
+		return nil, "", fmt.Errorf("journal: %w", err)
+	}
+	for _, p := range corpora {
+		names = append(names, filepath.Base(p))
+	}
+	files = make(map[string]string, len(names))
+	for _, name := range names {
+		h, err := hashFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, "", fmt.Errorf("journal: hashing %s: %w", name, err)
+		}
+		files[name] = h
+	}
+	return files, CombineHashes(files), nil
+}
+
+// CombineHashes folds a filename→hash map into one order-independent
+// dataset hash.
+func CombineHashes(files map[string]string) string {
+	lines := make([]string, 0, len(files))
+	for name, h := range files {
+		lines = append(lines, name+":"+h)
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+func hashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

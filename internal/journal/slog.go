@@ -1,0 +1,80 @@
+package journal
+
+import (
+	"context"
+	"log/slog"
+)
+
+// LogData is the payload of free-form "log" events produced by the slog
+// handler: the typed event layer's escape hatch for structured notes.
+type LogData struct {
+	Level string         `json:"level"`
+	Msg   string         `json:"msg"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Handler returns a stdlib log/slog handler that appends records at or
+// above level to the journal as "log" events. Record timestamps ride in
+// the journal's volatile ts field; attribute values land in the chained
+// payload, so loggers feeding a journal should log deterministic values
+// (no durations) if the run is meant to be reproducible byte-for-byte.
+func (j *Journal) Handler(level slog.Leveler) slog.Handler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &slogHandler{j: j, level: level}
+}
+
+type slogHandler struct {
+	j     *Journal
+	level slog.Leveler
+	attrs map[string]any
+	group string
+}
+
+func (h *slogHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return h.j != nil && level >= h.level.Level()
+}
+
+func (h *slogHandler) Handle(_ context.Context, rec slog.Record) error {
+	data := LogData{Level: rec.Level.String(), Msg: rec.Message}
+	if len(h.attrs) > 0 || rec.NumAttrs() > 0 {
+		data.Attrs = make(map[string]any, len(h.attrs)+rec.NumAttrs())
+		for k, v := range h.attrs {
+			data.Attrs[k] = v
+		}
+		rec.Attrs(func(a slog.Attr) bool {
+			data.Attrs[h.key(a.Key)] = a.Value.Resolve().Any()
+			return true
+		})
+	}
+	h.j.emit("log", data, 0)
+	return h.j.Err()
+}
+
+func (h *slogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	next := &slogHandler{j: h.j, level: h.level, group: h.group}
+	next.attrs = make(map[string]any, len(h.attrs)+len(attrs))
+	for k, v := range h.attrs {
+		next.attrs[k] = v
+	}
+	for _, a := range attrs {
+		next.attrs[h.key(a.Key)] = a.Value.Resolve().Any()
+	}
+	return next
+}
+
+func (h *slogHandler) WithGroup(name string) slog.Handler {
+	group := name
+	if h.group != "" {
+		group = h.group + "." + name
+	}
+	return &slogHandler{j: h.j, level: h.level, attrs: h.attrs, group: group}
+}
+
+func (h *slogHandler) key(k string) string {
+	if h.group == "" {
+		return k
+	}
+	return h.group + "." + k
+}

@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"sync"
+	"time"
+
+	"serd/internal/telemetry"
+)
+
+// DefaultPhases are the span names the instrumented recorder mirrors into
+// phase_start/phase_end journal events: the pipeline's coarse stage
+// boundaries, not per-entity micro-spans.
+var DefaultPhases = map[string]bool{
+	"core.s1":                true,
+	"core.s2":                true,
+	"core.s3":                true,
+	"textsynth.train":        true,
+	"textsynth.train.bucket": true,
+	"gan.train":              true,
+}
+
+// Instrument wraps a telemetry.Recorder so that the journal receives the
+// durable subset of the metric stream alongside it: coarse phase spans
+// become phase_start/phase_end events, and the live "dp.epsilon" gauge
+// (published by dp.Accountant.RecordEpsilon after every noisy step) becomes
+// epsilon_checkpoint events. Everything still reaches inner unchanged, so
+// the live inspector and run report see exactly what they would without a
+// journal. The wrapper does no RNG work — instrumented and bare runs with
+// the same seed produce identical datasets.
+func Instrument(j *Journal, inner telemetry.Recorder) telemetry.Recorder {
+	inner = telemetry.OrNop(inner)
+	if j == nil {
+		return inner
+	}
+	return &teeRecorder{j: j, inner: inner, phases: DefaultPhases}
+}
+
+type teeRecorder struct {
+	j      *Journal
+	inner  telemetry.Recorder
+	phases map[string]bool
+
+	mu        sync.Mutex
+	lastDelta float64 // most recent "dp.delta" gauge, paired with epsilon
+}
+
+func (t *teeRecorder) Add(name string, delta float64) { t.inner.Add(name, delta) }
+
+func (t *teeRecorder) Observe(name string, value float64) { t.inner.Observe(name, value) }
+
+func (t *teeRecorder) Set(name string, value float64) {
+	t.inner.Set(name, value)
+	switch name {
+	case "dp.delta":
+		// RecordEpsilon publishes δ before ε so the pair journals together.
+		t.mu.Lock()
+		t.lastDelta = value
+		t.mu.Unlock()
+	case "dp.epsilon":
+		t.mu.Lock()
+		delta := t.lastDelta
+		t.mu.Unlock()
+		t.j.EpsilonCheckpoint("dp.sgd", value, delta)
+	}
+}
+
+func (t *teeRecorder) StartSpan(name string) telemetry.Span {
+	span := t.inner.StartSpan(name)
+	if !t.phases[name] {
+		return span
+	}
+	t.j.PhaseStart(name)
+	return &teeSpan{t: t, name: name, inner: span, t0: time.Now()}
+}
+
+type teeSpan struct {
+	t     *teeRecorder
+	name  string
+	inner telemetry.Span
+	t0    time.Time
+}
+
+func (s *teeSpan) End() {
+	s.inner.End()
+	s.t.j.PhaseEnd(s.name, time.Since(s.t0).Seconds())
+}

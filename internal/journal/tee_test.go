@@ -1,0 +1,66 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"serd/internal/telemetry"
+)
+
+func TestInstrumentTeesPhasesAndCheckpoints(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.now = fixedClock()
+	reg := telemetry.NewRegistry()
+	rec := Instrument(j, reg)
+
+	span := rec.StartSpan("core.s1")
+	rec.Add("core.s2.sampled", 3)
+	span.End()
+	rec.StartSpan("core.s2.entity").End() // micro-span: not journaled
+	rec.Set("dp.delta", 1e-5)
+	rec.Set("dp.epsilon", 0.42)
+
+	events, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, ev := range events {
+		types = append(types, ev.Type)
+	}
+	want := []string{"phase_start", "phase_end", "epsilon_checkpoint"}
+	if len(types) != len(want) {
+		t.Fatalf("journaled %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("journaled %v, want %v", types, want)
+		}
+	}
+	var cp CheckpointData
+	if err := json.Unmarshal(events[2].Data, &cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Epsilon != 0.42 || cp.Delta != 1e-5 || cp.Source != "dp.sgd" {
+		t.Errorf("checkpoint = %+v", cp)
+	}
+
+	// Everything must still reach the inner recorder unchanged.
+	snap := reg.Snapshot()
+	if snap.Counters["core.s2.sampled"] != 3 {
+		t.Errorf("inner counter = %v", snap.Counters["core.s2.sampled"])
+	}
+	if snap.Gauges["dp.epsilon"] != 0.42 {
+		t.Errorf("inner gauge = %v", snap.Gauges["dp.epsilon"])
+	}
+}
+
+func TestInstrumentNilJournal(t *testing.T) {
+	rec := Instrument(nil, nil)
+	rec.StartSpan("core.s1").End() // must not panic
+	if _, ok := rec.(*teeRecorder); ok {
+		t.Error("nil journal should not produce a tee")
+	}
+}

@@ -27,8 +27,31 @@ type RunReport struct {
 	// rejected_by_distribution, …) for consumers that don't want to dig
 	// through Metrics.
 	Summary map[string]float64 `json:"summary,omitempty"`
+	// Privacy is the run's composed privacy cost with per-component
+	// attribution, filled from the journal's privacy ledger when the run
+	// invoked any DP mechanism.
+	Privacy *LedgerSummary `json:"privacy,omitempty"`
+	// Journal is the path of the run's event journal, when one was written.
+	Journal string `json:"journal,omitempty"`
 	// Metrics is the full registry snapshot at the end of the run.
 	Metrics Snapshot `json:"metrics"`
+}
+
+// LedgerSummary is the report form of the privacy-budget ledger: the
+// composed (ε, δ) plus each mechanism invocation's share.
+type LedgerSummary struct {
+	Epsilon float64        `json:"epsilon"`
+	Delta   float64        `json:"delta"`
+	Charges []LedgerCharge `json:"charges,omitempty"`
+}
+
+// LedgerCharge is one DP mechanism expenditure in a report.
+type LedgerCharge struct {
+	Label   string  `json:"label"`
+	Kind    string  `json:"kind"`
+	Group   string  `json:"group,omitempty"`
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta,omitempty"`
 }
 
 // WriteRunReport writes the report as indented JSON, creating parent

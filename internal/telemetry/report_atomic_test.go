@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func reportFor(seed int64) *RunReport {
+	return &RunReport{
+		Tool: "test", Seed: seed,
+		Start:       time.Date(2026, 8, 6, 0, 0, 0, 0, time.UTC),
+		WallSeconds: float64(seed),
+		Summary:     map[string]float64{"jsd": 0.05},
+		Privacy: &LedgerSummary{Epsilon: 1.5, Delta: 1e-5, Charges: []LedgerCharge{
+			{Label: "bk0", Kind: "dp_sgd", Group: "bank", Epsilon: 1.5, Delta: 1e-5},
+		}},
+	}
+}
+
+// listTempFiles returns leftover temp artifacts of the atomic write.
+func listTempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tmps []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".run_report-") {
+			tmps = append(tmps, e.Name())
+		}
+	}
+	return tmps
+}
+
+func TestWriteRunReportLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run_report.json")
+	for i := int64(0); i < 3; i++ {
+		if err := WriteRunReport(path, reportFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tmps := listTempFiles(t, dir); len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+	rep, err := ReadRunReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 2 {
+		t.Errorf("last write did not win: seed = %d", rep.Seed)
+	}
+	if rep.Privacy == nil || rep.Privacy.Epsilon != 1.5 || len(rep.Privacy.Charges) != 1 {
+		t.Errorf("privacy block did not round-trip: %+v", rep.Privacy)
+	}
+}
+
+// TestWriteRunReportFailureLeavesTargetIntact simulates a crashed write:
+// the rename target is a directory, so the final step fails — the
+// pre-existing report must survive untouched and the temp file must be
+// cleaned up.
+func TestWriteRunReportFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run_report.json")
+	if err := WriteRunReport(path, reportFor(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := filepath.Join(dir, "blocked")
+	if err := os.MkdirAll(filepath.Join(blocked, "run_report.json", "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRunReport(filepath.Join(blocked, "run_report.json"), reportFor(2)); err == nil {
+		t.Fatal("rename onto a non-empty directory succeeded")
+	}
+	if tmps := listTempFiles(t, blocked); len(tmps) != 0 {
+		t.Errorf("failed write left temp files: %v", tmps)
+	}
+
+	rep, err := ReadRunReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != 1 {
+		t.Errorf("unrelated report corrupted: %+v", rep)
+	}
+}
+
+// TestRunReportConcurrentReadersSeeValidJSON hammers one path with writers
+// while readers poll it: thanks to the rename, a reader must never observe
+// a partially written document.
+func TestRunReportConcurrentReadersSeeValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run_report.json")
+	if err := WriteRunReport(path, reportFor(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := WriteRunReport(path, reportFor(seed+int64(i))); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+			}
+		}(int64(w) * 1000)
+	}
+
+	for i := 0; i < 200; i++ {
+		rep, err := ReadRunReport(path)
+		if err != nil {
+			t.Fatalf("reader saw a torn report on iteration %d: %v", i, err)
+		}
+		if rep.Tool != "test" {
+			t.Fatalf("reader saw wrong content: %+v", rep)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if tmps := listTempFiles(t, dir); len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"serd/internal/dp"
+	"serd/internal/journal"
 	"serd/internal/nn"
 	"serd/internal/perturb"
 	"serd/internal/simfn"
@@ -54,6 +55,15 @@ type TransformerOptions struct {
 	// ("textsynth.train.chars_per_sec") and — with DP — the live privacy
 	// budget via dp.Accountant.RecordEpsilon. Nil disables recording.
 	Metrics telemetry.Recorder
+	// Privacy, when set with DP training, registers each bucket model's
+	// DP-SGD expenditure with the privacy ledger BEFORE that bucket trains
+	// (the ε is fully determined by q, σ, steps and δ, so the charge is
+	// sound up-front). Buckets share the "textsynth.bank" parallel-
+	// composition group: they train on disjoint pair sets, so the bank's
+	// cost is the max bucket ε, matching Epsilon(). A ledger with an ε
+	// budget in abort mode stops training before the budget would be
+	// overspent.
+	Privacy *journal.Ledger
 	// Seed drives everything.
 	Seed int64
 }
@@ -181,6 +191,17 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 		m, err := transformer.New(cfg, opts.Seed+int64(bk))
 		if err != nil {
 			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+		}
+		if opts.DP != nil {
+			// Charge the ledger before training: ε is fully determined by
+			// the parameters, and budget enforcement must fire before the
+			// budget would be overspent.
+			steps := opts.Epochs * (len(pairs) + opts.BatchSize - 1) / opts.BatchSize
+			q := float64(opts.BatchSize) / float64(len(pairs))
+			label := fmt.Sprintf("textsynth.bucket%02d", bk)
+			if err := opts.Privacy.ChargeSGD(label, "textsynth.bank", q, opts.DP.Noise, steps, opts.DP.Delta); err != nil {
+				return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+			}
 		}
 		eps, err := trainOne(m, pairs, opts, r)
 		if err != nil {

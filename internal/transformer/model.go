@@ -176,9 +176,9 @@ func New(cfg Config, seed int64) (*Model, error) {
 	}
 	r := rand.New(rand.NewSource(seed))
 	m := &Model{
-		cfg:   cfg,
-		embed: nn.NewParam(cfg.Vocab.Size(), cfg.DModel).XavierInit(r),
-		pos:   sinusoidal(cfg.MaxLen, cfg.DModel),
+		cfg:     cfg,
+		embed:   nn.NewParam(cfg.Vocab.Size(), cfg.DModel).XavierInit(r),
+		pos:     sinusoidal(cfg.MaxLen, cfg.DModel),
 		outW:    nn.NewParam(cfg.DModel, cfg.Vocab.Size()).XavierInit(r),
 		outB:    nn.NewParam(1, cfg.Vocab.Size()),
 		rand:    r,

@@ -38,6 +38,7 @@ import (
 	"serd/internal/dp"
 	"serd/internal/embench"
 	"serd/internal/gmm"
+	"serd/internal/journal"
 	"serd/internal/matcher"
 	"serd/internal/privacy"
 	"serd/internal/simfn"
@@ -251,6 +252,79 @@ type (
 	RunReport = telemetry.RunReport
 )
 
+// Provenance (see internal/journal): the append-only, hash-chained event
+// journal every run writes, the privacy-budget ledger composed over it,
+// and the audit tooling behind `serd audit`.
+type (
+	// Journal is the append-only structured event journal; set it on
+	// Options.Journal and feed the same instance to JournalRecorder and
+	// NewPrivacyLedger so one file carries the whole run.
+	Journal = journal.Journal
+	// JournalEvent is one decoded journal line.
+	JournalEvent = journal.Event
+	// PrivacyLedger registers every DP mechanism expenditure, composes
+	// them (parallel within a group, sequential across) and optionally
+	// enforces an ε budget.
+	PrivacyLedger = journal.Ledger
+	// LedgerEntry is one recorded expenditure with the mechanism
+	// parameters needed to recompute its ε.
+	LedgerEntry = journal.Entry
+	// BudgetMode selects abort-vs-warn budget enforcement.
+	BudgetMode = journal.BudgetMode
+	// AuditSummary is a journal distilled for display and diffing.
+	AuditSummary = journal.RunSummary
+	// AuditVerifyResult is the outcome of AuditVerify.
+	AuditVerifyResult = journal.VerifyResult
+	// AuditDiff is the delta between two summarized runs.
+	AuditDiff = journal.Diff
+)
+
+// Budget enforcement modes for PrivacyLedger.SetBudget.
+const (
+	BudgetAbort = journal.BudgetAbort
+	BudgetWarn  = journal.BudgetWarn
+)
+
+// ErrBudgetExceeded is returned (wrapped) by ledger charges that would
+// overspend an ε budget in BudgetAbort mode.
+var ErrBudgetExceeded = journal.ErrBudgetExceeded
+
+// NewJournal starts a journal on an open writer; CreateJournal opens (and
+// truncates) a file path, creating parent directories.
+func NewJournal(w io.Writer) *Journal { return journal.New(w) }
+
+// CreateJournal opens path for appending a fresh journal.
+func CreateJournal(path string) (*Journal, error) { return journal.Create(path) }
+
+// NewPrivacyLedger returns a ledger journaling each charge to j (nil for
+// an unjournaled ledger).
+func NewPrivacyLedger(j *Journal) *PrivacyLedger { return journal.NewLedger(j) }
+
+// JournalRecorder tees a metrics recorder into a journal: allowlisted
+// phase spans become phase events and ε gauge updates become
+// epsilon_checkpoint events, while everything still reaches inner.
+func JournalRecorder(j *Journal, inner MetricsRecorder) MetricsRecorder {
+	return journal.Instrument(j, inner)
+}
+
+// ReadJournal loads and decodes a journal file.
+func ReadJournal(path string) ([]JournalEvent, error) { return journal.Read(path) }
+
+// SummarizeJournal folds journal events into an AuditSummary.
+func SummarizeJournal(events []JournalEvent) (*AuditSummary, error) {
+	return journal.Summarize(events)
+}
+
+// AuditVerify re-verifies a recorded run: hash chain, recomputed ε per
+// charge and composed, and output dataset lineage (datasetDir overrides
+// the journaled output location; "" uses it).
+func AuditVerify(journalPath, datasetDir string) (*AuditVerifyResult, error) {
+	return journal.Verify(journalPath, datasetDir)
+}
+
+// AuditDiffRuns compares two summarized runs.
+func AuditDiffRuns(a, b *AuditSummary) *AuditDiff { return journal.DiffRuns(a, b) }
+
 // NewMetricsRegistry returns an empty, concurrency-safe registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
@@ -403,6 +477,13 @@ func DCR(real, syn *ER, r *rand.Rand) (float64, error) {
 // ratio q and noise multiplier sigma after the given number of steps.
 func DPEpsilon(q, sigma float64, steps int, delta float64) float64 {
 	return dp.Accountant{Q: q, Noise: sigma}.Epsilon(steps, delta)
+}
+
+// LaplaceRelease releases value + Lap(sensitivity/ε) — ε-DP for a query
+// with the given sensitivity. Register the spend on the run's ledger with
+// PrivacyLedger.ChargeLaplace before calling.
+func LaplaceRelease(value, sensitivity, epsilon float64, r *rand.Rand) float64 {
+	return dp.LaplaceMechanism(value, sensitivity, epsilon, r)
 }
 
 // SaveDataset writes an ER dataset to a directory (A.csv, B.csv,
