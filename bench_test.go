@@ -311,23 +311,50 @@ func BenchmarkAblation_DPNoise(b *testing.B) {
 	}
 }
 
-// BenchmarkCore_SynthesizeEntityRate measures raw synthesis throughput.
+// BenchmarkCore_SynthesizeEntityRate measures raw synthesis throughput at
+// several worker counts (outputs are bit-identical across them; see
+// TestSynthesizeWorkerCountInvariant).
 func BenchmarkCore_SynthesizeEntityRate(b *testing.B) {
 	gen, synths := ablationFixture(b)
 	j, err := core.LearnDistributions(gen.ER, core.LearnOptions{Rand: rand.New(rand.NewSource(10))})
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_, err := serd.Synthesize(gen.ER, serd.Options{
-			Synthesizers: synths, Learned: j, SizeA: 30, SizeB: 30, Seed: int64(i),
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := serd.Synthesize(gen.ER, serd.Options{
+					Synthesizers: synths, Learned: j, SizeA: 30, SizeB: 30, Seed: int64(i), Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(60, "entities/op")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
 	}
-	b.ReportMetric(60, "entities/op")
+}
+
+// BenchmarkSimFn_QGramJaccard isolates the pipeline's hottest kernel: the
+// q-gram Jaccard similarity, uncached (both sides re-derived per call, the
+// pre-PR behavior everywhere) vs prepped (sorted gram sets computed once —
+// what simfn.Bind and dataset.SimCache give the S2/S3 hot paths).
+func BenchmarkSimFn_QGramJaccard(b *testing.B) {
+	sim := simfn.QGramJaccard{Q: 3, Fold: true}
+	s1 := "Adaptable Query Optimization and Evaluation in Temporal Middleware"
+	s2 := "Adaptable query optimization and evaluation in temporal middleware, extended"
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.Sim(s1, s2)
+		}
+	})
+	b.Run("prepped", func(b *testing.B) {
+		p1, p2 := sim.Prep(s1), sim.Prep(s2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sim.SimPrepped(p1, p2)
+		}
+	})
 }
 
 func serdTransformerMicro() serd.TransformerConfig {

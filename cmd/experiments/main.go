@@ -40,6 +40,7 @@ func main() {
 		sizeCap      = flag.Int("sizecap", 0, "cap relation sizes (0 = scaled defaults)")
 		matchCap     = flag.Int("matchcap", 0, "cap match counts (0 = scaled defaults)")
 		seed         = flag.Int64("seed", 1, "random seed")
+		workers      = flag.Int("workers", 0, "worker count for the parallel S2/S3 hot path (0 = GOMAXPROCS); results are bit-identical at any value")
 		transformer  = flag.Bool("transformer", false, "use the DP transformer bank for textual synthesis (slow)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
 		reportPath   = flag.String("report", "", "write the final run report (JSON) to this path")
@@ -54,6 +55,7 @@ func main() {
 		SizeCap:        *sizeCap,
 		MatchCap:       *matchCap,
 		UseTransformer: *transformer,
+		Workers:        *workers,
 	}
 	if *transformer {
 		cfg.Transformer = textsynth.TransformerOptions{

@@ -145,6 +145,13 @@ func auditShow(path string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "synthesis: entities=%d matches=%d sampled=%d rejected=%d/%d jsd=%.4f\n",
 			sy.Entities, sy.Matches, sy.SampledMatches, sy.RejectedByDistribution, sy.RejectedByDiscriminator, sy.JSD)
 	}
+	for _, w := range sum.Warnings {
+		fmt.Fprintf(stdout, "warning [%s] %s", w.Source, w.Message)
+		for _, k := range sortedKeys(w.Fields) {
+			fmt.Fprintf(stdout, " %s=%s", k, w.Fields[k])
+		}
+		fmt.Fprintln(stdout)
+	}
 	for _, l := range sum.Logs {
 		fmt.Fprintf(stdout, "log [%s] %s", l.Level, l.Msg)
 		for _, k := range sortedAnyKeys(l.Attrs) {

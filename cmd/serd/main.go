@@ -74,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 		sizeA       = fs.Int("size-a", 0, "synthesized |A| (0 = same as input)")
 		sizeB       = fs.Int("size-b", 0, "synthesized |B| (0 = same as input)")
 		seed        = fs.Int64("seed", 1, "random seed")
+		workers     = fs.Int("workers", 0, "worker count for the parallel S2/S3 hot path (0 = GOMAXPROCS); outputs are bit-identical at any value")
 		noReject    = fs.Bool("no-reject", false, "disable entity rejection (the SERD- ablation)")
 		saveDist    = fs.String("save-dist", "", "write the learned O-distribution (JSON) to this path")
 		loadDist    = fs.String("load-dist", "", "reuse a previously saved O-distribution instead of re-learning")
@@ -167,7 +168,7 @@ func run(args []string, stdout io.Writer) error {
 	start := time.Now()
 	err = synth(synthConfig{
 		fs: fs, in: *in, out: *out, schema: schema,
-		sizeA: *sizeA, sizeB: *sizeB, seed: *seed,
+		sizeA: *sizeA, sizeB: *sizeB, seed: *seed, workers: *workers,
 		noReject: *noReject, saveDist: *saveDist, loadDist: *loadDist,
 		audit: *audit, auditEps: *auditEps, progress: *progress,
 		metricsAddr: *metricsAddr, reportPath: *reportPath, noReport: *noReport,
@@ -203,6 +204,7 @@ type synthConfig struct {
 	schema                                *serd.Schema
 	sizeA, sizeB                          int
 	seed                                  int64
+	workers                               int
 	noReject                              bool
 	saveDist, loadDist                    string
 	audit                                 bool
@@ -277,6 +279,10 @@ func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
 		Metrics:          rec,
 		Journal:          cfg.jr,
 		Seed:             cfg.seed,
+		// Workers is an execution parameter, not a run parameter: it is
+		// deliberately absent from the journaled RunStart config so runs at
+		// different worker counts produce identical journals.
+		Workers: cfg.workers,
 	}
 	if cfg.progress {
 		opts.Progress = func(done, total int) {

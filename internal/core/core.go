@@ -12,6 +12,7 @@ import (
 	"serd/internal/gan"
 	"serd/internal/gmm"
 	"serd/internal/journal"
+	"serd/internal/parallel"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
@@ -88,6 +89,13 @@ type Options struct {
 	// (journal.Instrument). Journaling, like Metrics, never touches the
 	// RNG stream.
 	Journal *journal.Journal
+	// Workers bounds the worker pool that fans out the S2/S3 hot path
+	// (delta similarity vectors, striped JSD estimates, GMM E-steps and
+	// S3 labeling). 0 means GOMAXPROCS. Workers is an execution parameter,
+	// not a semantic one: any value — including 1 — produces bit-identical
+	// datasets and journals for the same seed, which is why it is excluded
+	// from the journaled configuration.
+	Workers int
 	// HeartbeatEvery emits a liveness heartbeat every N rejected attempts —
 	// a "core.s2.heartbeat" counter tick plus a Progress callback — so long
 	// rejection streaks (which add no entities and would otherwise stay
@@ -174,6 +182,9 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	}
 	r := rand.New(rand.NewSource(opts.Seed))
 	rec := opts.Metrics
+	pool := parallel.New(opts.Workers, rec)
+	// Workers is deliberately absent from the journaled config: the journal
+	// records what was computed, and the worker count never changes that.
 	opts.Journal.Config("core.options", map[string]string{
 		"size_a":         fmt.Sprint(opts.SizeA),
 		"size_b":         fmt.Sprint(opts.SizeB),
@@ -198,6 +209,9 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 		if learn.Journal == nil {
 			learn.Journal = opts.Journal
 		}
+		if learn.Pool == nil {
+			learn.Pool = pool
+		}
 		var err error
 		oReal, err = LearnDistributions(real, learn)
 		if err != nil {
@@ -215,6 +229,10 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	}
 
 	schema := real.Schema()
+	// One prep cache serves S2's rejection scans and S3's labeling: the
+	// synthesized entities are compared against each other thousands of
+	// times, and their q-gram/token sets never change.
+	cache := dataset.NewSimCache(schema)
 	synA := dataset.NewRelation("A_syn", schema)
 	synB := dataset.NewRelation("B_syn", schema)
 	res := &Result{OReal: oReal}
@@ -228,7 +246,7 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	dist := newDistState(oReal, opts)
+	dist := newDistState(oReal, opts, pool, cache)
 	sampled := make(map[dataset.Pair]bool) // S2-sampled labels
 	// matched tracks entities that already have a sampled match partner.
 	// Real benchmark matches are essentially one-to-one; synthesizing a
@@ -357,7 +375,7 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 
 	// S3: label all remaining pairs by posterior (§IV-C).
 	s3 := rec.StartSpan("core.s3")
-	matches := labelAllPairs(oReal, schema, synA, synB, sampled, opts.S3Blocker)
+	matches := labelAllPairs(oReal, synA, synB, sampled, opts.S3Blocker, cache, pool)
 	s3.End()
 	rec.Set("core.s3.matches", float64(len(matches)))
 	syn, err := dataset.NewER(synA, synB, matches)
@@ -418,34 +436,46 @@ func bootstrap(vs *valueSynth, real *dataset.ER, opts Options, r *rand.Rand) (*d
 // labelAllPairs implements S3: every pair not labeled during S2 gets the
 // posterior-probability label P_m(x) >= P_n(x) (Eq. 7 / §IV-C). With a
 // blocker, only candidate pairs are scored and the rest default to
-// non-matching.
-func labelAllPairs(oReal *gmm.Joint, schema *dataset.Schema, a, b *dataset.Relation, sampled map[dataset.Pair]bool, blocker blocking.Blocker) []dataset.Pair {
+// non-matching. Scoring fans out over the pool — pairs are pure reads of
+// the relations, the sampled map and O_real — with per-slot results merged
+// deterministically (and sorted regardless).
+func labelAllPairs(oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset.Pair]bool, blocker blocking.Blocker, cache *dataset.SimCache, pool *parallel.Pool) []dataset.Pair {
 	var matches []dataset.Pair
 	for p, m := range sampled {
 		if m {
 			matches = append(matches, p)
 		}
 	}
-	score := func(p dataset.Pair) {
+	score := func(p dataset.Pair) bool {
 		if _, ok := sampled[p]; ok {
-			return
+			return false
 		}
-		x := schema.SimVector(a.Entities[p.A], b.Entities[p.B])
-		if oReal.IsMatch(x) {
-			matches = append(matches, p)
-		}
+		return oReal.IsMatch(cache.SimVector(a.Entities[p.A], b.Entities[p.B]))
 	}
 	if blocker != nil {
-		for _, p := range blocker.Candidates(a, b) {
-			score(p)
+		cands := blocker.Candidates(a, b)
+		hit := make([]bool, len(cands))
+		pool.Run("core.s3.label", len(cands), func(i int) { hit[i] = score(cands[i]) })
+		for i, p := range cands {
+			if hit[i] {
+				matches = append(matches, p)
+			}
 		}
 		sortPairs(matches)
 		return matches
 	}
-	for i := 0; i < a.Len(); i++ {
+	rows := make([][]dataset.Pair, a.Len())
+	pool.Run("core.s3.label", a.Len(), func(i int) {
+		var local []dataset.Pair
 		for j := 0; j < b.Len(); j++ {
-			score(dataset.Pair{A: i, B: j})
+			if p := (dataset.Pair{A: i, B: j}); score(p) {
+				local = append(local, p)
+			}
 		}
+		rows[i] = local
+	})
+	for _, row := range rows {
+		matches = append(matches, row...)
 	}
 	sortPairs(matches)
 	return matches

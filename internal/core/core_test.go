@@ -308,7 +308,7 @@ func TestLabelAllPairsUsesPosterior(t *testing.T) {
 	}
 	// Label the REAL dataset's pairs with S3: the recovered matches should
 	// largely agree with ground truth (M and N are well separated).
-	matches := labelAllPairs(j, gen.ER.Schema(), gen.ER.A, gen.ER.B, nil, nil)
+	matches := labelAllPairs(j, gen.ER.A, gen.ER.B, nil, nil, dataset.NewSimCache(gen.ER.Schema()), nil)
 	truth := gen.ER.MatchSet()
 	tp := 0
 	for _, p := range matches {

@@ -15,6 +15,7 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/gmm"
 	"serd/internal/journal"
+	"serd/internal/parallel"
 	"serd/internal/telemetry"
 )
 
@@ -50,6 +51,9 @@ type LearnOptions struct {
 	Journal *journal.Journal
 	// Rand drives sampling and EM initialization.
 	Rand *rand.Rand
+	// Pool, when set, parallelizes the EM E-steps (bit-identical at any
+	// worker count; see gmm.FitOptions.Pool).
+	Pool *parallel.Pool
 }
 
 func (o LearnOptions) withDefaults(matches int) LearnOptions {
@@ -101,7 +105,7 @@ func LearnDistributions(real *dataset.ER, opts LearnOptions) (*gmm.Joint, error)
 			xn = append(xn, lp.Vector)
 		}
 	}
-	fit := gmm.FitOptions{Rand: opts.Rand, Metrics: opts.Metrics}
+	fit := gmm.FitOptions{Rand: opts.Rand, Metrics: opts.Metrics, Pool: opts.Pool}
 	mModel, err := gmm.FitAIC(xp, opts.MaxComponents, fit)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)

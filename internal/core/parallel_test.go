@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"serd/internal/datagen"
+	"serd/internal/dataset"
+	"serd/internal/parallel"
+)
+
+// benchFixture mirrors fixture for benchmarks (which get no *testing.T).
+func benchFixture() (*datagen.Generated, error) {
+	return datagen.Scholar(datagen.Config{Seed: 1, SizeA: 60, SizeB: 60, Matches: 25, BackgroundPerColumn: 80})
+}
+
+func TestPartialPermDistinctAndInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(200)
+		k := 1 + r.Intn(n)
+		got := partialPerm(r, n, k)
+		if len(got) != k {
+			t.Fatalf("n=%d k=%d: got %d indices", n, k, len(got))
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n {
+				t.Fatalf("n=%d k=%d: index %d out of range", n, k, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d k=%d: duplicate index %d", n, k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPartialPermDeterministicAndUniform(t *testing.T) {
+	a := partialPerm(rand.New(rand.NewSource(3)), 100, 10)
+	b := partialPerm(rand.New(rand.NewSource(3)), 100, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at position %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// Coarse uniformity: over many draws of 5-of-20, every index appears.
+	counts := make([]int, 20)
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		for _, v := range partialPerm(r, 20, 5) {
+			counts[v]++
+		}
+	}
+	// Expected 500 hits each; flag anything wildly skewed.
+	for i, c := range counts {
+		if c < 350 || c > 650 {
+			t.Errorf("index %d drawn %d times, expected ~500", i, c)
+		}
+	}
+}
+
+// TestDeltaVectorsWorkerInvariant pins the S2 hot path's determinism: the
+// same candidate and RNG state must produce the same delta at any worker
+// count, including the nil pool.
+func TestDeltaVectorsWorkerInvariant(t *testing.T) {
+	gen, _ := fixture(t, 30, 30, 12)
+	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(6))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{}.withDefaults(gen.ER)
+	cand := gen.ER.B.Entities[0]
+	run := func(pool *parallel.Pool) delta {
+		d := newDistState(j, opts, pool, dataset.NewSimCache(gen.ER.Schema()))
+		return d.deltaVectors(cand, gen.ER.A, rand.New(rand.NewSource(8)))
+	}
+	want := run(nil)
+	for _, workers := range []int{1, 4} {
+		got := run(parallel.New(workers, nil))
+		if len(got.pos) != len(want.pos) || len(got.neg) != len(want.neg) {
+			t.Fatalf("workers=%d: %d/%d pos/neg vs %d/%d serial", workers, len(got.pos), len(got.neg), len(want.pos), len(want.neg))
+		}
+		for i := range want.pos {
+			for c := range want.pos[i] {
+				if got.pos[i][c] != want.pos[i][c] {
+					t.Fatalf("workers=%d pos[%d][%d]: %v != %v", workers, i, c, got.pos[i][c], want.pos[i][c])
+				}
+			}
+		}
+		for i := range want.neg {
+			for c := range want.neg[i] {
+				if got.neg[i][c] != want.neg[i][c] {
+					t.Fatalf("workers=%d neg[%d][%d]: %v != %v", workers, i, c, got.neg[i][c], want.neg[i][c])
+				}
+			}
+		}
+	}
+}
+
+// benchDistState builds a learned distState over a scholar fixture for the
+// hot-loop benchmarks.
+func benchDistState(b *testing.B, pool *parallel.Pool) (*distState, *dataset.ER, *rand.Rand) {
+	b.Helper()
+	gen, err := benchFixture()
+	if err != nil {
+		b.Fatal(err)
+	}
+	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(6))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{}.withDefaults(gen.ER)
+	d := newDistState(j, opts, pool, dataset.NewSimCache(gen.ER.Schema()))
+	return d, gen.ER, rand.New(rand.NewSource(8))
+}
+
+func BenchmarkDeltaVectors(b *testing.B) {
+	d, er, r := benchDistState(b, nil)
+	cand := er.B.Entities[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.deltaVectors(cand, er.A, r)
+	}
+}
+
+func BenchmarkReject(b *testing.B) {
+	d, er, r := benchDistState(b, nil)
+	// Activate O_syn by committing deltas until both accumulators fit.
+	for i := 0; i < er.B.Len() && !d.active(); i++ {
+		d.commit(d.deltaVectors(er.B.Entities[i], er.A, r))
+	}
+	if !d.active() {
+		b.Fatal("accumulators never activated")
+	}
+	dl := d.deltaVectors(er.B.Entities[0], er.A, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.reject(dl, r)
+	}
+}

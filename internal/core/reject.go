@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 
 	"serd/internal/dataset"
 	"serd/internal/gmm"
+	"serd/internal/parallel"
 )
 
 // distState maintains the synthesized-side distribution O_syn and performs
@@ -18,10 +20,16 @@ type distState struct {
 	oReal      *gmm.Joint
 	schema     *dataset.Schema
 	opts       Options
+	pool       *parallel.Pool
+	cache      *dataset.SimCache
 	pendingPos [][]float64
 	pendingNeg [][]float64
 	accM, accN *gmm.Accumulator
 	nPos, nNeg int
+	// lastFitTotal is the combined pending-pool size at the last failed
+	// FitAIC attempt; commit defers the next attempt until the pools have
+	// grown past it by fitRetryGrowth.
+	lastFitTotal int
 }
 
 // delta carries the candidate's new pair vectors split by posterior label.
@@ -29,36 +37,66 @@ type delta struct {
 	pos, neg [][]float64
 }
 
-func newDistState(oReal *gmm.Joint, opts Options) *distState {
-	return &distState{oReal: oReal, opts: opts}
+func newDistState(oReal *gmm.Joint, opts Options, pool *parallel.Pool, cache *dataset.SimCache) *distState {
+	return &distState{oReal: oReal, opts: opts, pool: pool, cache: cache}
 }
 
 // deltaVectors computes ΔX_syn for a candidate e' against (a sample of)
 // the entities of T_e — the table on the other side of the pair space from
-// e' (§V: "the potential generated pairs (e”, e'), ∀e” ∈ T_e").
+// e' (§V: "the potential generated pairs (e”, e'), ∀e” ∈ T_e"). The
+// per-index similarity vectors and posterior labels are computed on the
+// pool (both are pure given the entities) and folded in index order.
 func (d *distState) deltaVectors(cand *dataset.Entity, te *dataset.Relation, r *rand.Rand) delta {
 	if d.schema == nil {
 		d.schema = te.Schema
 	}
 	n := te.Len()
-	idx := make([]int, 0, d.opts.RejectionSample)
+	var idx []int
 	if n <= d.opts.RejectionSample {
-		for i := 0; i < n; i++ {
-			idx = append(idx, i)
+		idx = make([]int, n)
+		for i := range idx {
+			idx[i] = i
 		}
 	} else {
-		for _, i := range r.Perm(n)[:d.opts.RejectionSample] {
-			idx = append(idx, i)
-		}
+		idx = partialPerm(r, n, d.opts.RejectionSample)
 	}
+	xs := make([][]float64, len(idx))
+	match := make([]bool, len(idx))
+	d.pool.Run("core.s2.delta", len(idx), func(j int) {
+		x := d.cache.SimVector(te.Entities[idx[j]], cand)
+		xs[j] = x
+		match[j] = d.oReal.IsMatch(x)
+	})
 	var out delta
-	for _, i := range idx {
-		x := d.schema.SimVector(te.Entities[i], cand)
-		if d.oReal.IsMatch(x) {
+	for j, x := range xs {
+		if match[j] {
 			out.pos = append(out.pos, x)
 		} else {
 			out.neg = append(out.neg, x)
 		}
+	}
+	return out
+}
+
+// partialPerm draws k distinct indices uniformly from [0, n) — the first k
+// elements of a Fisher–Yates shuffle, with the virtual array stored
+// sparsely so the draw costs O(k) time and space instead of materializing
+// a full n-element permutation for a k-sized prefix.
+func partialPerm(r *rand.Rand, n, k int) []int {
+	swap := make(map[int]int, 2*k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vi, ok := swap[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swap[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swap[j] = vi
 	}
 	return out
 }
@@ -70,6 +108,12 @@ func (d *distState) active() bool { return d.accM != nil && d.accN != nil }
 // estimable it never rejects (there is no distribution to protect yet).
 func (d *distState) reject(dl delta, r *rand.Rand) bool {
 	if !d.active() {
+		return false
+	}
+	if len(dl.pos) == 0 && len(dl.neg) == 0 {
+		// Empty delta: O'_syn == O_syn, so Eq. 10 reads JSD > α·JSD and
+		// can only reject for α < 1 on identical distributions — accept
+		// without paying for two Monte-Carlo estimates of the same value.
 		return false
 	}
 	snapM, snapN := d.accM, d.accN
@@ -90,10 +134,12 @@ func (d *distState) reject(dl delta, r *rand.Rand) bool {
 	if !okB || !okA {
 		return false
 	}
-	// Common random numbers: the same sample stream scores both joints.
+	// Common random numbers: the same seed stripes the same sample stream
+	// over both estimates, so Monte-Carlo noise cancels between them. The
+	// striped estimator is bit-identical at any worker count.
 	seed := r.Int63()
-	jsdBefore := gmm.JSD(before, d.oReal, d.opts.JSDSamples, rand.New(rand.NewSource(seed)))
-	jsdAfter := gmm.JSD(after, d.oReal, d.opts.JSDSamples, rand.New(rand.NewSource(seed)))
+	jsdBefore := gmm.JSDStriped(before, d.oReal, d.opts.JSDSamples, seed, d.pool)
+	jsdAfter := gmm.JSDStriped(after, d.oReal, d.opts.JSDSamples, seed, d.pool)
 	// The running JSD(O_syn, O_real) is the pipeline's convergence signal;
 	// expose it as a gauge so the live inspector shows the trajectory.
 	d.opts.Metrics.Set("core.s2.jsd", jsdBefore)
@@ -118,21 +164,54 @@ func (d *distState) commit(dl delta) {
 	d.pendingNeg = append(d.pendingNeg, dl.neg...)
 	d.nPos += len(dl.pos)
 	d.nNeg += len(dl.neg)
-	if len(d.pendingPos) >= d.opts.MinFitVectors && len(d.pendingNeg) >= d.opts.MinFitVectors {
-		fit := gmm.FitOptions{Rand: rand.New(rand.NewSource(d.opts.Seed + 2)), Metrics: d.opts.Metrics}
-		mModel, errM := gmm.FitAIC(d.pendingPos, 2, fit)
-		nModel, errN := gmm.FitAIC(d.pendingNeg, 2, fit)
-		if errM != nil || errN != nil {
-			return // try again with more vectors on a later commit
-		}
-		accM, errM := gmm.NewAccumulator(mModel, d.pendingPos, 0)
-		accN, errN := gmm.NewAccumulator(nModel, d.pendingNeg, 0)
-		if errM != nil || errN != nil {
-			return
-		}
-		d.accM, d.accN = accM, accN
-		d.pendingPos, d.pendingNeg = nil, nil
+	if len(d.pendingPos) < d.opts.MinFitVectors || len(d.pendingNeg) < d.opts.MinFitVectors {
+		return
 	}
+	// After a failed fit, more of the same data usually fails the same
+	// way: defer the next (expensive) FitAIC pair until the pools have
+	// grown by ~25% since the last attempt instead of re-fitting on every
+	// commit.
+	total := len(d.pendingPos) + len(d.pendingNeg)
+	if d.lastFitTotal > 0 && total < d.lastFitTotal+(d.lastFitTotal+3)/4 {
+		return
+	}
+	fit := gmm.FitOptions{Rand: rand.New(rand.NewSource(d.opts.Seed + 2)), Metrics: d.opts.Metrics, Pool: d.pool}
+	mModel, errM := gmm.FitAIC(d.pendingPos, 2, fit)
+	nModel, errN := gmm.FitAIC(d.pendingNeg, 2, fit)
+	if errM != nil || errN != nil {
+		d.fitFailed(total, firstErr(errM, errN))
+		return
+	}
+	accM, errM := gmm.NewAccumulator(mModel, d.pendingPos, 0)
+	accN, errN := gmm.NewAccumulator(nModel, d.pendingNeg, 0)
+	if errM != nil || errN != nil {
+		d.fitFailed(total, firstErr(errM, errN))
+		return
+	}
+	d.accM, d.accN = accM, accN
+	d.pendingPos, d.pendingNeg = nil, nil
+}
+
+// fitFailed records a failed tentative O_syn fit: the retry gate, a
+// counter for the live inspector, and a journaled warning so the rejection
+// check's delayed activation is auditable after the run.
+func (d *distState) fitFailed(total int, err error) {
+	d.lastFitTotal = total
+	d.opts.Metrics.Add("core.s2.fit_failed", 1)
+	d.opts.Journal.Warning("core.s2", "tentative O_syn fit failed; deferring retry until the pending pools grow", map[string]string{
+		"pos":   fmt.Sprint(len(d.pendingPos)),
+		"neg":   fmt.Sprint(len(d.pendingNeg)),
+		"error": err.Error(),
+	})
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // joint assembles the O_syn mixture from the two accumulators.
@@ -149,7 +228,8 @@ func (d *distState) joint(accM, accN *gmm.Accumulator, nPos, nNeg int) (*gmm.Joi
 }
 
 // finalJSD reports JSD(O_syn, O_real) at the end of synthesis (0 when
-// O_syn never became estimable).
+// O_syn never became estimable). It draws from the main RNG stream and
+// stays serial.
 func (d *distState) finalJSD(r *rand.Rand) float64 {
 	if !d.active() {
 		return 0

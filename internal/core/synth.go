@@ -23,6 +23,16 @@ type valueSynth struct {
 	// real pair space, derailing S3's posterior labeling.
 	catValuesA [][]string
 	catValuesB [][]string
+	// catPP / catPrepA / catPrepB cache the preprocessed form of every
+	// categorical pool value when the column's similarity function supports
+	// prepping, so closestCategorical pays set extraction once per pool at
+	// construction instead of once per candidate per call.
+	catPP    []simfn.Preprocessor
+	catPrepA [][]any
+	catPrepB [][]any
+	// simScratch holds one similarity per pool candidate during
+	// closestCategorical (reused across calls; synthesis is single-threaded).
+	simScratch []float64
 	// text maps textual column index to its string synthesizer.
 	text map[int]textsynth.Synthesizer
 }
@@ -33,6 +43,9 @@ func newValueSynth(real *dataset.ER, synths map[string]textsynth.Synthesizer) (*
 		schema:     schema,
 		catValuesA: make([][]string, schema.Len()),
 		catValuesB: make([][]string, schema.Len()),
+		catPP:      make([]simfn.Preprocessor, schema.Len()),
+		catPrepA:   make([][]any, schema.Len()),
+		catPrepB:   make([][]any, schema.Len()),
 		text:       make(map[int]textsynth.Synthesizer),
 	}
 	for ci, col := range schema.Cols {
@@ -42,6 +55,11 @@ func newValueSynth(real *dataset.ER, synths map[string]textsynth.Synthesizer) (*
 			vs.catValuesB[ci] = real.B.ColumnValues(ci)
 			if len(vs.catValuesA[ci]) == 0 || len(vs.catValuesB[ci]) == 0 {
 				return nil, fmt.Errorf("core: categorical column %q has no values", col.Name)
+			}
+			if pp, ok := col.Sim.(simfn.Preprocessor); ok {
+				vs.catPP[ci] = pp
+				vs.catPrepA[ci] = prepAll(pp, vs.catValuesA[ci])
+				vs.catPrepB[ci] = prepAll(pp, vs.catValuesB[ci])
 			}
 		case dataset.Numeric, dataset.Date:
 			if _, ok := col.Sim.(simfn.Inverter); !ok {
@@ -89,26 +107,51 @@ func (vs *valueSynth) synthesizeEntity(id string, e *dataset.Entity, x []float64
 func (vs *valueSynth) closestCategorical(ci int, v string, target float64, dstIsA bool, r *rand.Rand) string {
 	const tieBand = 0.05
 	col := vs.schema.Cols[ci]
-	pool := vs.catValuesB[ci]
+	pool, prepped := vs.catValuesB[ci], vs.catPrepB[ci]
 	if dstIsA {
-		pool = vs.catValuesA[ci]
+		pool, prepped = vs.catValuesA[ci], vs.catPrepA[ci]
+	}
+	// Each pool similarity is needed by both the best-distance pass and the
+	// tie pass; compute it once per candidate into a reusable scratch slice.
+	if cap(vs.simScratch) < len(pool) {
+		vs.simScratch = make([]float64, len(pool))
+	}
+	sims := vs.simScratch[:len(pool)]
+	if pp := vs.catPP[ci]; pp != nil {
+		pv := pp.Prep(v)
+		for i := range pool {
+			sims[i] = pp.SimPrepped(pv, prepped[i])
+		}
+	} else {
+		for i, cand := range pool {
+			sims[i] = col.Sim.Sim(v, cand)
+		}
 	}
 	bestDiff := math.Inf(1)
-	for _, cand := range pool {
-		if d := math.Abs(col.Sim.Sim(v, cand) - target); d < bestDiff {
+	for _, s := range sims {
+		if d := math.Abs(s - target); d < bestDiff {
 			bestDiff = d
 		}
 	}
 	var ties []string
-	for _, cand := range pool {
-		if math.Abs(col.Sim.Sim(v, cand)-target) <= bestDiff+tieBand {
-			ties = append(ties, cand)
+	for i, s := range sims {
+		if math.Abs(s-target) <= bestDiff+tieBand {
+			ties = append(ties, pool[i])
 		}
 	}
 	if len(ties) == 0 {
 		return v
 	}
 	return ties[r.Intn(len(ties))]
+}
+
+// prepAll preps every pool value once at construction.
+func prepAll(pp simfn.Preprocessor, vals []string) []any {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = pp.Prep(v)
+	}
+	return out
 }
 
 // coldStart synthesizes the bootstrap entity of S2 (§IV-B2) without a GAN:

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSimCacheMatchesSchemaSimVector is the cache's correctness contract:
+// cached vectors must equal uncached ones bit for bit, on every pairing.
+func TestSimCacheMatchesSchemaSimVector(t *testing.T) {
+	er := paperER(t)
+	cache := NewSimCache(er.Schema())
+	for _, ea := range er.A.Entities {
+		for _, eb := range er.B.Entities {
+			want := er.Schema().SimVector(ea, eb)
+			got := cache.SimVector(ea, eb)
+			if len(got) != len(want) {
+				t.Fatalf("vector length %d != %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("pair (%s, %s) col %d: cached %v != uncached %v", ea.ID, eb.ID, i, got[i], want[i])
+				}
+			}
+			// Second call hits the prep cache; it must not drift.
+			again := cache.SimVector(ea, eb)
+			for i := range want {
+				if again[i] != want[i] {
+					t.Errorf("pair (%s, %s) col %d: second call drifted to %v", ea.ID, eb.ID, i, again[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSimCacheConcurrent exercises the cache from many goroutines — the
+// S2/S3 pools call SimVector concurrently — and is meaningful under -race.
+func TestSimCacheConcurrent(t *testing.T) {
+	er := paperER(t)
+	cache := NewSimCache(er.Schema())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				for _, ea := range er.A.Entities {
+					for _, eb := range er.B.Entities {
+						want := er.Schema().SimVector(ea, eb)
+						got := cache.SimVector(ea, eb)
+						for i := range want {
+							if got[i] != want[i] {
+								t.Errorf("concurrent col %d: %v != %v", i, got[i], want[i])
+								return
+							}
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

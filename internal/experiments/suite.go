@@ -60,6 +60,10 @@ type Config struct {
 	// UseGAN enables the paper's GAN path: cold start from the generator
 	// and discriminator rejection at β = 0.6 (§IV-B2, §V case 1).
 	UseGAN bool
+	// Workers sets the worker count for the parallel S2/S3 hot path
+	// (threaded into core.Options.Workers; 0 = GOMAXPROCS). Results are
+	// bit-identical at any worker count.
+	Workers int
 	// Metrics receives harness telemetry — per-table/figure wall-clock
 	// spans ("experiments.<id>"), row provenance counters
 	// ("experiments.<id>.rows", "experiments.synth.<method>") — and is
@@ -232,6 +236,7 @@ func (s *Suite) runSERDLocked(g *datagen.Generated, minus bool) (*core.Result, e
 		DisableRejection: minus,
 		Metrics:          s.cfg.Metrics,
 		Seed:             s.cfg.Seed + 5,
+		Workers:          s.cfg.Workers,
 	}
 	if s.cfg.UseGAN {
 		opts.GAN, opts.GANDecode, err = s.trainGAN(g)

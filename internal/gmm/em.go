@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"serd/internal/parallel"
 	"serd/internal/stats"
 	"serd/internal/telemetry"
 )
@@ -30,6 +31,11 @@ type FitOptions struct {
 	Metrics telemetry.Recorder
 	// Rand seeds the k-means++-style initialization. Required.
 	Rand *rand.Rand
+	// Pool, when set, parallelizes the E-step across sample rows. The fit
+	// is bit-identical at any worker count: per-row responsibilities and
+	// log-densities land in index-addressed slots and the log-likelihood
+	// reduces in index order. Nil runs serially.
+	Pool *parallel.Pool
 }
 
 func (o FitOptions) withDefaults() FitOptions {
@@ -78,15 +84,21 @@ func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
 	for i := range gamma {
 		gamma[i] = make([]float64, g)
 	}
+	lls := make([]float64, len(xs)) // per-row log-densities, reduced in order
 	prevLL := math.Inf(-1)
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		iters = iter + 1
-		// E-step (Eq. 5).
+		// E-step (Eq. 5), fanned out over rows; every worker writes only
+		// its own rows' slots, and the log-likelihood sums in index order,
+		// so the result is independent of the worker count.
+		m := model
+		opts.Pool.Run("gmm.em.estep", len(xs), func(i int) {
+			lls[i] = m.RespLogPDF(xs[i], gamma[i])
+		})
 		ll := 0.0
-		for i, x := range xs {
-			copy(gamma[i], model.Responsibilities(x))
-			ll += model.LogPDF(x)
+		for _, v := range lls {
+			ll += v
 		}
 		// M-step (Eq. 6).
 		next, err := maximize(xs, gamma, g, opts.Ridge, opts.Diagonal)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+
+	"serd/internal/parallel"
 )
 
 // Joint is the O-distribution of the paper (§II-B): the mixture
@@ -85,22 +87,67 @@ func JSD(p, q *Joint, n int, r *rand.Rand) float64 {
 	if n <= 0 {
 		n = 256
 	}
-	half := func(a, b *Joint) float64 {
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			x, _ := a.Sample(r)
-			la := a.LogPDF(x)
-			lb := b.LogPDF(x)
-			// log m = log((exp la + exp lb)/2)
-			hi := math.Max(la, lb)
-			lm := hi + math.Log(math.Exp(la-hi)+math.Exp(lb-hi)) - math.Ln2
-			sum += la - lm
-		}
-		return sum / float64(n)
-	}
-	jsd := 0.5*half(p, q) + 0.5*half(q, p)
+	jsd := 0.5*(halfSum(p, q, n, r)/float64(n)) + 0.5*(halfSum(q, p, n, r)/float64(n))
 	if jsd < 0 {
 		return 0 // Monte-Carlo noise can dip slightly below zero
+	}
+	return jsd
+}
+
+// halfSum accumulates n samples of log a/m, m = (a+b)/2, drawn from a —
+// one direction of the JSD estimator, undivided.
+func halfSum(a, b *Joint, n int, r *rand.Rand) float64 {
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x, _ := a.Sample(r)
+		la := a.LogPDF(x)
+		lb := b.LogPDF(x)
+		// log m = log((exp la + exp lb)/2)
+		hi := math.Max(la, lb)
+		lm := hi + math.Log(math.Exp(la-hi)+math.Exp(lb-hi)) - math.Ln2
+		sum += la - lm
+	}
+	return sum
+}
+
+// jsdStripe is the fixed sample count per JSDStriped RNG substream. The
+// stripe size is part of the estimator's definition, not a tuning knob:
+// changing it changes which substream draws which sample and therefore the
+// estimate.
+const jsdStripe = 32
+
+// JSDStriped is JSD with the sample stream split into fixed-size stripes,
+// each drawn from its own SplitSeeds(seed, ·) substream and reduced in
+// stripe order — so the estimate depends only on (p, q, n, seed) and is
+// bit-identical at any worker count, including a nil pool. Callers that
+// score two mixtures with common random numbers pass the same seed to both
+// calls; substream i then draws the same underlying sample stream in each,
+// and the Monte-Carlo noise cancels exactly as with the serial estimator.
+func JSDStriped(p, q *Joint, n int, seed int64, pool *parallel.Pool) float64 {
+	if n <= 0 {
+		n = 256
+	}
+	stripes := (n + jsdStripe - 1) / jsdStripe
+	seeds := parallel.SplitSeeds(seed, stripes)
+	sumsP := make([]float64, stripes)
+	sumsQ := make([]float64, stripes)
+	pool.Run("gmm.jsd", stripes, func(s int) {
+		r := rand.New(rand.NewSource(seeds[s]))
+		count := jsdStripe
+		if s == stripes-1 {
+			count = n - s*jsdStripe
+		}
+		sumsP[s] = halfSum(p, q, count, r)
+		sumsQ[s] = halfSum(q, p, count, r)
+	})
+	var sp, sq float64
+	for s := 0; s < stripes; s++ {
+		sp += sumsP[s]
+		sq += sumsQ[s]
+	}
+	jsd := 0.5*(sp/float64(n)) + 0.5*(sq/float64(n))
+	if jsd < 0 {
+		return 0
 	}
 	return jsd
 }

@@ -153,6 +153,36 @@ func (m *Model) Responsibilities(x []float64) []float64 {
 	return out
 }
 
+// RespLogPDF fills dst (length = component count) with the
+// responsibilities of x and returns log p(x) — the E-step's two per-row
+// quantities from a single pass over the component log-densities, bit
+// identical to Responsibilities followed by LogPDF.
+func (m *Model) RespLogPDF(x, dst []float64) float64 {
+	logs := make([]float64, len(m.Comps))
+	maxLog := math.Inf(-1)
+	for i, c := range m.Comps {
+		logs[i] = math.Log(c.Weight) + c.dist.LogPDF(x)
+		if logs[i] > maxLog {
+			maxLog = logs[i]
+		}
+	}
+	if math.IsInf(maxLog, -1) {
+		for i := range dst {
+			dst[i] = 1 / float64(len(dst))
+		}
+		return maxLog
+	}
+	sum := 0.0
+	for i, l := range logs {
+		dst[i] = math.Exp(l - maxLog)
+		sum += dst[i]
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return maxLog + math.Log(sum)
+}
+
 // LogLikelihood returns Σ log p(x) over xs (Eq. 4).
 func (m *Model) LogLikelihood(xs [][]float64) float64 {
 	ll := 0.0

@@ -1,0 +1,121 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"serd/internal/parallel"
+)
+
+// testJoints fits two mildly different O-distributions for JSD tests.
+func testJoints(t *testing.T) (*Joint, *Joint) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	m1, err := Fit(twoClusterData(r, 200), 2, FitOptions{Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Fit(twoClusterData(r, 200), 2, FitOptions{Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewJoint(m1, m2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Fit(twoClusterData(r, 150), 2, FitOptions{Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewJoint(m3, m2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, q
+}
+
+// TestJSDStripedWorkerInvariant is the determinism contract of the striped
+// estimator: the same seed must give the bit-identical value on a nil pool
+// and on pools of any worker count.
+func TestJSDStripedWorkerInvariant(t *testing.T) {
+	p, q := testJoints(t)
+	for _, n := range []int{1, 31, 32, 33, 200, 1000} {
+		want := JSDStriped(p, q, n, 12345, nil)
+		for _, workers := range []int{1, 2, 4, 13} {
+			pool := parallel.New(workers, nil)
+			if got := JSDStriped(p, q, n, 12345, pool); got != want {
+				t.Errorf("n=%d workers=%d: JSDStriped = %v, serial = %v", n, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestJSDStripedTracksSerialJSD(t *testing.T) {
+	p, q := testJoints(t)
+	striped := JSDStriped(p, q, 4000, 99, nil)
+	serial := JSD(p, q, 4000, rand.New(rand.NewSource(99)))
+	if striped < 0 || striped > math.Log(2)+1e-9 {
+		t.Fatalf("JSDStriped = %v outside [0, ln 2]", striped)
+	}
+	// Different sample streams, same estimand: they should agree loosely.
+	if math.Abs(striped-serial) > 0.1 {
+		t.Errorf("striped %v vs serial %v differ beyond Monte-Carlo noise", striped, serial)
+	}
+	// log-sum-exp of two identical densities rounds, so JSD(p, p) is only
+	// zero to machine precision, not exactly.
+	same := JSDStriped(p, p, 2000, 5, nil)
+	if same < 0 || same > 1e-12 {
+		t.Errorf("JSD(p, p) = %v, want ~0", same)
+	}
+}
+
+// TestFitPoolInvariant pins EM's contract that the E-step pool is purely an
+// execution parameter: fits at any worker count are bit-identical.
+func TestFitPoolInvariant(t *testing.T) {
+	xs := twoClusterData(rand.New(rand.NewSource(11)), 250)
+	serial, err := Fit(xs, 2, FitOptions{Rand: rand.New(rand.NewSource(4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := Fit(xs, 2, FitOptions{Rand: rand.New(rand.NewSource(4)), Pool: parallel.New(workers, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range serial.Comps {
+			if serial.Comps[c].Weight != got.Comps[c].Weight {
+				t.Errorf("workers=%d comp %d: weight %v != %v", workers, c, got.Comps[c].Weight, serial.Comps[c].Weight)
+			}
+			for d := range serial.Comps[c].Mean {
+				if serial.Comps[c].Mean[d] != got.Comps[c].Mean[d] {
+					t.Errorf("workers=%d comp %d dim %d: mean %v != %v", workers, c, d, got.Comps[c].Mean[d], serial.Comps[c].Mean[d])
+				}
+			}
+		}
+	}
+}
+
+// TestRespLogPDFMatchesSeparateCalls pins the fused E-step kernel to the
+// two calls it replaces, bit for bit.
+func TestRespLogPDFMatchesSeparateCalls(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	xs := twoClusterData(r, 100)
+	m, err := Fit(xs, 2, FitOptions{Rand: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(m.Comps))
+	for _, x := range xs {
+		ll := m.RespLogPDF(x, dst)
+		if want := m.LogPDF(x); ll != want {
+			t.Fatalf("RespLogPDF log-density %v != LogPDF %v", ll, want)
+		}
+		want := m.Responsibilities(x)
+		for k := range dst {
+			if dst[k] != want[k] {
+				t.Fatalf("responsibility[%d] = %v, want %v", k, dst[k], want[k])
+			}
+		}
+	}
+}

@@ -41,6 +41,7 @@ type RunSummary struct {
 	FinalCheckpoint     float64
 	Synthesis           *SynthesisData
 	Logs                []LogData
+	Warnings            []WarningData
 	Status              string
 	StatusError         string
 	Summary             map[string]float64
@@ -117,6 +118,12 @@ func Summarize(events []Event) (*RunSummary, error) {
 				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
 			}
 			s.Synthesis = &d
+		case "warning":
+			var d WarningData
+			if err := json.Unmarshal(ev.Data, &d); err != nil {
+				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
+			}
+			s.Warnings = append(s.Warnings, d)
 		case "log":
 			var d LogData
 			if err := json.Unmarshal(ev.Data, &d); err != nil {

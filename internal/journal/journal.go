@@ -287,6 +287,22 @@ func (j *Journal) RunEnd(status, errMsg string, summary map[string]float64, wall
 	j.emit("run_end", RunEndData{Status: status, Error: errMsg, Summary: summary}, wallS)
 }
 
+// WarningData is a non-fatal anomaly worth a durable trace: the run kept
+// going, but an auditor should see that something degraded (e.g. a
+// tentative O_syn fit failed and rejection stayed inactive longer).
+type WarningData struct {
+	// Source names the emitting stage, e.g. "core.s2".
+	Source  string `json:"source"`
+	Message string `json:"message"`
+	// Fields carries structured context (counts, error text).
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Warning emits a warning event.
+func (j *Journal) Warning(source, message string, fields map[string]string) {
+	j.emit("warning", WarningData{Source: source, Message: message, Fields: fields}, 0)
+}
+
 // ConfigData is a free-form keyed configuration event (e.g. core's resolved
 // synthesis options).
 type ConfigData struct {

@@ -1,0 +1,118 @@
+// Package parallel provides the bounded, deterministic worker pool behind
+// the S2/S3 hot path. The pool's contract is that parallelism is an
+// execution parameter, never a semantic one: a computation fanned out
+// through Pool.Run must produce bit-identical results at any worker count,
+// including 1. The package enforces the half of that contract it can —
+// fixed contiguous index chunking, completion barriers, no scheduling
+// randomness — and SplitSeeds supplies the other half for Monte-Carlo
+// callers: pre-split RNG substreams keyed by stripe index rather than by
+// worker, so the sample stream is independent of how stripes land on
+// workers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"serd/internal/telemetry"
+)
+
+// Pool is a bounded worker pool. The zero worker count and the nil pool
+// both degrade to inline execution, so callers can thread an optional pool
+// unconditionally.
+type Pool struct {
+	workers int
+	rec     telemetry.Recorder
+}
+
+// New returns a pool bounded at workers goroutines per Run call. workers
+// <= 0 selects GOMAXPROCS. The recorder (which may be nil) receives a
+// "parallel.workers" gauge plus per-phase speedup/utilization gauges from
+// Run; recording never affects the computation.
+func New(workers int, rec telemetry.Recorder) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rec = telemetry.OrNop(rec)
+	rec.Set("parallel.workers", float64(workers))
+	return &Pool{workers: workers, rec: rec}
+}
+
+// Workers reports the pool's bound. A nil pool is a serial pool of one.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach is Run without telemetry.
+func (p *Pool) ForEach(n int, fn func(i int)) { p.Run("", n, fn) }
+
+// Run invokes fn(i) for every i in [0, n), fanning the index range out
+// over the pool's workers in fixed contiguous chunks (worker c gets
+// [c·n/w, (c+1)·n/w)). fn must be safe for concurrent invocation on
+// distinct indices; writes must go to per-index slots. Run returns only
+// after every index completes. When phase is non-empty, per-phase
+// parallel-speedup and utilization gauges are recorded against it.
+func (p *Pool) Run(phase string, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		p.record(phase, time.Since(start), time.Since(start))
+		return
+	}
+	start := time.Now()
+	var busyNS atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		lo, hi := c*n/w, (c+1)*n/w
+		go func(lo, hi int) {
+			defer wg.Done()
+			t0 := time.Now()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+			busyNS.Add(int64(time.Since(t0)))
+		}(lo, hi)
+	}
+	wg.Wait()
+	p.record(phase, time.Duration(busyNS.Load()), time.Since(start))
+}
+
+func (p *Pool) record(phase string, busy, wall time.Duration) {
+	if p == nil || phase == "" {
+		return
+	}
+	telemetry.RecordParallel(p.rec, phase, busy.Seconds(), wall.Seconds(), p.workers)
+}
+
+// SplitSeeds derives k statistically independent RNG seeds from one via
+// the SplitMix64 output function. Substream i depends only on (seed, i),
+// so a Monte-Carlo estimate striped over SplitSeeds substreams and reduced
+// in stripe order is bit-identical at any worker count.
+func SplitSeeds(seed int64, k int) []int64 {
+	out := make([]int64, k)
+	x := uint64(seed)
+	for i := range out {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = int64(z & 0x7fffffffffffffff)
+	}
+	return out
+}

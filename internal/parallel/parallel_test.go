@@ -1,0 +1,75 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 100} {
+			p := New(workers, nil)
+			hits := make([]int32, n)
+			p.Run("", n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestNilPoolRunsSerially(t *testing.T) {
+	var p *Pool
+	if got := p.Workers(); got != 1 {
+		t.Errorf("nil pool Workers() = %d, want 1", got)
+	}
+	sum := 0
+	p.ForEach(5, func(i int) { sum += i })
+	if sum != 10 {
+		t.Errorf("nil pool ForEach sum = %d, want 10", sum)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	p := New(0, nil)
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := New(-3, nil).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if got := New(5, nil).Workers(); got != 5 {
+		t.Errorf("New(5).Workers() = %d, want 5", got)
+	}
+}
+
+func TestSplitSeedsDeterministicAndDistinct(t *testing.T) {
+	a := SplitSeeds(42, 64)
+	b := SplitSeeds(42, 64)
+	seen := make(map[int64]bool, len(a))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stripe %d: same master seed gave %d and %d", i, a[i], b[i])
+		}
+		if a[i] < 0 {
+			t.Fatalf("stripe %d: negative seed %d (rand.NewSource wants non-negative streams to stay distinct)", i, a[i])
+		}
+		if seen[a[i]] {
+			t.Fatalf("stripe %d: duplicate seed %d", i, a[i])
+		}
+		seen[a[i]] = true
+	}
+	c := SplitSeeds(43, 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/64 stripe seeds collide between master seeds 42 and 43", same)
+	}
+}

@@ -1,0 +1,86 @@
+package simfn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// prepCases stresses the sorted-set representation: unicode (multi-byte
+// runes), strings shorter than q, repeats, empty strings, whitespace.
+var prepCases = []string{
+	"", " ", "a", "ab", "abc", "abcabc", "hello world", "Hello World",
+	"résumé café", "日本語テキスト", "a b\tc\nd", "   spaced   out   ",
+	"aaaaaaa", "the quick brown fox", "ñ", "née naïve",
+}
+
+// TestPreprocessorBitEquality is the Preprocessor contract:
+// SimPrepped(Prep(a), Prep(b)) must equal Sim(a, b) bit for bit.
+func TestPreprocessorBitEquality(t *testing.T) {
+	fns := []Func{
+		QGramJaccard{},
+		QGramJaccard{Q: 2},
+		QGramJaccard{Q: 3, Fold: true},
+		QGramJaccard{Q: 4},
+		TokenJaccard{},
+	}
+	for _, f := range fns {
+		pp, ok := f.(Preprocessor)
+		if !ok {
+			t.Fatalf("%s does not implement Preprocessor", f.Name())
+		}
+		for _, a := range prepCases {
+			pa := pp.Prep(a)
+			for _, b := range prepCases {
+				want := f.Sim(a, b)
+				if got := pp.SimPrepped(pa, pp.Prep(b)); got != want {
+					t.Errorf("%s: SimPrepped(%q, %q) = %v, Sim = %v", f.Name(), a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBindMatchesSim(t *testing.T) {
+	qg := QGramJaccard{Q: 3, Fold: true}
+	for _, a := range prepCases {
+		bound := Bind(qg, a)
+		for _, b := range prepCases {
+			if got, want := bound(b), qg.Sim(a, b); got != want {
+				t.Errorf("Bind(%q)(%q) = %v, Sim = %v", a, b, got, want)
+			}
+		}
+	}
+	// Non-preprocessor funcs take the closure fallback.
+	ex := Exact{}
+	bound := Bind(ex, "x")
+	if bound("x") != 1 || bound("y") != 0 {
+		t.Error("Bind fallback broke Exact semantics")
+	}
+}
+
+// TestSortedGramsMatchQGramsMap cross-checks the hot-path sorted
+// representation against the exported QGrams map on random strings.
+func TestSortedGramsMatchQGramsMap(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	alphabet := []rune("abcdé日 ")
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(12)
+		rs := make([]rune, n)
+		for i := range rs {
+			rs[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		s := string(rs)
+		for q := 2; q <= 4; q++ {
+			want := QGrams(s, q)
+			got := sortedQGrams(s, q)
+			if len(got) != len(want) {
+				t.Fatalf("q=%d %q: %d sorted grams vs %d map grams (%v vs %v)", q, s, len(got), len(want), got, want)
+			}
+			for _, g := range got {
+				if _, ok := want[g]; !ok {
+					t.Fatalf("q=%d %q: sorted gram %q missing from map", q, s, g)
+				}
+			}
+		}
+	}
+}

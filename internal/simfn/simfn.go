@@ -11,6 +11,7 @@ package simfn
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -22,6 +23,33 @@ type Func interface {
 	// Sim returns the similarity of a and b. Implementations must be
 	// symmetric (Sim(a,b) == Sim(b,a)) and return values in [0, 1].
 	Sim(a, b string) float64
+}
+
+// Preprocessor is implemented by similarity functions whose per-value
+// tokenization dominates Sim's cost and can be hoisted out of comparison
+// loops (q-gram and token sets). The hot paths — the rule synthesizer's
+// edit walks, categorical synthesis, and similarity-vector computation —
+// prep each value once and compare prepped representations.
+type Preprocessor interface {
+	Func
+	// Prep returns a reusable representation of v.
+	Prep(v string) any
+	// SimPrepped computes the similarity of two Prep results. For any
+	// values a and b, SimPrepped(Prep(a), Prep(b)) must equal Sim(a, b)
+	// bit for bit — preprocessing is a caching layer, never an
+	// approximation.
+	SimPrepped(a, b any) float64
+}
+
+// Bind returns sim(a, ·) with a's preprocessing hoisted out of the loop:
+// when f is a Preprocessor, a is prepped once and every call pays only for
+// b. The returned function equals f.Sim(a, b) exactly.
+func Bind(f Func, a string) func(b string) float64 {
+	if pp, ok := f.(Preprocessor); ok {
+		pa := pp.Prep(a)
+		return func(b string) float64 { return pp.SimPrepped(pa, pp.Prep(b)) }
+	}
+	return func(b string) float64 { return f.Sim(a, b) }
 }
 
 // Inverter is implemented by similarity functions that can synthesize a
@@ -56,10 +84,22 @@ func (f QGramJaccard) q() int {
 
 // Sim implements Func. Both-empty inputs compare equal (similarity 1).
 func (f QGramJaccard) Sim(a, b string) float64 {
+	return jaccardSorted(f.grams(a), f.grams(b))
+}
+
+// Prep implements Preprocessor: the case-folded, sorted q-gram set.
+func (f QGramJaccard) Prep(v string) any { return f.grams(v) }
+
+// SimPrepped implements Preprocessor.
+func (f QGramJaccard) SimPrepped(a, b any) float64 {
+	return jaccardSorted(a.([]string), b.([]string))
+}
+
+func (f QGramJaccard) grams(s string) []string {
 	if f.Fold {
-		a, b = strings.ToLower(a), strings.ToLower(b)
+		s = strings.ToLower(s)
 	}
-	return jaccard(QGrams(a, f.q()), QGrams(b, f.q()))
+	return sortedQGrams(s, f.q())
 }
 
 // QGrams returns the multiset-collapsed set of q-grams of s, computed over
@@ -81,17 +121,61 @@ func QGrams(s string, q int) map[string]struct{} {
 	return set
 }
 
-func jaccard(a, b map[string]struct{}) float64 {
+// sortedQGrams returns the multiset-collapsed q-grams of s as a sorted,
+// deduplicated slice with the same semantics as QGrams. Each gram is a
+// rune-aligned substring of s (no per-gram copy), and sorted slices
+// intersect by merge in jaccardSorted without hashing — the representation
+// behind the Sim hot path and Preprocessor caching.
+func sortedQGrams(s string, q int) []string {
+	if s == "" {
+		return nil
+	}
+	// Byte offsets of every rune start, plus the terminating length.
+	idx := make([]int, 0, len(s)+1)
+	for i := range s {
+		idx = append(idx, i)
+	}
+	idx = append(idx, len(s))
+	n := len(idx) - 1 // rune count
+	if n < q {
+		return []string{s}
+	}
+	out := make([]string, 0, n-q+1)
+	for i := 0; i+q <= n; i++ {
+		out = append(out, s[idx[i]:idx[i+q]])
+	}
+	sort.Strings(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// jaccardSorted computes the Jaccard similarity of two sorted, deduplicated
+// slices by merge intersection. Empty-set conventions: both empty compare
+// equal (1), one empty compares disjoint (0).
+func jaccardSorted(a, b []string) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	inter := 0
-	for g := range a {
-		if _, ok := b[g]; ok {
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
 			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(a) + len(b) - inter
@@ -106,16 +190,26 @@ func (TokenJaccard) Name() string { return "token-jaccard" }
 
 // Sim implements Func.
 func (TokenJaccard) Sim(a, b string) float64 {
-	return jaccard(tokenSet(a), tokenSet(b))
+	return jaccardSorted(sortedTokens(a), sortedTokens(b))
 }
 
-func tokenSet(s string) map[string]struct{} {
-	set := make(map[string]struct{})
+// Prep implements Preprocessor: the sorted token set.
+func (TokenJaccard) Prep(v string) any { return sortedTokens(v) }
+
+// SimPrepped implements Preprocessor.
+func (TokenJaccard) SimPrepped(a, b any) float64 {
+	return jaccardSorted(a.([]string), b.([]string))
+}
+
+// sortedTokens splits on space/tab/newline (the delimiters tokenSet always
+// used) into a sorted, deduplicated slice.
+func sortedTokens(s string) []string {
+	var out []string
 	start := -1
 	for i, r := range s {
 		if r == ' ' || r == '\t' || r == '\n' {
 			if start >= 0 {
-				set[s[start:i]] = struct{}{}
+				out = append(out, s[start:i])
 				start = -1
 			}
 		} else if start < 0 {
@@ -123,9 +217,17 @@ func tokenSet(s string) map[string]struct{} {
 		}
 	}
 	if start >= 0 {
-		set[s[start:]] = struct{}{}
+		out = append(out, s[start:])
 	}
-	return set
+	sort.Strings(out)
+	w := 0
+	for i, t := range out {
+		if i == 0 || t != out[w-1] {
+			out[w] = t
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // Exact is the 0/1 equality similarity.

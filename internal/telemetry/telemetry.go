@@ -85,6 +85,21 @@ func Progress(r Recorder, prefix string) func(done, total int) {
 	}
 }
 
+// RecordParallel records a parallel region's outcome against a phase:
+// "<phase>.parallel.speedup" (busy time over wall time — the realized
+// parallel speedup, 1.0 when serial) and "<phase>.parallel.utilization"
+// (speedup over the worker count — the fraction of the pool kept busy).
+// Used by the worker pool after every fanned-out region.
+func RecordParallel(r Recorder, phase string, busySeconds, wallSeconds float64, workers int) {
+	if phase == "" || wallSeconds <= 0 || workers <= 0 {
+		return
+	}
+	r = OrNop(r)
+	speedup := busySeconds / wallSeconds
+	r.Set(phase+".parallel.speedup", speedup)
+	r.Set(phase+".parallel.utilization", speedup/float64(workers))
+}
+
 // MultiProgress fans one progress event out to several callbacks (e.g. the
 // legacy CLI printer plus a Progress adapter); nil entries are skipped.
 func MultiProgress(fns ...func(done, total int)) func(done, total int) {

@@ -146,10 +146,13 @@ func (rs *RuleSynthesizer) Synthesize(s string, target float64, r *rand.Rand) (s
 	if maxSteps == 0 {
 		maxSteps = 200
 	}
-	best, bestSim := s, rs.Sim.Sim(s, s)
+	// Every similarity in this search keeps s fixed on one side, so prep s
+	// once (q-gram/token set extraction) and reuse it for every candidate.
+	simS := simfn.Bind(rs.Sim, s)
+	best, bestSim := s, simS(s)
 	bestScore := math.Abs(bestSim - target)
 	consider := func(c string, penalty float64) {
-		cs := rs.Sim.Sim(s, c)
+		cs := simS(c)
 		if score := math.Abs(cs-target) + penalty; score < bestScore {
 			best, bestSim, bestScore = c, cs, score
 		}
@@ -166,7 +169,7 @@ func (rs *RuleSynthesizer) Synthesize(s string, target float64, r *rand.Rand) (s
 		case 0:
 			// Walk edits from s toward the target, then snap stray tokens
 			// back into the background vocabulary.
-			c, _ := perturb.TowardSimilarity(s, target, 0.02, rs.Sim.Sim, maxSteps, r)
+			c, _ := perturb.TowardSimilarity(s, target, 0.02, func(_, b string) float64 { return simS(b) }, maxSteps, r)
 			consider(rs.repairTokens(c), walkPenalty)
 		case 1:
 			// An unrelated in-domain string usually lands near zero — the
@@ -177,7 +180,7 @@ func (rs *RuleSynthesizer) Synthesize(s string, target float64, r *rand.Rand) (s
 			// short edit walk.
 			donor := rs.Corpus[r.Intn(len(rs.Corpus))]
 			c := blend(s, donor, target, r)
-			c, _ = perturb.TowardSimilarity(c, target, 0.02, func(_, b string) float64 { return rs.Sim.Sim(s, b) }, maxSteps/4, r)
+			c, _ = perturb.TowardSimilarity(c, target, 0.02, func(_, b string) float64 { return simS(b) }, maxSteps/4, r)
 			consider(rs.repairTokens(c), 0.02)
 		}
 	}

@@ -13,8 +13,9 @@ import (
 
 // synthesizeJournaled runs a full same-seed pipeline with a journal, a
 // journal-instrumented recorder and a ledgered DP release, saving the
-// dataset to dir and returning the raw journal bytes.
-func synthesizeJournaled(t *testing.T, dir string) []byte {
+// dataset to dir and returning the raw journal bytes. workers sets
+// Options.Workers (0 = default).
+func synthesizeJournaled(t *testing.T, dir string, workers int) []byte {
 	t.Helper()
 	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
 	if err != nil {
@@ -37,6 +38,7 @@ func synthesizeJournaled(t *testing.T, dir string) []byte {
 		Seed:         9,
 		Metrics:      serd.JournalRecorder(jr, reg),
 		Journal:      jr,
+		Workers:      workers,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -86,8 +88,8 @@ func TestJournaledSynthesisDeterministic(t *testing.T) {
 	dirJ2 := filepath.Join(base, "j2")
 
 	synthesizeTo(t, dirPlain, nil)
-	journal1 := synthesizeJournaled(t, dirJ1)
-	journal2 := synthesizeJournaled(t, dirJ2)
+	journal1 := synthesizeJournaled(t, dirJ1, 0)
+	journal2 := synthesizeJournaled(t, dirJ2, 0)
 
 	want := readDataset(t, dirPlain)
 	for _, dir := range []string{dirJ1, dirJ2} {
@@ -124,6 +126,33 @@ func TestJournaledSynthesisDeterministic(t *testing.T) {
 		if ev1[i].Chain != ev2[i].Chain {
 			t.Errorf("chain hash %d differs between same-seed runs", i)
 		}
+	}
+}
+
+// TestSynthesizeWorkerCountInvariant is the parallel layer's determinism
+// contract: the same seed at -workers=1 and -workers=4 must produce
+// byte-identical datasets AND identical journals (modulo the documented
+// volatile fields ts/dur_s) — parallelism is an execution parameter, never
+// a semantic one.
+func TestSynthesizeWorkerCountInvariant(t *testing.T) {
+	base := t.TempDir()
+	dir1 := filepath.Join(base, "w1")
+	dir4 := filepath.Join(base, "w4")
+
+	journal1 := synthesizeJournaled(t, dir1, 1)
+	journal4 := synthesizeJournaled(t, dir4, 4)
+
+	want := readDataset(t, dir1)
+	got := readDataset(t, dir4)
+	for name := range want {
+		if got[name] != want[name] {
+			t.Errorf("%s differs between -workers=1 and -workers=4: parallelism changed the output", name)
+		}
+	}
+
+	n1, n4 := stripVolatile(t, journal1), stripVolatile(t, journal4)
+	if n1 != n4 {
+		t.Errorf("journals differ between -workers=1 and -workers=4 beyond ts/dur_s:\n%s\n---- vs ----\n%s", n1, n4)
 	}
 }
 
