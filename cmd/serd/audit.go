@@ -116,6 +116,14 @@ func auditShow(path string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %-22s %s\n", name, shortHash(lin.Files[name]))
 		}
 	}
+	for _, r := range sum.Resumes {
+		where := r.Phase
+		if r.Column != "" {
+			where += "/" + r.Column
+		}
+		fmt.Fprintf(stdout, "resume at %-20s from %s (%s, journal seq %d)\n",
+			where, r.Checkpoint, shortHash(r.CheckpointSHA), r.Seq)
+	}
 	for _, ph := range sum.Phases {
 		fmt.Fprintf(stdout, "phase %-28s %8.3fs\n", ph.Name, ph.DurS)
 	}

@@ -42,12 +42,15 @@ import (
 	"log/slog"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"serd"
+	"serd/internal/checkpoint"
 	"serd/internal/journal"
 )
 
@@ -61,6 +64,10 @@ func main() {
 // testHookServing is called with the inspector's bound address once it is
 // listening, so tests can hit the live endpoints mid-run.
 var testHookServing = func(addr string) {}
+
+// testHookCheckpointer exposes the run's checkpointer so tests can inject
+// faults (kill the run at a chosen save) without a subprocess.
+var testHookCheckpointer = func(cp *checkpoint.Checkpointer) {}
 
 func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "audit" {
@@ -93,9 +100,13 @@ func run(args []string, stdout io.Writer) error {
 		txPairs     = fs.Int("tx-pairs", 24, "transformer bank: training pairs per bucket")
 		txEpochs    = fs.Int("tx-epochs", 1, "transformer bank: epochs per bucket")
 		txBatch     = fs.Int("tx-batch", 4, "transformer bank: DP-SGD minibatch size")
+		txCands     = fs.Int("tx-candidates", 10, "transformer bank: sampled decodes per synthesis call (the paper uses 10)")
 		dpNoise     = fs.Float64("dp-noise", 1.1, "transformer bank: DP-SGD noise multiplier σ")
 		dpClip      = fs.Float64("dp-clip", 1, "transformer bank: DP-SGD clip norm")
 		dpDelta     = fs.Float64("dp-delta", 1e-5, "transformer bank: δ at which ε is reported")
+		ckptDir     = fs.String("checkpoint-dir", "", "write crash-safe checkpoints (S1 state, per-epoch training state, periodic S2 state) to this directory; SIGINT/SIGTERM save a final checkpoint and abort cleanly")
+		ckptEvery   = fs.Int("checkpoint-every", 25, "accepted S2 entities between periodic checkpoints")
+		resume      = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir; the resumed run is bit-identical to an uninterrupted one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,39 +132,108 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "loaded %+v\n", real.Stats())
 
+	// The checkpoint snapshot loads first: a resume needs its journal seam
+	// before the journal can be reopened.
+	runCfg := map[string]string{
+		"in":             *in,
+		"out":            *out,
+		"schema":         *schemaSpec,
+		"size_a":         strconv.Itoa(*sizeA),
+		"size_b":         strconv.Itoa(*sizeB),
+		"no_reject":      strconv.FormatBool(*noReject),
+		"transformer":    strconv.FormatBool(*useTx),
+		"epsilon_budget": strconv.FormatFloat(*epsBudget, 'g', -1, 64),
+		"budget_mode":    "abort",
+	}
+	if *budgetWarn {
+		runCfg["budget_mode"] = "warn"
+	}
+	// The checkpoint flags (like -workers) stay out of the journaled
+	// config: they select how the run executes, not what it computes.
+	var snap *checkpoint.Snapshot
+	var latest *checkpoint.File
+	if *resume {
+		if *ckptDir == "" {
+			return errors.New("-resume requires -checkpoint-dir")
+		}
+		snap, err = checkpoint.ReadDir(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("reading checkpoints: %w", err)
+		}
+		latest = snap.Latest()
+		if latest == nil {
+			return fmt.Errorf("no checkpoint to resume from in %s", *ckptDir)
+		}
+		if latest.Meta.Tool != "serd" {
+			return fmt.Errorf("checkpoint was written by %q, not serd", latest.Meta.Tool)
+		}
+		if latest.Meta.Seed != *seed {
+			return fmt.Errorf("checkpoint has seed %d, flags say %d; a resume must replay the same run", latest.Meta.Seed, *seed)
+		}
+	}
+
 	// The journal is the run's durable provenance record; it opens before
-	// the pipeline so even failed runs leave an explainable trail.
+	// the pipeline so even failed runs leave an explainable trail. On
+	// resume it is reopened at the checkpoint's seam: the hash-chained
+	// prefix is verified, events past the seam (work the checkpoint does
+	// not cover) are truncated away, and a "resume" event marks the splice.
 	var jr *journal.Journal
+	var restoredCharges []journal.Entry
+	var openPhases map[string]int
 	jPath := *journalPath
 	if jPath == "" {
 		jPath = filepath.Join(*out, journal.DefaultName)
 	}
-	if !*noJournal {
+	switch {
+	case *noJournal:
+		if latest != nil && latest.Meta.JournalSeq != 0 {
+			return errors.New("checkpoint carries a journal seam; resume without -no-journal")
+		}
+	case latest != nil:
+		if latest.Meta.JournalSeq == 0 {
+			return errors.New("checkpoint was taken without a journal; resume with -no-journal")
+		}
+		jr, err = journal.Resume(jPath, latest.Meta.JournalSeq, latest.Meta.JournalChain, latest.Meta.JournalBytes)
+		if err != nil {
+			return fmt.Errorf("resuming journal: %w", err)
+		}
+		defer jr.Close()
+		prefix, err := journal.Read(jPath)
+		if err != nil {
+			return err
+		}
+		sum, err := journal.Summarize(prefix)
+		if err != nil {
+			return err
+		}
+		for k, v := range sum.Config {
+			if runCfg[k] != v {
+				return fmt.Errorf("flag mismatch with the journaled run: %s was %q, now %q; a resume must replay the same run", k, v, runCfg[k])
+			}
+		}
+		restoredCharges = sum.Charges
+		openPhases = journal.OpenPhases(prefix)
+		jr.Resumed(journal.ResumeData{
+			Phase:         latest.Meta.Phase,
+			Column:        latest.Meta.Column,
+			Checkpoint:    filepath.Base(latest.Path),
+			CheckpointSHA: latest.SHA,
+			Seq:           latest.Meta.JournalSeq,
+			Chain:         latest.Meta.JournalChain,
+		})
+	default:
 		jr, err = journal.Create(jPath)
 		if err != nil {
 			return err
 		}
 		defer jr.Close()
-		budgetMode := "abort"
-		if *budgetWarn {
-			budgetMode = "warn"
-		}
-		jr.RunStart("serd", *seed, map[string]string{
-			"in":             *in,
-			"out":            *out,
-			"schema":         *schemaSpec,
-			"size_a":         strconv.Itoa(*sizeA),
-			"size_b":         strconv.Itoa(*sizeB),
-			"no_reject":      strconv.FormatBool(*noReject),
-			"transformer":    strconv.FormatBool(*useTx),
-			"epsilon_budget": strconv.FormatFloat(*epsBudget, 'g', -1, 64),
-			"budget_mode":    budgetMode,
-		})
+		jr.RunStart("serd", *seed, runCfg)
 		if err := jr.Lineage("input", *in); err != nil {
 			return err
 		}
 	}
 	ledger := journal.NewLedger(jr)
+	ledger.Restore(restoredCharges)
 	if *epsBudget > 0 {
 		mode := journal.BudgetAbort
 		if *budgetWarn {
@@ -161,9 +241,42 @@ func run(args []string, stdout io.Writer) error {
 		}
 		ledger.SetBudget(*epsBudget, mode)
 	}
-	logger := slog.New(jr.Handler(slog.LevelInfo))
-	st := real.Stats()
-	logger.Info("dataset loaded", "size_a", st.SizeA, "size_b", st.SizeB, "matches", st.Matches)
+	if latest == nil {
+		// On resume the journal prefix already holds this log line.
+		logger := slog.New(jr.Handler(slog.LevelInfo))
+		st := real.Stats()
+		logger.Info("dataset loaded", "size_a", st.SizeA, "size_b", st.SizeB, "matches", st.Matches)
+	}
+
+	// The checkpointer opens after the journal so every save embeds a live
+	// seam; SIGINT/SIGTERM raise its interrupt flag, and the pipeline
+	// answers with a final checkpoint and a clean aborted status.
+	var cp *checkpoint.Checkpointer
+	if *ckptDir != "" {
+		cp, err = checkpoint.New(checkpoint.Config{Dir: *ckptDir, Every: *ckptEvery, Tool: "serd", Seed: *seed, Journal: jr})
+		if err != nil {
+			return err
+		}
+		if !*resume {
+			// A fresh run must not resume-match stale files from an
+			// earlier one.
+			if err := cp.Clear(); err != nil {
+				return err
+			}
+		}
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer func() {
+			signal.Stop(sigc)
+			close(sigc) // unblocks the handler goroutine
+		}()
+		go func() {
+			if _, ok := <-sigc; ok {
+				cp.Interrupt()
+			}
+		}()
+		testHookCheckpointer(cp)
+	}
 
 	start := time.Now()
 	err = synth(synthConfig{
@@ -173,9 +286,10 @@ func run(args []string, stdout io.Writer) error {
 		audit: *audit, auditEps: *auditEps, progress: *progress,
 		metricsAddr: *metricsAddr, reportPath: *reportPath, noReport: *noReport,
 		useTx: *useTx, txBuckets: *txBuckets, txPairs: *txPairs,
-		txEpochs: *txEpochs, txBatch: *txBatch,
+		txEpochs: *txEpochs, txBatch: *txBatch, txCands: *txCands,
 		dpNoise: *dpNoise, dpClip: *dpClip, dpDelta: *dpDelta,
 		journalPath: jPath, jr: jr, ledger: ledger, start: start,
+		cp: cp, snap: snap, openPhases: openPhases,
 	}, real, stdout)
 
 	if jr != nil {
@@ -184,7 +298,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			msg = err.Error()
 			status = journal.StatusFailed
-			if errors.Is(err, journal.ErrBudgetExceeded) {
+			if errors.Is(err, journal.ErrBudgetExceeded) || errors.Is(err, checkpoint.ErrInterrupted) {
 				status = journal.StatusAborted
 			}
 		}
@@ -214,11 +328,15 @@ type synthConfig struct {
 	noReport                              bool
 	useTx                                 bool
 	txBuckets, txPairs, txEpochs, txBatch int
+	txCands                               int
 	dpNoise, dpClip, dpDelta              float64
 	journalPath                           string
 	jr                                    *journal.Journal
 	ledger                                *journal.Ledger
 	start                                 time.Time
+	cp                                    *checkpoint.Checkpointer
+	snap                                  *checkpoint.Snapshot
+	openPhases                            map[string]int
 }
 
 func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
@@ -227,6 +345,15 @@ func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
 	// journal taps the same stream for phase boundaries and ε checkpoints.
 	reg := serd.NewMetricsRegistry()
 	rec := journal.Instrument(cfg.jr, reg)
+	if cfg.openPhases != nil {
+		// Resumed run: phases left open in the journal prefix would emit a
+		// duplicate phase_start when re-entered; suppress those (the ends
+		// still journal, restoring balanced pairs across the seam).
+		rec = journal.InstrumentResumed(cfg.jr, reg, cfg.openPhases)
+	}
+	if cfg.cp != nil {
+		cfg.cp.Metrics = rec
+	}
 	if cfg.metricsAddr != "" {
 		srv, err := serd.ServeMetrics(cfg.metricsAddr, reg)
 		if err != nil {
@@ -247,18 +374,34 @@ func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
 			return fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
 		}
 		if cfg.useTx {
-			ts, err := serd.TrainTransformer(corpus, col.Sim, serd.TransformerOptions{
+			txOpts := serd.TransformerOptions{
 				Buckets:        cfg.txBuckets,
 				PairsPerBucket: cfg.txPairs,
 				Epochs:         cfg.txEpochs,
 				BatchSize:      cfg.txBatch,
+				Candidates:     cfg.txCands,
 				DP:             &serd.DPOptions{ClipNorm: cfg.dpClip, Noise: cfg.dpNoise, Delta: cfg.dpDelta},
 				Metrics:        rec,
 				Privacy:        cfg.ledger,
+				Checkpoint:     cfg.cp,
+				Column:         col.Name,
 				Seed:           cfg.seed,
-			})
+			}
+			if cfg.snap != nil {
+				if f := cfg.snap.Trains[col.Name]; f != nil {
+					txOpts.Resume = f.Train
+				}
+			}
+			ts, err := serd.TrainTransformer(corpus, col.Sim, txOpts)
 			if err != nil {
 				return fmt.Errorf("training transformer bank for column %q: %w", col.Name, err)
+			}
+			if cfg.cp != nil && (txOpts.Resume == nil || !txOpts.Resume.Done) {
+				// Terminal per-column checkpoint: a crash in any later
+				// phase resumes without retraining this bank.
+				if err := cfg.cp.SaveTrain(ts.CheckpointState(col.Name)); err != nil {
+					return err
+				}
 			}
 			fmt.Fprintf(stdout, "transformer bank for %q trained (ε=%.4f at δ=%g)\n", col.Name, ts.Epsilon(), cfg.dpDelta)
 			synths[col.Name] = ts
@@ -278,11 +421,24 @@ func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
 		DisableRejection: cfg.noReject,
 		Metrics:          rec,
 		Journal:          cfg.jr,
+		Checkpoint:       cfg.cp,
 		Seed:             cfg.seed,
 		// Workers is an execution parameter, not a run parameter: it is
 		// deliberately absent from the journaled RunStart config so runs at
 		// different worker counts produce identical journals.
 		Workers: cfg.workers,
+	}
+	if cfg.snap != nil {
+		// The later checkpoint wins: a mid-S2 state subsumes the post-S1
+		// one. (A crash during training leaves neither, and core starts
+		// fresh — the trained banks above were restored from their own
+		// checkpoints.)
+		switch {
+		case cfg.snap.S2 != nil:
+			opts.Resume = &checkpoint.CoreState{S2: cfg.snap.S2.S2}
+		case cfg.snap.S1 != nil:
+			opts.Resume = &checkpoint.CoreState{S1: cfg.snap.S1.S1}
+		}
 	}
 	if cfg.progress {
 		opts.Progress = func(done, total int) {

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"serd/internal/blocking"
+	"serd/internal/checkpoint"
 	"serd/internal/dataset"
+	"serd/internal/detrand"
 	"serd/internal/gan"
 	"serd/internal/gmm"
 	"serd/internal/journal"
@@ -102,6 +104,19 @@ type Options struct {
 	// silent) are distinguishable from a hang. Default 64; negative
 	// disables.
 	HeartbeatEvery int
+	// Checkpoint, when set, persists the pipeline state after S1 and every
+	// Checkpoint.Every() accepted S2 entities, and — when its interrupt
+	// flag is raised — writes a final checkpoint and returns
+	// checkpoint.ErrInterrupted instead of continuing. Checkpointing never
+	// touches the RNG stream: runs with and without it produce identical
+	// datasets.
+	Checkpoint *checkpoint.Checkpointer
+	// Resume continues a checkpointed run: with an S2 state the whole
+	// pipeline position (entity pools, sampled labels, rejection state, RNG
+	// stream) is restored; with only an S1 state the learned O_real is
+	// restored and S2 starts fresh. The result is bit-identical to the
+	// uninterrupted run.
+	Resume *checkpoint.CoreState
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -180,45 +195,82 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	if opts.SizeA < 1 || opts.SizeB < 1 {
 		return nil, fmt.Errorf("core: synthesized sizes %d/%d must be positive", opts.SizeA, opts.SizeB)
 	}
-	r := rand.New(rand.NewSource(opts.Seed))
+	src := detrand.New(opts.Seed)
+	r := rand.New(src)
 	rec := opts.Metrics
 	pool := parallel.New(opts.Workers, rec)
-	// Workers is deliberately absent from the journaled config: the journal
-	// records what was computed, and the worker count never changes that.
-	opts.Journal.Config("core.options", map[string]string{
-		"size_a":         fmt.Sprint(opts.SizeA),
-		"size_b":         fmt.Sprint(opts.SizeB),
-		"match_fraction": fmt.Sprintf("%.6g", opts.MatchFraction),
-		"alpha":          fmt.Sprintf("%g", opts.Alpha),
-		"beta":           fmt.Sprintf("%g", opts.Beta),
-		"rejection":      fmt.Sprint(!opts.DisableRejection),
-		"seed":           fmt.Sprint(opts.Seed),
-	})
-
-	// S1: learn O_real.
-	s1 := rec.StartSpan("core.s1")
-	oReal := opts.Learned
-	if oReal == nil {
-		learn := opts.Learn
-		if learn.Rand == nil {
-			learn.Rand = rand.New(rand.NewSource(opts.Seed + 1))
-		}
-		if learn.Metrics == nil {
-			learn.Metrics = rec
-		}
-		if learn.Journal == nil {
-			learn.Journal = opts.Journal
-		}
-		if learn.Pool == nil {
-			learn.Pool = pool
-		}
-		var err error
-		oReal, err = LearnDistributions(real, learn)
-		if err != nil {
-			return nil, err
+	cp := opts.Checkpoint
+	var resS1 *checkpoint.S1State
+	var resS2 *checkpoint.S2State
+	if opts.Resume != nil {
+		// The later checkpoint wins: an S2 state subsumes the S1 one.
+		resS2 = opts.Resume.S2
+		if resS2 == nil {
+			resS1 = opts.Resume.S1
 		}
 	}
-	s1.End()
+	if resS1 == nil && resS2 == nil {
+		// Workers is deliberately absent from the journaled config: the
+		// journal records what was computed, and the worker count never
+		// changes that. On resume the journal prefix already holds the
+		// config (and the S1 events), so nothing is re-emitted.
+		opts.Journal.Config("core.options", map[string]string{
+			"size_a":         fmt.Sprint(opts.SizeA),
+			"size_b":         fmt.Sprint(opts.SizeB),
+			"match_fraction": fmt.Sprintf("%.6g", opts.MatchFraction),
+			"alpha":          fmt.Sprintf("%g", opts.Alpha),
+			"beta":           fmt.Sprintf("%g", opts.Beta),
+			"rejection":      fmt.Sprint(!opts.DisableRejection),
+			"seed":           fmt.Sprint(opts.Seed),
+		})
+	}
+
+	// S1: learn O_real (or restore it from a checkpoint).
+	var oReal *gmm.Joint
+	var err error
+	switch {
+	case resS2 != nil:
+		oReal, err = gmm.JointFromState(resS2.Joint)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+	case resS1 != nil:
+		oReal, err = gmm.JointFromState(resS1.Joint)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if err := src.SkipTo(resS1.Draws); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+	default:
+		s1 := rec.StartSpan("core.s1")
+		oReal = opts.Learned
+		if oReal == nil {
+			learn := opts.Learn
+			if learn.Rand == nil {
+				learn.Rand = rand.New(rand.NewSource(opts.Seed + 1))
+			}
+			if learn.Metrics == nil {
+				learn.Metrics = rec
+			}
+			if learn.Journal == nil {
+				learn.Journal = opts.Journal
+			}
+			if learn.Pool == nil {
+				learn.Pool = pool
+			}
+			oReal, err = LearnDistributions(real, learn)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s1.End()
+		if cp != nil {
+			if err := cp.SaveS1(&checkpoint.S1State{Joint: oReal.State(), Draws: src.Draws()}); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if oReal.Dim() != real.Schema().Len() {
 		return nil, fmt.Errorf("core: O_real dim %d does not match schema arity %d", oReal.Dim(), real.Schema().Len())
 	}
@@ -237,15 +289,6 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	synB := dataset.NewRelation("B_syn", schema)
 	res := &Result{OReal: oReal}
 
-	// S2 bootstrap: one fake A-entity.
-	first, err := bootstrap(vs, real, opts, r)
-	if err != nil {
-		return nil, err
-	}
-	if err := synA.Append(first); err != nil {
-		return nil, err
-	}
-
 	dist := newDistState(oReal, opts, pool, cache)
 	sampled := make(map[dataset.Pair]bool) // S2-sampled labels
 	// matched tracks entities that already have a sampled match partner.
@@ -254,15 +297,50 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 	// match clusters that inflate |M_syn| well beyond |M_real|, so matching
 	// vectors prefer unmatched source entities.
 	matched := map[*dataset.Relation]map[int]bool{synA: {}, synB: {}}
+	rejections := 0
+
+	if resS2 != nil {
+		// Mid-S2 resume: restore the entity pools, labels, rejection state
+		// and counters, then fast-forward the RNG stream to where the
+		// checkpoint was taken.
+		rejections, err = restoreS2(resS2, synA, synB, sampled, matched, res, dist)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		if err := src.SkipTo(resS2.Draws); err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+	} else {
+		// S2 bootstrap: one fake A-entity.
+		first, err := bootstrap(vs, real, opts, r)
+		if err != nil {
+			return nil, err
+		}
+		if err := synA.Append(first); err != nil {
+			return nil, err
+		}
+	}
 
 	s2 := rec.StartSpan("core.s2")
 	s2Start := time.Now()
 	totalTarget := opts.SizeA + opts.SizeB
 	rec.Set("core.s2.total", float64(totalTarget))
+	// saveS2 checkpoints the full mid-S2 position; it reads the live state
+	// but never the RNG stream, so saving does not perturb the run.
+	saveS2 := func() error {
+		if cp == nil {
+			return nil
+		}
+		return cp.SaveS2(captureS2(oReal, synA, synB, sampled, matched, res, rejections, dist, src.Draws()))
+	}
+	every := 0
+	if cp != nil {
+		every = cp.Every()
+	}
+	lastSaved := synA.Len() + synB.Len()
 	// heartbeat keeps the run observably alive through rejection streaks:
 	// every HeartbeatEvery-th rejected attempt ticks a counter and re-fires
 	// the legacy Progress callback with the unchanged done count.
-	rejections := 0
 	heartbeat := func(done int) {
 		rejections++
 		if opts.HeartbeatEvery > 0 && rejections%opts.HeartbeatEvery == 0 {
@@ -275,6 +353,19 @@ func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
 
 	// S2 loop: one new entity per iteration.
 	for synA.Len() < opts.SizeA || synB.Len() < opts.SizeB {
+		done := synA.Len() + synB.Len()
+		if cp.Interrupted() {
+			if err := saveS2(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("core: s2 interrupted at %d/%d entities: %w", done, totalTarget, checkpoint.ErrInterrupted)
+		}
+		if every > 0 && done%every == 0 && done != lastSaved {
+			if err := saveS2(); err != nil {
+				return nil, err
+			}
+			lastSaved = done
+		}
 		// Decide the pair label first (the draw is independent of the
 		// entity choice), so S2-1 can respect one-to-one matching.
 		matching := r.Float64() < opts.MatchFraction

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"serd/internal/checkpoint"
+	"serd/internal/dataset"
+)
+
+func resumeFixtureOptions(t *testing.T) (Options, *dataset.ER) {
+	t.Helper()
+	gen, synths := fixture(t, 30, 30, 12)
+	return Options{Synthesizers: synths, SizeA: 24, SizeB: 24, Seed: 33}, gen.ER
+}
+
+func sameSynthesis(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Syn, want.Syn) {
+		t.Fatalf("%s: synthesized dataset differs", label)
+	}
+	if got.JSD != want.JSD || got.SampledMatches != want.SampledMatches {
+		t.Fatalf("%s: JSD/match summary differs: %v/%d vs %v/%d",
+			label, got.JSD, got.SampledMatches, want.JSD, want.SampledMatches)
+	}
+	if !reflect.DeepEqual(got.SampledMatchPairs, want.SampledMatchPairs) {
+		t.Fatalf("%s: sampled match pairs differ", label)
+	}
+}
+
+// TestSynthesizeCheckpointingIsTransparent pins that enabling checkpointing
+// (which must never touch the RNG stream) does not change the output.
+func TestSynthesizeCheckpointingIsTransparent(t *testing.T) {
+	opts, er := resumeFixtureOptions(t)
+	want, err := Synthesize(er, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cp, err := checkpoint.New(checkpoint.Config{Dir: dir, Every: 10, Tool: "serd", Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = cp
+	got, err := Synthesize(er, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSynthesis(t, "checkpointing on", got, want)
+	snap, err := checkpoint.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.S1 == nil || snap.S2 == nil {
+		t.Fatalf("expected s1 and s2 checkpoints on disk, got %d files", len(snap.Files))
+	}
+}
+
+// TestSynthesizeKillAndResumeBitIdentical is the core fault-injection
+// harness: the run is killed right after every checkpoint it writes (the
+// post-S1 save and each periodic S2 save in turn), resumed from disk, and
+// the resumed output must be bit-identical to the uninterrupted run.
+func TestSynthesizeKillAndResumeBitIdentical(t *testing.T) {
+	opts, er := resumeFixtureOptions(t)
+	want, err := Synthesize(er, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 16; k++ {
+		dir := t.TempDir()
+		cp, err := checkpoint.New(checkpoint.Config{Dir: dir, Every: 10, Tool: "serd", Seed: opts.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		killed := false
+		cp.FaultHook = func(m checkpoint.Meta) error {
+			if m.Saved == k {
+				killed = true
+				return checkpoint.ErrInterrupted
+			}
+			return nil
+		}
+		kopts := opts
+		kopts.Checkpoint = cp
+		_, err = Synthesize(er, kopts)
+		if !killed {
+			// Fewer than k checkpoints in a full run: the sweep is done.
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k == 1 {
+				t.Fatal("no checkpoints were written at all")
+			}
+			return
+		}
+		if !errors.Is(err, checkpoint.ErrInterrupted) {
+			t.Fatalf("kill %d: err = %v, want ErrInterrupted", k, err)
+		}
+
+		snap, err := checkpoint.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		latest := snap.Latest()
+		if latest == nil {
+			t.Fatalf("kill %d: no checkpoint on disk", k)
+		}
+		rcp, err := checkpoint.New(checkpoint.Config{Dir: dir, Every: 10, Tool: "serd", Seed: opts.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ropts := opts
+		ropts.Checkpoint = rcp
+		ropts.Resume = &checkpoint.CoreState{S1: latest.S1, S2: latest.S2}
+		got, err := Synthesize(er, ropts)
+		if err != nil {
+			t.Fatalf("kill %d (phase %s): resume: %v", k, latest.Meta.Phase, err)
+		}
+		sameSynthesis(t, latest.Meta.Phase, got, want)
+	}
+	t.Fatal("fault sweep never ran to completion; raise the kill cap")
+}
+
+// TestSynthesizeInterruptWritesFinalCheckpoint pins the SIGINT path: a
+// raised interrupt flag stops S2 after a final checkpoint, the error wraps
+// checkpoint.ErrInterrupted, and resuming completes bit-identically.
+func TestSynthesizeInterruptWritesFinalCheckpoint(t *testing.T) {
+	opts, er := resumeFixtureOptions(t)
+	want, err := Synthesize(er, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cp, err := checkpoint.New(checkpoint.Config{Dir: dir, Every: 10, Tool: "serd", Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Interrupt()
+	iopts := opts
+	iopts.Checkpoint = cp
+	if _, err := Synthesize(er, iopts); !errors.Is(err, checkpoint.ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	snap, err := checkpoint.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.S2 == nil {
+		t.Fatal("interrupt did not leave a final S2 checkpoint")
+	}
+	rcp, err := checkpoint.New(checkpoint.Config{Dir: dir, Every: 10, Tool: "serd", Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := opts
+	ropts.Checkpoint = rcp
+	ropts.Resume = &checkpoint.CoreState{S2: snap.S2.S2}
+	got, err := Synthesize(er, ropts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSynthesis(t, "interrupt", got, want)
+}

@@ -1,0 +1,71 @@
+// Package detrand wraps math/rand's Source64 with a draw counter so a
+// pipeline's RNG stream position can be checkpointed and restored exactly.
+//
+// The wrapper is transparent: a rand.Rand built over a Source produces the
+// same stream as one built over rand.NewSource with the same seed, because
+// every Int63/Uint64 call delegates one-for-one to the underlying source.
+// Both calls advance the generator by exactly one internal state step
+// (math/rand's Int63 is Uint64 masked to 63 bits), so the draw count is a
+// complete description of the stream position — restoring means re-seeding
+// and fast-forwarding the counted number of steps (SkipTo), regardless of
+// which mix of Int63/Uint64/Float64/NormFloat64/Perm calls consumed them.
+// The package's tests pin this one-advance-per-call property.
+package detrand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source is a counting rand.Source64.
+type Source struct {
+	seed  int64
+	src   rand.Source64
+	draws uint64
+}
+
+// New returns a counting source seeded like rand.NewSource(seed).
+func New(seed int64) *Source {
+	return &Source{seed: seed, src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 draws one value, counting one stream advance.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 draws one value, counting one stream advance.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed re-seeds the source and resets the draw counter.
+func (s *Source) Seed(seed int64) {
+	s.seed = seed
+	s.draws = 0
+	s.src.Seed(seed)
+}
+
+// SeedValue returns the seed the source was (re-)seeded with.
+func (s *Source) SeedValue() int64 { return s.seed }
+
+// Draws returns the number of stream advances consumed so far — the value
+// to checkpoint.
+func (s *Source) Draws() uint64 { return s.draws }
+
+// SkipTo fast-forwards the source to the absolute stream position n (a
+// Draws() value recorded earlier). It errors when the source is already
+// past n: the generator cannot rewind, so a mismatch means the caller
+// replayed more work than the checkpoint covers.
+func (s *Source) SkipTo(n uint64) error {
+	if n < s.draws {
+		return fmt.Errorf("detrand: cannot rewind from draw %d to %d", s.draws, n)
+	}
+	for s.draws < n {
+		s.src.Uint64()
+		s.draws++
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTransparentStream pins that a rand.Rand over a counting Source emits
+// the same stream as one over a bare rand.NewSource — the wrapper must not
+// perturb any pipeline output.
+func TestTransparentStream(t *testing.T) {
+	a := rand.New(New(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		switch i % 5 {
+		case 0:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("draw %d: Float64 %v != %v", i, x, y)
+			}
+		case 1:
+			if x, y := a.Intn(1000), b.Intn(1000); x != y {
+				t.Fatalf("draw %d: Intn %v != %v", i, x, y)
+			}
+		case 2:
+			if x, y := a.NormFloat64(), b.NormFloat64(); x != y {
+				t.Fatalf("draw %d: NormFloat64 %v != %v", i, x, y)
+			}
+		case 3:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("draw %d: Uint64 %v != %v", i, x, y)
+			}
+		case 4:
+			pa, pb := a.Perm(7), b.Perm(7)
+			for j := range pa {
+				if pa[j] != pb[j] {
+					t.Fatalf("draw %d: Perm %v != %v", i, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipToContinuation pins the core checkpoint property: record Draws()
+// after a mixed workload, then a freshly seeded source fast-forwarded with
+// SkipTo continues with exactly the same stream. This fails if Int63 and
+// Uint64 ever advance the underlying generator by different step counts.
+func TestSkipToContinuation(t *testing.T) {
+	src := New(7)
+	r := rand.New(src)
+	// Mixed draw types, including rejection-sampling consumers (NormFloat64,
+	// Intn) whose draw count per call is variable.
+	for i := 0; i < 137; i++ {
+		switch i % 4 {
+		case 0:
+			r.Float64()
+		case 1:
+			r.NormFloat64()
+		case 2:
+			r.Intn(13)
+		case 3:
+			r.Perm(5)
+		}
+	}
+	mark := src.Draws()
+	if mark == 0 {
+		t.Fatal("no draws counted")
+	}
+
+	restored := New(7)
+	if err := restored.SkipTo(mark); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Draws() != mark {
+		t.Fatalf("Draws after SkipTo = %d, want %d", restored.Draws(), mark)
+	}
+	r2 := rand.New(restored)
+	for i := 0; i < 200; i++ {
+		if x, y := r.NormFloat64(), r2.NormFloat64(); x != y {
+			t.Fatalf("continuation draw %d: %v != %v", i, x, y)
+		}
+		if x, y := r.Intn(1_000_000), r2.Intn(1_000_000); x != y {
+			t.Fatalf("continuation draw %d: Intn %v != %v", i, x, y)
+		}
+	}
+}
+
+func TestSkipToRefusesRewind(t *testing.T) {
+	src := New(1)
+	r := rand.New(src)
+	for i := 0; i < 10; i++ {
+		r.Float64()
+	}
+	if err := src.SkipTo(src.Draws() - 1); err == nil {
+		t.Fatal("SkipTo accepted a rewind")
+	}
+	if err := src.SkipTo(src.Draws()); err != nil {
+		t.Fatalf("SkipTo to current position: %v", err)
+	}
+}
+
+func TestSeedResetsCounter(t *testing.T) {
+	src := New(3)
+	rand.New(src).Float64()
+	if src.Draws() == 0 {
+		t.Fatal("no draws counted")
+	}
+	src.Seed(9)
+	if src.Draws() != 0 {
+		t.Fatalf("Draws after Seed = %d, want 0", src.Draws())
+	}
+	if src.SeedValue() != 9 {
+		t.Fatalf("SeedValue = %d, want 9", src.SeedValue())
+	}
+}

@@ -108,6 +108,11 @@ func (o *SGD) Step() error {
 // by the accountant.
 func (o *SGD) Steps() int { return o.steps }
 
+// RestoreSteps sets the applied-update counter when resuming an optimizer
+// from a checkpoint, so Steps() reflects the whole training run rather than
+// just the post-resume tail.
+func (o *SGD) RestoreSteps(n int) { o.steps = n }
+
 // Accountant computes the (ε, δ) privacy guarantee of a DP-SGD run via
 // Rényi differential privacy. For the subsampled Gaussian mechanism with
 // sampling ratio q and noise multiplier σ, each step satisfies
@@ -151,6 +156,101 @@ func (a Accountant) RecordEpsilon(rec telemetry.Recorder, steps int, delta float
 	}
 	rec.Set("dp.delta", delta)
 	rec.Set("dp.epsilon", a.Epsilon(steps, delta))
+}
+
+// EpsilonForLots returns the ε of (ε, δ)-DP for a DP-SGD run of steps
+// noisy updates at sampling ratio q plus tailSteps updates at tailQ — the
+// accounting shape of epoch-wise training over a dataset whose size is not
+// divisible by the batch size: every epoch contributes full lots at
+// q = B/N and one partial final lot at tailQ = (N mod B)/N. Accounting the
+// partial lot at the full-lot q (as a single fixed-q Accountant would)
+// overstates its sampling ratio and therefore the reported ε.
+//
+// With tailSteps == 0 this evaluates the exact expression of
+// Accountant.Epsilon, bit for bit — journals recorded before partial-lot
+// accounting existed recompute unchanged.
+func EpsilonForLots(noise float64, steps int, q float64, tailSteps int, tailQ, delta float64) float64 {
+	if noise <= 0 || steps+tailSteps <= 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for alpha := 1.25; alpha <= 512; alpha *= 1.1 {
+		rdp := float64(steps) * q * q * alpha / (noise * noise)
+		if tailSteps > 0 {
+			rdp += float64(tailSteps) * tailQ * tailQ * alpha / (noise * noise)
+		}
+		eps := rdp + math.Log(1/delta)/(alpha-1)
+		if eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// RDPAccountant accumulates the RDP cost of a DP-SGD run step by step,
+// each step with its own true sampling ratio q = lot size / dataset size.
+// Per step, RDP(α) ≤ q²·α/σ² (the same subsampled-Gaussian bound as
+// Accountant); since the bound is linear in α, the accumulated grid
+// collapses to Σq², making the state two numbers — cheap to checkpoint and
+// exact to restore.
+type RDPAccountant struct {
+	// Noise is the noise multiplier σ.
+	Noise float64
+
+	sumQ2 float64 // Σ over steps of q²
+	steps int
+}
+
+// Account registers one noisy update with sampling ratio q.
+func (a *RDPAccountant) Account(q float64) {
+	a.sumQ2 += q * q
+	a.steps++
+}
+
+// Steps returns the number of accounted updates.
+func (a *RDPAccountant) Steps() int { return a.steps }
+
+// Epsilon converts the accumulated RDP to (ε, δ)-DP:
+// ε = min_α [ Σq²·α/σ² + log(1/δ)/(α−1) ] over the same α grid as
+// Accountant.
+func (a *RDPAccountant) Epsilon(delta float64) float64 {
+	if a.Noise <= 0 || a.steps <= 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for alpha := 1.25; alpha <= 512; alpha *= 1.1 {
+		eps := a.sumQ2*alpha/(a.Noise*a.Noise) + math.Log(1/delta)/(alpha-1)
+		if eps < best {
+			best = eps
+		}
+	}
+	return best
+}
+
+// RecordEpsilon publishes the current (ε, δ) like Accountant.RecordEpsilon.
+func (a *RDPAccountant) RecordEpsilon(rec telemetry.Recorder, delta float64) {
+	if !telemetry.Enabled(rec) {
+		return
+	}
+	rec.Set("dp.delta", delta)
+	rec.Set("dp.epsilon", a.Epsilon(delta))
+}
+
+// RDPState is the accountant's serialized form for checkpointing.
+type RDPState struct {
+	Noise float64
+	SumQ2 float64
+	Steps int
+}
+
+// State snapshots the accountant.
+func (a *RDPAccountant) State() RDPState {
+	return RDPState{Noise: a.Noise, SumQ2: a.sumQ2, Steps: a.steps}
+}
+
+// RDPFromState restores an accountant exactly.
+func RDPFromState(st RDPState) *RDPAccountant {
+	return &RDPAccountant{Noise: st.Noise, sumQ2: st.SumQ2, steps: st.Steps}
 }
 
 // NoiseForEpsilon searches for the smallest noise multiplier σ such that

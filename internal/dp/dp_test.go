@@ -214,3 +214,75 @@ func TestLedgerEmpty(t *testing.T) {
 		t.Errorf("empty ledger total = %v, %v", e, d)
 	}
 }
+
+// TestPartialLotEpsilonRegression pins the fix for accounting the partial
+// final minibatch at the full-lot sampling ratio. N=10, B=4, 3 epochs of
+// without-replacement batching: per epoch two full lots at q=0.4 plus one
+// partial lot of 2 examples at its true q=0.2. The old fixed-q accounting
+// charged all 9 steps at q=0.4, overstating ε.
+func TestPartialLotEpsilonRegression(t *testing.T) {
+	const (
+		noise = 1.1
+		delta = 1e-5
+	)
+	correct := EpsilonForLots(noise, 6, 0.4, 3, 0.2, delta)
+	old := Accountant{Q: 0.4, Noise: noise}.Epsilon(9, delta)
+	if !(correct < old) {
+		t.Fatalf("true-q ε %v not below fixed-q ε %v", correct, old)
+	}
+
+	// Step-wise accounting must agree with the closed form.
+	acct := &RDPAccountant{Noise: noise}
+	for epoch := 0; epoch < 3; epoch++ {
+		acct.Account(0.4)
+		acct.Account(0.4)
+		acct.Account(0.2)
+	}
+	if acct.Steps() != 9 {
+		t.Fatalf("Steps = %d, want 9", acct.Steps())
+	}
+	if got := acct.Epsilon(delta); math.Abs(got-correct) > 1e-9 {
+		t.Fatalf("step-wise ε %v, closed-form %v", got, correct)
+	}
+}
+
+// TestEpsilonForLotsMatchesAccountantWithoutTail pins bit-identical
+// recomputation of pre-fix ledger entries: with no tail steps the closed
+// form must evaluate the exact expression of the fixed-q Accountant.
+func TestEpsilonForLotsMatchesAccountantWithoutTail(t *testing.T) {
+	for _, c := range []struct {
+		noise, q, delta float64
+		steps           int
+	}{
+		{1.1, 0.4, 1e-5, 9},
+		{0.7, 0.05, 1e-6, 120},
+		{2.3, 1.0 / 3.0, 1e-5, 7},
+	} {
+		want := Accountant{Q: c.q, Noise: c.noise}.Epsilon(c.steps, c.delta)
+		got := EpsilonForLots(c.noise, c.steps, c.q, 0, 0, c.delta)
+		if got != want {
+			t.Fatalf("EpsilonForLots(%+v) = %v, want %v (must be bit-identical)", c, got, want)
+		}
+	}
+}
+
+// TestRDPAccountantStateRoundTrip pins exact checkpoint/restore: an
+// accountant restored mid-run and driven forward must match one that never
+// stopped, bit for bit.
+func TestRDPAccountantStateRoundTrip(t *testing.T) {
+	a := &RDPAccountant{Noise: 1.3}
+	for i := 0; i < 5; i++ {
+		a.Account(0.25)
+	}
+	b := RDPFromState(a.State())
+	for i := 0; i < 4; i++ {
+		a.Account(0.1)
+		b.Account(0.1)
+	}
+	if a.Epsilon(1e-5) != b.Epsilon(1e-5) {
+		t.Fatalf("restored accountant diverged: %v != %v", b.Epsilon(1e-5), a.Epsilon(1e-5))
+	}
+	if a.State() != b.State() {
+		t.Fatalf("states differ: %+v vs %+v", a.State(), b.State())
+	}
+}

@@ -47,6 +47,7 @@ type RunSummary struct {
 	Summary             map[string]float64
 	WallS               float64
 	Budget              []BudgetData
+	Resumes             []ResumeData
 	Events              int
 }
 
@@ -130,6 +131,12 @@ func Summarize(events []Event) (*RunSummary, error) {
 				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
 			}
 			s.Logs = append(s.Logs, d)
+		case "resume":
+			var d ResumeData
+			if err := json.Unmarshal(ev.Data, &d); err != nil {
+				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
+			}
+			s.Resumes = append(s.Resumes, d)
 		case "run_end":
 			var d RunEndData
 			if err := json.Unmarshal(ev.Data, &d); err != nil {
@@ -142,6 +149,34 @@ func Summarize(events []Event) (*RunSummary, error) {
 		s.LedgerEps, s.LedgerDelta = Compose(s.Charges)
 	}
 	return s, nil
+}
+
+// OpenPhases returns, per phase name, how many phase_start events in the
+// event stream have no matching phase_end — the phases a crashed run was
+// inside when its journal stopped. A resumed run re-enters those phases;
+// InstrumentResumed uses these counts to suppress the duplicate
+// phase_starts it would otherwise journal.
+func OpenPhases(events []Event) map[string]int {
+	open := map[string]int{}
+	for _, ev := range events {
+		var d PhaseData
+		switch ev.Type {
+		case "phase_start":
+			if json.Unmarshal(ev.Data, &d) == nil {
+				open[d.Name]++
+			}
+		case "phase_end":
+			if json.Unmarshal(ev.Data, &d) == nil && open[d.Name] > 0 {
+				open[d.Name]--
+			}
+		}
+	}
+	for name, n := range open {
+		if n == 0 {
+			delete(open, name)
+		}
+	}
+	return open
 }
 
 // VerifyResult is the outcome of Verify: a list of independent checks with

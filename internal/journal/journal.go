@@ -73,13 +73,30 @@ func chainHash(prev string, seq int, typ string, data []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// durableTypes are the events fsynced to disk the moment they are written:
+// phase boundaries, ε checkpoints, budget decisions, lineage and terminal
+// statuses must survive a crash — they are what resume and audit reason
+// about. Bulk per-step events (ledger_charge, gmm_fit, log) ride along with
+// the next durable event instead of paying a sync each.
+var durableTypes = map[string]bool{
+	"phase_start":        true,
+	"phase_end":          true,
+	"epsilon_checkpoint": true,
+	"budget":             true,
+	"lineage":            true,
+	"resume":             true,
+	"run_end":            true,
+}
+
 // Journal appends events to a stream. Safe for concurrent use.
 type Journal struct {
 	mu    sync.Mutex
 	w     io.Writer
 	c     io.Closer // nil when the writer is not ours to close
+	f     *os.File  // non-nil for file-backed journals; enables fsync
 	seq   int
 	chain string
+	bytes int64 // bytes written so far — a checkpoint's truncation offset
 	err   error // first write error; subsequent emits are dropped
 	now   func() time.Time
 }
@@ -103,7 +120,105 @@ func Create(path string) (*Journal, error) {
 	}
 	j := New(f)
 	j.c = f
+	j.f = f
 	return j, nil
+}
+
+// Resume reopens an existing journal for appending across a crash/resume
+// seam. The checkpoint being resumed from recorded the journal position at
+// save time as (seq, chain, offset); everything after offset was written
+// after the checkpoint and is discarded:
+//
+//  1. the file is truncated to offset,
+//  2. the surviving prefix is parsed and its hash chain verified,
+//  3. the prefix must contain exactly seq events and end on chain.
+//
+// On success the journal appends with the restored seq/chain, so resumed
+// events chain onto the prefix exactly as the uninterrupted run's would
+// have, and `serd audit verify` walks the seam without noticing.
+func Resume(path string, seq int, chain string, offset int64) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: resume: %w", err)
+	}
+	if offset < 0 || offset > int64(len(data)) {
+		return nil, fmt.Errorf("journal: resume: checkpoint offset %d outside journal of %d bytes", offset, len(data))
+	}
+	prefix := data[:offset]
+	events, err := Parse(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("journal: resume: parsing prefix: %w", err)
+	}
+	if len(events) != seq {
+		return nil, fmt.Errorf("journal: resume: prefix has %d events, checkpoint recorded %d", len(events), seq)
+	}
+	if i := VerifyChain(events); i >= 0 {
+		return nil, fmt.Errorf("journal: resume: hash chain broken at event %d", i+1)
+	}
+	last := ""
+	if len(events) > 0 {
+		last = events[len(events)-1].Chain
+	}
+	if last != chain {
+		return nil, fmt.Errorf("journal: resume: prefix chain %.12s does not match checkpoint chain %.12s", last, chain)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("journal: resume: %w", err)
+	}
+	if err := f.Truncate(offset); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: resume: truncating to checkpoint: %w", err)
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: resume: %w", err)
+	}
+	j := New(f)
+	j.c = f
+	j.f = f
+	j.seq = seq
+	j.chain = chain
+	j.bytes = offset
+	return j, nil
+}
+
+// Seam returns the journal's current position — event count, chain head and
+// byte offset — for embedding in a checkpoint. Resume uses it to discard
+// events written after the checkpoint and splice the resumed run onto the
+// chain.
+func (j *Journal) Seam() (seq int, chain string, bytes int64) {
+	if j == nil {
+		return 0, "", 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq, j.chain, j.bytes
+}
+
+// Sync fsyncs a file-backed journal (no-op otherwise), making everything
+// emitted so far durable — called before each checkpoint write so the
+// checkpoint never references journal bytes the disk does not have.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		if j.err == nil {
+			j.err = fmt.Errorf("journal: sync: %w", err)
+		}
+		return err
+	}
+	return nil
 }
 
 // Close flushes and closes the underlying file (no-op for New writers) and
@@ -111,6 +226,10 @@ func Create(path string) (*Journal, error) {
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f != nil {
+		j.syncLocked()
+		j.f = nil
+	}
 	if j.c != nil {
 		if err := j.c.Close(); err != nil && j.err == nil {
 			j.err = err
@@ -162,11 +281,16 @@ func (j *Journal) emit(typ string, data any, durS float64) {
 		j.err = fmt.Errorf("journal: %w", err)
 		return
 	}
-	if _, err := j.w.Write(append(line, '\n')); err != nil {
+	n, err := j.w.Write(append(line, '\n'))
+	j.bytes += int64(n)
+	if err != nil {
 		j.err = fmt.Errorf("journal: %w", err)
 		return
 	}
 	j.chain = ev.Chain
+	if durableTypes[typ] {
+		j.syncLocked()
+	}
 }
 
 // ---- typed event payloads ----
@@ -268,7 +392,7 @@ func (j *Journal) Synthesis(d SynthesisData) { j.emit("synthesis", d, 0) }
 const (
 	StatusDone    = "done"
 	StatusFailed  = "failed"
-	StatusAborted = "aborted" // stopped by privacy-budget enforcement
+	StatusAborted = "aborted" // stopped cleanly before completion: privacy-budget enforcement or an interrupt (SIGINT/SIGTERM) after a final checkpoint
 )
 
 // RunEndData closes a journal.
@@ -314,6 +438,26 @@ type ConfigData struct {
 func (j *Journal) Config(name string, values map[string]string) {
 	j.emit("config", ConfigData{Name: name, Values: values}, 0)
 }
+
+// ResumeData records that a run was resumed from a checkpoint: which phase
+// and (for training) column the checkpoint covered, the checkpoint file and
+// its payload SHA-256, and the journal seam it spliced onto. The event is
+// chained like any other, so the audit trail proves exactly where the seam
+// is and what state the resumed run started from.
+type ResumeData struct {
+	Phase      string `json:"phase"`
+	Column     string `json:"column,omitempty"`
+	Checkpoint string `json:"checkpoint"`
+	// CheckpointSHA is the SHA-256 of the checkpoint payload resumed from.
+	CheckpointSHA string `json:"checkpoint_sha"`
+	// Seq and Chain echo the seam position for human readers; the event's
+	// own chain value already commits to them.
+	Seq   int    `json:"seq"`
+	Chain string `json:"chain"`
+}
+
+// Resumed emits a resume event.
+func (j *Journal) Resumed(d ResumeData) { j.emit("resume", d, 0) }
 
 // ---- reading ----
 

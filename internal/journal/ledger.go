@@ -50,6 +50,13 @@ type Entry struct {
 	Q     float64 `json:"q,omitempty"`
 	Noise float64 `json:"noise,omitempty"`
 	Steps int     `json:"steps,omitempty"`
+	// TailQ and TailSteps describe the partial final minibatch of each
+	// epoch when the dataset size is not divisible by the batch size:
+	// TailSteps additional updates at the smaller sampling ratio TailQ.
+	// Zero for runs whose lots all share Q (and for pre-fix journals,
+	// which recompute exactly as before).
+	TailQ     float64 `json:"tail_q,omitempty"`
+	TailSteps int     `json:"tail_steps,omitempty"`
 	// Epsilon and Delta are the recorded cost of this entry alone.
 	Epsilon float64 `json:"epsilon"`
 	Delta   float64 `json:"delta,omitempty"`
@@ -57,10 +64,12 @@ type Entry struct {
 
 // Recompute returns the entry's ε re-derived from its mechanism parameters:
 // the RDP accountant for dp_sgd, the stated ε for scalar mechanisms (their
-// ε IS the parameter).
+// ε IS the parameter). For tail-free dp_sgd entries the computation is
+// bit-identical to the fixed-q accountant, so journals written before
+// partial-lot accounting verify unchanged.
 func (e Entry) Recompute() float64 {
 	if e.Kind == "dp_sgd" {
-		return dp.Accountant{Q: e.Q, Noise: e.Noise}.Epsilon(e.Steps, e.Delta)
+		return dp.EpsilonForLots(e.Noise, e.Steps, e.Q, e.TailSteps, e.TailQ, e.Delta)
 	}
 	return e.Epsilon
 }
@@ -110,6 +119,45 @@ func (l *Ledger) ChargeSGD(label, group string, q, noise float64, steps int, del
 		Q: q, Noise: noise, Steps: steps,
 		Epsilon: eps, Delta: delta,
 	})
+}
+
+// ChargeSGDLots is ChargeSGD for epoch-wise training whose final minibatch
+// per epoch is smaller than the rest: steps full lots at sampling ratio q
+// plus tailSteps partial lots at tailQ, each accounted at its true ratio.
+// tailSteps == 0 degenerates to ChargeSGD exactly.
+func (l *Ledger) ChargeSGDLots(label, group string, noise float64, steps int, q float64, tailSteps int, tailQ, delta float64) error {
+	if l == nil {
+		return nil
+	}
+	if q <= 0 || q > 1 {
+		return fmt.Errorf("journal: ledger %s: sampling ratio %v outside (0, 1]", label, q)
+	}
+	if tailSteps > 0 && (tailQ <= 0 || tailQ > 1) {
+		return fmt.Errorf("journal: ledger %s: tail sampling ratio %v outside (0, 1]", label, tailQ)
+	}
+	if tailSteps == 0 {
+		tailQ = 0
+	}
+	eps := dp.EpsilonForLots(noise, steps, q, tailSteps, tailQ, delta)
+	return l.charge(Entry{
+		Label: label, Kind: "dp_sgd", Group: group,
+		Q: q, Noise: noise, Steps: steps,
+		TailQ: tailQ, TailSteps: tailSteps,
+		Epsilon: eps, Delta: delta,
+	})
+}
+
+// Restore refills the ledger with entries recovered from a resumed run's
+// journal prefix, without re-journaling or budget-checking them: they were
+// checked and journaled before the crash, and the surviving prefix is the
+// record. Call once, before any new charges.
+func (l *Ledger) Restore(entries []Entry) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.entries = append(append([]Entry(nil), entries...), l.entries...)
+	l.mu.Unlock()
 }
 
 // ChargeLaplace registers a scalar Laplace release of the given ε.

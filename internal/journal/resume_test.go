@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCrashedJournal builds a file-backed journal that "crashed" mid-S2:
+// the returned seam was captured at the last checkpoint, after which more
+// events were written (work the checkpoint does not cover).
+func writeCrashedJournal(t *testing.T) (path string, seq int, chain string, offset int64) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RunStart("serd", 7, map[string]string{"size_a": "10"})
+	j.PhaseStart("core.s1")
+	j.PhaseEnd("core.s1", 0.5)
+	j.PhaseStart("core.s2")
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	seq, chain, offset = j.Seam()
+
+	// Post-checkpoint events lost to the crash.
+	j.Warning("core.s2", "work after the checkpoint", nil)
+	j.EpsilonCheckpoint("dp.sgd", 0.5, 1e-5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, seq, chain, offset
+}
+
+// TestSeamTracksFileSize pins that Seam's byte offset is the exact file
+// size after a sync — the truncation point resume relies on.
+func TestSeamTracksFileSize(t *testing.T) {
+	path, _, _, offset := writeCrashedJournal(t)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offset >= fi.Size() {
+		t.Fatalf("seam offset %d not inside file of %d bytes (post-seam events missing)", offset, fi.Size())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[offset-1] != '\n' {
+		t.Fatalf("seam offset %d not at a line boundary", offset)
+	}
+}
+
+// TestResumeSplicesChain pins the resume seam contract: events written
+// after the checkpoint are discarded, and post-resume events chain onto the
+// prefix so the whole journal verifies as one run.
+func TestResumeSplicesChain(t *testing.T) {
+	path, seq, chain, offset := writeCrashedJournal(t)
+
+	j, err := Resume(path, seq, chain, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Resumed(ResumeData{Phase: "s2", Checkpoint: "s2.ckpt", CheckpointSHA: "ab", Seq: seq, Chain: chain})
+	j.PhaseEnd("core.s2", 1.0)
+	j.RunEnd(StatusDone, "", nil, 2.0)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != seq+3 {
+		t.Fatalf("journal has %d events, want %d (prefix) + 3", len(events), seq)
+	}
+	if i := VerifyChain(events); i >= 0 {
+		t.Fatalf("chain broken at %d after resume splice", i)
+	}
+	if events[seq].Type != "resume" {
+		t.Fatalf("first post-seam event is %q, want resume", events[seq].Type)
+	}
+	for _, ev := range events {
+		if ev.Type == "warning" {
+			t.Fatal("post-checkpoint event survived the truncation")
+		}
+	}
+	sum, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Resumes) != 1 || sum.Resumes[0].Phase != "s2" {
+		t.Fatalf("summary resumes = %+v", sum.Resumes)
+	}
+	if sum.Status != StatusDone {
+		t.Fatalf("status %q", sum.Status)
+	}
+}
+
+// TestResumeRejectsBadSeams pins that every mismatch between checkpoint and
+// journal file is caught before any destructive truncation.
+func TestResumeRejectsBadSeams(t *testing.T) {
+	path, seq, chain, offset := writeCrashedJournal(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		seq    int
+		chain  string
+		offset int64
+	}{
+		{"wrong seq", seq - 1, chain, offset},
+		{"wrong chain", seq, strings.Repeat("0", 64), offset},
+		{"offset past EOF", seq, chain, int64(len(orig)) + 10},
+		{"offset mid-line", seq, chain, offset - 3},
+		{"negative offset", seq, chain, -1},
+	}
+	for _, c := range cases {
+		if _, err := Resume(path, c.seq, c.chain, c.offset); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+		// The file must be untouched after a rejected resume.
+		now, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(now) != string(orig) {
+			t.Fatalf("%s: rejected resume modified the journal", c.name)
+		}
+	}
+
+	// Tampered prefix: flip a byte inside the first event's payload.
+	tampered := []byte(strings.Replace(string(orig), `"size_a":"10"`, `"size_a":"99"`, 1))
+	if string(tampered) == string(orig) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(path, seq, chain, offset); err == nil {
+		t.Error("tampered prefix accepted")
+	}
+}
+
+// TestOpenPhasesCounts pins the unbalanced phase_start detection feeding
+// InstrumentResumed.
+func TestOpenPhasesCounts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	jr, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.PhaseStart("core.s1")
+	jr.PhaseEnd("core.s1", 1)
+	jr.PhaseStart("textsynth.train")
+	jr.PhaseStart("textsynth.train.bucket")
+	jr.Close()
+
+	events, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := OpenPhases(events)
+	want := map[string]int{"textsynth.train": 1, "textsynth.train.bucket": 1}
+	if len(open) != len(want) {
+		t.Fatalf("open = %v, want %v", open, want)
+	}
+	for k, v := range want {
+		if open[k] != v {
+			t.Fatalf("open[%s] = %d, want %d", k, open[k], v)
+		}
+	}
+}
+
+// TestInstrumentResumedSuppressesReStarts pins that a resumed pipeline
+// re-entering an open phase does not journal a duplicate phase_start but
+// does journal the phase_end, restoring balanced pairs.
+func TestInstrumentResumedSuppressesReStarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := InstrumentResumed(j, nil, map[string]int{"core.s2": 1})
+	sp := rec.StartSpan("core.s2")  // re-entry: start suppressed
+	sp.End()                        // end journals
+	sp2 := rec.StartSpan("core.s3") // fresh phase: both journal
+	sp2.End()
+	j.Close()
+
+	events, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, ev := range events {
+		types = append(types, ev.Type)
+	}
+	want := []string{"phase_end", "phase_start", "phase_end"}
+	if len(types) != len(want) {
+		t.Fatalf("events %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("events %v, want %v", types, want)
+		}
+	}
+}
+
+// TestChargeSGDLotsRecompute pins that tail-lot charges verify (Recompute
+// matches the recorded ε) and that a tail-free ChargeSGDLots entry is
+// bit-identical to a ChargeSGD one.
+func TestChargeSGDLotsRecompute(t *testing.T) {
+	l := NewLedger(nil)
+	if err := l.ChargeSGDLots("b0", "bank", 1.1, 6, 0.4, 3, 0.2, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ChargeSGDLots("b1", "bank", 1.1, 9, 0.4, 0, 0, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	entries := l.Entries()
+	for _, e := range entries {
+		if got := e.Recompute(); got != e.Epsilon {
+			t.Errorf("%s: Recompute %v != recorded %v", e.Label, got, e.Epsilon)
+		}
+	}
+
+	plain := NewLedger(nil)
+	if err := plain.ChargeSGD("b1", "bank", 0.4, 1.1, 9, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := entries[1].Epsilon, plain.Entries()[0].Epsilon; a != b {
+		t.Errorf("tail-free ChargeSGDLots ε %v differs from ChargeSGD ε %v", a, b)
+	}
+}
+
+// TestLedgerRestore pins that restored entries count toward composition and
+// budget checks without being re-journaled.
+func TestLedgerRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLedger(j)
+	l.Restore([]Entry{{Label: "pre", Kind: "laplace", Epsilon: 0.4}})
+	l.SetBudget(0.5, BudgetAbort)
+	if err := l.ChargeLaplace("post", 0.2); err == nil {
+		t.Error("budget ignored restored entries")
+	}
+	if err := l.ChargeLaplace("small", 0.05); err != nil {
+		t.Errorf("charge within budget rejected: %v", err)
+	}
+	j.Close()
+
+	events, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	charges := 0
+	for _, ev := range events {
+		if ev.Type == "ledger_charge" {
+			charges++
+		}
+	}
+	if charges != 1 {
+		t.Fatalf("journaled %d charges, want 1 (restored entries must not re-journal)", charges)
+	}
+	if eps, _ := l.Total(); eps != 0.45 {
+		t.Fatalf("total ε %v, want 0.45", eps)
+	}
+}

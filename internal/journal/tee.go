@@ -35,13 +35,33 @@ func Instrument(j *Journal, inner telemetry.Recorder) telemetry.Recorder {
 	return &teeRecorder{j: j, inner: inner, phases: DefaultPhases}
 }
 
+// InstrumentResumed is Instrument for a journal resumed across a crash
+// seam. open counts, per phase name, the phase_start events in the surviving
+// journal prefix with no matching phase_end (see OpenPhases): the resumed
+// pipeline re-enters those phases and would journal a second phase_start,
+// breaking the one-start-one-end pairing audit expects. The wrapper
+// suppresses that many re-emitted starts per name; the phase_end (and every
+// later start) journals normally, closing the pre-crash event.
+func InstrumentResumed(j *Journal, inner telemetry.Recorder, open map[string]int) telemetry.Recorder {
+	inner = telemetry.OrNop(inner)
+	if j == nil {
+		return inner
+	}
+	suppress := make(map[string]int, len(open))
+	for name, n := range open {
+		suppress[name] = n
+	}
+	return &teeRecorder{j: j, inner: inner, phases: DefaultPhases, suppress: suppress}
+}
+
 type teeRecorder struct {
 	j      *Journal
 	inner  telemetry.Recorder
 	phases map[string]bool
 
 	mu        sync.Mutex
-	lastDelta float64 // most recent "dp.delta" gauge, paired with epsilon
+	lastDelta float64        // most recent "dp.delta" gauge, paired with epsilon
+	suppress  map[string]int // remaining phase_starts to swallow after resume
 }
 
 func (t *teeRecorder) Add(name string, delta float64) { t.inner.Add(name, delta) }
@@ -69,7 +89,15 @@ func (t *teeRecorder) StartSpan(name string) telemetry.Span {
 	if !t.phases[name] {
 		return span
 	}
-	t.j.PhaseStart(name)
+	t.mu.Lock()
+	skip := t.suppress[name] > 0
+	if skip {
+		t.suppress[name]--
+	}
+	t.mu.Unlock()
+	if !skip {
+		t.j.PhaseStart(name)
+	}
 	return &teeSpan{t: t, name: name, inner: span, t0: time.Now()}
 }
 

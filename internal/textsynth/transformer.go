@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"time"
 
+	"serd/internal/checkpoint"
+	"serd/internal/detrand"
 	"serd/internal/dp"
 	"serd/internal/journal"
 	"serd/internal/nn"
@@ -64,6 +66,18 @@ type TransformerOptions struct {
 	// budget in abort mode stops training before the budget would be
 	// overspent.
 	Privacy *journal.Ledger
+	// Checkpoint, when set, saves the training state to disk after each
+	// bucket's up-front DP charge and after every completed epoch, so a
+	// killed run resumes without repeating (or double-charging) work.
+	Checkpoint *checkpoint.Checkpointer
+	// Resume continues training from a checkpointed state. Completed
+	// buckets are restored instead of retrained; the in-progress bucket
+	// continues from its last finished epoch; the RNG streams are
+	// fast-forwarded so the result is bit-identical to an uninterrupted
+	// run.
+	Resume *checkpoint.TrainState
+	// Column names the textual column being trained — the checkpoint key.
+	Column string
 	// Seed drives everything.
 	Seed int64
 }
@@ -158,7 +172,9 @@ type TransformerSynthesizer struct {
 
 // TrainTransformer builds the bucket pair sets from the background corpus
 // and trains one model per non-empty bucket, with DP-SGD when opts.DP is
-// set.
+// set. With opts.Checkpoint the training state is saved after every DP
+// charge and every epoch; with opts.Resume a checkpointed run continues
+// bit-for-bit where it left off.
 func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) (*TransformerSynthesizer, error) {
 	if sim == nil {
 		return nil, errors.New("textsynth: nil similarity function")
@@ -167,9 +183,31 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 		return nil, errors.New("textsynth: corpus too small")
 	}
 	opts = opts.withDefaults()
+	res := opts.Resume
+	if res != nil && res.Done {
+		// The bank finished before the crash: rebuild it, no training.
+		return NewFromState(res, sim, opts)
+	}
+	if res != nil {
+		if res.Buckets != opts.Buckets {
+			return nil, fmt.Errorf("textsynth: checkpoint has %d buckets, options configure %d", res.Buckets, opts.Buckets)
+		}
+		if res.EpochsDone > opts.Epochs {
+			return nil, fmt.Errorf("textsynth: checkpoint has %d epochs done, options configure %d", res.EpochsDone, opts.Epochs)
+		}
+		if len(res.Epsilons) != opts.Buckets {
+			return nil, fmt.Errorf("textsynth: checkpoint has %d epsilon slots, want %d", len(res.Epsilons), opts.Buckets)
+		}
+		for bk := range res.Models {
+			if bk < 0 || bk >= opts.Buckets {
+				return nil, fmt.Errorf("textsynth: checkpoint holds model for out-of-range bucket %d", bk)
+			}
+		}
+	}
 	span := opts.Metrics.StartSpan("textsynth.train")
 	defer span.End()
-	r := rand.New(rand.NewSource(opts.Seed))
+	src := detrand.New(opts.Seed)
+	r := rand.New(src)
 	pairSets := BuildPairs(corpus, sim, opts.Buckets, opts.PairsPerBucket, r)
 
 	vocab := transformer.BuildVocab(corpus)
@@ -182,28 +220,123 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 		epsilons:    make([]float64, opts.Buckets),
 		rand:        r,
 	}
+	cp := opts.Checkpoint
+	st := &checkpoint.TrainState{
+		Column:   opts.Column,
+		Buckets:  opts.Buckets,
+		Models:   make(map[int]*transformer.State),
+		Epsilons: make([]float64, opts.Buckets),
+	}
+	// save checkpoints the in-progress bucket (bucket, epochsDone, model,
+	// optimizer and accountant state) along with every bucket finished so
+	// far and the trainer RNG position.
+	save := func(bucket, epochsDone int, mState *transformer.State, eps float64, acct dp.RDPState, optSteps int) error {
+		if cp == nil {
+			return nil
+		}
+		st.NextBucket = bucket
+		st.EpochsDone = epochsDone
+		if mState != nil {
+			st.Models[bucket] = mState
+			st.Epsilons[bucket] = eps
+		} else {
+			delete(st.Models, bucket)
+		}
+		st.Acct = acct
+		st.OptSteps = optSteps
+		st.Draws = src.Draws()
+		return cp.SaveTrain(st)
+	}
+	if res != nil {
+		// Restore every bucket the checkpoint completed (EpochsDone ==
+		// opts.Epochs means NextBucket itself finished its last epoch).
+		for bk, ms := range res.Models {
+			if ms == nil || bk > res.NextBucket {
+				continue
+			}
+			if bk == res.NextBucket && res.EpochsDone < opts.Epochs {
+				continue // mid-training state, restored inside the loop below
+			}
+			m, err := transformer.FromState(ms)
+			if err != nil {
+				return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+			}
+			m.Metrics = opts.Metrics
+			ts.models[bk] = m
+			ts.epsilons[bk] = res.Epsilons[bk]
+			st.Models[bk] = ms
+			st.Epsilons[bk] = res.Epsilons[bk]
+		}
+		// BuildPairs re-ran deterministically; fast-forward the trainer
+		// stream over the draws the pre-crash run made after it (restored
+		// buckets' training, the in-progress bucket's finished epochs).
+		if err := src.SkipTo(res.Draws); err != nil {
+			return nil, fmt.Errorf("textsynth: resume: %w", err)
+		}
+	}
 	for bk, pairs := range pairSets {
+		if res != nil && (bk < res.NextBucket || (bk == res.NextBucket && res.EpochsDone >= opts.Epochs)) {
+			continue // restored above (or skipped before the crash)
+		}
 		if len(pairs) < opts.BatchSize {
 			continue // too few examples to train a model for this interval
 		}
+		if cp.Interrupted() {
+			// The last save (previous bucket's final epoch) already covers
+			// everything done so far; nothing new to persist.
+			return nil, fmt.Errorf("textsynth: interrupted before bucket %d: %w", bk, checkpoint.ErrInterrupted)
+		}
+		resuming := res != nil && bk == res.NextBucket
+		bt := bucketTrain{
+			acct: dp.RDPState{},
+			save: func(epochsDone int, mState *transformer.State, eps float64, acct dp.RDPState, optSteps int) error {
+				return save(bk, epochsDone, mState, eps, acct, optSteps)
+			},
+			interrupted: cp.Interrupted,
+		}
+		if opts.DP != nil {
+			bt.acct.Noise = opts.DP.Noise
+		}
 		cfg := opts.Model
 		cfg.Vocab = vocab
-		m, err := transformer.New(cfg, opts.Seed+int64(bk))
+		var m *transformer.Model
+		var err error
+		if resuming && res.EpochsDone > 0 {
+			m, err = transformer.FromState(res.Models[bk])
+			bt.startEpoch = res.EpochsDone
+			bt.optSteps = res.OptSteps
+			bt.acct = res.Acct
+		} else {
+			m, err = transformer.New(cfg, opts.Seed+int64(bk))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
 		}
-		if opts.DP != nil {
+		if opts.DP != nil && !resuming {
 			// Charge the ledger before training: ε is fully determined by
 			// the parameters, and budget enforcement must fire before the
-			// budget would be overspent.
-			steps := opts.Epochs * (len(pairs) + opts.BatchSize - 1) / opts.BatchSize
-			q := float64(opts.BatchSize) / float64(len(pairs))
+			// budget would be overspent. A full epoch is ceil(N/J) lots:
+			// full lots at sampling ratio J/N plus — when J does not divide
+			// N — one smaller tail lot at its true (lower) ratio.
+			n := len(pairs)
+			steps := opts.Epochs * (n / opts.BatchSize)
+			q := float64(opts.BatchSize) / float64(n)
+			tailSteps, tailQ := 0, 0.0
+			if rem := n % opts.BatchSize; rem > 0 {
+				tailSteps = opts.Epochs
+				tailQ = float64(rem) / float64(n)
+			}
 			label := fmt.Sprintf("textsynth.bucket%02d", bk)
-			if err := opts.Privacy.ChargeSGD(label, "textsynth.bank", q, opts.DP.Noise, steps, opts.DP.Delta); err != nil {
+			if err := opts.Privacy.ChargeSGDLots(label, "textsynth.bank", opts.DP.Noise, steps, q, tailSteps, tailQ, opts.DP.Delta); err != nil {
+				return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+			}
+			// Persist the charge before training so a crash in between
+			// does not double-charge on resume.
+			if err := save(bk, 0, nil, 0, bt.acct, 0); err != nil {
 				return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
 			}
 		}
-		eps, err := trainOne(m, pairs, opts, r)
+		eps, err := trainOne(m, pairs, opts, r, bt)
 		if err != nil {
 			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
 		}
@@ -220,19 +353,37 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 	return nil, errors.New("textsynth: no bucket had enough training pairs")
 }
 
+// bucketTrain carries one bucket's resume position and checkpoint hooks
+// into trainOne.
+type bucketTrain struct {
+	// startEpoch is the first epoch still to run (0 on a fresh bucket).
+	startEpoch int
+	// optSteps restores the DP-SGD applied-update counter.
+	optSteps int
+	// acct restores (or seeds) the bucket's RDP accountant.
+	acct dp.RDPState
+	// save persists the state after each completed epoch; nil disables.
+	save func(epochsDone int, mState *transformer.State, eps float64, acct dp.RDPState, optSteps int) error
+	// interrupted is polled at epoch boundaries, after the save.
+	interrupted func() bool
+}
+
 // trainOne trains a single bucket model (Algorithm 1 when DP is enabled)
 // and returns the ε consumed (or +Inf without DP — no guarantee claimed).
-func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *rand.Rand) (float64, error) {
+// Each epoch visits every pair once in a fresh permutation, sliced into
+// lots of BatchSize; the final lot of an epoch may be smaller, and with DP
+// it is accounted at its true (lower) sampling ratio.
+func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *rand.Rand, bt bucketTrain) (float64, error) {
 	m.SetTrain(true)
 	defer m.SetTrain(false)
 	rec := opts.Metrics
 	span := rec.StartSpan("textsynth.train.bucket")
 	start := time.Now()
 	chars := 0
+	n := len(pairs)
 	// example runs one teacher-forced forward+backward pass and records the
 	// loss trajectory plus the character volume behind chars/sec.
-	example := func() {
-		p := pairs[r.Intn(len(pairs))]
+	example := func(p Pair) {
 		loss := m.Loss(p.S, p.T)
 		loss.Backward()
 		rec.Observe("textsynth.train.loss", loss.Data[0])
@@ -245,37 +396,138 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 			rec.Set("textsynth.train.chars_per_sec", float64(chars)/elapsed)
 		}
 	}
-	steps := opts.Epochs * (len(pairs) + opts.BatchSize - 1) / opts.BatchSize
 	if opts.DP != nil {
 		o, err := dp.NewSGD(m.Params(), opts.LR, opts.DP.ClipNorm, opts.DP.Noise, r)
 		if err != nil {
 			return 0, err
 		}
 		o.Metrics = rec
-		acct := dp.Accountant{Q: float64(opts.BatchSize) / float64(len(pairs)), Noise: opts.DP.Noise}
-		for step := 0; step < steps; step++ {
-			for j := 0; j < opts.BatchSize; j++ {
-				example()
-				o.AccumulateExample()
+		o.RestoreSteps(bt.optSteps)
+		acct := dp.RDPFromState(bt.acct)
+		for epoch := bt.startEpoch; epoch < opts.Epochs; epoch++ {
+			perm := r.Perm(n)
+			for i := 0; i < n; i += opts.BatchSize {
+				end := i + opts.BatchSize
+				if end > n {
+					end = n
+				}
+				for _, pi := range perm[i:end] {
+					example(pairs[pi])
+					o.AccumulateExample()
+				}
+				if err := o.Step(); err != nil {
+					return 0, err
+				}
+				acct.Account(float64(end-i) / float64(n))
+				acct.RecordEpsilon(rec, opts.DP.Delta)
 			}
-			if err := o.Step(); err != nil {
-				return 0, err
+			if bt.save != nil {
+				eps := acct.Epsilon(opts.DP.Delta)
+				if err := bt.save(epoch+1, m.State(), eps, acct.State(), o.Steps()); err != nil {
+					return 0, err
+				}
 			}
-			acct.RecordEpsilon(rec, o.Steps(), opts.DP.Delta)
+			if epoch+1 < opts.Epochs && bt.interrupted() {
+				return 0, fmt.Errorf("textsynth: interrupted after epoch %d/%d: %w", epoch+1, opts.Epochs, checkpoint.ErrInterrupted)
+			}
 		}
 		finish()
-		return acct.Epsilon(o.Steps(), opts.DP.Delta), nil
+		return acct.Epsilon(opts.DP.Delta), nil
+	}
+	if bt.startEpoch > 0 {
+		return 0, errors.New("textsynth: checkpoint holds mid-bucket DP-SGD state but DP training is off")
 	}
 	opt := nn.NewAdam(opts.LR)
-	for step := 0; step < steps; step++ {
-		nn.ZeroGrads(m.Params())
-		for j := 0; j < opts.BatchSize; j++ {
-			example()
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		perm := r.Perm(n)
+		for i := 0; i < n; i += opts.BatchSize {
+			end := i + opts.BatchSize
+			if end > n {
+				end = n
+			}
+			nn.ZeroGrads(m.Params())
+			for _, pi := range perm[i:end] {
+				example(pairs[pi])
+			}
+			opt.Step(m.Params())
 		}
-		opt.Step(m.Params())
+	}
+	// Adam's moment vectors are not checkpointable, so non-DP training
+	// saves only at bucket boundaries (EpochsDone == Epochs).
+	if bt.save != nil {
+		if err := bt.save(opts.Epochs, m.State(), math.Inf(1), dp.RDPState{}, 0); err != nil {
+			return 0, err
+		}
 	}
 	finish()
 	return math.Inf(1), nil
+}
+
+// NewFromState rebuilds a synthesizer from a completed (Done) training
+// checkpoint without retraining: models are restored bit-exactly via
+// transformer.FromState and no DP cost is re-charged — the pre-crash run
+// already paid (and journaled) it.
+func NewFromState(st *checkpoint.TrainState, sim simfn.Func, opts TransformerOptions) (*TransformerSynthesizer, error) {
+	if sim == nil {
+		return nil, errors.New("textsynth: nil similarity function")
+	}
+	if st == nil || !st.Done {
+		return nil, errors.New("textsynth: checkpoint does not hold a completed transformer bank")
+	}
+	opts = opts.withDefaults()
+	if st.Buckets != opts.Buckets {
+		return nil, fmt.Errorf("textsynth: checkpoint has %d buckets, options configure %d", st.Buckets, opts.Buckets)
+	}
+	ts := &TransformerSynthesizer{
+		sim:         sim,
+		buckets:     st.Buckets,
+		models:      make([]*transformer.Model, st.Buckets),
+		candidates:  opts.Candidates,
+		temperature: opts.Temperature,
+		epsilons:    make([]float64, st.Buckets),
+		rand:        rand.New(rand.NewSource(opts.Seed)),
+	}
+	copy(ts.epsilons, st.Epsilons)
+	any := false
+	for bk, ms := range st.Models {
+		if ms == nil {
+			continue
+		}
+		if bk < 0 || bk >= st.Buckets {
+			return nil, fmt.Errorf("textsynth: checkpoint holds model for out-of-range bucket %d", bk)
+		}
+		m, err := transformer.FromState(ms)
+		if err != nil {
+			return nil, fmt.Errorf("textsynth: bucket %d: %w", bk, err)
+		}
+		m.Metrics = opts.Metrics
+		ts.models[bk] = m
+		any = true
+	}
+	if !any {
+		return nil, errors.New("textsynth: checkpoint holds no trained bucket models")
+	}
+	return ts, nil
+}
+
+// CheckpointState captures the completed bank as a Done training
+// checkpoint: the terminal state written once training finishes, so a
+// crash during the later synthesis phases resumes without retraining.
+func (ts *TransformerSynthesizer) CheckpointState(column string) *checkpoint.TrainState {
+	st := &checkpoint.TrainState{
+		Column:     column,
+		Buckets:    ts.buckets,
+		Done:       true,
+		NextBucket: ts.buckets,
+		Models:     make(map[int]*transformer.State),
+		Epsilons:   append([]float64(nil), ts.epsilons...),
+	}
+	for bk, m := range ts.models {
+		if m != nil {
+			st.Models[bk] = m.State()
+		}
+	}
+	return st
 }
 
 // Synthesize implements Synthesizer: route to the bucket model for the

@@ -1,10 +1,14 @@
 package textsynth
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"serd/internal/checkpoint"
+	"serd/internal/journal"
 	"serd/internal/simfn"
 	"serd/internal/telemetry"
 	"serd/internal/transformer"
@@ -115,5 +119,150 @@ func TestModelForFallsBackToNearestBucket(t *testing.T) {
 	ts.models[3] = m
 	if ts.modelFor(0.1) != m {
 		t.Error("modelFor must fall back to the nearest trained bucket")
+	}
+}
+
+// resumeOptions is a DP configuration whose buckets hit a partial final
+// lot (10 % 4 != 0) and train two epochs, so a kill can land mid-bucket.
+func resumeOptions() TransformerOptions {
+	opts := microOptions(&DPOptions{ClipNorm: 1.0, Noise: 1.1, Delta: 1e-5})
+	opts.PairsPerBucket = 10
+	opts.Epochs = 2
+	opts.Column = "name"
+	return opts
+}
+
+// TestTrainResumeBitIdentical pins the crash-resume contract: killing
+// training right after a checkpoint (post-charge and mid-bucket) and
+// resuming from it yields a bank bit-identical to the uninterrupted run,
+// without re-charging the privacy ledger.
+func TestTrainResumeBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transformer training")
+	}
+	corpus := smallCorpus()
+	sim := simfn.QGramJaccard{Q: 3, Fold: true}
+
+	// Baseline A: no checkpointing at all.
+	plain, err := TrainTransformer(corpus, sim, resumeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plain.CheckpointState("name")
+
+	// Baseline B: checkpointing on, never killed — must not change results.
+	opts := resumeOptions()
+	opts.Privacy = journal.NewLedger(nil)
+	cp, err := checkpoint.New(checkpoint.Config{Dir: t.TempDir(), Tool: "serd", Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = cp
+	full, err := TrainTransformer(corpus, sim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full.CheckpointState("name"), want) {
+		t.Fatal("enabling checkpointing changed the trained bank")
+	}
+	wantCharges := len(opts.Privacy.Entries())
+	if wantCharges == 0 {
+		t.Fatal("no DP charges recorded")
+	}
+
+	// Kill right after save #1 (a post-charge save, EpochsDone == 0) and
+	// after save #2 (a mid-bucket epoch save), then resume each.
+	for _, killAt := range []uint64{1, 2} {
+		dir := t.TempDir()
+		opts := resumeOptions()
+		opts.Privacy = journal.NewLedger(nil)
+		cp, err := checkpoint.New(checkpoint.Config{Dir: dir, Tool: "serd", Seed: opts.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp.FaultHook = func(m checkpoint.Meta) error {
+			if m.Saved == killAt {
+				return checkpoint.ErrInterrupted
+			}
+			return nil
+		}
+		opts.Checkpoint = cp
+		if _, err := TrainTransformer(corpus, sim, opts); !errors.Is(err, checkpoint.ErrInterrupted) {
+			t.Fatalf("killAt=%d: err = %v, want ErrInterrupted", killAt, err)
+		}
+		preCharges := opts.Privacy.Entries()
+
+		snap, err := checkpoint.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		file := snap.Trains["name"]
+		if file == nil {
+			t.Fatalf("killAt=%d: no train checkpoint on disk", killAt)
+		}
+		st := file.Train
+		if killAt == 1 && (st.EpochsDone != 0 || st.NextBucket != 0) {
+			t.Fatalf("killAt=1: checkpoint at bucket %d epoch %d, want the post-charge save", st.NextBucket, st.EpochsDone)
+		}
+		if killAt == 2 && st.EpochsDone != 1 {
+			t.Fatalf("killAt=2: checkpoint at epoch %d, want mid-bucket epoch 1", st.EpochsDone)
+		}
+
+		ropts := resumeOptions()
+		ropts.Privacy = journal.NewLedger(nil)
+		ropts.Privacy.Restore(preCharges)
+		rcp, err := checkpoint.New(checkpoint.Config{Dir: dir, Tool: "serd", Seed: ropts.Seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ropts.Checkpoint = rcp
+		ropts.Resume = st
+		resumed, err := TrainTransformer(corpus, sim, ropts)
+		if err != nil {
+			t.Fatalf("killAt=%d: resume: %v", killAt, err)
+		}
+		if !reflect.DeepEqual(resumed.CheckpointState("name"), want) {
+			t.Fatalf("killAt=%d: resumed bank differs from uninterrupted run", killAt)
+		}
+		if got := len(ropts.Privacy.Entries()); got != wantCharges {
+			t.Fatalf("killAt=%d: ledger has %d entries after resume, want %d (no double charging)", killAt, got, wantCharges)
+		}
+	}
+}
+
+// TestNewFromStateRebuildsDoneBank pins the Done-checkpoint path: a crash
+// after training resumes by rebuilding the bank, bit-identical, with no
+// retraining and no new charges.
+func TestNewFromStateRebuildsDoneBank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transformer training")
+	}
+	corpus := smallCorpus()
+	sim := simfn.QGramJaccard{Q: 3, Fold: true}
+	ts, err := TrainTransformer(corpus, sim, resumeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ts.CheckpointState("name")
+
+	opts := resumeOptions()
+	opts.Privacy = journal.NewLedger(nil)
+	opts.Resume = st
+	rebuilt, err := TrainTransformer(corpus, sim, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.Privacy.Entries()) != 0 {
+		t.Error("rebuilding a Done bank charged the ledger")
+	}
+	if !reflect.DeepEqual(rebuilt.CheckpointState("name"), st) {
+		t.Fatal("rebuilt bank differs from the checkpointed one")
+	}
+	if rebuilt.Epsilon() != ts.Epsilon() {
+		t.Fatalf("epsilon %v != %v", rebuilt.Epsilon(), ts.Epsilon())
+	}
+
+	if _, err := NewFromState(&checkpoint.TrainState{Done: false}, sim, resumeOptions()); err == nil {
+		t.Error("NewFromState accepted a non-Done checkpoint")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"serd/internal/detrand"
 	"serd/internal/nn"
 	"serd/internal/telemetry"
 )
@@ -157,6 +158,8 @@ type Model struct {
 	outB   *nn.Tensor // 1 × vocab
 	params []*nn.Tensor
 	rand   *rand.Rand
+	rsrc   *detrand.Source // counting source behind rand; position is checkpointed
+	seed   int64
 	train  bool
 
 	// Metrics, when set, receives decoding telemetry: the
@@ -174,7 +177,8 @@ func New(cfg Config, seed int64) (*Model, error) {
 	if cfg.DModel%cfg.Heads != 0 {
 		return nil, fmt.Errorf("transformer: DModel %d not divisible by Heads %d", cfg.DModel, cfg.Heads)
 	}
-	r := rand.New(rand.NewSource(seed))
+	src := detrand.New(seed)
+	r := rand.New(src)
 	m := &Model{
 		cfg:     cfg,
 		embed:   nn.NewParam(cfg.Vocab.Size(), cfg.DModel).XavierInit(r),
@@ -182,6 +186,8 @@ func New(cfg Config, seed int64) (*Model, error) {
 		outW:    nn.NewParam(cfg.DModel, cfg.Vocab.Size()).XavierInit(r),
 		outB:    nn.NewParam(1, cfg.Vocab.Size()),
 		rand:    r,
+		rsrc:    src,
+		seed:    seed,
 		Metrics: telemetry.Nop,
 	}
 	for i := 0; i < cfg.EncLayers; i++ {
@@ -228,6 +234,11 @@ func (m *Model) SetTrain(train bool) { m.train = train }
 
 // Config returns the (defaulted) configuration.
 func (m *Model) Config() Config { return m.cfg }
+
+// RandDraws returns the internal RNG stream position — Xavier init plus
+// train-mode dropout draws. State records it so a restored model's dropout
+// stream continues exactly where the checkpointed one stopped.
+func (m *Model) RandDraws() uint64 { return m.rsrc.Draws() }
 
 // sinusoidal builds the constant positional-encoding table of the
 // "Attention is All You Need" paper.

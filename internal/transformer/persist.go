@@ -2,25 +2,33 @@ package transformer
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
-// savedModel is the gob wire format: the configuration, the vocabulary's
-// rune table, and the parameter tensors in Params() order (model
-// construction is deterministic, so the order round-trips).
-type savedModel struct {
+// State is a model's serialized form: the configuration, the vocabulary's
+// rune table, the parameter tensors in Params() order (model construction is
+// deterministic, so the order round-trips), and the internal RNG position
+// (seed plus draw count) so a restored model's dropout stream continues
+// exactly where the checkpointed one stopped.
+//
+// Files written before the RNG fields existed decode with Seed and
+// RandDraws zero (gob matches fields by name); FromState then skips the
+// fast-forward, which reproduces the old Load behavior.
+type State struct {
 	DModel, Heads, EncLayers, DecLayers, FFDim, MaxLen int
 	Dropout                                            float64
 	VocabRunes                                         []rune
 	Params                                             [][]float64
+	Seed                                               int64
+	RandDraws                                          uint64
 }
 
-// Save writes the model weights and configuration, enabling the paper's
-// offline/online split: train the transformer bank once, synthesize many
-// datasets later.
-func (m *Model) Save(w io.Writer) error {
-	dto := savedModel{
+// State snapshots the model (parameter data is deep-copied).
+func (m *Model) State() *State {
+	st := &State{
 		DModel:     m.cfg.DModel,
 		Heads:      m.cfg.Heads,
 		EncLayers:  m.cfg.EncLayers,
@@ -29,44 +37,95 @@ func (m *Model) Save(w io.Writer) error {
 		MaxLen:     m.cfg.MaxLen,
 		Dropout:    m.cfg.Dropout,
 		VocabRunes: m.cfg.Vocab.Runes(),
+		Seed:       m.seed,
+		RandDraws:  m.rsrc.Draws(),
 	}
 	for _, p := range m.params {
-		dto.Params = append(dto.Params, p.Data)
+		st.Params = append(st.Params, append([]float64(nil), p.Data...))
 	}
-	if err := gob.NewEncoder(w).Encode(dto); err != nil {
+	return st
+}
+
+// validate rejects configurations a decoded-but-corrupt state could carry.
+// Saved configurations are always post-default, so zero or negative
+// dimensions mean corruption — and negative values would panic inside New
+// (make with negative length, sinusoidal with negative MaxLen) rather than
+// fail the tensor-shape checks.
+func (st *State) validate() error {
+	switch {
+	case len(st.VocabRunes) == 0:
+		return errors.New("empty vocabulary")
+	case st.DModel <= 0 || st.Heads <= 0 || st.EncLayers <= 0 || st.DecLayers <= 0 || st.FFDim <= 0:
+		return fmt.Errorf("non-positive dimensions (d=%d heads=%d enc=%d dec=%d ff=%d)",
+			st.DModel, st.Heads, st.EncLayers, st.DecLayers, st.FFDim)
+	case st.DModel%st.Heads != 0:
+		return fmt.Errorf("DModel %d not divisible by Heads %d", st.DModel, st.Heads)
+	case st.MaxLen < 2:
+		return fmt.Errorf("MaxLen %d below minimum 2 (BOS+EOS)", st.MaxLen)
+	case math.IsNaN(st.Dropout) || st.Dropout < 0 || st.Dropout >= 1:
+		return fmt.Errorf("dropout %v outside [0, 1)", st.Dropout)
+	}
+	return nil
+}
+
+// FromState rebuilds a model from a snapshot: validate the configuration,
+// construct the architecture with the recorded seed, copy the parameters,
+// and fast-forward the internal RNG to the recorded position.
+func FromState(st *State) (*Model, error) {
+	if st == nil {
+		return nil, errors.New("transformer: nil model state")
+	}
+	if err := st.validate(); err != nil {
+		return nil, fmt.Errorf("transformer: corrupt model state: %w", err)
+	}
+	cfg := Config{
+		Vocab:     VocabFromRunes(st.VocabRunes),
+		DModel:    st.DModel,
+		Heads:     st.Heads,
+		EncLayers: st.EncLayers,
+		DecLayers: st.DecLayers,
+		FFDim:     st.FFDim,
+		MaxLen:    st.MaxLen,
+		Dropout:   st.Dropout,
+	}
+	m, err := New(cfg, st.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Params) != len(m.params) {
+		return nil, fmt.Errorf("transformer: corrupt model state: %d tensors, architecture has %d", len(st.Params), len(m.params))
+	}
+	for i, data := range st.Params {
+		if len(data) != len(m.params[i].Data) {
+			return nil, fmt.Errorf("transformer: corrupt model state: tensor %d has %d values, want %d", i, len(data), len(m.params[i].Data))
+		}
+		copy(m.params[i].Data, data)
+	}
+	if st.RandDraws != 0 {
+		if err := m.rsrc.SkipTo(st.RandDraws); err != nil {
+			return nil, fmt.Errorf("transformer: corrupt model state: RNG position: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Save writes the model weights and configuration, enabling the paper's
+// offline/online split: train the transformer bank once, synthesize many
+// datasets later.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m.State()); err != nil {
 		return fmt.Errorf("transformer: encode model: %w", err)
 	}
 	return nil
 }
 
-// Load reads a model written by Save.
+// Load reads a model written by Save. Decode and validation failures —
+// truncated files, flipped bytes, impossible configurations — surface as
+// wrapped errors, never panics.
 func Load(r io.Reader) (*Model, error) {
-	var dto savedModel
-	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+	var st State
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
 		return nil, fmt.Errorf("transformer: decode model: %w", err)
 	}
-	cfg := Config{
-		Vocab:     VocabFromRunes(dto.VocabRunes),
-		DModel:    dto.DModel,
-		Heads:     dto.Heads,
-		EncLayers: dto.EncLayers,
-		DecLayers: dto.DecLayers,
-		FFDim:     dto.FFDim,
-		MaxLen:    dto.MaxLen,
-		Dropout:   dto.Dropout,
-	}
-	m, err := New(cfg, 0)
-	if err != nil {
-		return nil, err
-	}
-	if len(dto.Params) != len(m.params) {
-		return nil, fmt.Errorf("transformer: saved model has %d tensors, architecture has %d", len(dto.Params), len(m.params))
-	}
-	for i, data := range dto.Params {
-		if len(data) != len(m.params[i].Data) {
-			return nil, fmt.Errorf("transformer: tensor %d has %d values, want %d", i, len(data), len(m.params[i].Data))
-		}
-		copy(m.params[i].Data, data)
-	}
-	return m, nil
+	return FromState(&st)
 }

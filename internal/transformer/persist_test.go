@@ -63,3 +63,97 @@ func TestVocabFromRunesRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadRejectsTruncated pins that a checkpoint cut off mid-write (the
+// crash scenario atomic checkpointing guards against) yields a wrapped
+// error from Load, not a panic.
+func TestLoadRejectsTruncated(t *testing.T) {
+	m := tinyModel(t, []string{"hello world"})
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, frac := range []float64{0.1, 0.5, 0.9} {
+		cut := int(float64(len(full)) * frac)
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated file (%d of %d bytes) accepted", cut, len(full))
+		}
+	}
+}
+
+// TestFromStateRejectsCorruptConfig pins that impossible configurations in
+// a decoded state error out instead of panicking inside model construction.
+func TestFromStateRejectsCorruptConfig(t *testing.T) {
+	m := tinyModel(t, []string{"hello world"})
+	cases := []struct {
+		name   string
+		mutate func(*State)
+	}{
+		{"nil", nil},
+		{"empty vocab", func(s *State) { s.VocabRunes = nil }},
+		{"negative DModel", func(s *State) { s.DModel = -32 }},
+		{"zero Heads", func(s *State) { s.Heads = 0 }},
+		{"negative layers", func(s *State) { s.EncLayers = -1 }},
+		{"negative FFDim", func(s *State) { s.FFDim = -8 }},
+		{"tiny MaxLen", func(s *State) { s.MaxLen = 1 }},
+		{"NaN dropout", func(s *State) { s.Dropout = math.NaN() }},
+		{"dropout one", func(s *State) { s.Dropout = 1 }},
+		{"indivisible heads", func(s *State) { s.Heads = 5 }},
+		{"missing tensor", func(s *State) { s.Params = s.Params[:len(s.Params)-1] }},
+		{"short tensor", func(s *State) { s.Params[0] = s.Params[0][:3] }},
+		{"rewound rng", func(s *State) { s.RandDraws = 1 }},
+	}
+	for _, c := range cases {
+		st := (*State)(nil)
+		if c.mutate != nil {
+			st = m.State()
+			c.mutate(st)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: FromState panicked: %v", c.name, r)
+				}
+			}()
+			if _, err := FromState(st); err == nil {
+				t.Errorf("%s: corrupt state accepted", c.name)
+			}
+		}()
+	}
+}
+
+// TestStateRoundTripContinuesDropoutStream pins resume equivalence at the
+// model level: checkpoint mid-training, restore, and both copies must apply
+// identical dropout masks (same internal RNG stream) from there on.
+func TestStateRoundTripContinuesDropoutStream(t *testing.T) {
+	m := tinyModel(t, []string{"hello world", "gopher"})
+	opt := nn.NewAdam(0.01)
+	m.SetTrain(true)
+	for i := 0; i < 3; i++ {
+		nn.ZeroGrads(m.Params())
+		m.Loss("hello", "world").Backward()
+		opt.Step(m.Params())
+	}
+
+	back, err := FromState(m.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RandDraws() != m.RandDraws() {
+		t.Fatalf("RandDraws = %d, want %d", back.RandDraws(), m.RandDraws())
+	}
+	back.SetTrain(true)
+	// Train-mode losses consume dropout draws; bit-equal losses and draw
+	// counts across several steps prove the streams marched together.
+	for i := 0; i < 3; i++ {
+		a := m.Loss("hello", "world").Data[0]
+		b := back.Loss("hello", "world").Data[0]
+		if a != b {
+			t.Fatalf("step %d: train-mode loss %v != %v", i, b, a)
+		}
+		if m.RandDraws() != back.RandDraws() {
+			t.Fatalf("step %d: draw counts diverged: %d vs %d", i, m.RandDraws(), back.RandDraws())
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"math/rand"
 
 	"serd/internal/blocking"
+	"serd/internal/checkpoint"
 	"serd/internal/core"
 	"serd/internal/datagen"
 	"serd/internal/dataset"
@@ -284,6 +285,55 @@ const (
 	BudgetAbort = journal.BudgetAbort
 	BudgetWarn  = journal.BudgetWarn
 )
+
+// Crash-safe checkpointing (see internal/checkpoint): atomic snapshots of
+// the full pipeline state — the learned joint after S1, DP-SGD training
+// state per epoch, the S2 pools at periodic intervals — from which a killed
+// run resumes bit-identically. Set Checkpointer on Options.Checkpoint and
+// TransformerOptions.Checkpoint; each save embeds the journal's seam so
+// ResumeJournal can splice the provenance record across the crash.
+type (
+	// Checkpointer writes and fsyncs checkpoints into a directory.
+	Checkpointer = checkpoint.Checkpointer
+	// CheckpointConfig configures NewCheckpointer.
+	CheckpointConfig = checkpoint.Config
+	// CheckpointMeta identifies a checkpoint (tool, seed, phase, seam).
+	CheckpointMeta = checkpoint.Meta
+	// CheckpointFile is one decoded checkpoint with its payload.
+	CheckpointFile = checkpoint.File
+	// CheckpointSnapshot is every checkpoint found in a directory.
+	CheckpointSnapshot = checkpoint.Snapshot
+	// CoreState resumes Synthesize via Options.Resume.
+	CoreState = checkpoint.CoreState
+	// TrainState resumes TrainTransformer via TransformerOptions.Resume.
+	TrainState = checkpoint.TrainState
+	// JournalResumeData describes a resume splice for Journal.Resumed.
+	JournalResumeData = journal.ResumeData
+)
+
+// ErrInterrupted is returned (wrapped) by pipeline stages stopped by
+// Checkpointer.Interrupt after writing a final checkpoint.
+var ErrInterrupted = checkpoint.ErrInterrupted
+
+// NewCheckpointer opens (creating if needed) a checkpoint directory.
+func NewCheckpointer(cfg CheckpointConfig) (*Checkpointer, error) { return checkpoint.New(cfg) }
+
+// ReadCheckpointDir decodes and verifies every checkpoint in dir.
+func ReadCheckpointDir(dir string) (*CheckpointSnapshot, error) { return checkpoint.ReadDir(dir) }
+
+// ResumeJournal reopens a journal at a checkpoint's seam: it verifies the
+// hash-chained prefix, truncates events the checkpoint does not cover, and
+// positions the journal to append across the splice (record it with
+// Journal.Resumed).
+func ResumeJournal(path string, seq int, chain string, offset int64) (*Journal, error) {
+	return journal.Resume(path, seq, chain, offset)
+}
+
+// NewTransformerFromState rebuilds a trained transformer bank from its
+// terminal (Done) training checkpoint without retraining or recharging ε.
+func NewTransformerFromState(st *TrainState, sim SimFunc, opts TransformerOptions) (*TransformerSynthesizer, error) {
+	return textsynth.NewFromState(st, sim, opts)
+}
 
 // ErrBudgetExceeded is returned (wrapped) by ledger charges that would
 // overspend an ε budget in BudgetAbort mode.
