@@ -10,6 +10,7 @@
 package serd_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -193,7 +194,7 @@ func BenchmarkAblation_DiscriminatorBeta(b *testing.B) {
 	for _, e := range gen.ER.A.Entities {
 		rows = append(rows, e.Values)
 	}
-	g, err := gan.Train(enc, rows, gan.Options{Epochs: 10, Seed: 4})
+	g, err := gan.Train(context.Background(), enc, rows, gan.Options{Epochs: 10, Seed: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func BenchmarkAblation_SimilarityBuckets(b *testing.B) {
 	for _, k := range []int{2, 4} {
 		b.Run(fmt.Sprintf("buckets=%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ts, err := textsynth.TrainTransformer(corpus, sim, textsynth.TransformerOptions{
+				ts, err := textsynth.TrainTransformer(context.Background(), corpus, sim, textsynth.TransformerOptions{
 					Buckets: k, PairsPerBucket: 10, Epochs: 1, BatchSize: 4, Seed: 6,
 					Model: serdTransformerMicro(),
 				})
@@ -259,7 +260,7 @@ func BenchmarkAblation_IncrementalGMM(b *testing.B) {
 	for i := range batch {
 		batch[i] = []float64{0.55 + 0.1*r.NormFloat64(), 0.45 + 0.1*r.NormFloat64()}
 	}
-	model, err := gmm.Fit(base, 2, gmm.FitOptions{Rand: r})
+	model, err := gmm.Fit(context.Background(), base, 2, gmm.FitOptions{Rand: r})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func BenchmarkAblation_IncrementalGMM(b *testing.B) {
 	b.Run("full-refit", func(b *testing.B) {
 		all := append(append([][]float64{}, base...), batch...)
 		for i := 0; i < b.N; i++ {
-			if _, err := gmm.Fit(all, 2, gmm.FitOptions{Rand: r}); err != nil {
+			if _, err := gmm.Fit(context.Background(), all, 2, gmm.FitOptions{Rand: r}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -295,7 +296,7 @@ func BenchmarkAblation_DPNoise(b *testing.B) {
 	for _, sigma := range []float64{0.6, 1.1, 2.5} {
 		b.Run(fmt.Sprintf("sigma=%.1f", sigma), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ts, err := textsynth.TrainTransformer(corpus, sim, textsynth.TransformerOptions{
+				ts, err := textsynth.TrainTransformer(context.Background(), corpus, sim, textsynth.TransformerOptions{
 					Buckets: 2, PairsPerBucket: 10, Epochs: 1, BatchSize: 4, Seed: 9,
 					Model: serdTransformerMicro(),
 					DP:    &textsynth.DPOptions{ClipNorm: 1, Noise: sigma, Delta: 1e-5},
@@ -316,7 +317,7 @@ func BenchmarkAblation_DPNoise(b *testing.B) {
 // TestSynthesizeWorkerCountInvariant).
 func BenchmarkCore_SynthesizeEntityRate(b *testing.B) {
 	gen, synths := ablationFixture(b)
-	j, err := core.LearnDistributions(gen.ER, core.LearnOptions{Rand: rand.New(rand.NewSource(10))})
+	j, err := core.LearnDistributions(context.Background(), gen.ER, core.LearnOptions{Rand: rand.New(rand.NewSource(10))})
 	if err != nil {
 		b.Fatal(err)
 	}

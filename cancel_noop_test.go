@@ -1,0 +1,36 @@
+package serd_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+)
+
+// TestCancelableContextIsByteNoop is the end-to-end regression test for
+// the cancellation layer's determinism invariant: running the fully
+// journaled pipeline under a cancelable — but never triggered — context
+// must be a true no-op, byte for byte, on both the synthesized dataset
+// and the journal (modulo the documented volatile fields ts/dur_s).
+// Cancellation plumbing checks the context at chunk/minibatch/iteration
+// boundaries; it must never move a single RNG draw or journal event.
+func TestCancelableContextIsByteNoop(t *testing.T) {
+	base := t.TempDir()
+	dirBg := filepath.Join(base, "background")
+	dirArmed := filepath.Join(base, "armed")
+
+	journalBg := synthesizeJournaled(t, context.Background(), dirBg, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	journalArmed := synthesizeJournaled(t, ctx, dirArmed, 0)
+
+	want := readDataset(t, dirBg)
+	got := readDataset(t, dirArmed)
+	for name := range want {
+		if got[name] != want[name] {
+			t.Errorf("%s differs under an armed context: the cancellation path perturbed the output", name)
+		}
+	}
+	if bg, armed := stripVolatile(t, journalBg), stripVolatile(t, journalArmed); bg != armed {
+		t.Errorf("journals differ under an armed context beyond ts/dur_s:\n%s\n---- vs ----\n%s", bg, armed)
+	}
+}

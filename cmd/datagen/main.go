@@ -11,10 +11,13 @@
 // (default <out>/run_report.json) and a hash-chained event journal
 // (default <out>/journal.jsonl) carrying the config, a lineage event per
 // generated dataset and the terminal status — so `serd audit show` works
-// on generation runs too.
+// on generation runs too. SIGINT/SIGTERM cancels between datasets and
+// journals a clean aborted status; a second signal force-exits with 130.
+// The shared flag surface is defined in internal/config.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,9 +27,11 @@ import (
 	"strconv"
 	"time"
 
+	"serd/internal/config"
 	"serd/internal/datagen"
 	"serd/internal/dataset"
 	"serd/internal/journal"
+	"serd/internal/pipeline"
 	"serd/internal/telemetry"
 )
 
@@ -39,32 +44,20 @@ func main() {
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
-	var (
-		out         = fs.String("out", "", "output directory (required)")
-		name        = fs.String("dataset", "all", "dataset name or all")
-		seed        = fs.Int64("seed", 1, "random seed")
-		sizeA       = fs.Int("size-a", 0, "override |A| (0 = scaled default)")
-		sizeB       = fs.Int("size-b", 0, "override |B| (0 = scaled default)")
-		matches     = fs.Int("matches", 0, "override |M| (0 = scaled default)")
-		metricsAddr = fs.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
-		reportPath  = fs.String("report", "", "run-report path (default <out>/run_report.json)")
-		noReport    = fs.Bool("no-report", false, "skip writing the run report")
-		journalPath = fs.String("journal", "", "event-journal path (default <out>/journal.jsonl)")
-		noJournal   = fs.Bool("no-journal", false, "skip writing the event journal")
-	)
+	flags := config.RegisterDatagen(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *out == "" {
+	if err := flags.Validate(); err != nil {
 		fs.Usage()
-		return errors.New("-out is required")
+		return err
 	}
 
 	var gens []datagen.Generator
-	if *name == "all" {
+	if flags.Dataset == "all" {
 		gens = datagen.Registry()
 	} else {
-		g, err := datagen.ByName(*name)
+		g, err := datagen.ByName(flags.Dataset)
 		if err != nil {
 			return err
 		}
@@ -72,29 +65,29 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var jr *journal.Journal
-	jPath := *journalPath
+	jPath := flags.JournalPath
 	if jPath == "" {
-		jPath = filepath.Join(*out, journal.DefaultName)
+		jPath = filepath.Join(flags.Out, journal.DefaultName)
 	}
-	if !*noJournal {
+	if !flags.NoJournal {
 		var err error
 		jr, err = journal.Create(jPath)
 		if err != nil {
 			return err
 		}
 		defer jr.Close()
-		jr.RunStart("datagen", *seed, map[string]string{
-			"out":     *out,
-			"dataset": *name,
-			"size_a":  strconv.Itoa(*sizeA),
-			"size_b":  strconv.Itoa(*sizeB),
-			"matches": strconv.Itoa(*matches),
+		jr.RunStart("datagen", flags.Seed, map[string]string{
+			"out":     flags.Out,
+			"dataset": flags.Dataset,
+			"size_a":  strconv.Itoa(flags.SizeA),
+			"size_b":  strconv.Itoa(flags.SizeB),
+			"matches": strconv.Itoa(flags.Matches),
 		})
 	}
 
 	reg := telemetry.NewRegistry()
-	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, reg)
+	if flags.MetricsAddr != "" {
+		srv, err := telemetry.Serve(flags.MetricsAddr, reg)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
@@ -103,18 +96,27 @@ func run(args []string, stdout io.Writer) error {
 		testHookServing(srv.Addr())
 	}
 
+	// First SIGINT/SIGTERM cancels between datasets (generation is fast;
+	// per-dataset granularity keeps every written dataset whole); a second
+	// signal force-exits with status 130.
+	ctx, stop := pipeline.SignalContext(context.Background())
+	defer stop()
+
 	start := time.Now()
 	summary := map[string]float64{}
 	err := func() error {
 		for _, g := range gens {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("datagen: canceled before %s: %w", g.Name, err)
+			}
 			span := reg.StartSpan("datagen." + g.Name)
-			cfg := datagen.Config{Seed: *seed, SizeA: *sizeA, SizeB: *sizeB, Matches: *matches}
+			cfg := datagen.Config{Seed: flags.Seed, SizeA: flags.SizeA, SizeB: flags.SizeB, Matches: flags.Matches}
 			gen, err := g.Gen(cfg)
 			if err != nil {
 				span.End()
 				return fmt.Errorf("%s: %w", g.Name, err)
 			}
-			dir := filepath.Join(*out, g.Name)
+			dir := filepath.Join(flags.Out, g.Name)
 			if err := dataset.SaveDir(dir, gen.ER); err != nil {
 				span.End()
 				return fmt.Errorf("%s: %w", g.Name, err)
@@ -151,15 +153,15 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}()
 
-	if err == nil && !*noReport {
-		path := *reportPath
+	if err == nil && !flags.NoReport {
+		path := flags.ReportPath
 		if path == "" {
-			path = filepath.Join(*out, "run_report.json")
+			path = filepath.Join(flags.Out, "run_report.json")
 		}
 		rep := &telemetry.RunReport{
 			Tool:        "datagen",
-			Dataset:     *name,
-			Seed:        *seed,
+			Dataset:     flags.Dataset,
+			Seed:        flags.Seed,
 			Start:       start,
 			WallSeconds: time.Since(start).Seconds(),
 			Summary:     summary,
@@ -179,6 +181,9 @@ func run(args []string, stdout io.Writer) error {
 		status, msg := journal.StatusDone, ""
 		if err != nil {
 			status, msg = journal.StatusFailed, err.Error()
+			if errors.Is(err, context.Canceled) {
+				status = journal.StatusAborted
+			}
 		}
 		jr.RunEnd(status, msg, summary, time.Since(start).Seconds())
 		if jerr := jr.Close(); err == nil && jerr != nil {

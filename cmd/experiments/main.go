@@ -19,45 +19,60 @@
 // regenerated with `-sizecap 40 -matchcap 12 -bench-out BENCH_core.json`)
 // and exits non-zero when S2 throughput regresses more than
 // -bench-threshold (default 30%) on any dataset — the CI perf gate.
+//
+// SIGINT/SIGTERM cancels the running suite at the next synthesis chunk,
+// training minibatch or fit iteration; a second signal force-exits with
+// status 130. The shared flag surface is defined in internal/config.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"serd/internal/config"
 	"serd/internal/experiments"
+	"serd/internal/pipeline"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
 
 func main() {
-	var (
-		exp          = flag.String("exp", "all", "comma-separated experiments: t1,t2,f5,f6,f7,f8,f9,t3,t4 or all")
-		datasets     = flag.String("datasets", "", "comma-separated dataset names (default: all four)")
-		sizeCap      = flag.Int("sizecap", 0, "cap relation sizes (0 = scaled defaults)")
-		matchCap     = flag.Int("matchcap", 0, "cap match counts (0 = scaled defaults)")
-		seed         = flag.Int64("seed", 1, "random seed")
-		workers      = flag.Int("workers", 0, "worker count for the parallel S2/S3 hot path (0 = GOMAXPROCS); results are bit-identical at any value")
-		transformer  = flag.Bool("transformer", false, "use the DP transformer bank for textual synthesis (slow)")
-		metricsAddr  = flag.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
-		reportPath   = flag.String("report", "", "write the final run report (JSON) to this path")
-		benchOut     = flag.String("bench-out", "", "run the core synthesis bench and write BENCH_core.json to this path (skips the tables)")
-		benchAgainst = flag.String("bench-against", "", "compare the core bench against this baseline BENCH_core.json, exiting non-zero on a throughput regression (skips the tables)")
-		benchThresh  = flag.Float64("bench-threshold", 0.30, "allowed fractional throughput drop for -bench-against")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	flags := config.RegisterExperiments(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := flags.Validate(); err != nil {
+		fs.Usage()
+		return err
+	}
+
+	// First SIGINT/SIGTERM cancels the suite at the next cooperative
+	// boundary; a second force-exits with status 130.
+	ctx, stop := pipeline.SignalContext(context.Background())
+	defer stop()
 
 	cfg := experiments.Config{
-		Seed:           *seed,
-		SizeCap:        *sizeCap,
-		MatchCap:       *matchCap,
-		UseTransformer: *transformer,
-		Workers:        *workers,
+		Ctx:            ctx,
+		Seed:           flags.Seed,
+		SizeCap:        flags.SizeCap,
+		MatchCap:       flags.MatchCap,
+		UseTransformer: flags.Transformer,
+		Workers:        flags.Workers,
 	}
-	if *transformer {
+	if flags.Transformer {
 		cfg.Transformer = textsynth.TransformerOptions{
 			Buckets:        4,
 			PairsPerBucket: 24,
@@ -66,203 +81,209 @@ func main() {
 			DP:             &textsynth.DPOptions{ClipNorm: 1, Noise: 1.1, Delta: 1e-5},
 		}
 	}
-	if *datasets != "" {
-		cfg.Datasets = strings.Split(*datasets, ",")
+	if flags.Datasets != "" {
+		cfg.Datasets = strings.Split(flags.Datasets, ",")
 	}
 
-	if *benchOut != "" || *benchAgainst != "" {
-		start := time.Now()
-		rows, err := experiments.CoreBench(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "core bench:", err)
-			os.Exit(1)
-		}
-		rep := experiments.CoreBenchReport{Time: start, Seed: *seed, SizeCap: *sizeCap, MatchCap: *matchCap, Rows: rows}
-		for _, r := range rows {
-			fmt.Printf("%-16s %6d entities  %8.1f ent/s  JSD=%.4f  attempts=%.0f\n",
-				r.Dataset, r.Entities, r.EntitiesPerSec, r.JSD, r.Attempts)
-		}
-		if *benchOut != "" {
-			if err := experiments.WriteCoreBench(*benchOut, rep); err != nil {
-				fmt.Fprintln(os.Stderr, "core bench:", err)
-				os.Exit(1)
-			}
-			fmt.Printf("core bench -> %s (%s)\n", *benchOut, time.Since(start).Round(time.Millisecond))
-		}
-		if *benchAgainst != "" {
-			baseline, err := experiments.ReadCoreBench(*benchAgainst)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "core bench baseline:", err)
-				os.Exit(1)
-			}
-			problems := experiments.CompareCoreBench(baseline, rep, *benchThresh)
-			for _, p := range problems {
-				fmt.Fprintln(os.Stderr, "bench regression:", p)
-			}
-			if len(problems) > 0 {
-				os.Exit(1)
-			}
-			fmt.Printf("core bench holds the %s baseline (threshold %.0f%%)\n", *benchAgainst, 100**benchThresh)
-		}
-		return
+	if flags.BenchOut != "" || flags.BenchAgainst != "" {
+		return runBench(cfg, flags, stdout)
 	}
 
 	reg := telemetry.NewRegistry()
 	cfg.Metrics = reg
 	start := time.Now()
-	if *metricsAddr != "" {
-		srv, err := telemetry.Serve(*metricsAddr, reg)
+	if flags.MetricsAddr != "" {
+		srv, err := telemetry.Serve(flags.MetricsAddr, reg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "metrics server:", err)
-			os.Exit(1)
+			return fmt.Errorf("metrics server: %w", err)
 		}
 		defer srv.Close()
-		fmt.Printf("metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
 	}
 	suite := experiments.NewSuite(cfg)
 
 	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
+	for _, e := range strings.Split(flags.Exp, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
-	run := func(id, name string, fn func() error) {
-		if !all && !want[id] {
+	var runErr error
+	runOne := func(id, name string, fn func() error) {
+		if runErr != nil || (!all && !want[id]) {
 			return
 		}
 		start := time.Now()
-		fmt.Printf("==== %s ====\n", name)
+		fmt.Fprintf(stdout, "==== %s ====\n", name)
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+			runErr = fmt.Errorf("%s: %w", name, err)
+			return
 		}
-		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("t2", "Table II — dataset statistics", func() error {
+	runOne("t2", "Table II — dataset statistics", func() error {
 		rows, err := suite.TableII()
 		if err != nil {
 			return err
 		}
-		experiments.PrintTableII(os.Stdout, rows)
+		experiments.PrintTableII(stdout, rows)
 		return nil
 	})
-	run("t1", "Table I — synthesized string examples", func() error {
+	runOne("t1", "Table I — synthesized string examples", func() error {
 		rows, err := suite.TableI()
 		if err != nil {
 			return err
 		}
-		experiments.PrintTableI(os.Stdout, rows)
+		experiments.PrintTableI(stdout, rows)
 		return nil
 	})
-	run("f5", "Figure 5 — Exp-1 user study", func() error {
+	runOne("f5", "Figure 5 — Exp-1 user study", func() error {
 		rows, err := suite.UserStudy()
 		if err != nil {
 			return err
 		}
-		experiments.PrintFigure5(os.Stdout, rows)
+		experiments.PrintFigure5(stdout, rows)
 		return nil
 	})
-	run("f6", "Figure 6 — Exp-2 Magellan model evaluation", func() error {
+	runOne("f6", "Figure 6 — Exp-2 Magellan model evaluation", func() error {
 		rows, err := suite.ModelEvaluation(experiments.Magellan)
 		if err != nil {
 			return err
 		}
-		experiments.PrintEvalRows(os.Stdout, "FIGURE 6 — MAGELLAN, TRAINED ON REAL/SYN, TESTED ON T_real", rows)
+		experiments.PrintEvalRows(stdout, "FIGURE 6 — MAGELLAN, TRAINED ON REAL/SYN, TESTED ON T_real", rows)
 		return nil
 	})
-	run("f7", "Figure 7 — Exp-2 Deepmatcher model evaluation", func() error {
+	runOne("f7", "Figure 7 — Exp-2 Deepmatcher model evaluation", func() error {
 		rows, err := suite.ModelEvaluation(experiments.Deepmatcher)
 		if err != nil {
 			return err
 		}
-		experiments.PrintEvalRows(os.Stdout, "FIGURE 7 — DEEPMATCHER, TRAINED ON REAL/SYN, TESTED ON T_real", rows)
+		experiments.PrintEvalRows(stdout, "FIGURE 7 — DEEPMATCHER, TRAINED ON REAL/SYN, TESTED ON T_real", rows)
 		return nil
 	})
-	run("f8", "Figure 8 — Exp-3 Magellan data evaluation", func() error {
+	runOne("f8", "Figure 8 — Exp-3 Magellan data evaluation", func() error {
 		rows, err := suite.DataEvaluation(experiments.Magellan)
 		if err != nil {
 			return err
 		}
-		experiments.PrintEvalRows(os.Stdout, "FIGURE 8 — MAGELLAN M_real, TESTED ON T_real vs T_syn", rows)
+		experiments.PrintEvalRows(stdout, "FIGURE 8 — MAGELLAN M_real, TESTED ON T_real vs T_syn", rows)
 		return nil
 	})
-	run("f9", "Figure 9 — Exp-3 Deepmatcher data evaluation", func() error {
+	runOne("f9", "Figure 9 — Exp-3 Deepmatcher data evaluation", func() error {
 		rows, err := suite.DataEvaluation(experiments.Deepmatcher)
 		if err != nil {
 			return err
 		}
-		experiments.PrintEvalRows(os.Stdout, "FIGURE 9 — DEEPMATCHER M_real, TESTED ON T_real vs T_syn", rows)
+		experiments.PrintEvalRows(stdout, "FIGURE 9 — DEEPMATCHER M_real, TESTED ON T_real vs T_syn", rows)
 		return nil
 	})
-	run("t3", "Table III — Exp-4 privacy evaluation", func() error {
+	runOne("t3", "Table III — Exp-4 privacy evaluation", func() error {
 		rows, err := suite.TableIII()
 		if err != nil {
 			return err
 		}
-		experiments.PrintTableIII(os.Stdout, rows)
+		experiments.PrintTableIII(stdout, rows)
 		return nil
 	})
-	run("t4", "Table IV — Exp-5 efficiency evaluation", func() error {
+	runOne("t4", "Table IV — Exp-5 efficiency evaluation", func() error {
 		rows, err := suite.TableIV()
 		if err != nil {
 			return err
 		}
-		experiments.PrintTableIV(os.Stdout, rows)
+		experiments.PrintTableIV(stdout, rows)
 		return nil
 	})
 	// Extensions and ablations beyond the paper's evaluation (not part of
 	// -exp all).
-	run("ext1", "Extension — scale-up synthesis", func() error {
+	runOne("ext1", "Extension — scale-up synthesis", func() error {
 		rows, err := suite.ScaleUp(2.0)
 		if err != nil {
 			return err
 		}
-		experiments.PrintScaleUp(os.Stdout, rows)
+		experiments.PrintScaleUp(stdout, rows)
 		return nil
 	})
 	ablDataset := "Restaurant"
 	if len(cfg.Datasets) > 0 {
 		ablDataset = cfg.Datasets[0]
 	}
-	run("abl1", "Ablation — rejection alpha", func() error {
+	runOne("abl1", "Ablation — rejection alpha", func() error {
 		rows, err := suite.AblationAlpha(ablDataset, []float64{0.8, 1.0, 1.5, 3.0})
 		if err != nil {
 			return err
 		}
-		experiments.PrintAblationAlpha(os.Stdout, ablDataset, rows)
+		experiments.PrintAblationAlpha(stdout, ablDataset, rows)
 		return nil
 	})
-	run("abl2", "Ablation — discriminator beta", func() error {
+	runOne("abl2", "Ablation — discriminator beta", func() error {
 		rows, err := suite.AblationBeta(ablDataset, []float64{0.2, 0.5, 0.8})
 		if err != nil {
 			return err
 		}
-		experiments.PrintAblationBeta(os.Stdout, ablDataset, rows)
+		experiments.PrintAblationBeta(stdout, ablDataset, rows)
 		return nil
 	})
-	run("abl3", "Ablation — similarity buckets", func() error {
+	runOne("abl3", "Ablation — similarity buckets", func() error {
 		rows, err := suite.AblationBuckets(ablDataset, []int{2, 4, 8}, nil)
 		if err != nil {
 			return err
 		}
-		experiments.PrintAblationBuckets(os.Stdout, ablDataset, rows)
+		experiments.PrintAblationBuckets(stdout, ablDataset, rows)
 		return nil
 	})
+	if runErr != nil {
+		return runErr
+	}
 
-	if *reportPath != "" {
+	if flags.ReportPath != "" {
 		rep := &telemetry.RunReport{
 			Tool:        "experiments",
 			Dataset:     strings.Join(suite.Config().Datasets, ","),
-			Seed:        *seed,
+			Seed:        flags.Seed,
 			Start:       start,
 			WallSeconds: time.Since(start).Seconds(),
 			Metrics:     reg.Snapshot(),
 		}
-		if err := telemetry.WriteRunReport(*reportPath, rep); err != nil {
-			fmt.Fprintln(os.Stderr, "run report:", err)
-			os.Exit(1)
+		if err := telemetry.WriteRunReport(flags.ReportPath, rep); err != nil {
+			return fmt.Errorf("run report: %w", err)
 		}
-		fmt.Printf("run report -> %s\n", *reportPath)
+		fmt.Fprintf(stdout, "run report -> %s\n", flags.ReportPath)
 	}
+	return nil
+}
+
+// runBench is the CI perf-gate path: run the core synthesis bench, write
+// it out and/or compare it against a pinned baseline.
+func runBench(cfg experiments.Config, flags *config.Experiments, stdout io.Writer) error {
+	start := time.Now()
+	rows, err := experiments.CoreBench(cfg)
+	if err != nil {
+		return fmt.Errorf("core bench: %w", err)
+	}
+	rep := experiments.CoreBenchReport{Time: start, Seed: flags.Seed, SizeCap: flags.SizeCap, MatchCap: flags.MatchCap, Rows: rows}
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-16s %6d entities  %8.1f ent/s  JSD=%.4f  attempts=%.0f\n",
+			r.Dataset, r.Entities, r.EntitiesPerSec, r.JSD, r.Attempts)
+	}
+	if flags.BenchOut != "" {
+		if err := experiments.WriteCoreBench(flags.BenchOut, rep); err != nil {
+			return fmt.Errorf("core bench: %w", err)
+		}
+		fmt.Fprintf(stdout, "core bench -> %s (%s)\n", flags.BenchOut, time.Since(start).Round(time.Millisecond))
+	}
+	if flags.BenchAgainst != "" {
+		baseline, err := experiments.ReadCoreBench(flags.BenchAgainst)
+		if err != nil {
+			return fmt.Errorf("core bench baseline: %w", err)
+		}
+		problems := experiments.CompareCoreBench(baseline, rep, flags.BenchThreshold)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "bench regression:", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("core bench regressed on %d dataset(s)", len(problems))
+		}
+		fmt.Fprintf(stdout, "core bench holds the %s baseline (threshold %.0f%%)\n", flags.BenchAgainst, 100*flags.BenchThreshold)
+	}
+	return nil
 }

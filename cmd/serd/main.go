@@ -10,13 +10,21 @@
 //
 // Column spec syntax: <name>:text | <name>:cat | <name>:num:<min>:<max> |
 // <name>:date:<min>:<max>. Text and categorical columns use 3-gram Jaccard
-// (case-folded); numeric/date use min-max scaled absolute difference.
+// (case-folded); numeric/date use min-max scaled absolute difference. The
+// full flag surface is defined in internal/config, shared with the other
+// binaries.
 //
 // Observability: -metrics-addr starts the live run inspector
 // (/metrics.json, /metrics in Prometheus text format, /debug/pprof/)
 // for the duration of the run, and a structured run report (per-phase
 // durations, rejection counters, EM iterations, DP budget) is written to
 // <out>/run_report.json unless -no-report is given.
+//
+// Cancellation: the first SIGINT/SIGTERM cancels the run's context, which
+// is threaded through every pipeline stage — the interrupted stage writes
+// a final checkpoint (when -checkpoint-dir is set), the journal records a
+// clean "aborted" status, and -resume replays bit-identically. A second
+// signal force-exits immediately with status 130.
 //
 // Provenance: every run also writes an append-only, hash-chained event
 // journal to <out>/journal.jsonl (disable with -no-journal) recording the
@@ -34,24 +42,21 @@
 package main
 
 import (
-	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
-	"math/rand"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"strconv"
-	"strings"
-	"syscall"
 	"time"
 
 	"serd"
 	"serd/internal/checkpoint"
+	"serd/internal/config"
 	"serd/internal/journal"
+	"serd/internal/pipeline"
 )
 
 func main() {
@@ -74,53 +79,20 @@ func run(args []string, stdout io.Writer) error {
 		return runAudit(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("serd", flag.ContinueOnError)
-	var (
-		in          = fs.String("in", "", "input dataset directory (required)")
-		out         = fs.String("out", "", "output directory for the synthesized dataset (required)")
-		schemaSpec  = fs.String("schema", "", "column spec, e.g. 'title:text,venue:cat,year:num:1995:2005' (required)")
-		sizeA       = fs.Int("size-a", 0, "synthesized |A| (0 = same as input)")
-		sizeB       = fs.Int("size-b", 0, "synthesized |B| (0 = same as input)")
-		seed        = fs.Int64("seed", 1, "random seed")
-		workers     = fs.Int("workers", 0, "worker count for the parallel S2/S3 hot path (0 = GOMAXPROCS); outputs are bit-identical at any value")
-		noReject    = fs.Bool("no-reject", false, "disable entity rejection (the SERD- ablation)")
-		saveDist    = fs.String("save-dist", "", "write the learned O-distribution (JSON) to this path")
-		loadDist    = fs.String("load-dist", "", "reuse a previously saved O-distribution instead of re-learning")
-		audit       = fs.Bool("audit", false, "print privacy metrics (hitting rate, DCR, NNDR) after synthesis")
-		auditEps    = fs.Float64("audit-epsilon", 0, "release the -audit metrics through the Laplace mechanism with this total ε, charged to the privacy ledger (0 = exact, unledgered release)")
-		progress    = fs.Bool("progress", false, "print synthesis progress")
-		metricsAddr = fs.String("metrics-addr", "", "serve the live run inspector on this address (e.g. :9090)")
-		reportPath  = fs.String("report", "", "run-report path (default <out>/run_report.json)")
-		noReport    = fs.Bool("no-report", false, "skip writing the run report")
-		journalPath = fs.String("journal", "", "event-journal path (default <out>/journal.jsonl)")
-		noJournal   = fs.Bool("no-journal", false, "skip writing the event journal")
-		epsBudget   = fs.Float64("epsilon-budget", 0, "abort (or warn, with -budget-warn) before any DP expenditure would push the composed ε past this cap (0 = unlimited)")
-		budgetWarn  = fs.Bool("budget-warn", false, "downgrade budget enforcement from abort to a journaled warning")
-		useTx       = fs.Bool("transformer", false, "synthesize textual columns with the DP-SGD transformer bank instead of the rule synthesizer (slow; spends ε)")
-		txBuckets   = fs.Int("tx-buckets", 4, "transformer bank: similarity buckets")
-		txPairs     = fs.Int("tx-pairs", 24, "transformer bank: training pairs per bucket")
-		txEpochs    = fs.Int("tx-epochs", 1, "transformer bank: epochs per bucket")
-		txBatch     = fs.Int("tx-batch", 4, "transformer bank: DP-SGD minibatch size")
-		txCands     = fs.Int("tx-candidates", 10, "transformer bank: sampled decodes per synthesis call (the paper uses 10)")
-		dpNoise     = fs.Float64("dp-noise", 1.1, "transformer bank: DP-SGD noise multiplier σ")
-		dpClip      = fs.Float64("dp-clip", 1, "transformer bank: DP-SGD clip norm")
-		dpDelta     = fs.Float64("dp-delta", 1e-5, "transformer bank: δ at which ε is reported")
-		ckptDir     = fs.String("checkpoint-dir", "", "write crash-safe checkpoints (S1 state, per-epoch training state, periodic S2 state) to this directory; SIGINT/SIGTERM save a final checkpoint and abort cleanly")
-		ckptEvery   = fs.Int("checkpoint-every", 25, "accepted S2 entities between periodic checkpoints")
-		resume      = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir; the resumed run is bit-identical to an uninterrupted one")
-	)
+	flags := config.RegisterSerd(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" || *out == "" || *schemaSpec == "" {
+	if err := flags.Validate(); err != nil {
 		fs.Usage()
-		return errors.New("-in, -out and -schema are required")
+		return err
 	}
 
-	schema, err := parseSchema(*schemaSpec)
+	schema, err := config.ParseSchema(flags.SchemaSpec)
 	if err != nil {
 		return err
 	}
-	real, err := serd.LoadDataset(*in, schema)
+	real, err := serd.LoadDataset(flags.In, schema)
 	if err != nil {
 		return err
 	}
@@ -133,42 +105,26 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "loaded %+v\n", real.Stats())
 
 	// The checkpoint snapshot loads first: a resume needs its journal seam
-	// before the journal can be reopened.
-	runCfg := map[string]string{
-		"in":             *in,
-		"out":            *out,
-		"schema":         *schemaSpec,
-		"size_a":         strconv.Itoa(*sizeA),
-		"size_b":         strconv.Itoa(*sizeB),
-		"no_reject":      strconv.FormatBool(*noReject),
-		"transformer":    strconv.FormatBool(*useTx),
-		"epsilon_budget": strconv.FormatFloat(*epsBudget, 'g', -1, 64),
-		"budget_mode":    "abort",
-	}
-	if *budgetWarn {
-		runCfg["budget_mode"] = "warn"
-	}
-	// The checkpoint flags (like -workers) stay out of the journaled
-	// config: they select how the run executes, not what it computes.
+	// before the journal can be reopened. The journaled config excludes
+	// execution parameters (-workers, the checkpoint family): they select
+	// how the run executes, not what it computes.
+	runCfg := flags.JournaledConfig()
 	var snap *checkpoint.Snapshot
 	var latest *checkpoint.File
-	if *resume {
-		if *ckptDir == "" {
-			return errors.New("-resume requires -checkpoint-dir")
-		}
-		snap, err = checkpoint.ReadDir(*ckptDir)
+	if flags.Resume {
+		snap, err = checkpoint.ReadDir(flags.CheckpointDir)
 		if err != nil {
 			return fmt.Errorf("reading checkpoints: %w", err)
 		}
 		latest = snap.Latest()
 		if latest == nil {
-			return fmt.Errorf("no checkpoint to resume from in %s", *ckptDir)
+			return fmt.Errorf("no checkpoint to resume from in %s", flags.CheckpointDir)
 		}
 		if latest.Meta.Tool != "serd" {
 			return fmt.Errorf("checkpoint was written by %q, not serd", latest.Meta.Tool)
 		}
-		if latest.Meta.Seed != *seed {
-			return fmt.Errorf("checkpoint has seed %d, flags say %d; a resume must replay the same run", latest.Meta.Seed, *seed)
+		if latest.Meta.Seed != flags.Seed {
+			return fmt.Errorf("checkpoint has seed %d, flags say %d; a resume must replay the same run", latest.Meta.Seed, flags.Seed)
 		}
 	}
 
@@ -180,12 +136,12 @@ func run(args []string, stdout io.Writer) error {
 	var jr *journal.Journal
 	var restoredCharges []journal.Entry
 	var openPhases map[string]int
-	jPath := *journalPath
+	jPath := flags.JournalPath
 	if jPath == "" {
-		jPath = filepath.Join(*out, journal.DefaultName)
+		jPath = filepath.Join(flags.Out, journal.DefaultName)
 	}
 	switch {
-	case *noJournal:
+	case flags.NoJournal:
 		if latest != nil && latest.Meta.JournalSeq != 0 {
 			return errors.New("checkpoint carries a journal seam; resume without -no-journal")
 		}
@@ -227,19 +183,19 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer jr.Close()
-		jr.RunStart("serd", *seed, runCfg)
-		if err := jr.Lineage("input", *in); err != nil {
+		jr.RunStart("serd", flags.Seed, runCfg)
+		if err := jr.Lineage("input", flags.In); err != nil {
 			return err
 		}
 	}
 	ledger := journal.NewLedger(jr)
 	ledger.Restore(restoredCharges)
-	if *epsBudget > 0 {
+	if flags.EpsilonBudget > 0 {
 		mode := journal.BudgetAbort
-		if *budgetWarn {
+		if flags.BudgetWarn {
 			mode = journal.BudgetWarn
 		}
-		ledger.SetBudget(*epsBudget, mode)
+		ledger.SetBudget(flags.EpsilonBudget, mode)
 	}
 	if latest == nil {
 		// On resume the journal prefix already holds this log line.
@@ -249,46 +205,34 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// The checkpointer opens after the journal so every save embeds a live
-	// seam; SIGINT/SIGTERM raise its interrupt flag, and the pipeline
-	// answers with a final checkpoint and a clean aborted status.
+	// seam.
 	var cp *checkpoint.Checkpointer
-	if *ckptDir != "" {
-		cp, err = checkpoint.New(checkpoint.Config{Dir: *ckptDir, Every: *ckptEvery, Tool: "serd", Seed: *seed, Journal: jr})
+	if flags.CheckpointDir != "" {
+		cp, err = checkpoint.New(checkpoint.Config{Dir: flags.CheckpointDir, Every: flags.CheckpointEvery, Tool: "serd", Seed: flags.Seed, Journal: jr})
 		if err != nil {
 			return err
 		}
-		if !*resume {
+		if !flags.Resume {
 			// A fresh run must not resume-match stale files from an
 			// earlier one.
 			if err := cp.Clear(); err != nil {
 				return err
 			}
 		}
-		sigc := make(chan os.Signal, 1)
-		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-		defer func() {
-			signal.Stop(sigc)
-			close(sigc) // unblocks the handler goroutine
-		}()
-		go func() {
-			if _, ok := <-sigc; ok {
-				cp.Interrupt()
-			}
-		}()
 		testHookCheckpointer(cp)
 	}
 
+	// The first SIGINT/SIGTERM cancels this context; the cancellation
+	// propagates through every stage of the pipeline, the interrupted
+	// stage writes its final checkpoint, and the run journals a clean
+	// aborted status below. A second signal force-exits with status 130.
+	ctx, stop := pipeline.SignalContext(context.Background())
+	defer stop()
+
 	start := time.Now()
-	err = synth(synthConfig{
-		fs: fs, in: *in, out: *out, schema: schema,
-		sizeA: *sizeA, sizeB: *sizeB, seed: *seed, workers: *workers,
-		noReject: *noReject, saveDist: *saveDist, loadDist: *loadDist,
-		audit: *audit, auditEps: *auditEps, progress: *progress,
-		metricsAddr: *metricsAddr, reportPath: *reportPath, noReport: *noReport,
-		useTx: *useTx, txBuckets: *txBuckets, txPairs: *txPairs,
-		txEpochs: *txEpochs, txBatch: *txBatch, txCands: *txCands,
-		dpNoise: *dpNoise, dpClip: *dpClip, dpDelta: *dpDelta,
-		journalPath: jPath, jr: jr, ledger: ledger, start: start,
+	err = synth(ctx, synthConfig{
+		flags: flags, schema: schema, journalPath: jPath,
+		jr: jr, ledger: ledger, start: start,
 		cp: cp, snap: snap, openPhases: openPhases,
 	}, real, stdout)
 
@@ -298,7 +242,10 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			msg = err.Error()
 			status = journal.StatusFailed
-			if errors.Is(err, journal.ErrBudgetExceeded) || errors.Is(err, checkpoint.ErrInterrupted) {
+			if errors.Is(err, journal.ErrBudgetExceeded) ||
+				errors.Is(err, checkpoint.ErrInterrupted) ||
+				errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded) {
 				status = journal.StatusAborted
 			}
 		}
@@ -307,331 +254,11 @@ func run(args []string, stdout io.Writer) error {
 			return jerr
 		}
 	}
+	if err != nil && os.Getenv("SERD_TEST_HANG_ABORT") != "" {
+		// Simulates a graceful abort that wedges on the way out (a stuck
+		// flush, a hung deferred resource) so the subprocess e2e test can
+		// drive the double-interrupt force-exit for real.
+		time.Sleep(time.Minute)
+	}
 	return err
-}
-
-// synthConfig carries the parsed flags into the pipeline body so the
-// journal's terminal-status accounting can wrap it.
-type synthConfig struct {
-	fs                                    *flag.FlagSet
-	in, out                               string
-	schema                                *serd.Schema
-	sizeA, sizeB                          int
-	seed                                  int64
-	workers                               int
-	noReject                              bool
-	saveDist, loadDist                    string
-	audit                                 bool
-	auditEps                              float64
-	progress                              bool
-	metricsAddr, reportPath               string
-	noReport                              bool
-	useTx                                 bool
-	txBuckets, txPairs, txEpochs, txBatch int
-	txCands                               int
-	dpNoise, dpClip, dpDelta              float64
-	journalPath                           string
-	jr                                    *journal.Journal
-	ledger                                *journal.Ledger
-	start                                 time.Time
-	cp                                    *checkpoint.Checkpointer
-	snap                                  *checkpoint.Snapshot
-	openPhases                            map[string]int
-}
-
-func synth(cfg synthConfig, real *serd.ER, stdout io.Writer) error {
-	// The registry feeds the live inspector and the run report; it stays
-	// on even without -metrics-addr so the report is always complete. The
-	// journal taps the same stream for phase boundaries and ε checkpoints.
-	reg := serd.NewMetricsRegistry()
-	rec := journal.Instrument(cfg.jr, reg)
-	if cfg.openPhases != nil {
-		// Resumed run: phases left open in the journal prefix would emit a
-		// duplicate phase_start when re-entered; suppress those (the ends
-		// still journal, restoring balanced pairs across the seam).
-		rec = journal.InstrumentResumed(cfg.jr, reg, cfg.openPhases)
-	}
-	if cfg.cp != nil {
-		cfg.cp.Metrics = rec
-	}
-	if cfg.metricsAddr != "" {
-		srv, err := serd.ServeMetrics(cfg.metricsAddr, reg)
-		if err != nil {
-			return fmt.Errorf("metrics server: %w", err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
-		testHookServing(srv.Addr())
-	}
-
-	synths := make(map[string]serd.Synthesizer)
-	for _, col := range cfg.schema.Cols {
-		if col.Kind != serd.Textual {
-			continue
-		}
-		corpus, err := readLines(filepath.Join(cfg.in, "background_"+col.Name+".txt"))
-		if err != nil {
-			return fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
-		}
-		if cfg.useTx {
-			txOpts := serd.TransformerOptions{
-				Buckets:        cfg.txBuckets,
-				PairsPerBucket: cfg.txPairs,
-				Epochs:         cfg.txEpochs,
-				BatchSize:      cfg.txBatch,
-				Candidates:     cfg.txCands,
-				DP:             &serd.DPOptions{ClipNorm: cfg.dpClip, Noise: cfg.dpNoise, Delta: cfg.dpDelta},
-				Metrics:        rec,
-				Privacy:        cfg.ledger,
-				Checkpoint:     cfg.cp,
-				Column:         col.Name,
-				Seed:           cfg.seed,
-			}
-			if cfg.snap != nil {
-				if f := cfg.snap.Trains[col.Name]; f != nil {
-					txOpts.Resume = f.Train
-				}
-			}
-			ts, err := serd.TrainTransformer(corpus, col.Sim, txOpts)
-			if err != nil {
-				return fmt.Errorf("training transformer bank for column %q: %w", col.Name, err)
-			}
-			if cfg.cp != nil && (txOpts.Resume == nil || !txOpts.Resume.Done) {
-				// Terminal per-column checkpoint: a crash in any later
-				// phase resumes without retraining this bank.
-				if err := cfg.cp.SaveTrain(ts.CheckpointState(col.Name)); err != nil {
-					return err
-				}
-			}
-			fmt.Fprintf(stdout, "transformer bank for %q trained (ε=%.4f at δ=%g)\n", col.Name, ts.Epsilon(), cfg.dpDelta)
-			synths[col.Name] = ts
-			continue
-		}
-		rs, err := serd.NewRuleSynthesizer(col.Sim, corpus)
-		if err != nil {
-			return err
-		}
-		synths[col.Name] = rs
-	}
-
-	opts := serd.Options{
-		SizeA:            cfg.sizeA,
-		SizeB:            cfg.sizeB,
-		Synthesizers:     synths,
-		DisableRejection: cfg.noReject,
-		Metrics:          rec,
-		Journal:          cfg.jr,
-		Checkpoint:       cfg.cp,
-		Seed:             cfg.seed,
-		// Workers is an execution parameter, not a run parameter: it is
-		// deliberately absent from the journaled RunStart config so runs at
-		// different worker counts produce identical journals.
-		Workers: cfg.workers,
-	}
-	if cfg.snap != nil {
-		// The later checkpoint wins: a mid-S2 state subsumes the post-S1
-		// one. (A crash during training leaves neither, and core starts
-		// fresh — the trained banks above were restored from their own
-		// checkpoints.)
-		switch {
-		case cfg.snap.S2 != nil:
-			opts.Resume = &checkpoint.CoreState{S2: cfg.snap.S2.S2}
-		case cfg.snap.S1 != nil:
-			opts.Resume = &checkpoint.CoreState{S1: cfg.snap.S1.S1}
-		}
-	}
-	if cfg.progress {
-		opts.Progress = func(done, total int) {
-			if done%50 == 0 || done == total {
-				fmt.Fprintf(stdout, "\rsynthesized %d/%d entities", done, total)
-				if done == total {
-					fmt.Fprintln(stdout)
-				}
-			}
-		}
-	}
-	if cfg.loadDist != "" {
-		f, err := os.Open(cfg.loadDist)
-		if err != nil {
-			return err
-		}
-		opts.Learned, err = serd.LoadDistributions(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "reusing O-distribution from %s\n", cfg.loadDist)
-	}
-	res, err := serd.Synthesize(real, opts)
-	if err != nil {
-		return err
-	}
-	if cfg.saveDist != "" {
-		f, err := os.Create(cfg.saveDist)
-		if err != nil {
-			return err
-		}
-		if err := serd.SaveDistributions(f, res.OReal); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "saved O-distribution to %s\n", cfg.saveDist)
-	}
-	if err := serd.SaveDataset(cfg.out, res.Syn); err != nil {
-		return err
-	}
-	if cfg.jr != nil {
-		if err := cfg.jr.Lineage("output", cfg.out); err != nil {
-			return err
-		}
-	}
-	fmt.Fprintf(stdout, "synthesized %+v -> %s\n", res.Syn.Stats(), cfg.out)
-	fmt.Fprintf(stdout, "JSD(O_syn, O_real)=%.4f  sampled matches=%d  rejected: %d by distribution, %d by discriminator\n",
-		res.JSD, res.SampledMatches, res.RejectedByDistribution, res.RejectedByDiscriminator)
-
-	if cfg.audit {
-		if err := privacyAudit(cfg, real, res.Syn, stdout); err != nil {
-			return err
-		}
-	}
-
-	epsTotal, deltaTotal := cfg.ledger.Finish()
-	if len(cfg.ledger.Entries()) > 0 {
-		fmt.Fprintf(stdout, "privacy ledger: composed ε=%.4f δ=%.2g over %d charges\n",
-			epsTotal, deltaTotal, len(cfg.ledger.Entries()))
-	}
-
-	if !cfg.noReport {
-		path := cfg.reportPath
-		if path == "" {
-			path = filepath.Join(cfg.out, "run_report.json")
-		}
-		rep := &serd.RunReport{
-			Tool:        "serd",
-			Dataset:     filepath.Base(filepath.Clean(cfg.in)),
-			Seed:        cfg.seed,
-			Start:       cfg.start,
-			WallSeconds: time.Since(cfg.start).Seconds(),
-			Summary: map[string]float64{
-				"jsd":                       res.JSD,
-				"entities":                  float64(res.Syn.A.Len() + res.Syn.B.Len()),
-				"matches":                   float64(len(res.Syn.Matches)),
-				"sampled_matches":           float64(res.SampledMatches),
-				"rejected_by_distribution":  float64(res.RejectedByDistribution),
-				"rejected_by_discriminator": float64(res.RejectedByDiscriminator),
-			},
-			Metrics: reg.Snapshot(),
-		}
-		if cfg.jr != nil {
-			rep.Journal = cfg.journalPath
-		}
-		if len(cfg.ledger.Entries()) > 0 {
-			rep.Privacy = cfg.ledger.Summary()
-		}
-		if err := serd.WriteRunReport(path, rep); err != nil {
-			return fmt.Errorf("run report: %w", err)
-		}
-		fmt.Fprintf(stdout, "run report -> %s\n", path)
-	}
-	return nil
-}
-
-// privacyAudit computes the Table III privacy metrics over the run's real
-// and synthesized datasets. With -audit-epsilon, each metric is released
-// through the Laplace mechanism (ε/3 each, unit sensitivity assumed over
-// the subsampled evaluation — an illustrative ledgered release, not a
-// tight bound) and charged to the privacy ledger first, so budget
-// enforcement applies before the noisy values are computed.
-func privacyAudit(cfg synthConfig, real, syn *serd.ER, stdout io.Writer) error {
-	r := rand.New(rand.NewSource(cfg.seed))
-	hr, err := serd.HittingRate(real, syn, 0.9, r)
-	if err != nil {
-		return err
-	}
-	dcr, err := serd.DCR(real, syn, r)
-	if err != nil {
-		return err
-	}
-	nndr, err := serd.NNDR(real, syn, r)
-	if err != nil {
-		return err
-	}
-	if cfg.auditEps > 0 {
-		each := cfg.auditEps / 3
-		noise := rand.New(rand.NewSource(cfg.seed + 101))
-		for _, m := range []struct {
-			label string
-			value *float64
-		}{
-			{"privacy_audit.hitting_rate", &hr},
-			{"privacy_audit.dcr", &dcr},
-			{"privacy_audit.nndr", &nndr},
-		} {
-			if err := cfg.ledger.ChargeLaplace(m.label, each); err != nil {
-				return err
-			}
-			*m.value = serd.LaplaceRelease(*m.value, 1, each, noise)
-		}
-		fmt.Fprintf(stdout, "privacy audit (ε=%g Laplace): hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", cfg.auditEps, hr, dcr, nndr)
-		return nil
-	}
-	fmt.Fprintf(stdout, "privacy audit: hitting rate=%.3f%%  DCR=%.3f  NNDR=%.3f\n", hr, dcr, nndr)
-	return nil
-}
-
-// parseSchema turns the -schema flag into a dataset schema.
-func parseSchema(spec string) (*serd.Schema, error) {
-	var cols []serd.Column
-	for _, part := range strings.Split(spec, ",") {
-		fields := strings.Split(strings.TrimSpace(part), ":")
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("column spec %q: want <name>:<kind>[:min:max]", part)
-		}
-		name := fields[0]
-		switch fields[1] {
-		case "text":
-			cols = append(cols, serd.Column{Name: name, Kind: serd.Textual, Sim: serd.QGramJaccard{Q: 3, Fold: true}})
-		case "cat":
-			cols = append(cols, serd.Column{Name: name, Kind: serd.Categorical, Sim: serd.QGramJaccard{Q: 3, Fold: true}})
-		case "num", "date":
-			if len(fields) != 4 {
-				return nil, fmt.Errorf("column spec %q: numeric/date need :min:max", part)
-			}
-			lo, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("column spec %q: bad min: %w", part, err)
-			}
-			hi, err := strconv.ParseFloat(fields[3], 64)
-			if err != nil {
-				return nil, fmt.Errorf("column spec %q: bad max: %w", part, err)
-			}
-			if fields[1] == "num" {
-				cols = append(cols, serd.Column{Name: name, Kind: serd.Numeric, Sim: serd.NumericSim{Min: lo, Max: hi}})
-			} else {
-				cols = append(cols, serd.Column{Name: name, Kind: serd.Date, Sim: serd.DateSim{Min: lo, Max: hi}})
-			}
-		default:
-			return nil, fmt.Errorf("column spec %q: unknown kind %q", part, fields[1])
-		}
-	}
-	return serd.NewSchema(cols)
-}
-
-func readLines(path string) ([]string, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var out []string
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		if line := strings.TrimSpace(sc.Text()); line != "" {
-			out = append(out, line)
-		}
-	}
-	return out, sc.Err()
 }

@@ -10,10 +10,15 @@ import (
 	"testing"
 
 	"serd"
+	"serd/internal/config"
 )
 
+// TestParseSchema pins the CLI's schema parser binding — the parser itself
+// lives in internal/config (with its own tests and fuzz target); this
+// checks the types it hands back still satisfy the public facade aliases
+// the rest of the command consumes.
 func TestParseSchema(t *testing.T) {
-	s, err := parseSchema("title:text,venue:cat,year:num:1995:2005,released:date:0:7300")
+	s, err := config.ParseSchema("title:text,venue:cat,year:num:1995:2005,released:date:0:7300")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +47,7 @@ func TestParseSchemaErrors(t *testing.T) {
 		"dup:text,dup:text",
 	}
 	for _, spec := range cases {
-		if _, err := parseSchema(spec); err == nil {
+		if _, err := config.ParseSchema(spec); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}

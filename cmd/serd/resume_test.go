@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,7 +27,9 @@ func TestMain(m *testing.M) {
 		switch {
 		case err == nil:
 			os.Exit(0)
-		case errors.Is(err, checkpoint.ErrInterrupted):
+		case errors.Is(err, checkpoint.ErrInterrupted), errors.Is(err, context.Canceled):
+			// Both stop paths — the legacy interrupt flag and a signal
+			// canceling the run's context — are the clean aborted exit.
 			os.Exit(3)
 		default:
 			fmt.Fprintln(os.Stderr, "serd:", err)
@@ -320,8 +323,8 @@ func TestRunResumeRejectsMismatchedFlags(t *testing.T) {
 }
 
 // spawnSerd re-execs the test binary as the serd CLI and returns the
-// running command.
-func spawnSerd(t *testing.T, dir string, args ...string) *exec.Cmd {
+// running command. extraEnv entries are appended after SERD_TEST_MAIN.
+func spawnSerd(t *testing.T, dir string, extraEnv []string, args ...string) *exec.Cmd {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
@@ -329,7 +332,7 @@ func spawnSerd(t *testing.T, dir string, args ...string) *exec.Cmd {
 	}
 	cmd := exec.Command(exe, args...)
 	cmd.Dir = dir
-	cmd.Env = append(os.Environ(), "SERD_TEST_MAIN=1")
+	cmd.Env = append(append(os.Environ(), "SERD_TEST_MAIN=1"), extraEnv...)
 	cmd.Stdout = io.Discard
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -379,7 +382,7 @@ func runSubprocessCrashResume(t *testing.T, sig syscall.Signal) {
 	}
 
 	args = append(args, "-checkpoint-dir", "ckpt", "-checkpoint-every", "3")
-	cmd := spawnSerd(t, root, args...)
+	cmd := spawnSerd(t, root, nil, args...)
 	if waitForCheckpoint(t, cmd, filepath.Join(root, "ckpt", "s2.ckpt")) {
 		if err := cmd.Process.Signal(sig); err != nil {
 			t.Fatal(err)
@@ -391,18 +394,19 @@ func runSubprocessCrashResume(t *testing.T, sig syscall.Signal) {
 		// The run outraced the kill; its output still must match.
 		sameDataset(t, "unkilled subprocess", "out", "base")
 		return
-	case sig == syscall.SIGTERM:
-		// The signal handler saves a final checkpoint and exits through
-		// the clean aborted path (TestMain maps ErrInterrupted to 3).
+	case sig == syscall.SIGTERM || sig == syscall.SIGINT:
+		// The first signal cancels the run's context; the interrupted
+		// stage saves a final checkpoint and the process exits through the
+		// clean aborted path (TestMain maps the cancellation to 3).
 		if cmd.ProcessState.ExitCode() != 3 {
-			t.Fatalf("SIGTERM exit: %v (code %d), want 3", err, cmd.ProcessState.ExitCode())
+			t.Fatalf("%v exit: %v (code %d), want 3", sig, err, cmd.ProcessState.ExitCode())
 		}
 		sum, err := loadSummary(filepath.Join("out", journal.DefaultName))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if sum.Status != journal.StatusAborted {
-			t.Fatalf("SIGTERM journaled status %q, want %q", sum.Status, journal.StatusAborted)
+			t.Fatalf("%v journaled status %q, want %q", sig, sum.Status, journal.StatusAborted)
 		}
 	}
 
@@ -428,4 +432,82 @@ func TestRunSIGKILLSubprocessResume(t *testing.T) {
 // bit-identically.
 func TestRunSIGTERMSubprocessResume(t *testing.T) {
 	runSubprocessCrashResume(t, syscall.SIGTERM)
+}
+
+// TestRunSIGINTSubprocessResume is the same contract for ^C: the first
+// SIGINT cancels the run's context gracefully — final checkpoint, aborted
+// status, bit-identical resume.
+func TestRunSIGINTSubprocessResume(t *testing.T) {
+	runSubprocessCrashResume(t, syscall.SIGINT)
+}
+
+// TestRunDoubleSIGINTForceExit drives the escape hatch end to end: the
+// first SIGINT starts a graceful abort which (via SERD_TEST_HANG_ABORT)
+// wedges on the way out, and the second SIGINT must force-exit the real
+// process immediately with status 130.
+func TestRunDoubleSIGINTForceExit(t *testing.T) {
+	root := t.TempDir()
+	chdir(t, root)
+	writeSampleInput(t, "in")
+
+	args := []string{
+		"-in", "in", "-out", "out",
+		"-schema", "name:text,address:text,city:cat,flavor:cat",
+		"-seed", "11",
+	}
+	if err := run(args, io.Discard); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	copyDir(t, "out", "base")
+	for _, dir := range []string{"out", "ckpt"} {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	args = append(args, "-checkpoint-dir", "ckpt", "-checkpoint-every", "3")
+	cmd := spawnSerd(t, root, []string{"SERD_TEST_HANG_ABORT=1"}, args...)
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	if !waitForCheckpoint(t, cmd, filepath.Join(root, "ckpt", "s2.ckpt")) {
+		t.Skip("run finished before the first signal could land")
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	// The graceful abort completes its journal (run_end aborted) and then
+	// hangs in the test hook; wait for the journal so the second signal
+	// provably arrives while the shutdown is wedged, not before the first
+	// was handled.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		sum, err := loadSummary(filepath.Join("out", journal.DefaultName))
+		if err == nil && sum.Status == journal.StatusAborted {
+			break
+		}
+		if cmd.Process.Signal(syscall.Signal(0)) != nil {
+			t.Fatal("process exited before the graceful abort journaled")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no aborted journal status within 30s (last err %v)", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if code := cmd.ProcessState.ExitCode(); code != 130 {
+		t.Fatalf("double SIGINT exit: %v (code %d), want 130", err, code)
+	}
+	// The force-exit interrupted nothing durable: the first signal's final
+	// checkpoint still resumes bit-identically.
+	if err := run(append(args, "-resume"), io.Discard); err != nil {
+		t.Fatalf("resume after force-exit: %v", err)
+	}
+	sameDataset(t, "double-SIGINT", "out", "base")
 }

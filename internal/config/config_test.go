@@ -1,0 +1,195 @@
+package config
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// toolFlags registers each binary's flag surface exactly as its main does
+// and snapshots name -> (default, usage).
+func toolFlags(t *testing.T) map[string]map[string]*flag.Flag {
+	t.Helper()
+	tools := map[string]func(*flag.FlagSet){
+		"serd":        func(fs *flag.FlagSet) { RegisterSerd(fs) },
+		"experiments": func(fs *flag.FlagSet) { RegisterExperiments(fs) },
+		"datagen":     func(fs *flag.FlagSet) { RegisterDatagen(fs) },
+	}
+	out := make(map[string]map[string]*flag.Flag, len(tools))
+	for name, register := range tools {
+		fs := flag.NewFlagSet(name, flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		register(fs)
+		flags := map[string]*flag.Flag{}
+		fs.VisitAll(func(f *flag.Flag) { flags[f.Name] = f })
+		out[name] = flags
+	}
+	return out
+}
+
+// parityExempt lists shared flag names whose semantics genuinely differ
+// between tools: serd's -size-a/-size-b set the synthesized relation
+// sizes, datagen's override the generated ones. Nothing else may diverge.
+var parityExempt = map[string]bool{"size-a": true, "size-b": true}
+
+// TestFlagParity asserts every flag name registered by two or more
+// binaries agrees on default and help text across all of them — the
+// regression guard for the flag parity shipped piecemeal in PRs 1-4.
+func TestFlagParity(t *testing.T) {
+	tools := toolFlags(t)
+	// name -> tool -> flag
+	byName := map[string]map[string]*flag.Flag{}
+	for tool, flags := range tools {
+		for name, f := range flags {
+			if byName[name] == nil {
+				byName[name] = map[string]*flag.Flag{}
+			}
+			byName[name][tool] = f
+		}
+	}
+	for name, owners := range byName {
+		if len(owners) < 2 || parityExempt[name] {
+			continue
+		}
+		var refTool string
+		var ref *flag.Flag
+		for tool, f := range owners {
+			if ref == nil {
+				refTool, ref = tool, f
+				continue
+			}
+			if f.DefValue != ref.DefValue {
+				t.Errorf("flag -%s: default %q in %s but %q in %s", name, ref.DefValue, refTool, f.DefValue, tool)
+			}
+			if f.Usage != ref.Usage {
+				t.Errorf("flag -%s: usage diverges between %s (%q) and %s (%q)", name, refTool, ref.Usage, tool, f.Usage)
+			}
+		}
+	}
+}
+
+// TestSharedFlagsComeFromRegistry asserts that every flag shared by two
+// or more tools (except the documented size-a/size-b exemption) has a
+// canonical entry in the shared spec table, and that the registered
+// default and usage match that entry — so a future flag added inline to
+// two mains without going through the registry fails loudly.
+func TestSharedFlagsComeFromRegistry(t *testing.T) {
+	tools := toolFlags(t)
+	count := map[string]int{}
+	for _, flags := range tools {
+		for name := range flags {
+			count[name]++
+		}
+	}
+	for name, n := range count {
+		if n < 2 || parityExempt[name] {
+			continue
+		}
+		spec, ok := SharedSpec(name)
+		if !ok {
+			t.Errorf("flag -%s is registered by %d tools but missing from the shared spec table", name, n)
+			continue
+		}
+		for tool, flags := range tools {
+			f, used := flags[name]
+			if !used {
+				continue
+			}
+			if f.Usage != spec.Usage {
+				t.Errorf("flag -%s in %s: usage %q != shared spec %q", name, tool, f.Usage, spec.Usage)
+			}
+		}
+	}
+}
+
+// TestCoreSharedFlagsPresent pins the minimum shared surface: the flags
+// the tools are documented to agree on must exist where expected.
+func TestCoreSharedFlagsPresent(t *testing.T) {
+	tools := toolFlags(t)
+	want := map[string][]string{
+		"seed":         {"serd", "experiments", "datagen"},
+		"metrics-addr": {"serd", "experiments", "datagen"},
+		"report":       {"serd", "experiments", "datagen"},
+		"workers":      {"serd", "experiments"},
+		"transformer":  {"serd", "experiments"},
+		"journal":      {"serd", "datagen"},
+		"no-journal":   {"serd", "datagen"},
+		"no-report":    {"serd", "datagen"},
+	}
+	for name, owners := range want {
+		if _, ok := SharedSpec(name); !ok {
+			t.Errorf("flag -%s missing from the shared spec table", name)
+		}
+		for _, tool := range owners {
+			if _, ok := tools[tool][name]; !ok {
+				t.Errorf("tool %s is missing shared flag -%s", tool, name)
+			}
+		}
+	}
+}
+
+func TestSerdValidate(t *testing.T) {
+	ok := Serd{In: "a", Out: "b", SchemaSpec: "x:text"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	missing := Serd{In: "a", Out: "b"}
+	if err := missing.Validate(); err == nil {
+		t.Fatal("missing -schema accepted")
+	}
+	resume := Serd{In: "a", Out: "b", SchemaSpec: "x:text", Resume: true}
+	if err := resume.Validate(); err == nil {
+		t.Fatal("-resume without -checkpoint-dir accepted")
+	}
+}
+
+func TestDatagenValidate(t *testing.T) {
+	if err := (&Datagen{Out: "x"}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (&Datagen{}).Validate(); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}
+
+func TestExperimentsValidate(t *testing.T) {
+	if err := (&Experiments{BenchThreshold: 0.3}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (&Experiments{BenchThreshold: -1}).Validate(); err == nil {
+		t.Fatal("negative -bench-threshold accepted")
+	}
+}
+
+// TestSerdJournaledConfig pins the journaled run-config shape: resume
+// compatibility depends on these exact keys and renderings.
+func TestSerdJournaledConfig(t *testing.T) {
+	c := &Serd{In: "in", Out: "out", SchemaSpec: "x:text", SizeA: 5, EpsilonBudget: 2.5}
+	cfg := c.JournaledConfig()
+	want := map[string]string{
+		"in": "in", "out": "out", "schema": "x:text",
+		"size_a": "5", "size_b": "0",
+		"no_reject": "false", "transformer": "false",
+		"epsilon_budget": "2.5", "budget_mode": "abort",
+	}
+	if len(cfg) != len(want) {
+		t.Fatalf("config = %v, want %v", cfg, want)
+	}
+	for k, v := range want {
+		if cfg[k] != v {
+			t.Errorf("config[%q] = %q, want %q", k, cfg[k], v)
+		}
+	}
+	c.BudgetWarn = true
+	if got := c.JournaledConfig()["budget_mode"]; got != "warn" {
+		t.Errorf("budget_mode = %q with -budget-warn, want warn", got)
+	}
+	// Execution parameters must never leak into the journaled config.
+	c.Workers = 8
+	c.CheckpointDir = "/tmp/ckpt"
+	for k := range c.JournaledConfig() {
+		if k == "workers" || k == "checkpoint_dir" {
+			t.Errorf("execution parameter %q leaked into the journaled config", k)
+		}
+	}
+}

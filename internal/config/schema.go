@@ -1,0 +1,73 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"serd/internal/dataset"
+	"serd/internal/simfn"
+)
+
+// ParseSchema turns a -schema column spec into a dataset schema.
+//
+// Syntax: comma-separated column specs, each
+//
+//	<name>:text | <name>:cat | <name>:num:<min>:<max> | <name>:date:<min>:<max>
+//
+// Text and categorical columns use 3-gram Jaccard (case-folded);
+// numeric/date use min-max scaled absolute difference. The spec is
+// untrusted input (it arrives on the command line and in journaled run
+// configs), so every malformed shape returns a wrapped error — never a
+// panic.
+func ParseSchema(spec string) (*dataset.Schema, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("empty schema spec")
+	}
+	var cols []dataset.Column
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("column spec %q: want <name>:<kind>[:min:max]", part)
+		}
+		name := fields[0]
+		if name == "" {
+			return nil, fmt.Errorf("column spec %q: empty column name", part)
+		}
+		switch fields[1] {
+		case "text":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("column spec %q: text takes no arguments", part)
+			}
+			cols = append(cols, dataset.Column{Name: name, Kind: dataset.Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}})
+		case "cat":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("column spec %q: cat takes no arguments", part)
+			}
+			cols = append(cols, dataset.Column{Name: name, Kind: dataset.Categorical, Sim: simfn.QGramJaccard{Q: 3, Fold: true}})
+		case "num", "date":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("column spec %q: numeric/date need :min:max", part)
+			}
+			lo, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("column spec %q: bad min: %w", part, err)
+			}
+			hi, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("column spec %q: bad max: %w", part, err)
+			}
+			if !(lo < hi) { // also rejects NaN bounds
+				return nil, fmt.Errorf("column spec %q: min %g must be < max %g", part, lo, hi)
+			}
+			if fields[1] == "num" {
+				cols = append(cols, dataset.Column{Name: name, Kind: dataset.Numeric, Sim: simfn.Numeric{Min: lo, Max: hi}})
+			} else {
+				cols = append(cols, dataset.Column{Name: name, Kind: dataset.Date, Sim: simfn.Date{Min: lo, Max: hi}})
+			}
+		default:
+			return nil, fmt.Errorf("column spec %q: unknown kind %q", part, fields[1])
+		}
+	}
+	return dataset.NewSchema(cols)
+}

@@ -1,0 +1,91 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"serd/internal/dataset"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := ParseSchema("title:text,venue:cat,year:num:1995:2005,when:date:100:200")
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	wantKinds := []dataset.Kind{dataset.Textual, dataset.Categorical, dataset.Numeric, dataset.Date}
+	for i, k := range wantKinds {
+		if s.Cols[i].Kind != k {
+			t.Errorf("col %d kind = %v, want %v", i, s.Cols[i].Kind, k)
+		}
+	}
+	if s.Cols[0].Name != "title" || s.Cols[3].Name != "when" {
+		t.Errorf("names = %q, %q", s.Cols[0].Name, s.Cols[3].Name)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "empty schema spec"},
+		{"   ", "empty schema spec"},
+		{"title", "want <name>:<kind>"},
+		{":text", "empty column name"},
+		{"x:blob", `unknown kind "blob"`},
+		{"x:num", "numeric/date need :min:max"},
+		{"x:num:1", "numeric/date need :min:max"},
+		{"x:num:lo:2", "bad min"},
+		{"x:num:1:hi", "bad max"},
+		{"x:num:5:5", "must be < max"},
+		{"x:num:9:2", "must be < max"},
+		{"x:num:NaN:2", "must be < max"},
+		{"x:text:extra", "text takes no arguments"},
+		{"x:cat:extra", "cat takes no arguments"},
+		{"a:text,a:text", ""}, // duplicate names rejected by NewSchema
+	}
+	for _, tc := range cases {
+		_, err := ParseSchema(tc.spec)
+		if err == nil {
+			t.Errorf("ParseSchema(%q) accepted", tc.spec)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSchema(%q) = %v, want substring %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// FuzzParseSchema asserts the parser never panics on arbitrary input and
+// that accepted specs produce a well-formed schema.
+func FuzzParseSchema(f *testing.F) {
+	for _, seed := range []string{
+		"title:text,venue:cat,year:num:1995:2005",
+		"a:date:0:1",
+		"x:num:1e308:-1e308",
+		"::::,,::",
+		"x:num:+Inf:-Inf",
+		"\x00:text",
+		"a:text,a:text",
+		strings.Repeat("a:text,", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchema(spec)
+		if err != nil {
+			return
+		}
+		if s == nil || s.Len() == 0 {
+			t.Fatalf("ParseSchema(%q): nil error but schema %+v", spec, s)
+		}
+		for _, c := range s.Cols {
+			if c.Name == "" || c.Sim == nil {
+				t.Fatalf("ParseSchema(%q): malformed column %+v", spec, c)
+			}
+		}
+	})
+}

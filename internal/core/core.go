@@ -1,20 +1,19 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
-	"time"
 
 	"serd/internal/blocking"
 	"serd/internal/checkpoint"
 	"serd/internal/dataset"
-	"serd/internal/detrand"
 	"serd/internal/gan"
 	"serd/internal/gmm"
 	"serd/internal/journal"
 	"serd/internal/parallel"
+	"serd/internal/pipeline"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
@@ -186,307 +185,6 @@ type Result struct {
 	RejectedByDistribution  int
 }
 
-// Synthesize runs the full SERD pipeline (Figure 3) on the real dataset.
-func Synthesize(real *dataset.ER, opts Options) (*Result, error) {
-	if real == nil {
-		return nil, errors.New("core: nil dataset")
-	}
-	opts = opts.withDefaults(real)
-	if opts.SizeA < 1 || opts.SizeB < 1 {
-		return nil, fmt.Errorf("core: synthesized sizes %d/%d must be positive", opts.SizeA, opts.SizeB)
-	}
-	src := detrand.New(opts.Seed)
-	r := rand.New(src)
-	rec := opts.Metrics
-	pool := parallel.New(opts.Workers, rec)
-	cp := opts.Checkpoint
-	var resS1 *checkpoint.S1State
-	var resS2 *checkpoint.S2State
-	if opts.Resume != nil {
-		// The later checkpoint wins: an S2 state subsumes the S1 one.
-		resS2 = opts.Resume.S2
-		if resS2 == nil {
-			resS1 = opts.Resume.S1
-		}
-	}
-	if resS1 == nil && resS2 == nil {
-		// Workers is deliberately absent from the journaled config: the
-		// journal records what was computed, and the worker count never
-		// changes that. On resume the journal prefix already holds the
-		// config (and the S1 events), so nothing is re-emitted.
-		opts.Journal.Config("core.options", map[string]string{
-			"size_a":         fmt.Sprint(opts.SizeA),
-			"size_b":         fmt.Sprint(opts.SizeB),
-			"match_fraction": fmt.Sprintf("%.6g", opts.MatchFraction),
-			"alpha":          fmt.Sprintf("%g", opts.Alpha),
-			"beta":           fmt.Sprintf("%g", opts.Beta),
-			"rejection":      fmt.Sprint(!opts.DisableRejection),
-			"seed":           fmt.Sprint(opts.Seed),
-		})
-	}
-
-	// S1: learn O_real (or restore it from a checkpoint).
-	var oReal *gmm.Joint
-	var err error
-	switch {
-	case resS2 != nil:
-		oReal, err = gmm.JointFromState(resS2.Joint)
-		if err != nil {
-			return nil, fmt.Errorf("core: resume: %w", err)
-		}
-	case resS1 != nil:
-		oReal, err = gmm.JointFromState(resS1.Joint)
-		if err != nil {
-			return nil, fmt.Errorf("core: resume: %w", err)
-		}
-		if err := src.SkipTo(resS1.Draws); err != nil {
-			return nil, fmt.Errorf("core: resume: %w", err)
-		}
-	default:
-		s1 := rec.StartSpan("core.s1")
-		oReal = opts.Learned
-		if oReal == nil {
-			learn := opts.Learn
-			if learn.Rand == nil {
-				learn.Rand = rand.New(rand.NewSource(opts.Seed + 1))
-			}
-			if learn.Metrics == nil {
-				learn.Metrics = rec
-			}
-			if learn.Journal == nil {
-				learn.Journal = opts.Journal
-			}
-			if learn.Pool == nil {
-				learn.Pool = pool
-			}
-			oReal, err = LearnDistributions(real, learn)
-			if err != nil {
-				return nil, err
-			}
-		}
-		s1.End()
-		if cp != nil {
-			if err := cp.SaveS1(&checkpoint.S1State{Joint: oReal.State(), Draws: src.Draws()}); err != nil {
-				return nil, err
-			}
-		}
-	}
-	if oReal.Dim() != real.Schema().Len() {
-		return nil, fmt.Errorf("core: O_real dim %d does not match schema arity %d", oReal.Dim(), real.Schema().Len())
-	}
-
-	vs, err := newValueSynth(real, opts.Synthesizers)
-	if err != nil {
-		return nil, err
-	}
-
-	schema := real.Schema()
-	// One prep cache serves S2's rejection scans and S3's labeling: the
-	// synthesized entities are compared against each other thousands of
-	// times, and their q-gram/token sets never change.
-	cache := dataset.NewSimCache(schema)
-	synA := dataset.NewRelation("A_syn", schema)
-	synB := dataset.NewRelation("B_syn", schema)
-	res := &Result{OReal: oReal}
-
-	dist := newDistState(oReal, opts, pool, cache)
-	sampled := make(map[dataset.Pair]bool) // S2-sampled labels
-	// matched tracks entities that already have a sampled match partner.
-	// Real benchmark matches are essentially one-to-one; synthesizing a
-	// second match against an already-matched entity creates transitive
-	// match clusters that inflate |M_syn| well beyond |M_real|, so matching
-	// vectors prefer unmatched source entities.
-	matched := map[*dataset.Relation]map[int]bool{synA: {}, synB: {}}
-	rejections := 0
-
-	if resS2 != nil {
-		// Mid-S2 resume: restore the entity pools, labels, rejection state
-		// and counters, then fast-forward the RNG stream to where the
-		// checkpoint was taken.
-		rejections, err = restoreS2(resS2, synA, synB, sampled, matched, res, dist)
-		if err != nil {
-			return nil, fmt.Errorf("core: resume: %w", err)
-		}
-		if err := src.SkipTo(resS2.Draws); err != nil {
-			return nil, fmt.Errorf("core: resume: %w", err)
-		}
-	} else {
-		// S2 bootstrap: one fake A-entity.
-		first, err := bootstrap(vs, real, opts, r)
-		if err != nil {
-			return nil, err
-		}
-		if err := synA.Append(first); err != nil {
-			return nil, err
-		}
-	}
-
-	s2 := rec.StartSpan("core.s2")
-	s2Start := time.Now()
-	totalTarget := opts.SizeA + opts.SizeB
-	rec.Set("core.s2.total", float64(totalTarget))
-	// saveS2 checkpoints the full mid-S2 position; it reads the live state
-	// but never the RNG stream, so saving does not perturb the run.
-	saveS2 := func() error {
-		if cp == nil {
-			return nil
-		}
-		return cp.SaveS2(captureS2(oReal, synA, synB, sampled, matched, res, rejections, dist, src.Draws()))
-	}
-	every := 0
-	if cp != nil {
-		every = cp.Every()
-	}
-	lastSaved := synA.Len() + synB.Len()
-	// heartbeat keeps the run observably alive through rejection streaks:
-	// every HeartbeatEvery-th rejected attempt ticks a counter and re-fires
-	// the legacy Progress callback with the unchanged done count.
-	heartbeat := func(done int) {
-		rejections++
-		if opts.HeartbeatEvery > 0 && rejections%opts.HeartbeatEvery == 0 {
-			rec.Add("core.s2.heartbeat", 1)
-			if opts.Progress != nil {
-				opts.Progress(done, totalTarget)
-			}
-		}
-	}
-
-	// S2 loop: one new entity per iteration.
-	for synA.Len() < opts.SizeA || synB.Len() < opts.SizeB {
-		done := synA.Len() + synB.Len()
-		if cp.Interrupted() {
-			if err := saveS2(); err != nil {
-				return nil, err
-			}
-			return nil, fmt.Errorf("core: s2 interrupted at %d/%d entities: %w", done, totalTarget, checkpoint.ErrInterrupted)
-		}
-		if every > 0 && done%every == 0 && done != lastSaved {
-			if err := saveS2(); err != nil {
-				return nil, err
-			}
-			lastSaved = done
-		}
-		// Decide the pair label first (the draw is independent of the
-		// entity choice), so S2-1 can respect one-to-one matching.
-		matching := r.Float64() < opts.MatchFraction
-
-		// S2-1: sample a synthesized entity (respecting §III remark 1).
-		var src *dataset.Relation
-		switch {
-		case synB.Len() >= opts.SizeB:
-			src = synB // B full: e from B, e' goes to A
-		case synA.Len() >= opts.SizeA:
-			src = synA // A full: e from A, e' goes to B
-		default:
-			if r.Intn(synA.Len()+synB.Len()) < synA.Len() {
-				src = synA
-			} else {
-				src = synB
-			}
-		}
-		eIdx := sampleEntity(src, matching, matched[src], r)
-		e := src.Entities[eIdx]
-		dstIsA := src == synB
-		dst := synB
-		if dstIsA {
-			dst = synA
-		}
-
-		for attempt := 0; ; attempt++ {
-			rec.Add("core.s2.attempts", 1)
-			// S2-2: sample a similarity vector from O_real.
-			var x []float64
-			if matching {
-				x = oReal.M.SampleClamped(r)
-			} else {
-				x = oReal.N.SampleClamped(r)
-			}
-			// S2-3: synthesize e' from e and x.
-			id := fmt.Sprintf("sb%d", dst.Len()+1)
-			if dstIsA {
-				id = fmt.Sprintf("sa%d", dst.Len()+1)
-			}
-			cand := vs.synthesizeEntity(id, e, x, dstIsA, r)
-
-			// §V entity rejection, unless disabled (SERD-) or out of
-			// attempts.
-			if !opts.DisableRejection && attempt < opts.MaxRejections {
-				if opts.GAN != nil && opts.GAN.Discriminate(cand.Values) < opts.Beta {
-					res.RejectedByDiscriminator++
-					rec.Add("core.s2.rejected.discriminator", 1)
-					heartbeat(synA.Len() + synB.Len())
-					continue
-				}
-				delta := dist.deltaVectors(cand, src, r)
-				if dist.reject(delta, r) {
-					res.RejectedByDistribution++
-					rec.Add("core.s2.rejected.distribution", 1)
-					heartbeat(synA.Len() + synB.Len())
-					continue
-				}
-				dist.commit(delta)
-			} else {
-				// Still fold the accepted entity's pairs into O_syn so the
-				// estimate tracks reality (SERD- skips the check, not the
-				// bookkeeping).
-				dist.commit(dist.deltaVectors(cand, src, r))
-			}
-
-			// S2-4: add e' and the sampled label.
-			if err := dst.Append(cand); err != nil {
-				return nil, err
-			}
-			var p dataset.Pair
-			if dstIsA {
-				p = dataset.Pair{A: dst.Len() - 1, B: eIdx}
-			} else {
-				p = dataset.Pair{A: eIdx, B: dst.Len() - 1}
-			}
-			sampled[p] = matching
-			if matching {
-				res.SampledMatches++
-				res.SampledMatchPairs = append(res.SampledMatchPairs, p)
-				matched[src][eIdx] = true
-				matched[dst][dst.Len()-1] = true
-				rec.Add("core.s2.sampled_matches", 1)
-			}
-			rec.Add("core.s2.accepted", 1)
-			rec.Observe("core.s2.attempts_per_entity", float64(attempt+1))
-			rec.Set("core.s2.done", float64(synA.Len()+synB.Len()))
-			if opts.Progress != nil {
-				opts.Progress(synA.Len()+synB.Len(), totalTarget)
-			}
-			break
-		}
-	}
-	s2.End()
-	if elapsed := time.Since(s2Start).Seconds(); elapsed > 0 {
-		rec.Set("core.s2.entities_per_sec", float64(totalTarget)/elapsed)
-	}
-
-	// S3: label all remaining pairs by posterior (§IV-C).
-	s3 := rec.StartSpan("core.s3")
-	matches := labelAllPairs(oReal, synA, synB, sampled, opts.S3Blocker, cache, pool)
-	s3.End()
-	rec.Set("core.s3.matches", float64(len(matches)))
-	syn, err := dataset.NewER(synA, synB, matches)
-	if err != nil {
-		return nil, err
-	}
-	res.Syn = syn
-	res.JSD = dist.finalJSD(r)
-	rec.Set("core.s2.jsd_final", res.JSD)
-	opts.Journal.Synthesis(journal.SynthesisData{
-		Entities:                synA.Len() + synB.Len(),
-		Matches:                 len(matches),
-		SampledMatches:          res.SampledMatches,
-		RejectedByDistribution:  res.RejectedByDistribution,
-		RejectedByDiscriminator: res.RejectedByDiscriminator,
-		JSD:                     res.JSD,
-	})
-	return res, nil
-}
-
 // sampleEntity picks the S2-1 source entity: uniform for non-matching
 // vectors; for matching vectors, uniform over entities without a sampled
 // match partner (falling back to uniform when every entity is matched).
@@ -530,7 +228,18 @@ func bootstrap(vs *valueSynth, real *dataset.ER, opts Options, r *rand.Rand) (*d
 // non-matching. Scoring fans out over the pool — pairs are pure reads of
 // the relations, the sampled map and O_real — with per-slot results merged
 // deterministically (and sorted regardless).
-func labelAllPairs(oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset.Pair]bool, blocker blocking.Blocker, cache *dataset.SimCache, pool *parallel.Pool) []dataset.Pair {
+//
+// Cancellation is checked per row (per candidate with a blocker): workers
+// skip remaining slots once the run is stopped, the partial labeling is
+// discarded, and the stop cause is returned. An untriggered context adds
+// one flag read per slot and changes nothing else.
+func labelAllPairs(ctx context.Context, cp *checkpoint.Checkpointer, oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset.Pair]bool, blocker blocking.Blocker, cache *dataset.SimCache, pool *parallel.Pool) ([]dataset.Pair, error) {
+	if err := pipeline.Stopped(ctx, cp); err != nil {
+		return nil, err
+	}
+	stopped := func() bool {
+		return (ctx != nil && ctx.Err() != nil) || cp.Interrupted()
+	}
 	var matches []dataset.Pair
 	for p, m := range sampled {
 		if m {
@@ -546,17 +255,28 @@ func labelAllPairs(oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset
 	if blocker != nil {
 		cands := blocker.Candidates(a, b)
 		hit := make([]bool, len(cands))
-		pool.Run("core.s3.label", len(cands), func(i int) { hit[i] = score(cands[i]) })
+		pool.Run("core.s3.label", len(cands), func(i int) {
+			if stopped() {
+				return
+			}
+			hit[i] = score(cands[i])
+		})
+		if err := pipeline.Stopped(ctx, cp); err != nil {
+			return nil, err
+		}
 		for i, p := range cands {
 			if hit[i] {
 				matches = append(matches, p)
 			}
 		}
 		sortPairs(matches)
-		return matches
+		return matches, nil
 	}
 	rows := make([][]dataset.Pair, a.Len())
 	pool.Run("core.s3.label", a.Len(), func(i int) {
+		if stopped() {
+			return
+		}
 		var local []dataset.Pair
 		for j := 0; j < b.Len(); j++ {
 			if p := (dataset.Pair{A: i, B: j}); score(p) {
@@ -565,11 +285,14 @@ func labelAllPairs(oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset
 		}
 		rows[i] = local
 	})
+	if err := pipeline.Stopped(ctx, cp); err != nil {
+		return nil, err
+	}
 	for _, row := range rows {
 		matches = append(matches, row...)
 	}
 	sortPairs(matches)
-	return matches
+	return matches, nil
 }
 
 // sortPairs orders matches deterministically (sampled labels come from a

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func ruleSynths(t *testing.T, gen *datagen.Generated) map[string]textsynth.Synth
 
 func TestLearnDistributionsSeparatesMAndN(t *testing.T) {
 	gen, _ := fixture(t, 80, 80, 40)
-	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(2))})
+	j, err := LearnDistributions(context.Background(), gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(2))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,21 +71,21 @@ func TestLearnDistributionsSeparatesMAndN(t *testing.T) {
 
 func TestLearnDistributionsValidation(t *testing.T) {
 	gen, _ := fixture(t, 20, 20, 5)
-	if _, err := LearnDistributions(nil, LearnOptions{}); err == nil {
+	if _, err := LearnDistributions(context.Background(), nil, LearnOptions{}); err == nil {
 		t.Error("nil dataset accepted")
 	}
 	noMatch, err := dataset.NewER(gen.ER.A, gen.ER.B, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LearnDistributions(noMatch, LearnOptions{}); err == nil {
+	if _, err := LearnDistributions(context.Background(), noMatch, LearnOptions{}); err == nil {
 		t.Error("dataset without matches accepted")
 	}
 }
 
 func TestSynthesizeProducesRequestedSizes(t *testing.T) {
 	gen, synths := fixture(t, 40, 40, 20)
-	res, err := Synthesize(gen.ER, Options{
+	res, err := Synthesize(context.Background(), gen.ER, Options{
 		SizeA:        30,
 		SizeB:        35,
 		Synthesizers: synths,
@@ -104,7 +105,7 @@ func TestSynthesizeProducesRequestedSizes(t *testing.T) {
 
 func TestSynthesizeDefaultsToRealSizes(t *testing.T) {
 	gen, synths := fixture(t, 30, 25, 12)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 5})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSynthesizeDefaultsToRealSizes(t *testing.T) {
 
 func TestSynthesizeMatchCountNearReal(t *testing.T) {
 	gen, synths := fixture(t, 60, 60, 30)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 6})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSynthesizeMatchCountNearReal(t *testing.T) {
 
 func TestSynthesizedEntitiesAreNotCopies(t *testing.T) {
 	gen, synths := fixture(t, 40, 40, 20)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 7})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestSynthesizePreservesDistributionShape(t *testing.T) {
 	// clearly more similar than non-matching pairs, with means close to the
 	// real ones.
 	gen, synths := fixture(t, 60, 60, 30)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 8})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,15 +201,15 @@ func TestSynthesizePreservesDistributionShape(t *testing.T) {
 
 func TestSynthesizeValidation(t *testing.T) {
 	gen, synths := fixture(t, 20, 20, 8)
-	if _, err := Synthesize(nil, Options{Synthesizers: synths}); err == nil {
+	if _, err := Synthesize(context.Background(), nil, Options{Synthesizers: synths}); err == nil {
 		t.Error("nil dataset accepted")
 	}
 	// Missing synthesizer for a textual column.
-	if _, err := Synthesize(gen.ER, Options{Seed: 1}); err == nil {
+	if _, err := Synthesize(context.Background(), gen.ER, Options{Seed: 1}); err == nil {
 		t.Error("missing synthesizers accepted")
 	}
 	bad := map[string]textsynth.Synthesizer{"title": synths["title"]}
-	if _, err := Synthesize(gen.ER, Options{Synthesizers: bad, Seed: 1}); err == nil {
+	if _, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: bad, Seed: 1}); err == nil {
 		t.Error("partially missing synthesizers accepted")
 	}
 }
@@ -218,7 +219,7 @@ func TestSynthesizeWithManualColdStart(t *testing.T) {
 	cold := &dataset.Entity{ID: "manual", Values: []string{
 		"A Manually Prepared Fake Paper Title", "Jane Doe", "VLDB", "2001",
 	}}
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, ColdStart: cold, Seed: 10})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, ColdStart: cold, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,14 +230,14 @@ func TestSynthesizeWithManualColdStart(t *testing.T) {
 		t.Errorf("cold-start ID = %q, want sa1", res.Syn.A.Entities[0].ID)
 	}
 	// Manual cold start with wrong arity must error.
-	if _, err := Synthesize(gen.ER, Options{Synthesizers: synths, ColdStart: &dataset.Entity{Values: []string{"x"}}, Seed: 10}); err == nil {
+	if _, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, ColdStart: &dataset.Entity{Values: []string{"x"}}, Seed: 10}); err == nil {
 		t.Error("wrong-arity cold start accepted")
 	}
 }
 
 func TestSERDMinusSkipsRejection(t *testing.T) {
 	gen, synths := fixture(t, 40, 40, 20)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, DisableRejection: true, Seed: 11})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, DisableRejection: true, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +252,11 @@ func TestSERDMinusSkipsRejection(t *testing.T) {
 
 func TestSynthesizeDeterministicForSeed(t *testing.T) {
 	gen, synths := fixture(t, 25, 25, 10)
-	a, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 12})
+	a, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 12})
+	b, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,11 +271,11 @@ func TestSynthesizeDeterministicForSeed(t *testing.T) {
 
 func TestSynthesizeWithPrecomputedJoint(t *testing.T) {
 	gen, synths := fixture(t, 30, 30, 12)
-	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(13))})
+	j, err := LearnDistributions(context.Background(), gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(13))})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Learned: j, Seed: 14})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Learned: j, Seed: 14})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +288,11 @@ func TestRejectionReducesJSDVersusSERDMinus(t *testing.T) {
 	// The §V motivation: with rejection on, the final JSD(O_syn, O_real)
 	// should not exceed the SERD- value by much — usually it is lower.
 	gen, synths := fixture(t, 50, 50, 25)
-	with, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 15})
+	with, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Synthesize(gen.ER, Options{Synthesizers: synths, DisableRejection: true, Seed: 15})
+	without, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, DisableRejection: true, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,13 +303,16 @@ func TestRejectionReducesJSDVersusSERDMinus(t *testing.T) {
 
 func TestLabelAllPairsUsesPosterior(t *testing.T) {
 	gen, _ := fixture(t, 30, 30, 12)
-	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(16))})
+	j, err := LearnDistributions(context.Background(), gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(16))})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Label the REAL dataset's pairs with S3: the recovered matches should
 	// largely agree with ground truth (M and N are well separated).
-	matches := labelAllPairs(j, gen.ER.A, gen.ER.B, nil, nil, dataset.NewSimCache(gen.ER.Schema()), nil)
+	matches, err := labelAllPairs(context.Background(), nil, j, gen.ER.A, gen.ER.B, nil, nil, dataset.NewSimCache(gen.ER.Schema()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	truth := gen.ER.MatchSet()
 	tp := 0
 	for _, p := range matches {
@@ -326,7 +330,7 @@ func TestLabelAllPairsUsesPosterior(t *testing.T) {
 
 func TestJointIsUsableDownstream(t *testing.T) {
 	gen, synths := fixture(t, 30, 30, 12)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 17})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,12 +347,12 @@ func TestJointIsUsableDownstream(t *testing.T) {
 
 func TestS3BlockingMatchesFullLabeling(t *testing.T) {
 	gen, synths := fixture(t, 50, 50, 25)
-	full, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 21})
+	full, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
 	titleIdx := gen.ER.Schema().ColumnIndex("title")
-	blocked, err := Synthesize(gen.ER, Options{
+	blocked, err := Synthesize(context.Background(), gen.ER, Options{
 		Synthesizers: synths,
 		S3Blocker:    blocking.QGram{Column: titleIdx},
 		Seed:         21,
@@ -376,7 +380,7 @@ func TestS3BlockingMatchesFullLabeling(t *testing.T) {
 
 func TestMatchesAreSortedDeterministically(t *testing.T) {
 	gen, synths := fixture(t, 30, 30, 12)
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Seed: 22})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Seed: 22})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -392,7 +396,7 @@ func TestProgressCallback(t *testing.T) {
 	gen, synths := fixture(t, 15, 15, 6)
 	var calls int
 	var lastDone, lastTotal int
-	_, err := Synthesize(gen.ER, Options{
+	_, err := Synthesize(context.Background(), gen.ER, Options{
 		Synthesizers: synths,
 		Seed:         30,
 		Progress: func(done, total int) {
@@ -415,7 +419,7 @@ func TestProgressCallback(t *testing.T) {
 func TestSynthesizeRecordsTelemetry(t *testing.T) {
 	gen, synths := fixture(t, 40, 40, 16)
 	reg := telemetry.NewRegistry()
-	res, err := Synthesize(gen.ER, Options{Synthesizers: synths, Metrics: reg, Seed: 21})
+	res, err := Synthesize(context.Background(), gen.ER, Options{Synthesizers: synths, Metrics: reg, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +454,7 @@ func TestHeartbeatFiresOnRejectionStreaks(t *testing.T) {
 	reg := telemetry.NewRegistry()
 	var calls, repeats int
 	lastDone := -1
-	res, err := Synthesize(gen.ER, Options{
+	res, err := Synthesize(context.Background(), gen.ER, Options{
 		Synthesizers:   synths,
 		Alpha:          1e-9,
 		MatchFraction:  0.5,
@@ -487,7 +491,7 @@ func TestHeartbeatFiresOnRejectionStreaks(t *testing.T) {
 func TestHeartbeatDisabled(t *testing.T) {
 	gen, synths := fixture(t, 30, 30, 12)
 	reg := telemetry.NewRegistry()
-	_, err := Synthesize(gen.ER, Options{
+	_, err := Synthesize(context.Background(), gen.ER, Options{
 		Synthesizers:   synths,
 		Alpha:          1e-9,
 		MatchFraction:  0.5,

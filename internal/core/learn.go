@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -79,7 +80,9 @@ func (o LearnOptions) withDefaults(matches int) LearnOptions {
 // LearnDistributions performs S1: computes X+ and X− of the real dataset
 // and fits the M- and N-distributions with EM, selecting the component
 // count by AIC (§IV-A). π is |X+| / (|X+| + |X−|) over the full pair space.
-func LearnDistributions(real *dataset.ER, opts LearnOptions) (*gmm.Joint, error) {
+// Cancellation propagates into the EM fits (checked per iteration); no
+// partial S1 state survives a canceled learn.
+func LearnDistributions(ctx context.Context, real *dataset.ER, opts LearnOptions) (*gmm.Joint, error) {
 	if real == nil {
 		return nil, fmt.Errorf("core: nil dataset")
 	}
@@ -106,14 +109,14 @@ func LearnDistributions(real *dataset.ER, opts LearnOptions) (*gmm.Joint, error)
 		}
 	}
 	fit := gmm.FitOptions{Rand: opts.Rand, Metrics: opts.Metrics, Pool: opts.Pool}
-	mModel, err := gmm.FitAIC(xp, opts.MaxComponents, fit)
+	mModel, err := gmm.FitAIC(ctx, xp, opts.MaxComponents, fit)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)
 	}
 	if opts.Journal != nil {
 		opts.Journal.GMMFit(fitSummary("s1.match", mModel, xp))
 	}
-	nModel, err := gmm.FitAIC(xn, opts.MaxComponents, fit)
+	nModel, err := gmm.FitAIC(ctx, xn, opts.MaxComponents, fit)
 	if err != nil {
 		return nil, fmt.Errorf("core: fitting N-distribution: %w", err)
 	}

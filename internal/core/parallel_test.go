@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,7 @@ func TestPartialPermDeterministicAndUniform(t *testing.T) {
 // count, including the nil pool.
 func TestDeltaVectorsWorkerInvariant(t *testing.T) {
 	gen, _ := fixture(t, 30, 30, 12)
-	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(6))})
+	j, err := LearnDistributions(context.Background(), gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(6))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func benchDistState(b *testing.B, pool *parallel.Pool) (*distState, *dataset.ER,
 	if err != nil {
 		b.Fatal(err)
 	}
-	j, err := LearnDistributions(gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(6))})
+	j, err := LearnDistributions(context.Background(), gen.ER, LearnOptions{Rand: rand.New(rand.NewSource(6))})
 	if err != nil {
 		b.Fatal(err)
 	}

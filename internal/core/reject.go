@@ -176,8 +176,14 @@ func (d *distState) commit(dl delta) {
 		return
 	}
 	fit := gmm.FitOptions{Rand: rand.New(rand.NewSource(d.opts.Seed + 2)), Metrics: d.opts.Metrics, Pool: d.pool}
-	mModel, errM := gmm.FitAIC(d.pendingPos, 2, fit)
-	nModel, errN := gmm.FitAIC(d.pendingNeg, 2, fit)
+	// These fits deliberately run without the pipeline context: whether a
+	// tentative O_syn fit succeeded — and the retry gate it updates — is
+	// checkpointed state, so cutting a fit short on cancellation would make
+	// the resumed run diverge from the uninterrupted one. The pools here
+	// are small (≤ 2 components), so the extra latency before the S2
+	// loop's own stop check is bounded by one entity's work.
+	mModel, errM := gmm.FitAIC(nil, d.pendingPos, 2, fit)
+	nModel, errN := gmm.FitAIC(nil, d.pendingNeg, 2, fit)
 	if errM != nil || errN != nil {
 		d.fitFailed(total, firstErr(errM, errN))
 		return

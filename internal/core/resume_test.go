@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -33,7 +34,7 @@ func sameSynthesis(t *testing.T, label string, got, want *Result) {
 // (which must never touch the RNG stream) does not change the output.
 func TestSynthesizeCheckpointingIsTransparent(t *testing.T) {
 	opts, er := resumeFixtureOptions(t)
-	want, err := Synthesize(er, opts)
+	want, err := Synthesize(context.Background(), er, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestSynthesizeCheckpointingIsTransparent(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.Checkpoint = cp
-	got, err := Synthesize(er, opts)
+	got, err := Synthesize(context.Background(), er, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSynthesizeCheckpointingIsTransparent(t *testing.T) {
 // the resumed output must be bit-identical to the uninterrupted run.
 func TestSynthesizeKillAndResumeBitIdentical(t *testing.T) {
 	opts, er := resumeFixtureOptions(t)
-	want, err := Synthesize(er, opts)
+	want, err := Synthesize(context.Background(), er, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSynthesizeKillAndResumeBitIdentical(t *testing.T) {
 		}
 		kopts := opts
 		kopts.Checkpoint = cp
-		_, err = Synthesize(er, kopts)
+		_, err = Synthesize(context.Background(), er, kopts)
 		if !killed {
 			// Fewer than k checkpoints in a full run: the sweep is done.
 			if err != nil {
@@ -113,7 +114,7 @@ func TestSynthesizeKillAndResumeBitIdentical(t *testing.T) {
 		ropts := opts
 		ropts.Checkpoint = rcp
 		ropts.Resume = &checkpoint.CoreState{S1: latest.S1, S2: latest.S2}
-		got, err := Synthesize(er, ropts)
+		got, err := Synthesize(context.Background(), er, ropts)
 		if err != nil {
 			t.Fatalf("kill %d (phase %s): resume: %v", k, latest.Meta.Phase, err)
 		}
@@ -127,7 +128,7 @@ func TestSynthesizeKillAndResumeBitIdentical(t *testing.T) {
 // checkpoint.ErrInterrupted, and resuming completes bit-identically.
 func TestSynthesizeInterruptWritesFinalCheckpoint(t *testing.T) {
 	opts, er := resumeFixtureOptions(t)
-	want, err := Synthesize(er, opts)
+	want, err := Synthesize(context.Background(), er, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSynthesizeInterruptWritesFinalCheckpoint(t *testing.T) {
 	cp.Interrupt()
 	iopts := opts
 	iopts.Checkpoint = cp
-	if _, err := Synthesize(er, iopts); !errors.Is(err, checkpoint.ErrInterrupted) {
+	if _, err := Synthesize(context.Background(), er, iopts); !errors.Is(err, checkpoint.ErrInterrupted) {
 		t.Fatalf("err = %v, want ErrInterrupted", err)
 	}
 	snap, err := checkpoint.ReadDir(dir)
@@ -156,7 +157,7 @@ func TestSynthesizeInterruptWritesFinalCheckpoint(t *testing.T) {
 	ropts := opts
 	ropts.Checkpoint = rcp
 	ropts.Resume = &checkpoint.CoreState{S2: snap.S2.S2}
-	got, err := Synthesize(er, ropts)
+	got, err := Synthesize(context.Background(), er, ropts)
 	if err != nil {
 		t.Fatal(err)
 	}

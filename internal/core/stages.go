@@ -1,0 +1,468 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"serd/internal/checkpoint"
+	"serd/internal/dataset"
+	"serd/internal/detrand"
+	"serd/internal/gmm"
+	"serd/internal/journal"
+	"serd/internal/parallel"
+	"serd/internal/pipeline"
+	"serd/internal/telemetry"
+)
+
+// synthRun is the mutable state of one Synthesize call, shared by the
+// pipeline stages. Stage decomposition moves no RNG draws: every draw
+// happens in the same order, from the same stream position, as the
+// pre-engine inline pipeline.
+type synthRun struct {
+	real *dataset.ER
+	opts Options
+
+	src  *detrand.Source
+	r    *rand.Rand
+	rec  telemetry.Recorder
+	pool *parallel.Pool
+	cp   *checkpoint.Checkpointer
+
+	// resS1/resS2 carry the resume states; the later checkpoint wins.
+	resS1 *checkpoint.S1State
+	resS2 *checkpoint.S2State
+
+	oReal      *gmm.Joint
+	vs         *valueSynth
+	cache      *dataset.SimCache
+	synA, synB *dataset.Relation
+	res        *Result
+	dist       *distState
+	sampled    map[dataset.Pair]bool
+	matched    map[*dataset.Relation]map[int]bool
+	rejections int
+	matches    []dataset.Pair
+}
+
+// Synthesize runs the full SERD pipeline (Figure 3) on the real dataset.
+//
+// Cancellation: ctx is checked between stages and, inside each stage, at
+// S2-entity / S3-chunk / EM-iteration granularity. A canceled run returns
+// ctx.Err() wrapped in a *pipeline.StageError naming the interrupted
+// stage, after writing a final checkpoint at the stages that have one
+// (S2's entity pools, which also serve a mid-S3 cancel). A never-canceled
+// ctx is a true no-op: dataset bytes and stripped journal bytes are
+// identical to a context.Background() run.
+func Synthesize(ctx context.Context, real *dataset.ER, opts Options) (*Result, error) {
+	if real == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	opts = opts.withDefaults(real)
+	if opts.SizeA < 1 || opts.SizeB < 1 {
+		return nil, fmt.Errorf("core: synthesized sizes %d/%d must be positive", opts.SizeA, opts.SizeB)
+	}
+	st := &synthRun{
+		real: real,
+		opts: opts,
+		src:  detrand.New(opts.Seed),
+		rec:  opts.Metrics,
+		cp:   opts.Checkpoint,
+	}
+	st.r = rand.New(st.src)
+	st.pool = parallel.New(opts.Workers, st.rec)
+	if opts.Resume != nil {
+		// The later checkpoint wins: an S2 state subsumes the S1 one.
+		st.resS2 = opts.Resume.S2
+		if st.resS2 == nil {
+			st.resS1 = opts.Resume.S1
+		}
+	}
+	if st.resS1 == nil && st.resS2 == nil {
+		// Workers is deliberately absent from the journaled config: the
+		// journal records what was computed, and the worker count never
+		// changes that. On resume the journal prefix already holds the
+		// config (and the S1 events), so nothing is re-emitted.
+		opts.Journal.Config("core.options", map[string]string{
+			"size_a":         fmt.Sprint(opts.SizeA),
+			"size_b":         fmt.Sprint(opts.SizeB),
+			"match_fraction": fmt.Sprintf("%.6g", opts.MatchFraction),
+			"alpha":          fmt.Sprintf("%g", opts.Alpha),
+			"beta":           fmt.Sprintf("%g", opts.Beta),
+			"rejection":      fmt.Sprint(!opts.DisableRejection),
+			"seed":           fmt.Sprint(opts.Seed),
+		})
+	}
+	eng := pipeline.New(pipeline.Env{
+		Metrics:    st.rec,
+		Journal:    opts.Journal,
+		Checkpoint: st.cp,
+		Pool:       st.pool,
+	})
+	if err := eng.Run(ctx, st.stages()...); err != nil {
+		return nil, err
+	}
+	return st.res, nil
+}
+
+// stages assembles the run's stage graph. The S1 stage takes one of three
+// shapes depending on the resume state; everything downstream is uniform,
+// with the S2 stage skipped entirely when the checkpoint already carries
+// full entity pools (a mid-S3 cancel), so no duplicate s2 phase events
+// are journaled on resume.
+func (st *synthRun) stages() []pipeline.Stage {
+	s1 := pipeline.Stage{
+		Name:    "core.s1",
+		Inputs:  []string{"real"},
+		Outputs: []string{"o_real"},
+	}
+	switch {
+	case st.resS2 != nil:
+		// The joint rides in the S2 state; no span, no save — the journal
+		// prefix already holds the s1 phase events.
+		s1.Silent = true
+		s1.Run = func(context.Context, *pipeline.Env) error {
+			oReal, err := gmm.JointFromState(st.resS2.Joint)
+			if err != nil {
+				return fmt.Errorf("core: resume: %w", err)
+			}
+			st.oReal = oReal
+			return nil
+		}
+	case st.resS1 != nil:
+		s1.Silent = true
+		s1.Run = func(context.Context, *pipeline.Env) error {
+			oReal, err := gmm.JointFromState(st.resS1.Joint)
+			if err != nil {
+				return fmt.Errorf("core: resume: %w", err)
+			}
+			if err := st.src.SkipTo(st.resS1.Draws); err != nil {
+				return fmt.Errorf("core: resume: %w", err)
+			}
+			st.oReal = oReal
+			return nil
+		}
+	default:
+		s1.Run = st.runS1
+		if st.cp != nil {
+			// The save runs after the stage's span has ended, so the
+			// checkpoint's journal seam includes the s1 phase_end event.
+			s1.Save = func() error {
+				return st.cp.SaveS1(&checkpoint.S1State{Joint: st.oReal.State(), Draws: st.src.Draws()})
+			}
+		}
+	}
+	return []pipeline.Stage{
+		s1,
+		{
+			Name:    "core.setup",
+			Silent:  true,
+			Inputs:  []string{"real", "o_real"},
+			Outputs: []string{"pools"},
+			Run:     st.runSetup,
+		},
+		{
+			Name:    "core.s2",
+			Inputs:  []string{"o_real", "pools"},
+			Outputs: []string{"pools", "sampled"},
+			Skip:    st.s2Complete,
+			Run:     st.runS2,
+		},
+		{
+			Name:    "core.s3",
+			Inputs:  []string{"o_real", "pools", "sampled"},
+			Outputs: []string{"matches"},
+			Run:     st.runS3,
+		},
+		{
+			Name:    "core.finalize",
+			Silent:  true,
+			Inputs:  []string{"pools", "matches"},
+			Outputs: []string{"result"},
+			Run:     st.runFinalize,
+		},
+	}
+}
+
+// runS1 learns O_real (paper §IV-A) on a fresh run.
+func (st *synthRun) runS1(ctx context.Context, _ *pipeline.Env) error {
+	st.oReal = st.opts.Learned
+	if st.oReal != nil {
+		return nil
+	}
+	learn := st.opts.Learn
+	if learn.Rand == nil {
+		learn.Rand = rand.New(rand.NewSource(st.opts.Seed + 1))
+	}
+	if learn.Metrics == nil {
+		learn.Metrics = st.rec
+	}
+	if learn.Journal == nil {
+		learn.Journal = st.opts.Journal
+	}
+	if learn.Pool == nil {
+		learn.Pool = st.pool
+	}
+	oReal, err := LearnDistributions(ctx, st.real, learn)
+	if err != nil {
+		return err
+	}
+	st.oReal = oReal
+	return nil
+}
+
+// runSetup validates O_real against the schema and prepares the S2 state:
+// value synthesizers, the shared similarity cache, the entity pools —
+// restored from a mid-S2 checkpoint (with the RNG stream fast-forwarded)
+// or bootstrapped with the first fake A-entity.
+func (st *synthRun) runSetup(context.Context, *pipeline.Env) error {
+	if st.oReal.Dim() != st.real.Schema().Len() {
+		return fmt.Errorf("core: O_real dim %d does not match schema arity %d", st.oReal.Dim(), st.real.Schema().Len())
+	}
+	vs, err := newValueSynth(st.real, st.opts.Synthesizers)
+	if err != nil {
+		return err
+	}
+	st.vs = vs
+	schema := st.real.Schema()
+	// One prep cache serves S2's rejection scans and S3's labeling: the
+	// synthesized entities are compared against each other thousands of
+	// times, and their q-gram/token sets never change.
+	st.cache = dataset.NewSimCache(schema)
+	st.synA = dataset.NewRelation("A_syn", schema)
+	st.synB = dataset.NewRelation("B_syn", schema)
+	st.res = &Result{OReal: st.oReal}
+	st.dist = newDistState(st.oReal, st.opts, st.pool, st.cache)
+	st.sampled = make(map[dataset.Pair]bool) // S2-sampled labels
+	// matched tracks entities that already have a sampled match partner.
+	// Real benchmark matches are essentially one-to-one; synthesizing a
+	// second match against an already-matched entity creates transitive
+	// match clusters that inflate |M_syn| well beyond |M_real|, so matching
+	// vectors prefer unmatched source entities.
+	st.matched = map[*dataset.Relation]map[int]bool{st.synA: {}, st.synB: {}}
+
+	if st.resS2 != nil {
+		// Mid-S2 resume: restore the entity pools, labels, rejection state
+		// and counters, then fast-forward the RNG stream to where the
+		// checkpoint was taken.
+		st.rejections, err = restoreS2(st.resS2, st.synA, st.synB, st.sampled, st.matched, st.res, st.dist)
+		if err != nil {
+			return fmt.Errorf("core: resume: %w", err)
+		}
+		if err := st.src.SkipTo(st.resS2.Draws); err != nil {
+			return fmt.Errorf("core: resume: %w", err)
+		}
+		return nil
+	}
+	// S2 bootstrap: one fake A-entity.
+	first, err := bootstrap(st.vs, st.real, st.opts, st.r)
+	if err != nil {
+		return err
+	}
+	return st.synA.Append(first)
+}
+
+// s2Complete reports whether the restored pools already hold every
+// entity — the mid-S3-cancel resume, where re-running (even re-entering)
+// S2 would journal a duplicate phase pair.
+func (st *synthRun) s2Complete() bool {
+	return st.resS2 != nil && st.synA != nil &&
+		st.synA.Len() >= st.opts.SizeA && st.synB.Len() >= st.opts.SizeB
+}
+
+// saveS2 checkpoints the full mid-S2 position; it reads the live state
+// but never the RNG stream, so saving does not perturb the run.
+func (st *synthRun) saveS2() error {
+	if st.cp == nil {
+		return nil
+	}
+	return st.cp.SaveS2(captureS2(st.oReal, st.synA, st.synB, st.sampled, st.matched, st.res, st.rejections, st.dist, st.src.Draws()))
+}
+
+// runS2 is the S2 synthesis loop: one new entity per iteration, with the
+// cooperative-stop check (context + checkpoint interrupt) at the top of
+// every iteration, so cancellation returns within one entity's work and
+// always behind a final checkpoint.
+func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
+	opts := st.opts
+	rec := st.rec
+	r := st.r
+	synA, synB := st.synA, st.synB
+	res := st.res
+	oReal := st.oReal
+	dist := st.dist
+
+	s2Start := time.Now()
+	totalTarget := opts.SizeA + opts.SizeB
+	rec.Set("core.s2.total", float64(totalTarget))
+	every := 0
+	if st.cp != nil {
+		every = st.cp.Every()
+	}
+	lastSaved := synA.Len() + synB.Len()
+	// heartbeat keeps the run observably alive through rejection streaks:
+	// every HeartbeatEvery-th rejected attempt ticks a counter and re-fires
+	// the legacy Progress callback with the unchanged done count.
+	heartbeat := func(done int) {
+		st.rejections++
+		if opts.HeartbeatEvery > 0 && st.rejections%opts.HeartbeatEvery == 0 {
+			rec.Add("core.s2.heartbeat", 1)
+			if opts.Progress != nil {
+				opts.Progress(done, totalTarget)
+			}
+		}
+	}
+
+	// S2 loop: one new entity per iteration.
+	for synA.Len() < opts.SizeA || synB.Len() < opts.SizeB {
+		done := synA.Len() + synB.Len()
+		if stopErr := pipeline.Stopped(ctx, st.cp); stopErr != nil {
+			if err := st.saveS2(); err != nil {
+				return err
+			}
+			return fmt.Errorf("core: s2 interrupted at %d/%d entities: %w", done, totalTarget, stopErr)
+		}
+		if every > 0 && done%every == 0 && done != lastSaved {
+			if err := st.saveS2(); err != nil {
+				return err
+			}
+			lastSaved = done
+		}
+		// Decide the pair label first (the draw is independent of the
+		// entity choice), so S2-1 can respect one-to-one matching.
+		matching := r.Float64() < opts.MatchFraction
+
+		// S2-1: sample a synthesized entity (respecting §III remark 1).
+		var src *dataset.Relation
+		switch {
+		case synB.Len() >= opts.SizeB:
+			src = synB // B full: e from B, e' goes to A
+		case synA.Len() >= opts.SizeA:
+			src = synA // A full: e from A, e' goes to B
+		default:
+			if r.Intn(synA.Len()+synB.Len()) < synA.Len() {
+				src = synA
+			} else {
+				src = synB
+			}
+		}
+		eIdx := sampleEntity(src, matching, st.matched[src], r)
+		e := src.Entities[eIdx]
+		dstIsA := src == synB
+		dst := synB
+		if dstIsA {
+			dst = synA
+		}
+
+		for attempt := 0; ; attempt++ {
+			rec.Add("core.s2.attempts", 1)
+			// S2-2: sample a similarity vector from O_real.
+			var x []float64
+			if matching {
+				x = oReal.M.SampleClamped(r)
+			} else {
+				x = oReal.N.SampleClamped(r)
+			}
+			// S2-3: synthesize e' from e and x.
+			id := fmt.Sprintf("sb%d", dst.Len()+1)
+			if dstIsA {
+				id = fmt.Sprintf("sa%d", dst.Len()+1)
+			}
+			cand := st.vs.synthesizeEntity(id, e, x, dstIsA, r)
+
+			// §V entity rejection, unless disabled (SERD-) or out of
+			// attempts.
+			if !opts.DisableRejection && attempt < opts.MaxRejections {
+				if opts.GAN != nil && opts.GAN.Discriminate(cand.Values) < opts.Beta {
+					res.RejectedByDiscriminator++
+					rec.Add("core.s2.rejected.discriminator", 1)
+					heartbeat(synA.Len() + synB.Len())
+					continue
+				}
+				delta := dist.deltaVectors(cand, src, r)
+				if dist.reject(delta, r) {
+					res.RejectedByDistribution++
+					rec.Add("core.s2.rejected.distribution", 1)
+					heartbeat(synA.Len() + synB.Len())
+					continue
+				}
+				dist.commit(delta)
+			} else {
+				// Still fold the accepted entity's pairs into O_syn so the
+				// estimate tracks reality (SERD- skips the check, not the
+				// bookkeeping).
+				dist.commit(dist.deltaVectors(cand, src, r))
+			}
+
+			// S2-4: add e' and the sampled label.
+			if err := dst.Append(cand); err != nil {
+				return err
+			}
+			var p dataset.Pair
+			if dstIsA {
+				p = dataset.Pair{A: dst.Len() - 1, B: eIdx}
+			} else {
+				p = dataset.Pair{A: eIdx, B: dst.Len() - 1}
+			}
+			st.sampled[p] = matching
+			if matching {
+				res.SampledMatches++
+				res.SampledMatchPairs = append(res.SampledMatchPairs, p)
+				st.matched[src][eIdx] = true
+				st.matched[dst][dst.Len()-1] = true
+				rec.Add("core.s2.sampled_matches", 1)
+			}
+			rec.Add("core.s2.accepted", 1)
+			rec.Observe("core.s2.attempts_per_entity", float64(attempt+1))
+			rec.Set("core.s2.done", float64(synA.Len()+synB.Len()))
+			if opts.Progress != nil {
+				opts.Progress(synA.Len()+synB.Len(), totalTarget)
+			}
+			break
+		}
+	}
+	if elapsed := time.Since(s2Start).Seconds(); elapsed > 0 {
+		rec.Set("core.s2.entities_per_sec", float64(totalTarget)/elapsed)
+	}
+	return nil
+}
+
+// runS3 labels all remaining pairs by posterior (§IV-C). A cancel returns
+// behind a checkpoint of the completed S2 pools, from which a resume
+// skips S2 and re-runs S3 only.
+func (st *synthRun) runS3(ctx context.Context, _ *pipeline.Env) error {
+	matches, err := labelAllPairs(ctx, st.cp, st.oReal, st.synA, st.synB, st.sampled, st.opts.S3Blocker, st.cache, st.pool)
+	if err != nil {
+		if serr := st.saveS2(); serr != nil {
+			return serr
+		}
+		return fmt.Errorf("core: s3 interrupted: %w", err)
+	}
+	st.matches = matches
+	return nil
+}
+
+// runFinalize assembles the Result: the synthesized ER dataset, the final
+// JSD estimate (which draws from the main RNG stream) and the journaled
+// synthesis summary.
+func (st *synthRun) runFinalize(context.Context, *pipeline.Env) error {
+	st.rec.Set("core.s3.matches", float64(len(st.matches)))
+	syn, err := dataset.NewER(st.synA, st.synB, st.matches)
+	if err != nil {
+		return err
+	}
+	st.res.Syn = syn
+	st.res.JSD = st.dist.finalJSD(st.r)
+	st.rec.Set("core.s2.jsd_final", st.res.JSD)
+	st.opts.Journal.Synthesis(journal.SynthesisData{
+		Entities:                st.synA.Len() + st.synB.Len(),
+		Matches:                 len(st.matches),
+		SampledMatches:          st.res.SampledMatches,
+		RejectedByDistribution:  st.res.RejectedByDistribution,
+		RejectedByDiscriminator: st.res.RejectedByDiscriminator,
+		JSD:                     st.res.JSD,
+	})
+	return nil
+}

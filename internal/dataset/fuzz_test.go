@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"serd/internal/simfn"
+)
+
+func fuzzSchema(t testing.TB) *Schema {
+	s, err := NewSchema([]Column{
+		{Name: "title", Kind: Textual, Sim: simfn.QGramJaccard{Q: 3, Fold: true}},
+		{Name: "year", Kind: Numeric, Sim: simfn.Numeric{Min: 0, Max: 10}},
+	})
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	return s
+}
+
+// FuzzReadRelation asserts the CSV relation reader never panics on
+// arbitrary bytes — malformed headers, ragged rows, NULs, giant quoted
+// fields all return wrapped errors.
+func FuzzReadRelation(f *testing.F) {
+	for _, seed := range []string{
+		"id,title,year\n1,foo,3\n2,bar,4\n",
+		"id,title,year\n1,foo\n",
+		"id,title\n1,foo\n",
+		"id,title,year\n1,\"unterminated,3\n",
+		"",
+		"\n\n\n",
+		"id,title,year\n1,foo,3\n1,dup,4\n",
+		"id,title,year\r\n\xff\xfe,a,b\r\n",
+		strings.Repeat("x", 1<<12),
+	} {
+		f.Add(seed)
+	}
+	schema := fuzzSchema(f)
+	f.Fuzz(func(t *testing.T, csv string) {
+		rel, err := ReadRelation(strings.NewReader(csv), "A", schema)
+		if err != nil {
+			return
+		}
+		if rel == nil {
+			t.Fatalf("ReadRelation(%q): nil relation and nil error", csv)
+		}
+		for _, e := range rel.Entities {
+			if len(e.Values) != schema.Len() {
+				t.Fatalf("ReadRelation(%q): entity %q has %d values, want %d", csv, e.ID, len(e.Values), schema.Len())
+			}
+		}
+	})
+}
+
+// FuzzReadMatches asserts the match-CSV reader never panics on arbitrary
+// bytes and only resolves IDs that exist in the relations.
+func FuzzReadMatches(f *testing.F) {
+	for _, seed := range []string{
+		"id_a,id_b\n1,2\n",
+		"id_a,id_b\n1\n",
+		"id_a,id_b\nmissing,2\n",
+		"id_a,id_b\n1,2,3\n",
+		"",
+		"\"\n",
+	} {
+		f.Add(seed)
+	}
+	schema := fuzzSchema(f)
+	mkRel := func(name, id string) *Relation {
+		rel := NewRelation(name, schema)
+		if err := rel.Append(&Entity{ID: id, Values: []string{"v", "1"}}); err != nil {
+			f.Fatalf("Append: %v", err)
+		}
+		return rel
+	}
+	a := mkRel("A", "1")
+	b := mkRel("B", "2")
+	f.Fuzz(func(t *testing.T, csv string) {
+		pairs, err := ReadMatches(strings.NewReader(csv), a, b)
+		if err != nil {
+			return
+		}
+		for _, p := range pairs {
+			if p.A != 0 || p.B != 0 {
+				t.Fatalf("ReadMatches(%q): pair %+v out of range", csv, p)
+			}
+		}
+	})
+}

@@ -31,7 +31,7 @@ func (s *Suite) AblationAlpha(name string, alphas []float64) ([]AlphaRow, error)
 	}
 	var rows []AlphaRow
 	for _, alpha := range alphas {
-		res, err := core.Synthesize(g.ER, core.Options{
+		res, err := core.Synthesize(s.ctx(), g.ER, core.Options{
 			Synthesizers: synths, Alpha: alpha, Seed: s.cfg.Seed + 41,
 		})
 		if err != nil {
@@ -70,7 +70,7 @@ func (s *Suite) AblationBeta(name string, betas []float64) ([]BetaRow, error) {
 	}
 	var rows []BetaRow
 	for _, beta := range betas {
-		res, err := core.Synthesize(g.ER, core.Options{
+		res, err := core.Synthesize(s.ctx(), g.ER, core.Options{
 			Synthesizers: synths, GAN: trained, GANDecode: decode,
 			Beta: beta, Seed: s.cfg.Seed + 43,
 		})
@@ -119,7 +119,7 @@ func (s *Suite) AblationBuckets(name string, buckets []int, probes []float64) ([
 	for _, k := range buckets {
 		opts := microTransformerOptions(s.cfg.Seed)
 		opts.Buckets = k
-		ts, err := textsynth.TrainTransformer(corpus, col.Sim, opts)
+		ts, err := textsynth.TrainTransformer(s.ctx(), corpus, col.Sim, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: buckets=%d: %w", k, err)
 		}

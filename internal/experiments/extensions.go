@@ -39,7 +39,7 @@ func (s *Suite) ScaleUp(factor float64) ([]ScaleRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Synthesize(g.ER, core.Options{
+		res, err := core.Synthesize(s.ctx(), g.ER, core.Options{
 			SizeA:        scale(g.ER.A.Len(), factor),
 			SizeB:        scale(g.ER.B.Len(), factor),
 			Synthesizers: synths,
@@ -59,14 +59,14 @@ func (s *Suite) ScaleUp(factor float64) ([]ScaleRow, error) {
 
 		mReal := &matcher.RandomForest{Trees: 20, Seed: s.cfg.Seed + 11}
 		trX, trY := dataset.Vectors(train)
-		if err := mReal.Fit(trX, trY); err != nil {
+		if err := matcher.FitContext(s.ctx(), mReal, trX, trY); err != nil {
 			return nil, err
 		}
 		realF1 := matcher.Evaluate(mReal, testX, testY).F1()
 
 		mSyn := &matcher.RandomForest{Trees: 20, Seed: s.cfg.Seed + 11}
 		synX, synY := dataset.Vectors(s.workload(res.Syn, 603))
-		if err := mSyn.Fit(synX, synY); err != nil {
+		if err := matcher.FitContext(s.ctx(), mSyn, synX, synY); err != nil {
 			return nil, err
 		}
 		synF1 := matcher.Evaluate(mSyn, testX, testY).F1()

@@ -90,7 +90,7 @@ func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			return nil, err
 		}
 		trainX, trainY := dataset.Vectors(train)
-		if err := mReal.Fit(trainX, trainY); err != nil {
+		if err := matcher.FitContext(s.ctx(), mReal, trainX, trainY); err != nil {
 			return nil, fmt.Errorf("experiments: %s/Real: %w", name, err)
 		}
 		realMet := matcher.Evaluate(mReal, testX, testY)
@@ -107,7 +107,7 @@ func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := m.Fit(synX, synY); err != nil {
+			if err := matcher.FitContext(s.ctx(), m, synX, synY); err != nil {
 				return nil, fmt.Errorf("experiments: %s/%s: %w", name, method, err)
 			}
 			met := matcher.Evaluate(m, testX, testY)
@@ -142,7 +142,7 @@ func (s *Suite) DataEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			return nil, err
 		}
 		trainX, trainY := dataset.Vectors(train)
-		if err := mReal.Fit(trainX, trainY); err != nil {
+		if err := matcher.FitContext(s.ctx(), mReal, trainX, trainY); err != nil {
 			return nil, fmt.Errorf("experiments: %s/Real: %w", name, err)
 		}
 		testX, testY := dataset.Vectors(test)

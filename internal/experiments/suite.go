@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -36,6 +37,12 @@ func SynMethods() []Method { return []Method{MethodSERD, MethodSERDMinus, Method
 
 // Config controls experiment scale.
 type Config struct {
+	// Ctx cancels a running experiment suite cooperatively: it is threaded
+	// into every core.Synthesize, transformer/GAN training and matcher fit
+	// the harness performs, so a cancellation returns at the next
+	// chunk/minibatch/iteration boundary. Nil means context.Background();
+	// an untriggered context never changes a result.
+	Ctx context.Context
 	// Seed drives every random choice.
 	Seed int64
 	// Datasets restricts the run (default: all four Table II datasets).
@@ -112,6 +119,14 @@ func NewSuite(cfg Config) *Suite {
 // Config returns the defaulted configuration.
 func (s *Suite) Config() Config { return s.cfg }
 
+// ctx is the suite's cancellation context (Background when unset).
+func (s *Suite) ctx() context.Context {
+	if s.cfg.Ctx != nil {
+		return s.cfg.Ctx
+	}
+	return context.Background()
+}
+
 // Generated returns the (cached) surrogate real dataset.
 func (s *Suite) Generated(name string) (*datagen.Generated, error) {
 	s.mu.Lock()
@@ -156,7 +171,7 @@ func (s *Suite) Synthesizers(g *datagen.Generated) (map[string]textsynth.Synthes
 		if s.cfg.UseTransformer {
 			opts := s.cfg.Transformer
 			opts.Seed = s.cfg.Seed + 7
-			ts, err := textsynth.TrainTransformer(corpus, col.Sim, opts)
+			ts, err := textsynth.TrainTransformer(s.ctx(), corpus, col.Sim, opts)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: training transformer for %s: %w", col.Name, err)
 			}
@@ -244,7 +259,7 @@ func (s *Suite) runSERDLocked(g *datagen.Generated, minus bool) (*core.Result, e
 			return nil, err
 		}
 	}
-	res, err := core.Synthesize(g.ER, opts)
+	res, err := core.Synthesize(s.ctx(), g.ER, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +284,7 @@ func (s *Suite) trainGAN(g *datagen.Generated) (*gan.GAN, gan.DecodeOptions, err
 	for _, e := range g.ER.B.Entities {
 		rows = append(rows, e.Values)
 	}
-	trained, err := gan.Train(enc, rows, gan.Options{Epochs: 15, Seed: s.cfg.Seed + 23})
+	trained, err := gan.Train(s.ctx(), enc, rows, gan.Options{Epochs: 15, Seed: s.cfg.Seed + 23})
 	if err != nil {
 		return nil, gan.DecodeOptions{}, err
 	}

@@ -180,7 +180,7 @@ func (s *Suite) TableIV() ([]TableIVRow, error) {
 				continue
 			}
 			opts := microTransformerOptions(s.cfg.Seed)
-			if _, err := textsynth.TrainTransformer(g.Background[col.Name], col.Sim, opts); err != nil {
+			if _, err := textsynth.TrainTransformer(s.ctx(), g.Background[col.Name], col.Sim, opts); err != nil {
 				return nil, fmt.Errorf("experiments: offline %s/%s: %w", name, col.Name, err)
 			}
 		}
@@ -192,7 +192,7 @@ func (s *Suite) TableIV() ([]TableIVRow, error) {
 		for _, e := range g.ER.A.Entities {
 			trainRows = append(trainRows, e.Values)
 		}
-		if _, err := gan.Train(enc, trainRows, gan.Options{Epochs: 5, Seed: s.cfg.Seed}); err != nil {
+		if _, err := gan.Train(s.ctx(), enc, trainRows, gan.Options{Epochs: 5, Seed: s.cfg.Seed}); err != nil {
 			return nil, err
 		}
 		offline := time.Since(start)
@@ -220,7 +220,7 @@ func (s *Suite) runSERDFresh(g *datagen.Generated) (*dataset.ER, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Synthesize(g.ER, core.Options{Synthesizers: synths, Seed: s.cfg.Seed + 5})
+	res, err := core.Synthesize(s.ctx(), g.ER, core.Options{Synthesizers: synths, Seed: s.cfg.Seed + 5})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package gan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -87,8 +88,12 @@ type GAN struct {
 
 // Train fits a GAN on the feature encodings of the given entity values
 // (§IV-B2: G maps noise to a fake entity matrix, D classifies real vs
-// fake; the two play the adversarial minimax game).
-func Train(enc *Encoder, rows [][]string, opts Options) (*GAN, error) {
+// fake; the two play the adversarial minimax game). Cancellation is
+// checked once per adversarial step: a canceled context returns
+// immediately with its error (GAN training keeps no partial checkpoint —
+// a canceled fit restarts from scratch). A nil context disables the
+// check; an untriggered one changes nothing.
+func Train(ctx context.Context, enc *Encoder, rows [][]string, opts Options) (*GAN, error) {
 	if enc == nil {
 		return nil, errors.New("gan: nil encoder")
 	}
@@ -124,6 +129,11 @@ func Train(enc *Encoder, rows [][]string, opts Options) (*GAN, error) {
 	}
 	steps := opts.Epochs * (len(real) + opts.BatchSize - 1) / opts.BatchSize
 	for step := 0; step < steps; step++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("gan: canceled at step %d/%d: %w", step, steps, err)
+			}
+		}
 		// Discriminator step: real batch labeled 1, fake batch labeled 0.
 		batch := make([][]float64, opts.BatchSize)
 		for i := range batch {

@@ -1,6 +1,7 @@
 package gan
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strconv"
@@ -128,10 +129,10 @@ func TestDecodeErrors(t *testing.T) {
 
 func TestTrainValidation(t *testing.T) {
 	_, enc := scholarFixture(t)
-	if _, err := Train(nil, [][]string{{"a"}}, Options{}); err == nil {
+	if _, err := Train(context.Background(), nil, [][]string{{"a"}}, Options{}); err == nil {
 		t.Error("nil encoder accepted")
 	}
-	if _, err := Train(enc, nil, Options{}); err == nil {
+	if _, err := Train(context.Background(), enc, nil, Options{}); err == nil {
 		t.Error("no rows accepted")
 	}
 }
@@ -145,7 +146,7 @@ func TestGANDiscriminatorSeparates(t *testing.T) {
 	for _, e := range gen.ER.B.Entities {
 		rows = append(rows, e.Values)
 	}
-	g, err := Train(enc, rows, Options{Epochs: 20, Seed: 7})
+	g, err := Train(context.Background(), enc, rows, Options{Epochs: 20, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestGANSampleEntity(t *testing.T) {
 	for _, e := range gen.ER.A.Entities {
 		rows = append(rows, e.Values)
 	}
-	g, err := Train(enc, rows, Options{Epochs: 5, Seed: 8})
+	g, err := Train(context.Background(), enc, rows, Options{Epochs: 5, Seed: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestSampleFeaturesInRange(t *testing.T) {
 	for _, e := range gen.ER.A.Entities[:30] {
 		rows = append(rows, e.Values)
 	}
-	g, err := Train(enc, rows, Options{Epochs: 2, Seed: 10})
+	g, err := Train(context.Background(), enc, rows, Options{Epochs: 2, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package gan
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestGANSaveLoadRoundTrip(t *testing.T) {
 	for _, e := range gen.ER.A.Entities {
 		rows = append(rows, e.Values)
 	}
-	g, err := Train(enc, rows, Options{Epochs: 3, Seed: 1})
+	g, err := Train(context.Background(), enc, rows, Options{Epochs: 3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestGANLoadRejectsMismatchedEncoder(t *testing.T) {
 	for _, e := range gen.ER.A.Entities[:20] {
 		rows = append(rows, e.Values)
 	}
-	g, err := Train(enc, rows, Options{Epochs: 1, Seed: 2})
+	g, err := Train(context.Background(), enc, rows, Options{Epochs: 1, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package gmm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"serd/internal/telemetry"
+)
+
+// cancelOnObserve cancels a context from inside the EM loop: the
+// "gmm.em.loglik_improvement" observation fires once per iteration after
+// the first, so cancellation lands mid-fit, between iterations.
+type cancelOnObserve struct {
+	telemetry.Recorder
+	name   string
+	cancel context.CancelFunc
+	fired  int
+}
+
+func (c *cancelOnObserve) Observe(name string, v float64) {
+	if name == c.name {
+		c.fired++
+		c.cancel()
+	}
+	c.Recorder.Observe(name, v)
+}
+
+func (c *cancelOnObserve) StartSpan(name string) telemetry.Span { return c.Recorder.StartSpan(name) }
+
+func slowData(r *rand.Rand, n int) [][]float64 {
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = []float64{r.NormFloat64(), r.NormFloat64()}
+	}
+	return xs
+}
+
+func TestFitCancelMidEM(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := slowData(r, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &cancelOnObserve{Recorder: telemetry.Nop, name: "gmm.em.loglik_improvement", cancel: cancel}
+	_, err := Fit(ctx, xs, 3, FitOptions{Rand: r, Metrics: rec, Tol: -1, MaxIter: 50})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fit under mid-EM cancel = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "gmm: em canceled after") {
+		t.Fatalf("error %q does not name the EM loop", err)
+	}
+	// Prompt return: the loop must stop at the next iteration boundary,
+	// not run to MaxIter. The observation fires from iteration 2 onward,
+	// so exactly one improvement is observed before the cancel lands.
+	if rec.fired != 1 {
+		t.Fatalf("EM ran %d iterations past the cancel, want return within one", rec.fired-1)
+	}
+}
+
+func TestFitAICCancelStopsModelSearch(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := slowData(r, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &cancelOnObserve{Recorder: telemetry.Nop, name: "gmm.em.loglik_improvement", cancel: cancel}
+	_, err := FitAIC(ctx, xs, 4, FitOptions{Rand: r, Metrics: rec, Tol: -1, MaxIter: 50})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitAIC under cancel = %v, want context.Canceled", err)
+	}
+	// The search must stop at the first canceled candidate instead of
+	// trying every component count: with the cancel landing in the g=1
+	// fit, only that fit's improvement fires.
+	if rec.fired != 1 {
+		t.Fatalf("model search continued after cancel (%d fits observed an improvement)", rec.fired)
+	}
+}
+
+func TestFitPrecanceledContext(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := slowData(r, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fit(ctx, xs, 1, FitOptions{Rand: r}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fit with pre-canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestFitNilContext pins the nil-tolerance contract relied on by
+// internal callers that have no context to pass.
+func TestFitNilContext(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	xs := slowData(r, 50)
+	if _, err := Fit(nil, xs, 1, FitOptions{Rand: r}); err != nil {
+		t.Fatalf("Fit(nil ctx) = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -56,8 +57,14 @@ func (o FitOptions) withDefaults() FitOptions {
 }
 
 // Fit learns a g-component mixture from xs with the EM algorithm
-// (paper §IV-A, Eqs. 4-6).
-func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
+// (paper §IV-A, Eqs. 4-6). Cancellation is checked once per EM iteration:
+// a done ctx returns ctx.Err() wrapped with the iteration count, and the
+// partially-converged model is discarded (EM is cheap to replay relative
+// to a checkpoint of its intermediate state).
+func Fit(ctx context.Context, xs [][]float64, g int, opts FitOptions) (*Model, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	if len(xs) == 0 {
 		return nil, errors.New("gmm: no samples")
@@ -88,6 +95,9 @@ func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
 	prevLL := math.Inf(-1)
 	iters := 0
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gmm: em canceled after %d iterations: %w", iter, err)
+		}
 		iters = iter + 1
 		// E-step (Eq. 5), fanned out over rows; every worker writes only
 		// its own rows' slots, and the log-likelihood sums in index order,
@@ -126,20 +136,20 @@ func Fit(xs [][]float64, g int, opts FitOptions) (*Model, error) {
 
 // FitAIC fits mixtures with 1..maxG components and returns the one that
 // minimizes the Akaike information criterion (§IV-A).
-func FitAIC(xs [][]float64, maxG int, opts FitOptions) (*Model, error) {
-	return fitCriterion(xs, maxG, opts, func(m *Model) float64 { return m.AIC(xs) })
+func FitAIC(ctx context.Context, xs [][]float64, maxG int, opts FitOptions) (*Model, error) {
+	return fitCriterion(ctx, xs, maxG, opts, func(m *Model) float64 { return m.AIC(xs) })
 }
 
 // FitBIC is FitAIC with the Bayesian information criterion
 // (k·ln n − 2·logL), which penalizes components harder on small samples.
-func FitBIC(xs [][]float64, maxG int, opts FitOptions) (*Model, error) {
+func FitBIC(ctx context.Context, xs [][]float64, maxG int, opts FitOptions) (*Model, error) {
 	n := float64(len(xs))
-	return fitCriterion(xs, maxG, opts, func(m *Model) float64 {
+	return fitCriterion(ctx, xs, maxG, opts, func(m *Model) float64 {
 		return float64(m.NumParams())*math.Log(n) - 2*m.LogLikelihood(xs)
 	})
 }
 
-func fitCriterion(xs [][]float64, maxG int, opts FitOptions, criterion func(*Model) float64) (*Model, error) {
+func fitCriterion(ctx context.Context, xs [][]float64, maxG int, opts FitOptions, criterion func(*Model) float64) (*Model, error) {
 	if maxG < 1 {
 		maxG = 1
 	}
@@ -147,8 +157,13 @@ func fitCriterion(xs [][]float64, maxG int, opts FitOptions, criterion func(*Mod
 	bestScore := math.Inf(1)
 	var firstErr error
 	for g := 1; g <= maxG; g++ {
-		m, err := Fit(xs, g, opts)
+		m, err := Fit(ctx, xs, g, opts)
 		if err != nil {
+			// A canceled fit must not be swallowed as just another failed
+			// candidate: the whole model search stops.
+			if ctx != nil && ctx.Err() != nil {
+				return nil, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}

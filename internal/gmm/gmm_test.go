@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -23,7 +24,7 @@ func twoClusterData(r *rand.Rand, n int) [][]float64 {
 func TestFitRecoverTwoClusters(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	xs := twoClusterData(r, 400)
-	m, err := Fit(xs, 2, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +54,11 @@ func TestFitRecoverTwoClusters(t *testing.T) {
 func TestFitImprovesLikelihoodOverSingleGaussian(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	xs := twoClusterData(r, 300)
-	m1, err := Fit(xs, 1, FitOptions{Rand: r})
+	m1, err := Fit(context.Background(), xs, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := Fit(xs, 2, FitOptions{Rand: r})
+	m2, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestFitImprovesLikelihoodOverSingleGaussian(t *testing.T) {
 func TestFitAICSelectsTwoComponents(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	xs := twoClusterData(r, 300)
-	m, err := FitAIC(xs, 4, FitOptions{Rand: r})
+	m, err := FitAIC(context.Background(), xs, 4, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestFitDegenerateConstantColumn(t *testing.T) {
 	for i := range xs {
 		xs[i] = []float64{1.0, 0.5 + 0.1*r.NormFloat64()}
 	}
-	m, err := Fit(xs, 1, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,13 +98,13 @@ func TestFitDegenerateConstantColumn(t *testing.T) {
 
 func TestFitErrors(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
-	if _, err := Fit(nil, 2, FitOptions{Rand: r}); err == nil {
+	if _, err := Fit(context.Background(), nil, 2, FitOptions{Rand: r}); err == nil {
 		t.Error("expected error for empty data")
 	}
-	if _, err := Fit([][]float64{{1}}, 0, FitOptions{Rand: r}); err == nil {
+	if _, err := Fit(context.Background(), [][]float64{{1}}, 0, FitOptions{Rand: r}); err == nil {
 		t.Error("expected error for g=0")
 	}
-	if _, err := Fit([][]float64{{1, 2}, {1}}, 1, FitOptions{Rand: r}); err == nil {
+	if _, err := Fit(context.Background(), [][]float64{{1, 2}, {1}}, 1, FitOptions{Rand: r}); err == nil {
 		t.Error("expected error for ragged data")
 	}
 }
@@ -111,7 +112,7 @@ func TestFitErrors(t *testing.T) {
 func TestResponsibilitiesSumToOne(t *testing.T) {
 	r := rand.New(rand.NewSource(6))
 	xs := twoClusterData(r, 100)
-	m, err := Fit(xs, 3, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 3, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestResponsibilitiesSumToOne(t *testing.T) {
 func TestSampleMatchesFitDistribution(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	xs := twoClusterData(r, 400)
-	m, err := Fit(xs, 2, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestSampleMatchesFitDistribution(t *testing.T) {
 	for i := range ys {
 		ys[i] = m.Sample(r)
 	}
-	m2, err := Fit(ys, 2, FitOptions{Rand: r})
+	m2, err := Fit(context.Background(), ys, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestNewNormalizesWeights(t *testing.T) {
 func TestCloneIsIndependent(t *testing.T) {
 	r := rand.New(rand.NewSource(9))
 	xs := twoClusterData(r, 100)
-	m, err := Fit(xs, 2, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestCloneIsIndependent(t *testing.T) {
 func TestFitDiagonalCovariance(t *testing.T) {
 	r := rand.New(rand.NewSource(20))
 	xs := twoClusterData(r, 200)
-	m, err := Fit(xs, 2, FitOptions{Rand: r, Diagonal: true})
+	m, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r, Diagonal: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestFitBICPrefersSimplerModelOnSmallData(t *testing.T) {
 	for i := range xs {
 		xs[i] = []float64{0.5 + 0.05*r.NormFloat64(), 0.5 + 0.05*r.NormFloat64()}
 	}
-	m, err := FitBIC(xs, 3, FitOptions{Rand: r})
+	m, err := FitBIC(context.Background(), xs, 3, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestFitBICPrefersSimplerModelOnSmallData(t *testing.T) {
 	}
 	// And it still finds two components when the data demands them.
 	bimodal := twoClusterData(r, 150)
-	m, err = FitBIC(bimodal, 3, FitOptions{Rand: r})
+	m, err = FitBIC(context.Background(), bimodal, 3, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}

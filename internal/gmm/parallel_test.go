@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -12,11 +13,11 @@ import (
 func testJoints(t *testing.T) (*Joint, *Joint) {
 	t.Helper()
 	r := rand.New(rand.NewSource(7))
-	m1, err := Fit(twoClusterData(r, 200), 2, FitOptions{Rand: r})
+	m1, err := Fit(context.Background(), twoClusterData(r, 200), 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := Fit(twoClusterData(r, 200), 2, FitOptions{Rand: r})
+	m2, err := Fit(context.Background(), twoClusterData(r, 200), 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +25,7 @@ func testJoints(t *testing.T) (*Joint, *Joint) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m3, err := Fit(twoClusterData(r, 150), 2, FitOptions{Rand: r})
+	m3, err := Fit(context.Background(), twoClusterData(r, 150), 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,12 +75,12 @@ func TestJSDStripedTracksSerialJSD(t *testing.T) {
 // execution parameter: fits at any worker count are bit-identical.
 func TestFitPoolInvariant(t *testing.T) {
 	xs := twoClusterData(rand.New(rand.NewSource(11)), 250)
-	serial, err := Fit(xs, 2, FitOptions{Rand: rand.New(rand.NewSource(4))})
+	serial, err := Fit(context.Background(), xs, 2, FitOptions{Rand: rand.New(rand.NewSource(4))})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		got, err := Fit(xs, 2, FitOptions{Rand: rand.New(rand.NewSource(4)), Pool: parallel.New(workers, nil)})
+		got, err := Fit(context.Background(), xs, 2, FitOptions{Rand: rand.New(rand.NewSource(4)), Pool: parallel.New(workers, nil)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestFitPoolInvariant(t *testing.T) {
 func TestRespLogPDFMatchesSeparateCalls(t *testing.T) {
 	r := rand.New(rand.NewSource(21))
 	xs := twoClusterData(r, 100)
-	m, err := Fit(xs, 2, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package gmm
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,11 +11,11 @@ import (
 func TestJointSaveLoadRoundTrip(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	xs := twoClusterData(r, 200)
-	m, err := Fit(xs[:200], 2, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs[:200], 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
-	n, err := Fit(xs[200:], 1, FitOptions{Rand: r})
+	n, err := Fit(context.Background(), xs[200:], 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}

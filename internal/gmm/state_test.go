@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -16,7 +17,7 @@ func fittedForState(t *testing.T, seed int64, n int) (*Model, [][]float64) {
 		c := float64(i%2) * 0.6
 		xs[i] = []float64{c + 0.1*r.NormFloat64(), c + 0.1*r.NormFloat64()}
 	}
-	m, err := FitAIC(xs, 2, FitOptions{Rand: r})
+	m, err := FitAIC(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}

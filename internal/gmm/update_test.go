@@ -1,6 +1,7 @@
 package gmm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -15,7 +16,7 @@ func TestAccumulatorMatchesBatchOneComponent(t *testing.T) {
 	for i := range xs {
 		xs[i] = []float64{0.4 + 0.1*r.NormFloat64(), 0.6 + 0.2*r.NormFloat64()}
 	}
-	m, err := Fit(xs[:100], 1, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs[:100], 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestAccumulatorMatchesBatchOneComponent(t *testing.T) {
 	if err := acc.Add(xs[100:]); err != nil {
 		t.Fatal(err)
 	}
-	full, err := Fit(xs, 1, FitOptions{Rand: r})
+	full, err := Fit(context.Background(), xs, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestAccumulatorShiftsTowardNewData(t *testing.T) {
 	for i := range old {
 		old[i] = []float64{0.2 + 0.02*r.NormFloat64()}
 	}
-	m, err := Fit(old, 1, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), old, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestAccumulatorShiftsTowardNewData(t *testing.T) {
 func TestAccumulatorSnapshotIsolation(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	xs := twoClusterData(r, 100)
-	m, err := Fit(xs, 2, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestAccumulatorSnapshotIsolation(t *testing.T) {
 func TestAccumulatorRejectsDimMismatch(t *testing.T) {
 	r := rand.New(rand.NewSource(4))
 	xs := twoClusterData(r, 50)
-	m, err := Fit(xs, 1, FitOptions{Rand: r})
+	m, err := Fit(context.Background(), xs, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,11 +140,11 @@ func TestJointPosterior(t *testing.T) {
 		mXs = append(mXs, []float64{0.9 + 0.03*r.NormFloat64(), 0.9 + 0.03*r.NormFloat64()})
 		nXs = append(nXs, []float64{0.1 + 0.03*r.NormFloat64(), 0.1 + 0.03*r.NormFloat64()})
 	}
-	mModel, err := Fit(mXs, 1, FitOptions{Rand: r})
+	mModel, err := Fit(context.Background(), mXs, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
-	nModel, err := Fit(nXs, 1, FitOptions{Rand: r})
+	nModel, err := Fit(context.Background(), nXs, 1, FitOptions{Rand: r})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,8 +173,8 @@ func TestJointSampleRespectsPi(t *testing.T) {
 		mXs = append(mXs, []float64{0.9 + 0.02*r.NormFloat64()})
 		nXs = append(nXs, []float64{0.1 + 0.02*r.NormFloat64()})
 	}
-	mModel, _ := Fit(mXs, 1, FitOptions{Rand: r})
-	nModel, _ := Fit(nXs, 1, FitOptions{Rand: r})
+	mModel, _ := Fit(context.Background(), mXs, 1, FitOptions{Rand: r})
+	nModel, _ := Fit(context.Background(), nXs, 1, FitOptions{Rand: r})
 	j, err := NewJoint(mModel, nModel, 0.25)
 	if err != nil {
 		t.Fatal(err)
@@ -201,8 +202,8 @@ func TestJointValidation(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	xs1 := [][]float64{{0.1}, {0.2}, {0.3}}
 	xs2 := [][]float64{{0.1, 0.5}, {0.2, 0.5}, {0.3, 0.5}}
-	m1, _ := Fit(xs1, 1, FitOptions{Rand: r})
-	m2, _ := Fit(xs2, 1, FitOptions{Rand: r})
+	m1, _ := Fit(context.Background(), xs1, 1, FitOptions{Rand: r})
+	m2, _ := Fit(context.Background(), xs2, 1, FitOptions{Rand: r})
 	if _, err := NewJoint(m1, m2, 0.5); err == nil {
 		t.Error("expected dim mismatch error")
 	}
@@ -217,7 +218,7 @@ func TestJointValidation(t *testing.T) {
 func TestJSDZeroForIdenticalDistributions(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	xs := twoClusterData(r, 200)
-	m, _ := Fit(xs, 2, FitOptions{Rand: r})
+	m, _ := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	j, err := NewJoint(m, m.Clone(), 0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -235,7 +236,7 @@ func TestJSDSeparatesDifferentDistributions(t *testing.T) {
 		for i := 0; i < 200; i++ {
 			xs = append(xs, []float64{center + 0.02*r.NormFloat64()})
 		}
-		m, _ := Fit(xs, 1, FitOptions{Rand: r})
+		m, _ := Fit(context.Background(), xs, 1, FitOptions{Rand: r})
 		j, _ := NewJoint(m, m.Clone(), 0.5)
 		return j
 	}
@@ -252,7 +253,7 @@ func TestJSDSeparatesDifferentDistributions(t *testing.T) {
 func TestKLNonNegativeAndZeroOnSelf(t *testing.T) {
 	r := rand.New(rand.NewSource(10))
 	xs := twoClusterData(r, 150)
-	m, _ := Fit(xs, 2, FitOptions{Rand: r})
+	m, _ := Fit(context.Background(), xs, 2, FitOptions{Rand: r})
 	if d := KL(m, m, 256, r); d != 0 {
 		t.Errorf("KL(m||m) = %v, want 0", d)
 	}
@@ -260,7 +261,7 @@ func TestKLNonNegativeAndZeroOnSelf(t *testing.T) {
 	for i := range other {
 		other[i] = []float64{0.5 + 0.01*r.NormFloat64(), 0.5 + 0.01*r.NormFloat64()}
 	}
-	m2, _ := Fit(other, 1, FitOptions{Rand: r})
+	m2, _ := Fit(context.Background(), other, 1, FitOptions{Rand: r})
 	if d := KL(m, m2, 256, r); d <= 0 {
 		t.Errorf("KL between different mixtures = %v, want > 0", d)
 	}

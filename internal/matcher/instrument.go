@@ -1,6 +1,8 @@
 package matcher
 
 import (
+	"context"
+
 	"serd/internal/telemetry"
 )
 
@@ -36,6 +38,16 @@ func (in *instrumented) Fit(xs [][]float64, ys []bool) error {
 	sp := in.rec.StartSpan(in.fitSpan)
 	defer sp.End()
 	return in.m.Fit(xs, ys)
+}
+
+// FitContext implements ContextFitter by dispatching through the
+// package-level FitContext, so wrapping a matcher never hides its
+// cancelable training path (and never invents one: a wrapped matcher
+// without ContextFitter still gets its plain Fit).
+func (in *instrumented) FitContext(ctx context.Context, xs [][]float64, ys []bool) error {
+	sp := in.rec.StartSpan(in.fitSpan)
+	defer sp.End()
+	return FitContext(ctx, in.m, xs, ys)
 }
 
 func (in *instrumented) Predict(x []float64) bool {

@@ -1,6 +1,7 @@
 package matcher
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -24,6 +25,12 @@ type LogisticRegression struct {
 
 // Fit implements Matcher.
 func (m *LogisticRegression) Fit(xs [][]float64, ys []bool) error {
+	return m.FitContext(nil, xs, ys)
+}
+
+// FitContext implements ContextFitter: cancellation is checked once per
+// gradient epoch.
+func (m *LogisticRegression) FitContext(ctx context.Context, xs [][]float64, ys []bool) error {
 	dim, err := validateTraining(xs, ys)
 	if err != nil {
 		return err
@@ -42,6 +49,9 @@ func (m *LogisticRegression) Fit(xs [][]float64, ys []bool) error {
 	n := float64(len(xs))
 	gw := make([]float64, dim)
 	for epoch := 0; epoch < m.Epochs; epoch++ {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("matcher: logistic regression canceled at epoch %d/%d: %w", epoch, m.Epochs, err)
+		}
 		for j := range gw {
 			gw[j] = 0
 		}
@@ -96,6 +106,12 @@ type MLP struct {
 
 // Fit implements Matcher.
 func (m *MLP) Fit(xs [][]float64, ys []bool) error {
+	return m.FitContext(nil, xs, ys)
+}
+
+// FitContext implements ContextFitter: cancellation is checked once per
+// Adam step.
+func (m *MLP) FitContext(ctx context.Context, xs [][]float64, ys []bool) error {
 	dim, err := validateTraining(xs, ys)
 	if err != nil {
 		return err
@@ -127,6 +143,9 @@ func (m *MLP) Fit(xs [][]float64, ys []bool) error {
 	}
 	opt := nn.NewAdam(m.LR)
 	for epoch := 0; epoch < m.Epochs; epoch++ {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("matcher: mlp canceled at epoch %d/%d: %w", epoch, m.Epochs, err)
+		}
 		nn.ZeroGrads(params)
 		nn.BCE(m.forward(inputs), targets).Backward()
 		opt.Step(params)

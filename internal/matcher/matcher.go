@@ -6,6 +6,7 @@
 package matcher
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,39 @@ type Matcher interface {
 	Fit(xs [][]float64, ys []bool) error
 	// Predict labels one similarity vector.
 	Predict(x []float64) bool
+}
+
+// ContextFitter is optionally implemented by matchers whose training is
+// iterative enough to be worth canceling between epochs, trees or EM
+// iterations. FitContext with a nil or untriggered context must behave
+// exactly like Fit — training under a context never changes the fitted
+// model.
+type ContextFitter interface {
+	Matcher
+	// FitContext trains like Fit but returns the context's error (wrapped
+	// with the matcher's position) at the next iteration boundary after
+	// cancellation. Matcher training keeps no partial checkpoint: a
+	// canceled fit restarts from scratch.
+	FitContext(ctx context.Context, xs [][]float64, ys []bool) error
+}
+
+// FitContext trains m under ctx when it implements ContextFitter and
+// falls back to the plain (uncancelable) Fit otherwise — the uniform
+// entry point pipeline stages use so the Matcher interface itself stays
+// unchanged for external implementations.
+func FitContext(ctx context.Context, m Matcher, xs [][]float64, ys []bool) error {
+	if cf, ok := m.(ContextFitter); ok {
+		return cf.FitContext(ctx, xs, ys)
+	}
+	return m.Fit(xs, ys)
+}
+
+// ctxErr reports the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // Scorer is implemented by matchers that expose a matching probability.

@@ -1,6 +1,8 @@
 package matcher
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -22,6 +24,12 @@ type LinearSVM struct {
 
 // Fit implements Matcher.
 func (m *LinearSVM) Fit(xs [][]float64, ys []bool) error {
+	return m.FitContext(nil, xs, ys)
+}
+
+// FitContext implements ContextFitter: cancellation is checked once per
+// pass over the data.
+func (m *LinearSVM) FitContext(ctx context.Context, xs [][]float64, ys []bool) error {
 	dim, err := validateTraining(xs, ys)
 	if err != nil {
 		return err
@@ -41,6 +49,9 @@ func (m *LinearSVM) Fit(xs [][]float64, ys []bool) error {
 	}
 	t := 0
 	for epoch := 0; epoch < m.Epochs; epoch++ {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("matcher: linear svm canceled at epoch %d/%d: %w", epoch, m.Epochs, err)
+		}
 		r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, i := range order {
 			t++

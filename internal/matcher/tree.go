@@ -1,6 +1,8 @@
 package matcher
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 )
@@ -187,6 +189,12 @@ type RandomForest struct {
 
 // Fit implements Matcher.
 func (f *RandomForest) Fit(xs [][]float64, ys []bool) error {
+	return f.FitContext(nil, xs, ys)
+}
+
+// FitContext implements ContextFitter: cancellation is checked once per
+// tree.
+func (f *RandomForest) FitContext(ctx context.Context, xs [][]float64, ys []bool) error {
 	if _, err := validateTraining(xs, ys); err != nil {
 		return err
 	}
@@ -200,6 +208,9 @@ func (f *RandomForest) Fit(xs [][]float64, ys []bool) error {
 	f.ensemble = f.ensemble[:0]
 	n := len(xs)
 	for t := 0; t < f.Trees; t++ {
+		if err := ctxErr(ctx); err != nil {
+			return fmt.Errorf("matcher: random forest canceled at tree %d/%d: %w", t, f.Trees, err)
+		}
 		bx := make([][]float64, n)
 		by := make([]bool, n)
 		for i := 0; i < n; i++ {

@@ -1,6 +1,7 @@
 package matcher
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -28,6 +29,12 @@ type ZeroER struct {
 // FitUnlabeled learns the match/non-match mixture from unlabeled
 // similarity vectors.
 func (z *ZeroER) FitUnlabeled(xs [][]float64) error {
+	return z.FitUnlabeledContext(nil, xs)
+}
+
+// FitUnlabeledContext is FitUnlabeled with cancellation threaded into the
+// underlying EM fits (checked per iteration).
+func (z *ZeroER) FitUnlabeledContext(ctx context.Context, xs [][]float64) error {
 	if len(xs) < 4 {
 		return errors.New("matcher: ZeroER needs at least 4 vectors")
 	}
@@ -42,12 +49,12 @@ func (z *ZeroER) FitUnlabeled(xs [][]float64) error {
 	// match cluster, and it needs its own component or it gets absorbed
 	// into the match class. The g components with the highest mean
 	// similarity mass form the match class.
-	model, err := gmm.FitAIC(xs, 2*g+2, gmm.FitOptions{Rand: r})
+	model, err := gmm.FitAIC(ctx, xs, 2*g+2, gmm.FitOptions{Rand: r})
 	if err != nil {
 		return err
 	}
 	if len(model.Comps) < 2 {
-		model, err = gmm.Fit(xs, 2, gmm.FitOptions{Rand: r})
+		model, err = gmm.Fit(ctx, xs, 2, gmm.FitOptions{Rand: r})
 		if err != nil {
 			return err
 		}
@@ -101,6 +108,11 @@ func (z *ZeroER) FitUnlabeled(xs [][]float64) error {
 // Fit implements Matcher. The labels are ignored — ZeroER is unsupervised;
 // the signature exists so it can drop into any harness expecting a Matcher.
 func (z *ZeroER) Fit(xs [][]float64, _ []bool) error { return z.FitUnlabeled(xs) }
+
+// FitContext implements ContextFitter (labels are ignored, as in Fit).
+func (z *ZeroER) FitContext(ctx context.Context, xs [][]float64, _ []bool) error {
+	return z.FitUnlabeledContext(ctx, xs)
+}
 
 // Score implements Scorer: the posterior P(match | x).
 func (z *ZeroER) Score(x []float64) float64 {

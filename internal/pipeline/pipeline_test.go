@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"serd/internal/checkpoint"
+	"serd/internal/telemetry"
+)
+
+// spanRecorder records StartSpan/End ordering so tests can assert the
+// engine's span discipline (no span on Silent/Skip, open span on error,
+// Save after End).
+type spanRecorder struct {
+	telemetry.Recorder
+	events []string
+}
+
+type recordedSpan struct {
+	rec  *spanRecorder
+	name string
+}
+
+func newSpanRecorder() *spanRecorder {
+	return &spanRecorder{Recorder: telemetry.Nop}
+}
+
+func (r *spanRecorder) StartSpan(name string) telemetry.Span {
+	r.events = append(r.events, "start:"+name)
+	return &recordedSpan{rec: r, name: name}
+}
+
+func (s *recordedSpan) End() {
+	s.rec.events = append(s.rec.events, "end:"+s.name)
+}
+
+func TestEngineRunsStagesInOrder(t *testing.T) {
+	rec := newSpanRecorder()
+	eng := New(Env{Metrics: rec})
+	var order []string
+	mk := func(name string) Stage {
+		return Stage{Name: name, Run: func(context.Context, *Env) error {
+			order = append(order, name)
+			return nil
+		}}
+	}
+	if err := eng.Run(context.Background(), mk("a"), mk("b"), mk("c")); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"a", "b", "c"}
+	for i, n := range want {
+		if order[i] != n {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	wantSpans := []string{"start:a", "end:a", "start:b", "end:b", "start:c", "end:c"}
+	if fmt.Sprint(rec.events) != fmt.Sprint(wantSpans) {
+		t.Fatalf("spans = %v, want %v", rec.events, wantSpans)
+	}
+}
+
+func TestEngineSaveRunsAfterSpanEnd(t *testing.T) {
+	rec := newSpanRecorder()
+	eng := New(Env{Metrics: rec})
+	var log []string
+	st := Stage{
+		Name: "core.s1",
+		Run:  func(context.Context, *Env) error { log = append(log, "run"); return nil },
+		Save: func() error {
+			log = append(log, fmt.Sprintf("save(after %d span events)", len(rec.events)))
+			return nil
+		},
+	}
+	if err := eng.Run(context.Background(), st); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Save must observe both start and end events: the checkpoint seam at
+	// the stage boundary includes the phase_end.
+	if fmt.Sprint(log) != "[run save(after 2 span events)]" {
+		t.Fatalf("log = %v; Save must run after span.End", log)
+	}
+}
+
+func TestEngineLeavesSpanOpenOnError(t *testing.T) {
+	rec := newSpanRecorder()
+	eng := New(Env{Metrics: rec})
+	boom := errors.New("boom")
+	err := eng.Run(context.Background(), Stage{
+		Name: "core.s2",
+		Run:  func(context.Context, *Env) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if fmt.Sprint(rec.events) != "[start:core.s2]" {
+		t.Fatalf("spans = %v; span must stay open on stage error", rec.events)
+	}
+}
+
+func TestEngineSilentAndSkip(t *testing.T) {
+	rec := newSpanRecorder()
+	eng := New(Env{Metrics: rec})
+	ran := map[string]bool{}
+	err := eng.Run(context.Background(),
+		Stage{Name: "setup", Silent: true, Run: func(context.Context, *Env) error {
+			ran["setup"] = true
+			return nil
+		}},
+		Stage{Name: "skipped", Skip: func() bool { return true }, Run: func(context.Context, *Env) error {
+			ran["skipped"] = true
+			return nil
+		}},
+		Stage{Name: "real", Run: func(context.Context, *Env) error {
+			ran["real"] = true
+			return nil
+		}},
+	)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !ran["setup"] || ran["skipped"] || !ran["real"] {
+		t.Fatalf("ran = %v", ran)
+	}
+	if fmt.Sprint(rec.events) != "[start:real end:real]" {
+		t.Fatalf("spans = %v; Silent and Skip'd stages must not open spans", rec.events)
+	}
+}
+
+func TestEngineWrapsCancellationWithStageName(t *testing.T) {
+	eng := New(Env{})
+	ctx, cancel := context.WithCancel(context.Background())
+	err := eng.Run(ctx, Stage{Name: "gmm.em", Run: func(ctx context.Context, _ *Env) error {
+		cancel()
+		return ctx.Err()
+	}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "gmm.em" {
+		t.Fatalf("err = %v, want StageError naming gmm.em", err)
+	}
+	if got := err.Error(); got != `pipeline: stage "gmm.em": context canceled` {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestEngineDoesNotWrapOrdinaryErrors(t *testing.T) {
+	eng := New(Env{})
+	boom := errors.New("validation: bad input")
+	err := eng.Run(context.Background(), Stage{Name: "x", Run: func(context.Context, *Env) error {
+		return boom
+	}})
+	if err != boom {
+		t.Fatalf("err = %v, want the unwrapped original", err)
+	}
+}
+
+func TestEngineInnermostStageNameWins(t *testing.T) {
+	inner := New(Env{})
+	outer := New(Env{})
+	err := outer.Run(context.Background(), Stage{Name: "outer", Run: func(ctx context.Context, _ *Env) error {
+		return inner.Run(ctx, Stage{Name: "inner", Run: func(context.Context, *Env) error {
+			return context.Canceled
+		}})
+	}})
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "inner" {
+		t.Fatalf("err = %v, want innermost StageError (inner)", err)
+	}
+	// Exactly one layer of StageError: the outer engine must not re-wrap.
+	if !errors.As(se.Err, &se) {
+		se = nil
+	}
+	if se != nil {
+		t.Fatalf("err = %v: double-wrapped StageError", err)
+	}
+}
+
+// TestEngineRunsStageUnderStop pins that the engine performs NO pre-stage
+// stop check: a stop raised before any work must still reach the first
+// stage body, which is the only place that can persist a resumable
+// checkpoint before returning the cause (the core interrupt tests depend
+// on exactly this — a pre-raised interrupt flag still yields a final S2
+// checkpoint).
+func TestEngineRunsStageUnderStop(t *testing.T) {
+	eng := New(Env{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := eng.Run(ctx, Stage{Name: "first", Silent: true, Run: func(ctx context.Context, env *Env) error {
+		ran = true
+		return Stopped(ctx, env.Checkpoint)
+	}})
+	if !ran {
+		t.Fatal("stage body did not run; the engine must not pre-check the context")
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Stage != "first" || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStopped(t *testing.T) {
+	if err := Stopped(context.Background(), nil); err != nil {
+		t.Fatalf("Stopped(background, nil) = %v", err)
+	}
+	if err := Stopped(nil, nil); err != nil {
+		t.Fatalf("Stopped(nil, nil) = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Stopped(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stopped(canceled, nil) = %v", err)
+	}
+	cp, err := checkpoint.New(checkpoint.Config{Dir: t.TempDir(), Tool: "test"})
+	if err != nil {
+		t.Fatalf("checkpoint.New: %v", err)
+	}
+	if err := Stopped(context.Background(), cp); err != nil {
+		t.Fatalf("Stopped(background, fresh cp) = %v", err)
+	}
+	cp.Interrupt()
+	if err := Stopped(context.Background(), cp); !errors.Is(err, checkpoint.ErrInterrupted) {
+		t.Fatalf("Stopped(background, interrupted cp) = %v", err)
+	}
+	// Context takes precedence when both fire: the context is the outer
+	// cause (the signal handler cancels it AND interrupts the checkpointer).
+	if err := Stopped(ctx, cp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stopped(canceled, interrupted cp) = %v", err)
+	}
+}
+
+func TestEngineSaveErrorNamesStage(t *testing.T) {
+	eng := New(Env{})
+	err := eng.Run(context.Background(), Stage{
+		Name: "core.s1",
+		Run:  func(context.Context, *Env) error { return nil },
+		Save: func() error { return errors.New("disk full") },
+	})
+	if err == nil || err.Error() != `pipeline: stage "core.s1" save: disk full` {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextFirstSignalCancels delivers SIGUSR1 to ourselves and
+// asserts the context cancels. SIGUSR1 (not SIGINT) so a test runner
+// driving this process with real interrupts can't interfere.
+func TestSignalContextFirstSignalCancels(t *testing.T) {
+	ctx, stop := signalContext(context.Background(), syscall.SIGUSR1)
+	defer stop()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh signal context already done: %v", err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after first signal")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", ctx.Err())
+	}
+}
+
+// TestSignalContextSecondSignalForceExits asserts the second signal hits
+// the force-exit path with status 130, via the test-only exitHook seam.
+func TestSignalContextSecondSignalForceExits(t *testing.T) {
+	exited := make(chan int, 1)
+	oldHook := exitHook
+	exitHook = func(code int) { exited <- code }
+	defer func() { exitHook = oldHook }()
+
+	ctx, stop := signalContext(context.Background(), syscall.SIGUSR2)
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR2); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after first signal")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR2); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-exited:
+		if code != forceExitCode {
+			t.Fatalf("force-exit code = %d, want %d", code, forceExitCode)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not trigger force exit")
+	}
+}
+
+// TestSignalContextStopReleases asserts stop() unhooks the handler: a
+// signal after stop must not cancel a fresh sibling context, and stop is
+// idempotent.
+func TestSignalContextStopReleases(t *testing.T) {
+	ctx, stop := signalContext(context.Background(), syscall.SIGUSR1)
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+		// stop cancels its own context (NotifyContext semantics): fine.
+	case <-time.After(time.Second):
+		t.Fatal("stop did not cancel the context")
+	}
+}

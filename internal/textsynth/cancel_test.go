@@ -1,0 +1,157 @@
+package textsynth
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"serd/internal/checkpoint"
+	"serd/internal/journal"
+	"serd/internal/simfn"
+	"serd/internal/telemetry"
+)
+
+// cancelAfterLosses cancels a context after n per-example loss
+// observations — landing the cancellation inside a DP-SGD epoch — and
+// keeps counting so tests can bound how far training ran past the cancel.
+type cancelAfterLosses struct {
+	telemetry.Recorder
+	mu     sync.Mutex
+	after  int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterLosses) Observe(name string, v float64) {
+	if name == "textsynth.train.loss" {
+		c.mu.Lock()
+		c.seen++
+		if c.seen == c.after {
+			c.cancel()
+		}
+		c.mu.Unlock()
+	}
+	c.Recorder.Observe(name, v)
+}
+
+func (c *cancelAfterLosses) StartSpan(name string) telemetry.Span { return c.Recorder.StartSpan(name) }
+
+func (c *cancelAfterLosses) losses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen
+}
+
+// TestTrainTransformerCancelMidEpoch pins DP-SGD cancellation: a cancel
+// landing inside an epoch returns within one minibatch with an error
+// wrapping context.Canceled, the partial epoch is discarded, and resuming
+// from the last epoch-boundary checkpoint completes bit-identically to
+// the uninterrupted run without double-charging the privacy ledger.
+func TestTrainTransformerCancelMidEpoch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transformer training")
+	}
+	corpus := smallCorpus()
+	sim := simfn.QGramJaccard{Q: 3, Fold: true}
+	plain, err := TrainTransformer(context.Background(), corpus, sim, resumeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plain.CheckpointState("name")
+
+	dir := t.TempDir()
+	opts := resumeOptions()
+	opts.Privacy = journal.NewLedger(nil)
+	cp, err := checkpoint.New(checkpoint.Config{Dir: dir, Tool: "serd", Seed: opts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Checkpoint = cp
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Each bucket trains 10 pairs for 2 epochs; 13 loss observations put
+	// the cancel inside the first bucket's second epoch, past the
+	// epoch-one checkpoint save.
+	rec := &cancelAfterLosses{Recorder: telemetry.Nop, after: 13, cancel: cancel}
+	opts.Metrics = rec
+	_, err = TrainTransformer(ctx, corpus, sim, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "textsynth: canceled in epoch") {
+		t.Fatalf("error %q does not name the canceled epoch", err)
+	}
+	// Prompt return: at most the in-flight minibatch finishes after the
+	// cancel lands.
+	if got := rec.losses(); got > 13+opts.BatchSize {
+		t.Fatalf("training ran %d examples past the cancel, want at most one minibatch (%d)", got-13, opts.BatchSize)
+	}
+
+	snap, err := checkpoint.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := snap.Trains["name"]
+	if file == nil {
+		t.Fatal("cancel left no train checkpoint on disk")
+	}
+	if file.Train.EpochsDone != 1 {
+		t.Fatalf("checkpoint at epoch %d, want the epoch-1 boundary save", file.Train.EpochsDone)
+	}
+
+	ropts := resumeOptions()
+	ropts.Privacy = journal.NewLedger(nil)
+	ropts.Privacy.Restore(opts.Privacy.Entries())
+	rcp, err := checkpoint.New(checkpoint.Config{Dir: dir, Tool: "serd", Seed: ropts.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts.Checkpoint = rcp
+	ropts.Resume = file.Train
+	resumed, err := TrainTransformer(context.Background(), corpus, sim, ropts)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(resumed.CheckpointState("name"), want) {
+		t.Fatal("resumed bank differs from the uninterrupted run")
+	}
+	// No double charging: the resumed run pays for the buckets still to
+	// train, but the bucket interrupted mid-epoch was charged before the
+	// cancel and must not be charged again.
+	seen := map[string]int{}
+	for _, e := range ropts.Privacy.Entries() {
+		seen[e.Label]++
+	}
+	for label, n := range seen {
+		if n > 1 {
+			t.Fatalf("ledger charged %q %d times after resume", label, n)
+		}
+	}
+}
+
+// TestTrainTransformerUntriggeredContextIsNoop pins the determinism
+// invariant at the textsynth layer: a cancelable context that never fires
+// must not change a single weight.
+func TestTrainTransformerUntriggeredContextIsNoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("transformer training")
+	}
+	corpus := smallCorpus()
+	sim := simfn.QGramJaccard{Q: 3, Fold: true}
+	plain, err := TrainTransformer(context.Background(), corpus, sim, resumeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	armed, err := TrainTransformer(ctx, corpus, sim, resumeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(armed.CheckpointState("name"), plain.CheckpointState("name")) {
+		t.Fatal("an untriggered context changed the trained bank")
+	}
+}

@@ -1,6 +1,7 @@
 package textsynth
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -118,10 +119,10 @@ func TestBuildPairsSmallCorpus(t *testing.T) {
 }
 
 func TestTrainTransformerValidation(t *testing.T) {
-	if _, err := TrainTransformer(nil, simfn.QGramJaccard{}, TransformerOptions{}); err == nil {
+	if _, err := TrainTransformer(context.Background(), nil, simfn.QGramJaccard{}, TransformerOptions{}); err == nil {
 		t.Error("empty corpus accepted")
 	}
-	if _, err := TrainTransformer([]string{"a", "b"}, nil, TransformerOptions{}); err == nil {
+	if _, err := TrainTransformer(context.Background(), []string{"a", "b"}, nil, TransformerOptions{}); err == nil {
 		t.Error("nil sim accepted")
 	}
 }

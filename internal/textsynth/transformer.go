@@ -1,6 +1,7 @@
 package textsynth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +14,7 @@ import (
 	"serd/internal/journal"
 	"serd/internal/nn"
 	"serd/internal/perturb"
+	"serd/internal/pipeline"
 	"serd/internal/simfn"
 	"serd/internal/telemetry"
 	"serd/internal/transformer"
@@ -175,7 +177,15 @@ type TransformerSynthesizer struct {
 // set. With opts.Checkpoint the training state is saved after every DP
 // charge and every epoch; with opts.Resume a checkpointed run continues
 // bit-for-bit where it left off.
-func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) (*TransformerSynthesizer, error) {
+//
+// Cancellation is checked per minibatch (immediate return, discarding the
+// partial epoch — the last epoch-boundary save stays the resume point) and
+// at bucket/epoch boundaries together with the checkpointer's interrupt
+// flag. A nil context disables the per-minibatch checks.
+func TrainTransformer(ctx context.Context, corpus []string, sim simfn.Func, opts TransformerOptions) (*TransformerSynthesizer, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if sim == nil {
 		return nil, errors.New("textsynth: nil similarity function")
 	}
@@ -281,18 +291,19 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 		if len(pairs) < opts.BatchSize {
 			continue // too few examples to train a model for this interval
 		}
-		if cp.Interrupted() {
+		if stopErr := pipeline.Stopped(ctx, cp); stopErr != nil {
 			// The last save (previous bucket's final epoch) already covers
 			// everything done so far; nothing new to persist.
-			return nil, fmt.Errorf("textsynth: interrupted before bucket %d: %w", bk, checkpoint.ErrInterrupted)
+			return nil, fmt.Errorf("textsynth: interrupted before bucket %d: %w", bk, stopErr)
 		}
 		resuming := res != nil && bk == res.NextBucket
 		bt := bucketTrain{
+			ctx:  ctx,
 			acct: dp.RDPState{},
 			save: func(epochsDone int, mState *transformer.State, eps float64, acct dp.RDPState, optSteps int) error {
 				return save(bk, epochsDone, mState, eps, acct, optSteps)
 			},
-			interrupted: cp.Interrupted,
+			stop: func() error { return pipeline.Stopped(ctx, cp) },
 		}
 		if opts.DP != nil {
 			bt.acct.Noise = opts.DP.Noise
@@ -353,9 +364,13 @@ func TrainTransformer(corpus []string, sim simfn.Func, opts TransformerOptions) 
 	return nil, errors.New("textsynth: no bucket had enough training pairs")
 }
 
-// bucketTrain carries one bucket's resume position and checkpoint hooks
-// into trainOne.
+// bucketTrain carries one bucket's resume position, cancellation hooks
+// and checkpoint hooks into trainOne.
 type bucketTrain struct {
+	// ctx is checked per minibatch: a canceled context returns
+	// immediately, discarding the partial epoch (the last epoch-boundary
+	// save remains the resume point). Nil disables the check.
+	ctx context.Context
 	// startEpoch is the first epoch still to run (0 on a fresh bucket).
 	startEpoch int
 	// optSteps restores the DP-SGD applied-update counter.
@@ -364,8 +379,25 @@ type bucketTrain struct {
 	acct dp.RDPState
 	// save persists the state after each completed epoch; nil disables.
 	save func(epochsDone int, mState *transformer.State, eps float64, acct dp.RDPState, optSteps int) error
-	// interrupted is polled at epoch boundaries, after the save.
-	interrupted func() bool
+	// stop is polled at epoch boundaries, after the save; it returns the
+	// cooperative-stop cause (context or interrupt flag) or nil.
+	stop func() error
+}
+
+// canceled reports the context's error, tolerating a nil context.
+func (bt bucketTrain) canceled() error {
+	if bt.ctx == nil {
+		return nil
+	}
+	return bt.ctx.Err()
+}
+
+// stopped reports the epoch-boundary stop cause, tolerating a nil hook.
+func (bt bucketTrain) stopped() error {
+	if bt.stop == nil {
+		return nil
+	}
+	return bt.stop()
 }
 
 // trainOne trains a single bucket model (Algorithm 1 when DP is enabled)
@@ -407,6 +439,12 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 		for epoch := bt.startEpoch; epoch < opts.Epochs; epoch++ {
 			perm := r.Perm(n)
 			for i := 0; i < n; i += opts.BatchSize {
+				if err := bt.canceled(); err != nil {
+					// Prompt return within one minibatch; the partial epoch
+					// is discarded and the last epoch-boundary save resumes
+					// the bucket from this epoch's start.
+					return 0, fmt.Errorf("textsynth: canceled in epoch %d/%d: %w", epoch+1, opts.Epochs, err)
+				}
 				end := i + opts.BatchSize
 				if end > n {
 					end = n
@@ -427,8 +465,10 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 					return 0, err
 				}
 			}
-			if epoch+1 < opts.Epochs && bt.interrupted() {
-				return 0, fmt.Errorf("textsynth: interrupted after epoch %d/%d: %w", epoch+1, opts.Epochs, checkpoint.ErrInterrupted)
+			if epoch+1 < opts.Epochs {
+				if cause := bt.stopped(); cause != nil {
+					return 0, fmt.Errorf("textsynth: interrupted after epoch %d/%d: %w", epoch+1, opts.Epochs, cause)
+				}
 			}
 		}
 		finish()
@@ -441,6 +481,9 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		perm := r.Perm(n)
 		for i := 0; i < n; i += opts.BatchSize {
+			if err := bt.canceled(); err != nil {
+				return 0, fmt.Errorf("textsynth: canceled in epoch %d/%d: %w", epoch+1, opts.Epochs, err)
+			}
 			end := i + opts.BatchSize
 			if end > n {
 				end = n

@@ -1,6 +1,7 @@
 package textsynth
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -50,7 +51,7 @@ func TestTrainTransformerEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("transformer training")
 	}
-	ts, err := TrainTransformer(smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, microOptions(nil))
+	ts, err := TrainTransformer(context.Background(), smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, microOptions(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestTrainTransformerDPReportsEpsilon(t *testing.T) {
 	opts := microOptions(dpOpts)
 	reg := telemetry.NewRegistry()
 	opts.Metrics = reg
-	ts, err := TrainTransformer(smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, opts)
+	ts, err := TrainTransformer(context.Background(), smallCorpus(), simfn.QGramJaccard{Q: 3, Fold: true}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestTrainResumeBitIdentical(t *testing.T) {
 	sim := simfn.QGramJaccard{Q: 3, Fold: true}
 
 	// Baseline A: no checkpointing at all.
-	plain, err := TrainTransformer(corpus, sim, resumeOptions())
+	plain, err := TrainTransformer(context.Background(), corpus, sim, resumeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestTrainResumeBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts.Checkpoint = cp
-	full, err := TrainTransformer(corpus, sim, opts)
+	full, err := TrainTransformer(context.Background(), corpus, sim, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestTrainResumeBitIdentical(t *testing.T) {
 			return nil
 		}
 		opts.Checkpoint = cp
-		if _, err := TrainTransformer(corpus, sim, opts); !errors.Is(err, checkpoint.ErrInterrupted) {
+		if _, err := TrainTransformer(context.Background(), corpus, sim, opts); !errors.Is(err, checkpoint.ErrInterrupted) {
 			t.Fatalf("killAt=%d: err = %v, want ErrInterrupted", killAt, err)
 		}
 		preCharges := opts.Privacy.Entries()
@@ -217,7 +218,7 @@ func TestTrainResumeBitIdentical(t *testing.T) {
 		}
 		ropts.Checkpoint = rcp
 		ropts.Resume = st
-		resumed, err := TrainTransformer(corpus, sim, ropts)
+		resumed, err := TrainTransformer(context.Background(), corpus, sim, ropts)
 		if err != nil {
 			t.Fatalf("killAt=%d: resume: %v", killAt, err)
 		}
@@ -239,7 +240,7 @@ func TestNewFromStateRebuildsDoneBank(t *testing.T) {
 	}
 	corpus := smallCorpus()
 	sim := simfn.QGramJaccard{Q: 3, Fold: true}
-	ts, err := TrainTransformer(corpus, sim, resumeOptions())
+	ts, err := TrainTransformer(context.Background(), corpus, sim, resumeOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestNewFromStateRebuildsDoneBank(t *testing.T) {
 	opts := resumeOptions()
 	opts.Privacy = journal.NewLedger(nil)
 	opts.Resume = st
-	rebuilt, err := TrainTransformer(corpus, sim, opts)
+	rebuilt, err := TrainTransformer(context.Background(), corpus, sim, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package serd_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -13,9 +14,10 @@ import (
 
 // synthesizeJournaled runs a full same-seed pipeline with a journal, a
 // journal-instrumented recorder and a ledgered DP release, saving the
-// dataset to dir and returning the raw journal bytes. workers sets
+// dataset to dir and returning the raw journal bytes. ctx is threaded
+// through the synthesis (nil means context.Background()); workers sets
 // Options.Workers (0 = default).
-func synthesizeJournaled(t *testing.T, dir string, workers int) []byte {
+func synthesizeJournaled(t *testing.T, ctx context.Context, dir string, workers int) []byte {
 	t.Helper()
 	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
 	if err != nil {
@@ -32,8 +34,11 @@ func synthesizeJournaled(t *testing.T, dir string, workers int) []byte {
 	if err := ledger.ChargeSGD("bk0", "bank", 0.25, 1.1, 12, 1e-5); err != nil {
 		t.Fatal(err)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	reg := serd.NewMetricsRegistry()
-	res, err := serd.Synthesize(g.ER, serd.Options{
+	res, err := serd.SynthesizeContext(ctx, g.ER, serd.Options{
 		Synthesizers: synths,
 		Seed:         9,
 		Metrics:      serd.JournalRecorder(jr, reg),
@@ -88,8 +93,8 @@ func TestJournaledSynthesisDeterministic(t *testing.T) {
 	dirJ2 := filepath.Join(base, "j2")
 
 	synthesizeTo(t, dirPlain, nil)
-	journal1 := synthesizeJournaled(t, dirJ1, 0)
-	journal2 := synthesizeJournaled(t, dirJ2, 0)
+	journal1 := synthesizeJournaled(t, nil, dirJ1, 0)
+	journal2 := synthesizeJournaled(t, nil, dirJ2, 0)
 
 	want := readDataset(t, dirPlain)
 	for _, dir := range []string{dirJ1, dirJ2} {
@@ -139,8 +144,8 @@ func TestSynthesizeWorkerCountInvariant(t *testing.T) {
 	dir1 := filepath.Join(base, "w1")
 	dir4 := filepath.Join(base, "w4")
 
-	journal1 := synthesizeJournaled(t, dir1, 1)
-	journal4 := synthesizeJournaled(t, dir4, 4)
+	journal1 := synthesizeJournaled(t, nil, dir1, 1)
+	journal4 := synthesizeJournaled(t, nil, dir4, 4)
 
 	want := readDataset(t, dir1)
 	got := readDataset(t, dir4)

@@ -27,6 +27,7 @@
 package serd
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -399,13 +400,28 @@ func ReadRunReport(path string) (*RunReport, error) { return telemetry.ReadRunRe
 
 // Synthesize runs the full SERD pipeline on a real dataset.
 func Synthesize(real *ER, opts Options) (*Result, error) {
-	return core.Synthesize(real, opts)
+	return core.Synthesize(context.Background(), real, opts)
+}
+
+// SynthesizeContext is Synthesize under a cancellation context: the S1/S2/S3
+// stages check ctx at EM-iteration/entity/pair granularity, write a final
+// checkpoint when one is configured, and return ctx's error wrapped with the
+// interrupted stage's name. An untriggered context yields a byte-identical
+// dataset and journal.
+func SynthesizeContext(ctx context.Context, real *ER, opts Options) (*Result, error) {
+	return core.Synthesize(ctx, real, opts)
 }
 
 // LearnDistributions runs only S1: fit the M- and N-distributions of the
 // real dataset.
 func LearnDistributions(real *ER, opts LearnOptions) (*Joint, error) {
-	return core.LearnDistributions(real, opts)
+	return core.LearnDistributions(context.Background(), real, opts)
+}
+
+// LearnDistributionsContext is LearnDistributions under a cancellation
+// context, checked at EM-iteration granularity.
+func LearnDistributionsContext(ctx context.Context, real *ER, opts LearnOptions) (*Joint, error) {
+	return core.LearnDistributions(ctx, real, opts)
 }
 
 // NewSchema validates and builds a schema.
@@ -426,7 +442,14 @@ func NewRuleSynthesizer(sim SimFunc, corpus []string) (*RuleSynthesizer, error) 
 // TrainTransformer trains the paper's bucketed transformer bank on a
 // background corpus (optionally with DP-SGD; see TransformerOptions.DP).
 func TrainTransformer(corpus []string, sim SimFunc, opts TransformerOptions) (*TransformerSynthesizer, error) {
-	return textsynth.TrainTransformer(corpus, sim, opts)
+	return textsynth.TrainTransformer(context.Background(), corpus, sim, opts)
+}
+
+// TrainTransformerContext is TrainTransformer under a cancellation context,
+// checked per minibatch (the partial epoch is discarded; the last
+// epoch-boundary checkpoint remains the resume point).
+func TrainTransformerContext(ctx context.Context, corpus []string, sim SimFunc, opts TransformerOptions) (*TransformerSynthesizer, error) {
+	return textsynth.TrainTransformer(ctx, corpus, sim, opts)
 }
 
 // Sample generates one of the four built-in surrogate datasets
