@@ -5,13 +5,15 @@
 //
 //	experiments [-exp all|t1,t2,f5,f6,f7,f8,f9,t3,t4] [-datasets a,b] \
 //	            [-sizecap N] [-matchcap N] [-seed S] [-transformer] \
-//	            [-metrics-addr :9090] [-report path] \
+//	            [-metrics-addr :9090] [-report path] [-trace out.json] \
 //	            [-bench-out path] [-bench-against baseline] [-bench-threshold F]
 //
 // The default run uses the generators' CPU-scaled dataset sizes and the
 // rule-based string synthesizer; -transformer switches SERD's textual
 // synthesis to the DP transformer bank (much slower). -metrics-addr
-// serves the live run inspector for the duration of the run, -report
+// serves the live run inspector for the duration of the run (including
+// the /events SSE stream), -trace writes a Chrome trace-event JSON plus
+// a compact .jsonl trace for `serd trace`, -report
 // writes the final metric snapshot as a run report, and -bench-out runs
 // the core synthesis bench and writes BENCH_core.json-style output
 // instead of the experiment tables. -bench-against compares the fresh
@@ -39,6 +41,7 @@ import (
 	"serd/internal/pipeline"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
+	"serd/internal/trace"
 )
 
 func main() {
@@ -90,15 +93,48 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	reg := telemetry.NewRegistry()
-	cfg.Metrics = reg
 	start := time.Now()
+
+	// The event bus feeds both live consumers: SSE subscribers on /events
+	// and the -trace exporter. It is armed only when someone can listen,
+	// so plain runs pay nothing.
+	var bus *telemetry.Bus
+	if flags.TracePath != "" || flags.MetricsAddr != "" {
+		bus = telemetry.NewBus(0)
+	}
+	cfg.Metrics = trace.Wrap(trace.New(bus), reg)
+	sampler := telemetry.StartSampler(reg, bus, 0)
+	defer sampler.Stop()
+
 	if flags.MetricsAddr != "" {
-		srv, err := telemetry.Serve(flags.MetricsAddr, reg)
+		srv, err := telemetry.ServeWith(flags.MetricsAddr, reg, bus)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
-		defer srv.Close()
-		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, events, debug/pprof)\n", srv.Addr())
+	}
+	if flags.TracePath != "" {
+		exp, err := trace.NewExporter(bus, flags.TracePath, trace.Header{
+			Tool:    "experiments",
+			Dataset: flags.Datasets,
+			Seed:    flags.Seed,
+			StartNS: start.UnixNano(),
+		})
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer func() {
+			if err := exp.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace -> %s\n", flags.TracePath)
+		}()
 	}
 	suite := experiments.NewSuite(cfg)
 
@@ -236,12 +272,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if flags.ReportPath != "" {
+		rtStats := sampler.Stop()
 		rep := &telemetry.RunReport{
 			Tool:        "experiments",
 			Dataset:     strings.Join(suite.Config().Datasets, ","),
 			Seed:        flags.Seed,
 			Start:       start,
 			WallSeconds: time.Since(start).Seconds(),
+			Trace:       flags.TracePath,
+			Runtime:     &rtStats,
 			Metrics:     reg.Snapshot(),
 		}
 		if err := telemetry.WriteRunReport(flags.ReportPath, rep); err != nil {
@@ -260,7 +299,7 @@ func runBench(cfg experiments.Config, flags *config.Experiments, stdout io.Write
 	if err != nil {
 		return fmt.Errorf("core bench: %w", err)
 	}
-	rep := experiments.CoreBenchReport{Time: start, Seed: flags.Seed, SizeCap: flags.SizeCap, MatchCap: flags.MatchCap, Rows: rows}
+	rep := experiments.CoreBenchReport{SchemaVersion: experiments.CoreBenchSchemaVersion, Time: start, Seed: flags.Seed, SizeCap: flags.SizeCap, MatchCap: flags.MatchCap, Rows: rows}
 	for _, r := range rows {
 		fmt.Fprintf(stdout, "%-16s %6d entities  %8.1f ent/s  JSD=%.4f  attempts=%.0f\n",
 			r.Dataset, r.Entities, r.EntitiesPerSec, r.JSD, r.Attempts)

@@ -78,6 +78,9 @@ func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "audit" {
 		return runAudit(args[1:], stdout)
 	}
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("serd", flag.ContinueOnError)
 	flags := config.RegisterSerd(fs)
 	if err := fs.Parse(args); err != nil {

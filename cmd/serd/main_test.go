@@ -117,12 +117,14 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	defer func() { testHookServing = oldHook }()
 
+	tracePath := filepath.Join(dir, "trace.json")
 	var buf bytes.Buffer
 	err := run([]string{
 		"-in", inDir, "-out", outDir,
 		"-schema", "name:text,address:text,city:cat,flavor:cat",
 		"-seed", "7",
 		"-metrics-addr", "127.0.0.1:0",
+		"-trace", tracePath,
 	}, &buf)
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
@@ -152,6 +154,27 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	if _, ok := rep.Summary["jsd"]; !ok {
 		t.Error("report missing jsd summary")
+	}
+	if rep.Trace != tracePath {
+		t.Errorf("report trace = %q, want %q", rep.Trace, tracePath)
+	}
+	if rep.Runtime == nil || rep.Runtime.Samples < 1 || rep.Runtime.HeapAllocBytes == 0 {
+		t.Errorf("report runtime stats = %+v", rep.Runtime)
+	}
+
+	// Both trace files exist and the .jsonl analyzes cleanly through the
+	// trace subcommand, with the journal's run id threaded through.
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Errorf("chrome trace not written: %v", err)
+	}
+	var sumOut bytes.Buffer
+	if err := run([]string{"trace", "summary", tracePath}, &sumOut); err != nil {
+		t.Fatalf("trace summary on the run's own trace: %v", err)
+	}
+	for _, want := range []string{"run ", "core.s2", "dataset in"} {
+		if !strings.Contains(sumOut.String(), want) {
+			t.Errorf("trace summary missing %q:\n%s", want, sumOut.String())
+		}
 	}
 }
 

@@ -15,6 +15,8 @@ import (
 	"serd/internal/checkpoint"
 	"serd/internal/config"
 	"serd/internal/journal"
+	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
 
 // synthConfig carries the parsed flags and the run's wiring (journal,
@@ -49,17 +51,69 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		// still journal, restoring balanced pairs across the seam).
 		rec = journal.InstrumentResumed(cfg.jr, reg, cfg.openPhases)
 	}
+
+	// Tracing arms when there is a consumer: a -trace file, or a live
+	// inspector whose /events stream wants span events. The tracer wraps
+	// the recorder chain OUTERMOST so every downstream package can recover
+	// it via trace.FromRecorder; disarmed, rec is returned unchanged and
+	// the hot loops pay nothing.
+	var bus *telemetry.Bus
+	if flags.TracePath != "" || flags.MetricsAddr != "" {
+		bus = telemetry.NewBus(0)
+	}
+	rec = trace.Wrap(trace.New(bus), rec)
 	if cfg.cp != nil {
 		cfg.cp.Metrics = rec
 	}
+
+	// The runtime sampler always runs: its gauges cost a goroutine and a
+	// 250ms tick, and the run report gains the peak-RSS / GC-pause axis the
+	// bench trajectory tracks. It observes only the Go runtime — never the
+	// synthesis state — so it cannot perturb outputs.
+	sampler := telemetry.StartSampler(reg, bus, 0)
+	defer sampler.Stop()
+
 	if flags.MetricsAddr != "" {
-		srv, err := serd.ServeMetrics(flags.MetricsAddr, reg)
+		srv, err := telemetry.ServeWith(flags.MetricsAddr, reg, bus)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
-		defer srv.Close()
-		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
+		defer func() {
+			// Graceful drain on every exit path (including the signal
+			// path, which cancels ctx and unwinds through here): attached
+			// /events clients receive a terminal shutdown event.
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx) //nolint:errcheck // best-effort drain at exit
+		}()
+		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, events, debug/pprof)\n", srv.Addr())
 		testHookServing(srv.Addr())
+	}
+
+	if flags.TracePath != "" {
+		hdr := trace.Header{
+			Tool:    "serd",
+			Dataset: filepath.Base(filepath.Clean(flags.In)),
+			Seed:    flags.Seed,
+			StartNS: cfg.start.UnixNano(),
+		}
+		if cfg.jr != nil {
+			// The journal seam at trace start keys the trace to the run's
+			// provenance record without adding any journal event.
+			_, chain, _ := cfg.jr.Seam()
+			hdr.RunID = chain
+		}
+		exp, err := trace.NewExporter(bus, flags.TracePath, hdr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := exp.Close(); err != nil {
+				fmt.Fprintln(stdout, "trace:", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace -> %s\n", flags.TracePath)
+		}()
 	}
 
 	synths := make(map[string]serd.Synthesizer)
@@ -207,6 +261,9 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		if path == "" {
 			path = filepath.Join(flags.Out, "run_report.json")
 		}
+		// Final sample before the snapshot so the report's gauges and
+		// Runtime block agree.
+		rtStats := sampler.Stop()
 		rep := &serd.RunReport{
 			Tool:        "serd",
 			Dataset:     filepath.Base(filepath.Clean(flags.In)),
@@ -222,6 +279,8 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 				"rejected_by_discriminator": float64(res.RejectedByDiscriminator),
 			},
 			Metrics: reg.Snapshot(),
+			Runtime: &rtStats,
+			Trace:   flags.TracePath,
 		}
 		if cfg.jr != nil {
 			rep.Journal = cfg.journalPath

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"serd/internal/trace"
+)
+
+const traceUsage = `usage: serd trace <command> <trace.jsonl>...
+
+Analyze the trace files a run writes with -trace (the compact .jsonl
+stream; the sibling .json is the Chrome trace-event export for
+chrome://tracing or Perfetto).
+
+commands:
+  summary       <trace>          per-stage / per-worker time breakdown
+  critical-path <trace>          the longest dependent chain through the
+                                 stage graph, with each stage's dominant
+                                 worker track
+  diff          <base> <other>   attribute the wall-clock difference
+                                 between two traces to specific stages
+                                 and chunk groups
+`
+
+func runTrace(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprint(stdout, traceUsage)
+		return errors.New("trace: missing command")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("serd trace "+sub, flag.ContinueOnError)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	switch sub {
+	case "summary":
+		if fs.NArg() != 1 {
+			return errors.New("trace summary: want exactly one trace file")
+		}
+		t, err := trace.Load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		printSummary(stdout, trace.Summarize(t))
+		return nil
+	case "critical-path":
+		if fs.NArg() != 1 {
+			return errors.New("trace critical-path: want exactly one trace file")
+		}
+		t, err := trace.Load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		printCriticalPath(stdout, trace.FindCriticalPath(t))
+		return nil
+	case "diff":
+		if fs.NArg() != 2 {
+			return errors.New("trace diff: want exactly two trace files")
+		}
+		base, err := trace.Load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		other, err := trace.Load(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		printDiff(stdout, trace.DiffTraces(base, other))
+		return nil
+	default:
+		fmt.Fprint(stdout, traceUsage)
+		return fmt.Errorf("trace: unknown command %q", sub)
+	}
+}
+
+func printSummary(w io.Writer, s trace.Summary) {
+	if s.Header.RunID != "" {
+		fmt.Fprintf(w, "run %s", s.Header.RunID)
+		if s.Header.Dataset != "" {
+			fmt.Fprintf(w, "  dataset %s", s.Header.Dataset)
+		}
+		fmt.Fprintf(w, "  seed %d\n", s.Header.Seed)
+	}
+	fmt.Fprintf(w, "wall %.3fs, %.1f%% inside the stage tree (%d events", s.WallSeconds, 100*s.Coverage, s.Events)
+	if s.Dropped > 0 {
+		fmt.Fprintf(w, ", %d DROPPED", s.Dropped)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-28s %6s %10s %7s\n", "stage", "count", "seconds", "share")
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%-28s %6d %10.4f %6.1f%%\n", st.Name, st.Count, st.Seconds, 100*st.Fraction)
+		for _, c := range st.Children {
+			fmt.Fprintf(w, "  %-26s %6d %10.4f\n", c.Name, c.Count, c.Seconds)
+		}
+	}
+	if len(s.Workers) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-10s %6s %10s\n", "worker", "spans", "busy s")
+		for _, ws := range s.Workers {
+			fmt.Fprintf(w, "%-10s %6d %10.4f\n", ws.Worker, ws.Spans, ws.Seconds)
+		}
+	}
+}
+
+func printCriticalPath(w io.Writer, cp trace.CriticalPath) {
+	fmt.Fprintf(w, "critical path: %.3fs of %.3fs wall (%.1f%%)\n\n", cp.TotalSeconds, cp.WallSeconds, 100*cp.Coverage)
+	for i, st := range cp.Steps {
+		fmt.Fprintf(w, "%2d. %-28s %8.4fs", i+1, st.Name, st.Seconds)
+		if st.Detail != "" {
+			fmt.Fprintf(w, "   <- %s (%.4fs busy)", st.Detail, st.DetailSeconds)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func printDiff(w io.Writer, d trace.Diff) {
+	fmt.Fprintf(w, "wall: %.3fs -> %.3fs (%+.3fs)\n\n", d.BaseWall, d.OtherWall, d.Delta)
+	fmt.Fprintf(w, "%-40s %10s %10s %9s %7s\n", "stage", "base s", "other s", "delta", "share")
+	for _, r := range d.Stages {
+		fmt.Fprintf(w, "%-40s %10.4f %10.4f %+8.4f %6.1f%%\n", r.Key, r.BaseSeconds, r.OtherSeconds, r.Delta, 100*r.Share)
+	}
+	if len(d.Children) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-40s %10s %10s %9s %7s\n", "chunk group", "base s", "other s", "delta", "share")
+		for i, r := range d.Children {
+			if i >= 12 {
+				fmt.Fprintf(w, "(%d more)\n", len(d.Children)-i)
+				break
+			}
+			fmt.Fprintf(w, "%-40s %10.4f %10.4f %+8.4f %6.1f%%\n", r.Key, r.BaseSeconds, r.OtherSeconds, r.Delta, 100*r.Share)
+		}
+	}
+}

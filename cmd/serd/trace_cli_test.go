@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestTrace writes a synthetic compact trace: two sequential stages,
+// the second with two worker chunks, scaled by stretch (nanoseconds).
+func writeTestTrace(t *testing.T, path string, stretch int64) {
+	t.Helper()
+	lines := []string{
+		`{"k":"h","run":"r1","tool":"serd","dataset":"Restaurant","seed":7,"start":0}`,
+		`{"k":"ps","id":1,"name":"core.s1","t":0}`,
+		`{"k":"s","id":2,"par":1,"name":"gmm.em.iter","t":0,"dur":` + itoa(40*stretch) + `,"attrs":{"iter":"0"}}`,
+		`{"k":"pe","id":1,"name":"core.s1","t":` + itoa(50*stretch) + `,"dur":` + itoa(50*stretch) + `}`,
+		`{"k":"ps","id":3,"name":"core.s2","t":` + itoa(50*stretch) + `}`,
+		`{"k":"s","id":4,"par":3,"name":"core.s2.chunk","t":` + itoa(50*stretch) + `,"dur":` + itoa(45*stretch) + `,"attrs":{"worker":"0"}}`,
+		`{"k":"s","id":5,"par":3,"name":"core.s2.chunk","t":` + itoa(50*stretch) + `,"dur":` + itoa(40*stretch) + `,"attrs":{"worker":"1"}}`,
+		`{"k":"pe","id":3,"name":"core.s2","t":` + itoa(100*stretch) + `,"dur":` + itoa(50*stretch) + `,"attrs":{"accepted":"80"}}`,
+		`{"k":"f","events":8}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestTraceCLISummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeTestTrace(t, path, 1e6)
+
+	var out strings.Builder
+	if err := run([]string{"trace", "summary", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"run r1", "dataset Restaurant", "core.s1", "core.s2", "core.s2.chunk", "worker"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "100.0% inside the stage tree") {
+		t.Errorf("summary coverage wrong:\n%s", got)
+	}
+}
+
+func TestTraceCLICriticalPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeTestTrace(t, path, 1e6)
+
+	var out strings.Builder
+	if err := run([]string{"trace", "critical-path", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "critical path: 0.100s of 0.100s wall (100.0%)") {
+		t.Errorf("critical path header:\n%s", got)
+	}
+	// Worker 0 is busier (45ms vs 40ms), so it is s2's binding track.
+	if !strings.Contains(got, "core.s2.chunk worker 0") {
+		t.Errorf("dominant track missing:\n%s", got)
+	}
+}
+
+func TestTraceCLIDiff(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.jsonl")
+	slow := filepath.Join(dir, "slow.jsonl")
+	writeTestTrace(t, base, 1e6)
+	writeTestTrace(t, slow, 2e6) // uniformly 2x slower
+
+	var out strings.Builder
+	if err := run([]string{"trace", "diff", base, slow}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "wall: 0.100s -> 0.200s (+0.100s)") {
+		t.Errorf("diff header:\n%s", got)
+	}
+	for _, want := range []string{"core.s1", "core.s2", "core.s2/core.s2.chunk"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceCLIErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"trace"}, &out); err == nil {
+		t.Error("bare trace should fail with usage")
+	}
+	if !strings.Contains(out.String(), "usage: serd trace") {
+		t.Errorf("no usage printed:\n%s", out.String())
+	}
+	if err := run([]string{"trace", "nope", "x"}, &out); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Errorf("unknown subcommand: %v", err)
+	}
+	if err := run([]string{"trace", "summary"}, &out); err == nil {
+		t.Error("summary without a file should fail")
+	}
+	if err := run([]string{"trace", "diff", "only-one"}, &out); err == nil {
+		t.Error("diff with one file should fail")
+	}
+	if err := run([]string{"trace", "summary", filepath.Join(t.TempDir(), "missing.jsonl")}, &out); err == nil {
+		t.Error("missing trace file should fail")
+	}
+}

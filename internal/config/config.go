@@ -42,7 +42,8 @@ var sharedSpecs = []Spec{
 	{Name: "seed", Def: int64(1), Usage: "random seed"},
 	{Name: "out", Def: "", Usage: "output dataset directory (required)"},
 	{Name: "workers", Def: int(0), Usage: "worker count for the parallel S2/S3 hot path (0 = GOMAXPROCS); outputs are bit-identical at any value"},
-	{Name: "metrics-addr", Def: "", Usage: "serve the live run inspector on this address (e.g. :9090)"},
+	{Name: "metrics-addr", Def: "", Usage: "serve the live run inspector on this address (e.g. :9090); with -trace or on serd, /events streams span/metric events as SSE"},
+	{Name: "trace", Def: "", Usage: "write a Chrome trace-event JSON here plus a compact .jsonl trace next to it (analyze with 'serd trace'); tracing never changes outputs"},
 	{Name: "report", Def: "", Usage: "run-report path (with an -out directory, default <out>/run_report.json)"},
 	{Name: "no-report", Def: false, Usage: "skip writing the run report"},
 	{Name: "journal", Def: "", Usage: "event-journal path (default <out>/journal.jsonl)"},
@@ -150,6 +151,7 @@ type Serd struct {
 	CheckpointDir       string
 	CheckpointEvery     int
 	Resume              bool
+	TracePath           string
 }
 
 // RegisterSerd binds cmd/serd's full flag surface into fs.
@@ -188,6 +190,7 @@ func RegisterSerd(fs *flag.FlagSet) *Serd {
 	b.str(&c.CheckpointDir, "checkpoint-dir")
 	b.integer(&c.CheckpointEvery, "checkpoint-every")
 	b.boolean(&c.Resume, "resume")
+	b.str(&c.TracePath, "trace")
 	return c
 }
 
@@ -238,6 +241,7 @@ type Experiments struct {
 	BenchOut       string
 	BenchAgainst   string
 	BenchThreshold float64
+	TracePath      string
 }
 
 // RegisterExperiments binds cmd/experiments' flag surface into fs.
@@ -256,6 +260,7 @@ func RegisterExperiments(fs *flag.FlagSet) *Experiments {
 	fs.StringVar(&c.BenchOut, "bench-out", "", "run the core synthesis bench and write BENCH_core.json to this path (skips the tables)")
 	fs.StringVar(&c.BenchAgainst, "bench-against", "", "compare the core bench against this baseline BENCH_core.json, exiting non-zero on a throughput regression (skips the tables)")
 	fs.Float64Var(&c.BenchThreshold, "bench-threshold", 0.30, "allowed fractional throughput drop for -bench-against")
+	b.str(&c.TracePath, "trace")
 	return c
 }
 

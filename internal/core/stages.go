@@ -15,7 +15,13 @@ import (
 	"serd/internal/parallel"
 	"serd/internal/pipeline"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
+
+// s2BlockSpanEvery is the accepted-entity granularity of S2's trace block
+// spans: coarse enough that tracing adds no per-entity overhead at 1M
+// entities, fine enough to localize a slowdown within the stage.
+const s2BlockSpanEvery = 64
 
 // synthRun is the mutable state of one Synthesize call, shared by the
 // pipeline stages. Stage decomposition moves no RNG draws: every draw
@@ -297,6 +303,19 @@ func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
 	s2Start := time.Now()
 	totalTarget := opts.SizeA + opts.SizeB
 	rec.Set("core.s2.total", float64(totalTarget))
+	// Trace block spans: S2 is one long loop, so the tree gets a child
+	// span per s2BlockSpanEvery accepted entities carrying the block's
+	// accept/reject counts. Disarmed (tr == nil) this is a nil check per
+	// entity — the per-attempt hot path is untouched either way.
+	tr := trace.FromRecorder(rec)
+	var block *trace.Child
+	var blockFrom, blockRejFrom int
+	closeBlock := func(done int) {
+		if block != nil {
+			block.End(trace.Int("accepted", done-blockFrom), trace.Int("rejected", st.rejections-blockRejFrom))
+			block = nil
+		}
+	}
 	every := 0
 	if st.cp != nil {
 		every = st.cp.Every()
@@ -318,6 +337,10 @@ func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
 	// S2 loop: one new entity per iteration.
 	for synA.Len() < opts.SizeA || synB.Len() < opts.SizeB {
 		done := synA.Len() + synB.Len()
+		if tr != nil && block == nil {
+			blockFrom, blockRejFrom = done, st.rejections
+			block = tr.Child("core.s2.block", trace.Int("from", done))
+		}
 		if stopErr := pipeline.Stopped(ctx, st.cp); stopErr != nil {
 			if err := st.saveS2(); err != nil {
 				return err
@@ -421,6 +444,9 @@ func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
 				opts.Progress(synA.Len()+synB.Len(), totalTarget)
 			}
 			break
+		}
+		if done := synA.Len() + synB.Len(); done-blockFrom >= s2BlockSpanEvery || done >= totalTarget {
+			closeBlock(done)
 		}
 	}
 	if elapsed := time.Since(s2Start).Seconds(); elapsed > 0 {

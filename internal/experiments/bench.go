@@ -5,10 +5,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"serd/internal/telemetry"
 )
+
+// CoreBenchSchemaVersion is the current BENCH_core.json schema. Version 2
+// added the memory axis (peak_rss_bytes, gc_pause_seconds); documents
+// without a schema_version field are version 1 and compare cleanly — the
+// perf gate only holds runs to fields both documents carry.
+const CoreBenchSchemaVersion = 2
 
 // CoreBenchRow is one dataset's core-synthesis performance profile, the
 // row format of BENCH_core.json.
@@ -28,6 +35,14 @@ type CoreBenchRow struct {
 	// EMIterations is the total EM iteration count across every GMM fit of
 	// the run (S1 learning plus S2 tentative refits).
 	EMIterations float64 `json:"em_iterations"`
+	// PeakRSSBytes is the process high-water RSS after this dataset's run
+	// (schema v2; 0 where the OS does not expose it). Cumulative across the
+	// bench process, so only the last row isolates a single dataset — it is
+	// tracked for memory-blowup regressions, not per-dataset attribution.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
+	// GCPauseSeconds is the stop-the-world pause time this dataset's run
+	// added (schema v2).
+	GCPauseSeconds float64 `json:"gc_pause_seconds,omitempty"`
 }
 
 // CoreBench synthesizes each configured dataset once with a private
@@ -44,12 +59,16 @@ func CoreBench(cfg Config) ([]CoreBenchRow, error) {
 		one.Datasets = []string{name}
 		one.Metrics = reg
 		suite := NewSuite(one)
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		syn, err := suite.SynER(name, MethodSERD)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: core bench %s: %w", name, err)
 		}
 		wall := time.Since(start).Seconds()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
 		snap := reg.Snapshot()
 		eps, _ := reg.Gauge("core.s2.entities_per_sec")
 		jsd, _ := reg.Gauge("core.s2.jsd_final")
@@ -63,6 +82,8 @@ func CoreBench(cfg Config) ([]CoreBenchRow, error) {
 			RejectedDiscriminator: snap.Counters["core.s2.rejected.discriminator"],
 			RejectedDistribution:  snap.Counters["core.s2.rejected.distribution"],
 			EMIterations:          snap.Counters["gmm.em.iterations"],
+			PeakRSSBytes:          telemetry.ReadPeakRSS(),
+			GCPauseSeconds:        float64(after.PauseTotalNs-before.PauseTotalNs) / 1e9,
 		})
 	}
 	return rows, nil
@@ -70,8 +91,11 @@ func CoreBench(cfg Config) ([]CoreBenchRow, error) {
 
 // CoreBenchReport is the top-level BENCH_core.json document.
 type CoreBenchReport struct {
-	Time time.Time `json:"time"`
-	Seed int64     `json:"seed"`
+	// SchemaVersion is CoreBenchSchemaVersion at write time; absent (0)
+	// in documents written before the field existed.
+	SchemaVersion int       `json:"schema_version,omitempty"`
+	Time          time.Time `json:"time"`
+	Seed          int64     `json:"seed"`
 	// SizeCap and MatchCap record the workload shape so a comparison
 	// against a baseline produced with different caps is rejected instead
 	// of producing meaningless throughput ratios.
@@ -130,7 +154,10 @@ func ReadCoreBench(path string) (CoreBenchReport, error) {
 //     baseline's for any dataset.
 //
 // Faster runs, extra datasets and fidelity improvements are not problems.
-// An empty result means the run holds the baseline.
+// Schema versions are deliberately not compared: a v1 baseline (no memory
+// axis) holds a v2 run to throughput exactly as before, so pinned
+// baselines survive schema additions. An empty result means the run holds
+// the baseline.
 func CompareCoreBench(baseline, current CoreBenchReport, threshold float64) []string {
 	var problems []string
 	if baseline.Seed != current.Seed || baseline.SizeCap != current.SizeCap || baseline.MatchCap != current.MatchCap {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -50,6 +51,44 @@ func TestCompareCoreBench(t *testing.T) {
 	p = CompareCoreBench(base, otherWorkload, 0.30)
 	if len(p) != 1 || !strings.Contains(p[0], "workload mismatch") {
 		t.Errorf("cap mismatch: %v", p)
+	}
+}
+
+// TestCompareCoreBenchOldSchema pins the cross-version contract: a v1
+// baseline document (no schema_version, no memory axis) must hold a
+// current v2 run to throughput without complaining about the fields it
+// lacks, and a v2 baseline must not reject a hypothetical older run.
+func TestCompareCoreBenchOldSchema(t *testing.T) {
+	oldBase := benchReport(100) // SchemaVersion 0, zero memory fields
+	current := benchReport(100)
+	current.SchemaVersion = CoreBenchSchemaVersion
+	for i := range current.Rows {
+		current.Rows[i].PeakRSSBytes = 1 << 28
+		current.Rows[i].GCPauseSeconds = 0.012
+	}
+	if p := CompareCoreBench(oldBase, current, 0.30); len(p) != 0 {
+		t.Errorf("v1 baseline vs v2 run flagged: %v", p)
+	}
+	if p := CompareCoreBench(current, oldBase, 0.30); len(p) != 0 {
+		t.Errorf("v2 baseline vs v1 run flagged: %v", p)
+	}
+
+	// A v1 JSON document on disk must decode with the memory axis absent,
+	// not fail or invent values.
+	data := []byte(`{"seed":1,"size_cap":40,"match_cap":12,"rows":[{"dataset":"Restaurant","entities":80,"entities_per_sec":100}]}`)
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCoreBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != 0 || got.Rows[0].PeakRSSBytes != 0 || got.Rows[0].GCPauseSeconds != 0 {
+		t.Errorf("v1 document decoded as %+v", got)
+	}
+	if p := CompareCoreBench(got, current, 0.30); len(p) != 0 {
+		t.Errorf("decoded v1 baseline flagged: %v", p)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/nn"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
 
 // mlp is a small fully connected network with tanh hidden layers.
@@ -128,11 +129,16 @@ func Train(ctx context.Context, enc *Encoder, rows [][]string, opts Options) (*G
 		return z
 	}
 	steps := opts.Epochs * (len(real) + opts.BatchSize - 1) / opts.BatchSize
+	tr := trace.FromRecorder(rec) // nil when tracing is disarmed
 	for step := 0; step < steps; step++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("gan: canceled at step %d/%d: %w", step, steps, err)
 			}
+		}
+		var stepSpan *trace.Child
+		if tr != nil {
+			stepSpan = tr.Child("gan.train.step", trace.Int("step", step))
 		}
 		// Discriminator step: real batch labeled 1, fake batch labeled 0.
 		batch := make([][]float64, opts.BatchSize)
@@ -160,6 +166,12 @@ func Train(ctx context.Context, enc *Encoder, rows [][]string, opts Options) (*G
 		optG.Step(g.gen.params())
 		rec.Observe("gan.train.g_loss", gLoss.Data[0])
 		rec.Add("gan.train.steps", 1)
+		if stepSpan != nil {
+			stepSpan.End(
+				trace.Float("d_loss", lossReal.Data[0]+lossFake.Data[0]),
+				trace.Float("g_loss", gLoss.Data[0]),
+			)
+		}
 	}
 	return g, nil
 }

@@ -10,6 +10,7 @@ import (
 	"serd/internal/parallel"
 	"serd/internal/stats"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
 
 // FitOptions controls EM fitting.
@@ -94,11 +95,16 @@ func Fit(ctx context.Context, xs [][]float64, g int, opts FitOptions) (*Model, e
 	lls := make([]float64, len(xs)) // per-row log-densities, reduced in order
 	prevLL := math.Inf(-1)
 	iters := 0
+	tr := trace.FromRecorder(opts.Metrics) // nil when tracing is disarmed
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("gmm: em canceled after %d iterations: %w", iter, err)
 		}
 		iters = iter + 1
+		var iterSpan *trace.Child
+		if tr != nil {
+			iterSpan = tr.Child("gmm.em.iter", trace.Int("iter", iter), trace.Int("g", g), trace.Int("n", len(xs)))
+		}
 		// E-step (Eq. 5), fanned out over rows; every worker writes only
 		// its own rows' slots, and the log-likelihood sums in index order,
 		// so the result is independent of the worker count.
@@ -116,6 +122,9 @@ func Fit(ctx context.Context, xs [][]float64, g int, opts FitOptions) (*Model, e
 			return nil, err
 		}
 		model = next
+		if iterSpan != nil {
+			iterSpan.End(trace.Float("loglik", ll))
+		}
 		// The per-iteration improvement traces the LL trajectory: a
 		// histogram over improvements shows how fast fits converge. The
 		// first iteration has no predecessor (prevLL = -Inf), so skip it.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
 
 // Pool is a bounded worker pool. The zero worker count and the nil pool
@@ -25,19 +26,24 @@ import (
 type Pool struct {
 	workers int
 	rec     telemetry.Recorder
+	tr      *trace.Tracer
 }
 
 // New returns a pool bounded at workers goroutines per Run call. workers
 // <= 0 selects GOMAXPROCS. The recorder (which may be nil) receives a
 // "parallel.workers" gauge plus per-phase speedup/utilization gauges from
-// Run; recording never affects the computation.
+// Run; recording never affects the computation. When the recorder chain
+// carries a trace.Tracer, every fanned-out chunk additionally emits a
+// child span tagged with its worker id and index range — the tracer is
+// resolved once here, so the disarmed Run path pays a single nil check.
 func New(workers int, rec telemetry.Recorder) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	tr := trace.FromRecorder(rec)
 	rec = telemetry.OrNop(rec)
 	rec.Set("parallel.workers", float64(workers))
-	return &Pool{workers: workers, rec: rec}
+	return &Pool{workers: workers, rec: rec, tr: tr}
 }
 
 // Workers reports the pool's bound. A nil pool is a serial pool of one.
@@ -66,10 +72,15 @@ func (p *Pool) Run(phase string, n int, fn func(i int)) {
 		w = n
 	}
 	if w == 1 {
+		var span *trace.Child
+		if p != nil && p.tr != nil && phase != "" {
+			span = p.tr.Child(phase+".chunk", trace.Int("worker", 0), trace.Int("lo", 0), trace.Int("hi", n))
+		}
 		start := time.Now()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		span.End()
 		p.record(phase, time.Since(start), time.Since(start))
 		return
 	}
@@ -79,14 +90,19 @@ func (p *Pool) Run(phase string, n int, fn func(i int)) {
 	wg.Add(w)
 	for c := 0; c < w; c++ {
 		lo, hi := c*n/w, (c+1)*n/w
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
+			var span *trace.Child
+			if p.tr != nil && phase != "" {
+				span = p.tr.Child(phase+".chunk", trace.Int("worker", c), trace.Int("lo", lo), trace.Int("hi", hi))
+			}
 			t0 := time.Now()
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}
+			span.End()
 			busyNS.Add(int64(time.Since(t0)))
-		}(lo, hi)
+		}(c, lo, hi)
 	}
 	wg.Wait()
 	p.record(phase, time.Duration(busyNS.Load()), time.Since(start))

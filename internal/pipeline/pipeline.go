@@ -45,11 +45,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 
 	"serd/internal/checkpoint"
 	"serd/internal/journal"
 	"serd/internal/parallel"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
 
 // Env is the shared environment the engine hands to every stage: the
@@ -167,24 +169,40 @@ func (e *Engine) Run(ctx context.Context, stages ...Stage) error {
 		ctx = context.Background()
 	}
 	rec := telemetry.OrNop(e.Env.Metrics)
+	tr := trace.FromRecorder(rec)
 	for i := range stages {
 		st := &stages[i]
 		if st.Skip != nil && st.Skip() {
 			continue
 		}
 		var span telemetry.Span
+		var tspan *trace.Phase
 		if !st.Silent {
 			span = rec.StartSpan(st.Name)
+		} else if tr != nil {
+			// Silent stages stay out of the registry and the journal (that
+			// invariant is load-bearing for resume), but the trace tree
+			// still covers them so summaries account for full wall-clock.
+			tspan = tr.StartPhase(st.Name)
+		}
+		if tr != nil && (len(st.Inputs) > 0 || len(st.Outputs) > 0) {
+			tr.AnnotateCurrent(
+				trace.Attr("inputs", strings.Join(st.Inputs, ",")),
+				trace.Attr("outputs", strings.Join(st.Outputs, ",")),
+			)
 		}
 		if st.Run != nil {
 			if err := st.Run(ctx, &e.Env); err != nil {
-				// Span left open on purpose — see Run doc comment.
+				// Span left open on purpose — see Run doc comment. The
+				// trace-only phase mirrors it: the exporter truncates open
+				// phases at the trace's end.
 				return e.wrap(st.Name, err)
 			}
 		}
 		if span != nil {
 			span.End()
 		}
+		tspan.End()
 		if st.Save != nil {
 			// After span.End(): the checkpoint seam must include the
 			// phase_end event (DESIGN §10).

@@ -1,47 +1,89 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
-// Server is the live run inspector: an HTTP server bound to a Registry.
+// Server is the live run inspector: an HTTP server bound to a Registry
+// and, optionally, an event Bus.
 //
 //	/             — endpoint index
 //	/metrics.json — full Snapshot as JSON
 //	/metrics      — Prometheus text exposition
+//	/events       — live SSE stream of span/metric events (bus-backed)
 //	/debug/pprof/ — the standard pprof handlers
 type Server struct {
 	lis net.Listener
 	srv *http.Server
+	bus *Bus
+
+	closeOnce sync.Once
+	closing   chan struct{}
 }
 
 // Serve starts the inspector on addr (e.g. ":9090"; ":0" picks a free
 // port). It returns as soon as the listener is bound; the accept loop runs
-// in a goroutine until Close.
+// in a goroutine until Close or Shutdown.
 func Serve(addr string, reg *Registry) (*Server, error) {
+	return ServeWith(addr, reg, nil)
+}
+
+// ServeWith is Serve with an event bus attached: the /events SSE endpoint
+// streams the bus live. bus may be nil, in which case /events reports 404.
+func ServeWith(addr string, reg *Registry, bus *Bus) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close is the normal exit
-	return &Server{lis: lis, srv: srv}, nil
+	s := &Server{lis: lis, bus: bus, closing: make(chan struct{})}
+	s.srv = &http.Server{Handler: handler(reg, bus, s.closing), ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close is the normal exit
+	return s, nil
 }
 
 // Addr returns the bound address, e.g. "127.0.0.1:9090".
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close shuts the inspector down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the inspector down immediately, dropping in-flight requests
+// and SSE streams.
+func (s *Server) Close() error {
+	s.markClosing()
+	return s.srv.Close()
+}
+
+// Shutdown drains the inspector gracefully: attached SSE clients receive a
+// terminal "shutdown" event and their streams are closed, then the HTTP
+// server waits (up to ctx) for in-flight requests to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.markClosing()
+	return s.srv.Shutdown(ctx)
+}
+
+// markClosing signals SSE handlers to send their terminal event and
+// return; without it http.Server.Shutdown would wait forever on the
+// infinite streams.
+func (s *Server) markClosing() {
+	s.closeOnce.Do(func() {
+		s.bus.Publish(&BusEvent{Kind: "shutdown", T: time.Now().UnixNano()})
+		close(s.closing)
+	})
+}
 
 // Handler returns the inspector's routes without binding a listener — for
-// embedding into an existing mux.
+// embedding into an existing mux. The /events endpoint reports 404 (no
+// bus); use ServeWith for the streaming inspector.
 func Handler(reg *Registry) http.Handler {
+	return handler(reg, nil, nil)
+}
+
+func handler(reg *Registry, bus *Bus, closing <-chan struct{}) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -52,6 +94,13 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		WritePrometheus(w, reg.Snapshot()) //nolint:errcheck
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if bus == nil {
+			http.NotFound(w, r)
+			return
+		}
+		serveSSE(w, r, bus, closing)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -68,6 +117,9 @@ func Handler(reg *Registry) http.Handler {
 		fmt.Fprintln(w, "endpoints:")
 		fmt.Fprintln(w, "  /metrics.json   JSON snapshot (counters, gauges, histograms, phases)")
 		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
+		if bus != nil {
+			fmt.Fprintln(w, "  /events         live SSE stream (spans, metric deltas)")
+		}
 		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
 		fmt.Fprintf(w, "\n%d counters, %d gauges, %d histograms, %d phases recorded\n",
 			len(s.Counters), len(s.Gauges), len(s.Histograms), len(s.Phases))

@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, addr, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	return resp
+}
+
+func TestHTTPIndexAndContentTypes(t *testing.T) {
+	g := NewRegistry()
+	g.Add("core.s2.accepted", 1)
+	srv, err := ServeWith("127.0.0.1:0", g, NewBus(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp := get(t, srv.Addr(), "/metrics.json")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json content-type = %q", ct)
+	}
+
+	resp = get(t, srv.Addr(), "/metrics")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	resp = get(t, srv.Addr(), "/")
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	idx := string(body[:n])
+	for _, want := range []string{"/metrics.json", "/metrics", "/events", "/debug/pprof/"} {
+		if !strings.Contains(idx, want) {
+			t.Errorf("index missing %s:\n%s", want, idx)
+		}
+	}
+}
+
+func TestHTTPNotFound(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/nope", "/metrics/extra", "/events"} {
+		resp := get(t, srv.Addr(), path)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Without a bus the index must not advertise /events.
+	resp := get(t, srv.Addr(), "/")
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if strings.Contains(string(body[:n]), "/events") {
+		t.Errorf("bus-less index advertises /events:\n%s", string(body[:n]))
+	}
+}
+
+// TestSSEStreamAndGracefulShutdown subscribes a real SSE client, publishes
+// through the bus, and then drains the server with Shutdown — the client
+// must see its event followed by the terminal shutdown event, and Shutdown
+// must return promptly despite the infinite stream.
+func TestSSEStreamAndGracefulShutdown(t *testing.T) {
+	bus := NewBus(64)
+	srv, err := ServeWith("127.0.0.1:0", NewRegistry(), bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp := get(t, srv.Addr(), "/events")
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events content-type = %q", ct)
+	}
+
+	type line struct {
+		s   string
+		err error
+	}
+	lines := make(chan line, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- line{s: sc.Text()}
+		}
+		lines <- line{err: sc.Err()}
+		close(lines)
+	}()
+	readUntil := func(want string) []string {
+		t.Helper()
+		var got []string
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case l, ok := <-lines:
+				if !ok || l.err != nil {
+					t.Fatalf("stream ended before %q: %v (got %q)", want, l.err, got)
+				}
+				got = append(got, l.s)
+				if strings.Contains(l.s, want) {
+					return got
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for %q, got %q", want, got)
+			}
+		}
+	}
+
+	bus.Publish(&BusEvent{Kind: "span", Name: "core.s2.block", T: time.Now().UnixNano()})
+	got := readUntil("event: span")
+	readUntil(`"name":"core.s2.block"`)
+	if got[0] != ": serd event stream" {
+		t.Errorf("stream preamble = %q", got[0])
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(ctx)
+	}()
+	readUntil("event: shutdown")
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestHTTPConcurrentSnapshot hammers the JSON endpoint while the registry
+// records, as the race detector's eyes on the Snapshot path.
+func TestHTTPConcurrentSnapshot(t *testing.T) {
+	g := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g.Add("c", 1)
+			g.Set("gauge", float64(i))
+			g.Observe("hist", float64(i%10))
+			sp := g.StartSpan("phase")
+			sp.End()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		resp := get(t, srv.Addr(), "/metrics.json")
+		resp.Body.Close()
+		resp = get(t, srv.Addr(), "/metrics")
+		resp.Body.Close()
+	}
+	close(stop)
+	wg.Wait()
+}

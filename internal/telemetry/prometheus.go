@@ -11,9 +11,11 @@ import (
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4). Dotted metric names become underscore-separated
 // and gain a "serd_" prefix: "core.s2.rejected.distribution" exports as
-// serd_core_s2_rejected_distribution_total. Histograms export cumulative
-// le-labeled buckets; phases export _seconds_sum and _seconds_count pairs
-// (the classic summary-less timing shape).
+// serd_core_s2_rejected_distribution_total. Each family carries # HELP
+// and # TYPE metadata; label values are escaped per the exposition
+// grammar (backslash, double-quote, newline). Histograms export
+// cumulative le-labeled buckets; phases export _seconds_sum and
+// _seconds_count pairs (the classic summary-less timing shape).
 func WritePrometheus(w io.Writer, s Snapshot) error {
 	var err error
 	emit := func(format string, args ...any) {
@@ -21,25 +23,31 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	header := func(m, typ, help string) {
+		emit("# HELP %s %s\n# TYPE %s %s\n", m, escapeHelp(help), m, typ)
+	}
 
-	emit("# TYPE serd_uptime_seconds gauge\nserd_uptime_seconds %s\n", formatFloat(s.UptimeSeconds))
+	header("serd_uptime_seconds", "gauge", "Seconds since the metrics registry was created.")
+	emit("serd_uptime_seconds %s\n", formatFloat(s.UptimeSeconds))
 
 	for _, name := range sortedKeys(s.Counters) {
 		m := promName(name) + "_total"
-		emit("# TYPE %s counter\n%s %s\n", m, m, formatFloat(s.Counters[name]))
+		header(m, "counter", "Cumulative count of "+name+" events.")
+		emit("%s %s\n", m, formatFloat(s.Counters[name]))
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		m := promName(name)
-		emit("# TYPE %s gauge\n%s %s\n", m, m, formatFloat(s.Gauges[name]))
+		header(m, "gauge", "Last recorded value of "+name+".")
+		emit("%s %s\n", m, formatFloat(s.Gauges[name]))
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		m := promName(name)
-		emit("# TYPE %s histogram\n", m)
+		header(m, "histogram", "Distribution of "+name+" observations.")
 		cum := uint64(0)
 		for _, b := range h.Buckets {
 			cum += b.Count
-			emit("%s_bucket{le=%q} %d\n", m, formatFloat(b.UpperBound), cum)
+			emit("%s_bucket{le=\"%s\"} %d\n", m, escapeLabel(formatFloat(b.UpperBound)), cum)
 		}
 		emit("%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
 		emit("%s_sum %s\n%s_count %d\n", m, formatFloat(h.Sum), m, h.Count)
@@ -47,9 +55,12 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, name := range sortedKeys(s.Phases) {
 		p := s.Phases[name]
 		m := promName(name) + "_seconds"
-		emit("# TYPE %s_sum counter\n%s_sum %s\n", m, m, formatFloat(p.TotalSeconds))
-		emit("# TYPE %s_count counter\n%s_count %d\n", m, m, p.Count)
-		emit("# TYPE %s_last gauge\n%s_last %s\n", m, m, formatFloat(p.LastSeconds))
+		header(m+"_sum", "counter", "Total seconds spent in phase "+name+".")
+		emit("%s_sum %s\n", m, formatFloat(p.TotalSeconds))
+		header(m+"_count", "counter", "Completed executions of phase "+name+".")
+		emit("%s_count %d\n", m, p.Count)
+		header(m+"_last", "gauge", "Duration in seconds of the most recent "+name+" execution.")
+		emit("%s_last %s\n", m, formatFloat(p.LastSeconds))
 	}
 	return err
 }
@@ -69,6 +80,26 @@ func promName(name string) string {
 		}
 	}
 	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double-quote and newline must be backslash-escaped.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes HELP text: only backslash and newline are special
+// there (quotes are fine).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
 }
 
 func formatFloat(v float64) string {

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Exposition-format grammar, per the Prometheus text format v0.0.4 spec:
+// every non-empty line is a HELP comment, a TYPE comment, or a sample.
+var (
+	promHelpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$`)
+	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	promSampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)( [0-9]+)?$`)
+)
+
+// TestPrometheusGrammar renders a snapshot exercising every metric family
+// and checks each output line against the exposition grammar, plus the
+// structural rules a scraper enforces: HELP/TYPE precede their family's
+// samples, no family is declared twice, counters end in _total, histogram
+// buckets are cumulative and close with +Inf.
+func TestPrometheusGrammar(t *testing.T) {
+	g := NewRegistry()
+	g.Add("core.s2.attempts", 17)
+	g.Add("weird-name.with+chars", 1)
+	g.Set("core.s2.jsd", 0.25)
+	g.Set("runtime.heap_alloc_bytes", 12345678)
+	g.Observe("gmm.em.iterations_per_fit", 3)
+	g.Observe("gmm.em.iterations_per_fit", 12)
+	sp := g.StartSpan("core.s1")
+	sp.End()
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	typed := map[string]string{} // family -> declared type
+	lastHelp := ""
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP"):
+			if !promHelpRe.MatchString(line) {
+				t.Errorf("bad HELP line: %q", line)
+			}
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE"):
+			if !promTypeRe.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+			f := strings.Fields(line)
+			if f[2] != lastHelp {
+				t.Errorf("TYPE %s not preceded by its HELP (last HELP %s)", f[2], lastHelp)
+			}
+			if _, dup := typed[f[2]]; dup {
+				t.Errorf("family %s declared twice", f[2])
+			}
+			typed[f[2]] = f[3]
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("unknown comment line: %q", line)
+		default:
+			if !promSampleRe.MatchString(line) {
+				t.Errorf("bad sample line: %q", line)
+			}
+		}
+	}
+
+	if typ := typed["serd_core_s2_attempts_total"]; typ != "counter" {
+		t.Errorf("counter family type = %q", typ)
+	}
+	if _, ok := typed["serd_weird_name_with_chars_total"]; !ok {
+		t.Errorf("sanitized family missing; families: %v", typed)
+	}
+	if typ := typed["serd_gmm_em_iterations_per_fit"]; typ != "histogram" {
+		t.Errorf("histogram family type = %q", typ)
+	}
+
+	// Histogram buckets must be cumulative, ordered, and end at +Inf with
+	// the family count.
+	var bucketCounts []uint64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "serd_gmm_em_iterations_per_fit_bucket{") {
+			continue
+		}
+		v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		bucketCounts = append(bucketCounts, v)
+	}
+	if len(bucketCounts) < 2 {
+		t.Fatalf("want le buckets plus +Inf, got %d lines", len(bucketCounts))
+	}
+	for i := 1; i < len(bucketCounts); i++ {
+		if bucketCounts[i] < bucketCounts[i-1] {
+			t.Errorf("buckets not cumulative: %v", bucketCounts)
+		}
+	}
+	if last := bucketCounts[len(bucketCounts)-1]; last != 2 {
+		t.Errorf("+Inf bucket = %d, want 2 observations", last)
+	}
+	if !strings.Contains(out, `serd_gmm_em_iterations_per_fit_bucket{le="+Inf"} 2`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	if got := escapeLabel(`a\b"c` + "\n"); got != `a\\b\"c\n` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+	if got := escapeLabel("plain"); got != "plain" {
+		t.Errorf("escapeLabel(plain) = %q", got)
+	}
+	if got := escapeHelp("a\\b\nc\"d"); got != `a\\b\nc"d` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+		3:            "3",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}

@@ -33,6 +33,11 @@ type RunReport struct {
 	Privacy *LedgerSummary `json:"privacy,omitempty"`
 	// Journal is the path of the run's event journal, when one was written.
 	Journal string `json:"journal,omitempty"`
+	// Trace is the path of the run's trace file, when -trace was set.
+	Trace string `json:"trace,omitempty"`
+	// Runtime is the runtime sampler's final accounting (peak RSS, GC
+	// pause, goroutine high-water), when the sampler ran.
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
 	// Metrics is the full registry snapshot at the end of the run.
 	Metrics Snapshot `json:"metrics"`
 }

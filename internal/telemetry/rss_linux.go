@@ -1,0 +1,40 @@
+//go:build linux
+
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// ReadPeakRSS returns the process's peak resident set size in bytes, from
+// /proc/self/status VmHWM. Returns 0 if the value cannot be read — peak
+// RSS is best-effort telemetry, never load-bearing.
+func ReadPeakRSS() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	return parseVmHWM(data)
+}
+
+// parseVmHWM extracts "VmHWM:	  123456 kB" from a /proc status blob.
+func parseVmHWM(data []byte) uint64 {
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		rest, ok := bytes.CutPrefix(line, []byte("VmHWM:"))
+		if !ok {
+			continue
+		}
+		fields := bytes.Fields(rest)
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

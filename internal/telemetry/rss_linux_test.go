@@ -1,0 +1,18 @@
+//go:build linux
+
+package telemetry
+
+import "testing"
+
+func TestParseVmHWM(t *testing.T) {
+	data := []byte("Name:\tserd\nVmPeak:\t  123456 kB\nVmHWM:\t   2048 kB\nVmRSS:\t   1024 kB\n")
+	if got := parseVmHWM(data); got != 2048*1024 {
+		t.Errorf("parseVmHWM = %d, want %d", got, 2048*1024)
+	}
+	if got := parseVmHWM([]byte("Name:\tserd\n")); got != 0 {
+		t.Errorf("parseVmHWM(no line) = %d", got)
+	}
+	if rss := ReadPeakRSS(); rss == 0 {
+		t.Error("ReadPeakRSS = 0 on linux")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package telemetry
+
+// ReadPeakRSS returns 0 on platforms without a portable peak-RSS source;
+// callers treat 0 as "unavailable".
+func ReadPeakRSS() uint64 { return 0 }

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RuntimeStats is the sampler's final accounting, destined for the run
+// report and the core bench rows.
+type RuntimeStats struct {
+	// PeakRSSBytes is the process's high-water resident set size as
+	// reported by the OS (0 where unsupported).
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+	// HeapAllocBytes is the live heap at the final sample.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	// HeapSysBytes is the heap memory obtained from the OS.
+	HeapSysBytes uint64 `json:"heap_sys_bytes"`
+	// GCPauseSeconds is the cumulative stop-the-world pause time.
+	GCPauseSeconds float64 `json:"gc_pause_seconds"`
+	// NumGC is the number of completed GC cycles.
+	NumGC uint32 `json:"num_gc"`
+	// MaxGoroutines is the largest goroutine count observed at any sample.
+	MaxGoroutines int `json:"max_goroutines"`
+	// Samples is how many ticks the sampler completed.
+	Samples int `json:"samples"`
+}
+
+// Sampler periodically records runtime health — heap, GC pause, goroutine
+// count, peak RSS — into a Registry as gauges, and publishes the changed
+// values onto a Bus as "metrics" events so live consumers (SSE, trace
+// exporter) see resource usage alongside spans. It is strictly an
+// observer: it never touches the synthesis state or the journal, so it
+// cannot perturb dataset or journal bytes.
+type Sampler struct {
+	reg      *Registry
+	bus      *Bus
+	interval time.Duration
+
+	mu       sync.Mutex
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	last     map[string]float64
+	stats    RuntimeStats
+}
+
+// Gauge names recorded by the sampler.
+const (
+	GaugeHeapAlloc  = "runtime.heap_alloc_bytes"
+	GaugeHeapSys    = "runtime.heap_sys_bytes"
+	GaugeGCPause    = "runtime.gc_pause_total_seconds"
+	GaugeNumGC      = "runtime.num_gc"
+	GaugeGoroutines = "runtime.goroutines"
+	GaugePeakRSS    = "runtime.rss_peak_bytes"
+)
+
+// StartSampler begins sampling every interval (<= 0 selects 250ms) into
+// reg and, if bus is non-nil, publishing metric deltas. Call Stop to halt
+// it and collect the final stats.
+func StartSampler(reg *Registry, bus *Bus, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	s := &Sampler{
+		reg:      reg,
+		bus:      bus,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		last:     make(map[string]float64),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	s.sample() // one immediate sample so short runs still get data
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sample()
+		}
+	}
+}
+
+// sample reads the runtime once and records/publishes it.
+func (s *Sampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	goroutines := runtime.NumGoroutine()
+	rss := ReadPeakRSS()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	s.stats.HeapAllocBytes = ms.HeapAlloc
+	s.stats.HeapSysBytes = ms.HeapSys
+	s.stats.GCPauseSeconds = float64(ms.PauseTotalNs) / 1e9
+	s.stats.NumGC = ms.NumGC
+	if goroutines > s.stats.MaxGoroutines {
+		s.stats.MaxGoroutines = goroutines
+	}
+	if rss > s.stats.PeakRSSBytes {
+		s.stats.PeakRSSBytes = rss
+	}
+	s.stats.Samples++
+
+	vals := []struct {
+		name string
+		v    float64
+	}{
+		{GaugeHeapAlloc, float64(ms.HeapAlloc)},
+		{GaugeHeapSys, float64(ms.HeapSys)},
+		{GaugeGCPause, float64(ms.PauseTotalNs) / 1e9},
+		{GaugeNumGC, float64(ms.NumGC)},
+		{GaugeGoroutines, float64(goroutines)},
+		{GaugePeakRSS, float64(s.stats.PeakRSSBytes)},
+	}
+	var changed []Attr
+	for _, kv := range vals {
+		if s.reg != nil {
+			s.reg.Set(kv.name, kv.v)
+		}
+		if s.last[kv.name] != kv.v || s.stats.Samples == 1 {
+			s.last[kv.name] = kv.v
+			changed = append(changed, Attr{Key: kv.name, Val: strconv.FormatFloat(kv.v, 'g', -1, 64)})
+		}
+	}
+	if len(changed) > 0 {
+		s.bus.Publish(&BusEvent{Kind: "metrics", Name: "runtime", T: time.Now().UnixNano(), Attrs: changed})
+	}
+}
+
+// Stop halts the sampler, takes one final sample, and returns the
+// accumulated stats. Idempotent and nil-safe.
+func (s *Sampler) Stop() RuntimeStats {
+	if s == nil {
+		return RuntimeStats{}
+	}
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		<-s.done
+		s.sample()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSamplerRecordsGauges(t *testing.T) {
+	reg := NewRegistry()
+	bus := NewBus(256)
+	s := StartSampler(reg, bus, time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	stats := s.Stop()
+
+	if stats.Samples < 2 {
+		t.Fatalf("samples = %d, want >= 2", stats.Samples)
+	}
+	if stats.HeapAllocBytes == 0 || stats.HeapSysBytes == 0 {
+		t.Errorf("heap stats empty: %+v", stats)
+	}
+	if stats.MaxGoroutines < 1 {
+		t.Errorf("max goroutines = %d", stats.MaxGoroutines)
+	}
+	for _, g := range []string{GaugeHeapAlloc, GaugeHeapSys, GaugeGCPause, GaugeNumGC, GaugeGoroutines, GaugePeakRSS} {
+		if _, ok := reg.Gauge(g); !ok {
+			t.Errorf("gauge %s not recorded", g)
+		}
+	}
+	if ha, _ := reg.Gauge(GaugeHeapAlloc); ha <= 0 {
+		t.Errorf("heap gauge = %v", ha)
+	}
+
+	// The first sample publishes every gauge as a metrics event.
+	evs, _, _ := bus.Poll(0, int(bus.Cap()))
+	var sawMetrics bool
+	for _, ev := range evs {
+		if ev.Kind == "metrics" && ev.Name == "runtime" && len(ev.Attrs) > 0 {
+			sawMetrics = true
+		}
+	}
+	if !sawMetrics {
+		t.Errorf("no runtime metrics event on the bus (%d events)", len(evs))
+	}
+}
+
+func TestSamplerStopIdempotentAndNilSafe(t *testing.T) {
+	var nilSampler *Sampler
+	if st := nilSampler.Stop(); st.Samples != 0 {
+		t.Errorf("nil sampler stats = %+v", st)
+	}
+
+	s := StartSampler(NewRegistry(), nil, time.Hour) // only the immediate sample
+	first := s.Stop()
+	second := s.Stop()
+	if first.Samples != second.Samples {
+		t.Errorf("Stop not idempotent: %d then %d samples", first.Samples, second.Samples)
+	}
+	if first.Samples < 1 {
+		t.Errorf("no immediate sample: %+v", first)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"serd/internal/pipeline"
 	"serd/internal/simfn"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 	"serd/internal/transformer"
 )
 
@@ -436,6 +437,7 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 		o.Metrics = rec
 		o.RestoreSteps(bt.optSteps)
 		acct := dp.RDPFromState(bt.acct)
+		tr := trace.FromRecorder(rec) // nil when tracing is disarmed
 		for epoch := bt.startEpoch; epoch < opts.Epochs; epoch++ {
 			perm := r.Perm(n)
 			for i := 0; i < n; i += opts.BatchSize {
@@ -449,6 +451,11 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 				if end > n {
 					end = n
 				}
+				var lotSpan *trace.Child
+				if tr != nil {
+					lotSpan = tr.Child("textsynth.train.minibatch",
+						trace.Int("epoch", epoch), trace.Int("lot", i/opts.BatchSize), trace.Int("size", end-i))
+				}
 				for _, pi := range perm[i:end] {
 					example(pairs[pi])
 					o.AccumulateExample()
@@ -458,6 +465,9 @@ func trainOne(m *transformer.Model, pairs []Pair, opts TransformerOptions, r *ra
 				}
 				acct.Account(float64(end-i) / float64(n))
 				acct.RecordEpsilon(rec, opts.DP.Delta)
+				if lotSpan != nil {
+					lotSpan.End(trace.Float("epsilon", acct.Epsilon(opts.DP.Delta)))
+				}
 			}
 			if bt.save != nil {
 				eps := acct.Epsilon(opts.DP.Delta)

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"math"
+	"sort"
+)
+
+// DiffRow attributes part of a wall-clock delta to one key: a top-level
+// stage name, or "stage/child" for a child-span aggregate within it.
+type DiffRow struct {
+	Key          string  `json:"key"`
+	BaseSeconds  float64 `json:"base_seconds"`
+	OtherSeconds float64 `json:"other_seconds"`
+	Delta        float64 `json:"delta"`
+	// Share is Delta over the total wall-clock delta (can exceed 1 or be
+	// negative when stages moved in opposite directions).
+	Share float64 `json:"share,omitempty"`
+}
+
+// Diff is the stage-by-stage attribution of a slowdown (or speedup)
+// between two traces of the same pipeline — `serd trace diff`.
+type Diff struct {
+	BaseWall  float64   `json:"base_wall_seconds"`
+	OtherWall float64   `json:"other_wall_seconds"`
+	Delta     float64   `json:"delta_seconds"`
+	Stages    []DiffRow `json:"stages"`
+	Children  []DiffRow `json:"children,omitempty"`
+}
+
+// DiffTraces attributes the wall-clock difference between base and other
+// to specific stages and child-span groups, sorted by |delta| descending.
+func DiffTraces(base, other *Trace) Diff {
+	d := Diff{BaseWall: base.WallSeconds(), OtherWall: other.WallSeconds()}
+	d.Delta = d.OtherWall - d.BaseWall
+
+	bs, bc := aggregate(base)
+	os_, oc := aggregate(other)
+	d.Stages = diffRows(bs, os_, d.Delta)
+	d.Children = diffRows(bc, oc, d.Delta)
+	return d
+}
+
+// aggregate sums seconds per top-level stage name and per stage/child
+// key.
+func aggregate(t *Trace) (stages, children map[string]float64) {
+	stages = map[string]float64{}
+	children = map[string]float64{}
+	for _, r := range t.Roots {
+		stages[r.Name] += r.Seconds()
+		var walk func(*Span)
+		walk = func(s *Span) {
+			for _, c := range s.Children {
+				children[r.Name+"/"+c.Name] += c.Seconds()
+				walk(c)
+			}
+		}
+		walk(r)
+	}
+	return stages, children
+}
+
+func diffRows(a, b map[string]float64, wallDelta float64) []DiffRow {
+	keys := map[string]bool{}
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	rows := make([]DiffRow, 0, len(keys))
+	for k := range keys {
+		r := DiffRow{Key: k, BaseSeconds: a[k], OtherSeconds: b[k], Delta: b[k] - a[k]}
+		if wallDelta != 0 {
+			r.Share = r.Delta / wallDelta
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if math.Abs(rows[i].Delta) != math.Abs(rows[j].Delta) {
+			return math.Abs(rows[i].Delta) > math.Abs(rows[j].Delta)
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	return rows
+}

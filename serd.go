@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"serd/internal/blocking"
 	"serd/internal/checkpoint"
@@ -46,6 +47,7 @@ import (
 	"serd/internal/simfn"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
+	"serd/internal/trace"
 	"serd/internal/transformer"
 )
 
@@ -254,6 +256,86 @@ type (
 	RunReport = telemetry.RunReport
 )
 
+// Tracing (see internal/trace and internal/telemetry): the hierarchical
+// span tree a run can emit — pipeline stages, per-chunk worker spans, EM
+// iterations, DP minibatches, GAN steps — fed through a bounded lock-free
+// event bus into the -trace exporter and the /events SSE stream. Tracing
+// is strictly passive: armed or disarmed, dataset and journal bytes are
+// identical, and the disarmed path is allocation-free.
+type (
+	// EventBus is the bounded, lock-free, drop-oldest event stream that
+	// decouples the hot path from trace/SSE consumers.
+	EventBus = telemetry.Bus
+	// BusEvent is one published span boundary or metrics sample.
+	BusEvent = telemetry.BusEvent
+	// Tracer assigns span identities and publishes onto an EventBus; a
+	// nil Tracer is disarmed and free.
+	Tracer = trace.Tracer
+	// TraceExporter consumes an EventBus into a Chrome trace-event JSON
+	// plus a compact .jsonl stream for `serd trace`.
+	TraceExporter = trace.Exporter
+	// TraceHeader identifies a trace (run id, tool, dataset, seed).
+	TraceHeader = trace.Header
+	// Trace is a loaded .jsonl trace rebuilt into a span tree.
+	Trace = trace.Trace
+	// TraceSummary is the per-stage/per-worker breakdown of a Trace.
+	TraceSummary = trace.Summary
+	// TraceCriticalPath is the longest dependent chain through a Trace.
+	TraceCriticalPath = trace.CriticalPath
+	// TraceDiff attributes the wall-clock delta between two traces.
+	TraceDiff = trace.Diff
+	// RuntimeSampler periodically records heap, GC pause, goroutine and
+	// peak-RSS gauges into a registry and publishes them as bus events.
+	RuntimeSampler = telemetry.Sampler
+	// RuntimeStats is the sampler's final accounting in a RunReport.
+	RuntimeStats = telemetry.RuntimeStats
+)
+
+// NewEventBus creates an event bus holding size events (rounded up to a
+// power of two; <= 0 selects the default capacity).
+func NewEventBus(size int) *EventBus { return telemetry.NewBus(size) }
+
+// NewTracer returns a tracer publishing onto bus, or nil (disarmed, zero
+// cost) when bus is nil.
+func NewTracer(bus *EventBus) *Tracer { return trace.New(bus) }
+
+// TraceRecorder layers tr over inner so every phase span started through
+// the returned recorder also appears in the trace tree. It must be the
+// outermost layer of a recorder chain; pipeline internals discover the
+// tracer through it.
+func TraceRecorder(tr *Tracer, inner MetricsRecorder) MetricsRecorder {
+	return trace.Wrap(tr, inner)
+}
+
+// NewTraceExporter starts consuming bus into path (Chrome trace-event
+// JSON) and its sibling .jsonl. Close it to flush.
+func NewTraceExporter(bus *EventBus, path string, hdr TraceHeader) (*TraceExporter, error) {
+	return trace.NewExporter(bus, path, hdr)
+}
+
+// LoadTrace reads a .jsonl trace (or the .json path next to it) back into
+// a span tree for analysis.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// SummarizeTrace computes the per-stage and per-worker time breakdown
+// behind `serd trace summary`.
+func SummarizeTrace(t *Trace) TraceSummary { return trace.Summarize(t) }
+
+// FindTraceCriticalPath computes the longest dependent chain through the
+// stage tree behind `serd trace critical-path`.
+func FindTraceCriticalPath(t *Trace) TraceCriticalPath { return trace.FindCriticalPath(t) }
+
+// DiffTraces attributes the wall-clock difference between two traces to
+// stages and chunk groups, behind `serd trace diff`.
+func DiffTraces(base, other *Trace) TraceDiff { return trace.DiffTraces(base, other) }
+
+// StartRuntimeSampler begins recording runtime health every interval
+// (<= 0 selects 250ms) into reg, publishing changed values onto bus (which
+// may be nil). Stop it to collect the final RuntimeStats.
+func StartRuntimeSampler(reg *MetricsRegistry, bus *EventBus, interval time.Duration) *RuntimeSampler {
+	return telemetry.StartSampler(reg, bus, interval)
+}
+
 // Provenance (see internal/journal): the append-only, hash-chained event
 // journal every run writes, the privacy-budget ledger composed over it,
 // and the audit tooling behind `serd audit`.
@@ -384,6 +466,14 @@ func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 // Close the returned server when done.
 func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
 	return telemetry.Serve(addr, reg)
+}
+
+// ServeMetricsWith is ServeMetrics plus a live /events SSE stream of the
+// bus's span and metrics events (bus may be nil to serve without it).
+// Shut the server down gracefully with MetricsServer.Shutdown, which sends
+// every SSE subscriber a terminal "shutdown" event before draining.
+func ServeMetricsWith(addr string, reg *MetricsRegistry, bus *EventBus) (*MetricsServer, error) {
+	return telemetry.ServeWith(addr, reg, bus)
 }
 
 // MetricsProgress adapts a recorder into an Options.Progress callback

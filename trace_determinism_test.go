@@ -1,0 +1,179 @@
+package serd_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"serd"
+)
+
+// synthesizeFullyTraced mirrors synthesizeJournaled exactly — same sample,
+// seeds, ledger charge and journal shape — but with the entire
+// observability stack armed: event bus, tracer wrapped outermost over the
+// journal-instrumented recorder, runtime sampler, trace exporter, and the
+// live inspector with one real SSE client attached for the whole run. It
+// returns the raw journal bytes and the number of SSE events the client
+// received.
+func synthesizeFullyTraced(t *testing.T, dir, tracePath string) ([]byte, int) {
+	t.Helper()
+	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := serd.RuleSynthesizers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bus := serd.NewEventBus(0)
+	tracer := serd.NewTracer(bus)
+	reg := serd.NewMetricsRegistry()
+	sampler := serd.StartRuntimeSampler(reg, bus, 5*time.Millisecond)
+	defer sampler.Stop()
+
+	srv, err := serd.ServeMetricsWith("127.0.0.1:0", reg, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A real SSE subscriber for the run's whole lifetime, counting the
+	// events it sees and watching for the graceful terminal event.
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type sseResult struct {
+		events      int
+		gotShutdown bool
+	}
+	sseDone := make(chan sseResult, 1)
+	go func() {
+		var res sseResult
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				res.events++
+				if line == "event: shutdown" {
+					res.gotShutdown = true
+				}
+			}
+		}
+		sseDone <- res
+	}()
+
+	exp, err := serd.NewTraceExporter(bus, tracePath, serd.TraceHeader{
+		RunID: "trace-noop-test", Tool: "test", Dataset: "Restaurant",
+		Seed: 9, StartNS: time.Now().UnixNano(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	jr := serd.NewJournal(&buf)
+	jr.RunStart("test", 9, map[string]string{"dataset": "Restaurant"})
+	ledger := serd.NewPrivacyLedger(jr)
+	if err := ledger.ChargeSGD("bk0", "bank", 0.25, 1.1, 12, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	res, err := serd.SynthesizeContext(context.Background(), g.ER, serd.Options{
+		Synthesizers: synths,
+		Seed:         9,
+		Metrics:      serd.TraceRecorder(tracer, serd.JournalRecorder(jr, reg)),
+		Journal:      jr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serd.SaveDataset(dir, res.Syn); err != nil {
+		t.Fatal(err)
+	}
+	ledger.Finish()
+	jr.RunEnd("done", "", map[string]float64{"jsd": res.JSD}, 1)
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sampler.Stop()
+	if err := exp.Close(); err != nil {
+		t.Fatalf("trace exporter: %v", err)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("inspector shutdown: %v", err)
+	}
+	select {
+	case sse := <-sseDone:
+		if !sse.gotShutdown {
+			t.Errorf("SSE client saw no terminal shutdown event (%d events)", sse.events)
+		}
+		return buf.Bytes(), sse.events
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE client did not finish after server shutdown")
+		return nil, 0
+	}
+}
+
+// TestTracingIsByteNoop is the tentpole's hard invariant, end to end: a
+// run with the full observability stack armed — tracer, bus, runtime
+// sampler, trace exporter, live SSE subscriber — must produce a dataset
+// and a journal byte-identical (modulo the documented volatile fields
+// ts/dur_s) to an uninstrumented run. Tracing observes; it never touches
+// the RNG stream or the provenance record.
+func TestTracingIsByteNoop(t *testing.T) {
+	base := t.TempDir()
+	dirPlain := filepath.Join(base, "plain")
+	dirTraced := filepath.Join(base, "traced")
+	tracePath := filepath.Join(base, "run.json")
+
+	journalPlain := synthesizeJournaled(t, nil, dirPlain, 0)
+	journalTraced, sseEvents := synthesizeFullyTraced(t, dirTraced, tracePath)
+
+	want := readDataset(t, dirPlain)
+	got := readDataset(t, dirTraced)
+	for name := range want {
+		if got[name] != want[name] {
+			t.Errorf("%s differs with tracing armed: the trace layer perturbed the output", name)
+		}
+	}
+	plain, traced := stripVolatile(t, journalPlain), stripVolatile(t, journalTraced)
+	if plain != traced {
+		t.Errorf("journals differ with tracing armed beyond ts/dur_s:\n%s\n---- vs ----\n%s", plain, traced)
+	}
+	if sseEvents < 1 {
+		t.Error("live SSE client received no events during the run")
+	}
+
+	// The trace the run wrote must be analyzable and account for the run:
+	// the stage tree covers ≥95% of trace wall-clock, in both the summary
+	// and the critical path — `serd trace` answers "where did the time go"
+	// without a gap.
+	tr, err := serd.LoadTrace(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped != 0 {
+		t.Errorf("trace dropped %d events", tr.Dropped)
+	}
+	sum := serd.SummarizeTrace(tr)
+	if sum.Coverage < 0.95 {
+		t.Errorf("stage tree covers %.1f%% of wall-clock, want >= 95%%; stages: %+v", 100*sum.Coverage, sum.Stages)
+	}
+	if len(sum.Stages) < 3 {
+		t.Errorf("summary has %d stages, want the full pipeline: %+v", len(sum.Stages), sum.Stages)
+	}
+	cp := serd.FindTraceCriticalPath(tr)
+	if len(cp.Steps) == 0 || cp.Coverage < 0.95 {
+		t.Errorf("critical path covers %.1f%% across %d steps, want >= 95%%", 100*cp.Coverage, len(cp.Steps))
+	}
+}
