@@ -11,17 +11,20 @@
 // (default <out>/run_report.json) and a hash-chained event journal
 // (default <out>/journal.jsonl) carrying the config, a lineage event per
 // generated dataset and the terminal status — so `serd audit show` works
-// on generation runs too. SIGINT/SIGTERM cancels between datasets and
+// on generation runs too, -trace writes the same span-tree .jsonl the
+// `serd trace` subcommands read, and journaled runs register in the run
+// registry (default ~/.serd/runs, -run-store to move or disable) for
+// `serd runs` history. SIGINT/SIGTERM cancels between datasets and
 // journals a clean aborted status; a second signal force-exits with 130.
 // The shared flag surface is defined in internal/config.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -32,7 +35,9 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/journal"
 	"serd/internal/pipeline"
+	"serd/internal/runstore"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
 
 func main() {
@@ -85,15 +90,59 @@ func run(args []string, stdout io.Writer) error {
 		})
 	}
 
+	// The run registry is best-effort infrastructure: a store that fails
+	// to open must not change the generation run's outcome, so the error
+	// degrades to a warning and the run proceeds unregistered.
+	store, storeErr := runstore.Resolve(flags.RunStore)
+	if storeErr != nil {
+		fmt.Fprintf(os.Stderr, "datagen: run store: %v (run will not be registered)\n", storeErr)
+	}
+
+	start := time.Now()
+
 	reg := telemetry.NewRegistry()
+	// Tracing arms exactly like cmd/serd: only when there is a consumer (a
+	// -trace file or a live inspector streaming /events); disarmed, rec is
+	// the registry unchanged.
+	var bus *telemetry.Bus
+	if flags.TracePath != "" || flags.MetricsAddr != "" {
+		bus = telemetry.NewBus(0)
+	}
+	rec := trace.Wrap(trace.New(bus), reg)
 	if flags.MetricsAddr != "" {
-		srv, err := telemetry.Serve(flags.MetricsAddr, reg)
+		var extra map[string]http.Handler
+		if store != nil {
+			extra = map[string]http.Handler{"/runs/": runstore.Handler(store, nil)}
+		}
+		srv, err := telemetry.ServeWithExtra(flags.MetricsAddr, reg, bus, extra)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, debug/pprof)\n", srv.Addr())
+		endpoints := "metrics.json, metrics, events, debug/pprof"
+		if store != nil {
+			endpoints += ", runs"
+		}
+		fmt.Fprintf(stdout, "metrics: http://%s/ (%s)\n", srv.Addr(), endpoints)
 		testHookServing(srv.Addr())
+	}
+	if flags.TracePath != "" {
+		hdr := trace.Header{Tool: "datagen", Dataset: flags.Dataset, Seed: flags.Seed, StartNS: start.UnixNano()}
+		if jr != nil {
+			_, chain, _ := jr.Seam()
+			hdr.RunID = chain
+		}
+		exp, err := trace.NewExporter(bus, flags.TracePath, hdr)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := exp.Close(); err != nil {
+				fmt.Fprintln(stdout, "trace:", err)
+				return
+			}
+			fmt.Fprintf(stdout, "trace -> %s\n", flags.TracePath)
+		}()
 	}
 
 	// First SIGINT/SIGTERM cancels between datasets (generation is fast;
@@ -102,14 +151,13 @@ func run(args []string, stdout io.Writer) error {
 	ctx, stop := pipeline.SignalContext(context.Background())
 	defer stop()
 
-	start := time.Now()
 	summary := map[string]float64{}
 	err := func() error {
 		for _, g := range gens {
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("datagen: canceled before %s: %w", g.Name, err)
 			}
-			span := reg.StartSpan("datagen." + g.Name)
+			span := rec.StartSpan("datagen." + g.Name)
 			cfg := datagen.Config{Seed: flags.Seed, SizeA: flags.SizeA, SizeB: flags.SizeB, Matches: flags.Matches}
 			gen, err := g.Gen(cfg)
 			if err != nil {
@@ -178,19 +226,49 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if jr != nil {
-		status, msg := journal.StatusDone, ""
-		if err != nil {
-			status, msg = journal.StatusFailed, err.Error()
-			if errors.Is(err, context.Canceled) {
-				status = journal.StatusAborted
-			}
-		}
+		status, msg := pipeline.TerminalStatus(err)
 		jr.RunEnd(status, msg, summary, time.Since(start).Seconds())
 		if jerr := jr.Close(); err == nil && jerr != nil {
 			return jerr
 		}
 	}
+
+	// Registration happens strictly after the journal's terminal event so
+	// the registry entry is distilled from the finished, verifiable record
+	// (the run id IS the journal's first chain hash). Journal-less runs
+	// have no content-addressed identity and are not registered.
+	if store != nil && jr != nil {
+		if regErr := registerDatagenRun(store, flags, jPath, stdout); regErr != nil {
+			fmt.Fprintf(os.Stderr, "datagen: run store: %v (run not registered)\n", regErr)
+		}
+	}
 	return err
+}
+
+// registerDatagenRun distills the finished journal into a registry entry.
+// Best-effort: errors are reported by the caller as warnings and never
+// change the run's exit status.
+func registerDatagenRun(store *runstore.Store, flags *config.Datagen, jPath string, stdout io.Writer) error {
+	events, err := journal.Read(jPath)
+	if err != nil {
+		return err
+	}
+	entry, err := runstore.EntryFromJournal(events)
+	if err != nil {
+		return err
+	}
+	entry.Artifacts = runstore.Artifacts{OutDir: flags.Out, Journal: jPath, Trace: flags.TracePath}
+	if !flags.NoReport {
+		entry.Artifacts.Report = flags.ReportPath
+		if entry.Artifacts.Report == "" {
+			entry.Artifacts.Report = filepath.Join(flags.Out, "run_report.json")
+		}
+	}
+	if err := store.Put(entry); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "run registered: %s (serd runs show %s)\n", entry.ShortID(), entry.ShortID())
+	return nil
 }
 
 // testHookServing is called with the inspector's bound address once it is

@@ -10,8 +10,22 @@ import (
 	"testing"
 
 	"serd/internal/journal"
+	"serd/internal/runstore"
 	"serd/internal/telemetry"
+	"serd/internal/trace"
 )
+
+// TestMain sandboxes HOME: the run registry defaults to ~/.serd/runs and
+// tests must never write into the real home directory.
+func TestMain(m *testing.M) {
+	if home, err := os.MkdirTemp("", "datagen-test-home-*"); err == nil {
+		os.Setenv("HOME", home)
+		code := m.Run()
+		os.RemoveAll(home)
+		os.Exit(code)
+	}
+	os.Exit(m.Run())
+}
 
 func TestRunMissingFlags(t *testing.T) {
 	if err := run(nil, io.Discard); err == nil {
@@ -117,4 +131,107 @@ func TestRunOptOuts(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(out, journal.DefaultName)); !os.IsNotExist(err) {
 		t.Errorf("journal written despite -no-journal (stat err = %v)", err)
 	}
+}
+
+// TestRunTraceAndRegistry covers the observability riders: -trace writes
+// the span-tree .jsonl `serd trace` reads, and -run-store registers the
+// journaled run (tool, lineage, stage times) under the journal's first
+// chain hash.
+func TestRunTraceAndRegistry(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	store := filepath.Join(dir, "store")
+	tracePath := filepath.Join(dir, "trace.json")
+
+	var buf bytes.Buffer
+	err := run([]string{
+		"-out", out, "-dataset", "Restaurant", "-seed", "3",
+		"-size-a", "25", "-size-b", "25", "-matches", "8",
+		"-trace", tracePath, "-run-store", store,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "trace -> ") {
+		t.Errorf("trace not announced:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "run registered: ") {
+		t.Errorf("registration not announced:\n%s", buf.String())
+	}
+
+	// Both trace files land; the .jsonl loads with the datagen span.
+	for _, p := range []string{tracePath, strings.TrimSuffix(tracePath, ".json") + ".jsonl"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("trace artifact missing: %v", err)
+		}
+	}
+	tr, err := trace.Load(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Tool != "datagen" || tr.Header.RunID == "" {
+		t.Errorf("trace header = %+v", tr.Header)
+	}
+	found := false
+	for _, sp := range tr.ByID {
+		if sp.Name == "datagen.Restaurant" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("trace missing datagen.Restaurant span")
+	}
+
+	// The registry entry distills the journal: id = first chain hash.
+	events, err := journal.Read(filepath.Join(out, journal.DefaultName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := runstore.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.List()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("registry = %d entries, %v", len(entries), err)
+	}
+	e := entries[0]
+	if e.RunID != events[0].Chain || e.RunID != tr.Header.RunID {
+		t.Errorf("run id %s != journal %s / trace %s", e.RunID, events[0].Chain, tr.Header.RunID)
+	}
+	if e.Tool != "datagen" || e.Status != journal.StatusDone || e.Dataset != "Restaurant" {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.LineageSHA("output") == "" {
+		t.Error("entry missing output lineage")
+	}
+	if e.Artifacts.Trace != tracePath || e.Artifacts.Journal == "" {
+		t.Errorf("artifacts = %+v", e.Artifacts)
+	}
+
+	// -run-store=off (and -no-journal) suppress registration cleanly.
+	out2 := filepath.Join(dir, "out2")
+	buf.Reset()
+	if err := run([]string{
+		"-out", out2, "-dataset", "Restaurant", "-seed", "3",
+		"-size-a", "25", "-size-b", "25", "-matches", "8",
+		"-run-store", "off",
+	}, &buf); err != nil {
+		t.Fatalf("run -run-store=off: %v", err)
+	}
+	if strings.Contains(buf.String(), "run registered") {
+		t.Error("-run-store=off still registered")
+	}
+	if n, _ := runstoreCount(store); n != 1 {
+		t.Errorf("registry grew to %d entries under -run-store=off", n)
+	}
+}
+
+func runstoreCount(dir string) (int, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	list, err := s.List()
+	return len(list), err
 }

@@ -32,13 +32,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"serd/internal/config"
 	"serd/internal/experiments"
+	"serd/internal/journal"
 	"serd/internal/pipeline"
+	"serd/internal/runstore"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 	"serd/internal/trace"
@@ -88,8 +92,15 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Datasets = strings.Split(flags.Datasets, ",")
 	}
 
+	// The run registry is best-effort: a store that fails to open warns
+	// and the run proceeds unregistered, never changing its exit status.
+	store, storeErr := runstore.Resolve(flags.RunStore)
+	if storeErr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: run store: %v (run will not be registered)\n", storeErr)
+	}
+
 	if flags.BenchOut != "" || flags.BenchAgainst != "" {
-		return runBench(cfg, flags, stdout)
+		return runBench(cfg, flags, store, stdout)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -107,7 +118,11 @@ func run(args []string, stdout io.Writer) error {
 	defer sampler.Stop()
 
 	if flags.MetricsAddr != "" {
-		srv, err := telemetry.ServeWith(flags.MetricsAddr, reg, bus)
+		var extra map[string]http.Handler
+		if store != nil {
+			extra = map[string]http.Handler{"/runs/": runstore.Handler(store, nil)}
+		}
+		srv, err := telemetry.ServeWithExtra(flags.MetricsAddr, reg, bus, extra)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}
@@ -116,7 +131,11 @@ func run(args []string, stdout io.Writer) error {
 			defer cancel()
 			srv.Shutdown(sctx)
 		}()
-		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, events, debug/pprof)\n", srv.Addr())
+		endpoints := "metrics.json, metrics, events, debug/pprof"
+		if store != nil {
+			endpoints += ", runs"
+		}
+		fmt.Fprintf(stdout, "metrics: http://%s/ (%s)\n", srv.Addr(), endpoints)
 	}
 	if flags.TracePath != "" {
 		exp, err := trace.NewExporter(bus, flags.TracePath, trace.Header{
@@ -267,12 +286,41 @@ func run(args []string, stdout io.Writer) error {
 		experiments.PrintAblationBuckets(stdout, ablDataset, rows)
 		return nil
 	})
+	// Registration happens after the suite finishes (on the error path
+	// too, so aborted/failed runs still show in history). Suite runs have
+	// no journal, so the id is synthetic: tool + seed + start time.
+	rtStats := sampler.Stop()
+	if store != nil {
+		entry := runstore.Entry{
+			RunID:   runstore.SyntheticRunID("experiments", flags.Seed, start.UnixNano()),
+			Tool:    "experiments",
+			Dataset: strings.Join(suite.Config().Datasets, ","),
+			Seed:    flags.Seed,
+			Config: map[string]string{
+				"exp":         flags.Exp,
+				"sizecap":     strconv.Itoa(flags.SizeCap),
+				"matchcap":    strconv.Itoa(flags.MatchCap),
+				"transformer": strconv.FormatBool(flags.Transformer),
+			},
+			Start:       start,
+			WallSeconds: time.Since(start).Seconds(),
+			Stages:      runstore.StagesFromSnapshot(reg.Snapshot()),
+			Runtime:     &rtStats,
+			Artifacts:   runstore.Artifacts{Trace: flags.TracePath, Report: flags.ReportPath},
+		}
+		entry.Status, entry.Error = pipeline.TerminalStatus(runErr)
+		if regErr := store.Put(entry); regErr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: run store: %v (run not registered)\n", regErr)
+		} else {
+			fmt.Fprintf(stdout, "run registered: %s (serd runs show %s)\n", entry.ShortID(), entry.ShortID())
+		}
+	}
+
 	if runErr != nil {
 		return runErr
 	}
 
 	if flags.ReportPath != "" {
-		rtStats := sampler.Stop()
 		rep := &telemetry.RunReport{
 			Tool:        "experiments",
 			Dataset:     strings.Join(suite.Config().Datasets, ","),
@@ -292,8 +340,10 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runBench is the CI perf-gate path: run the core synthesis bench, write
-// it out and/or compare it against a pinned baseline.
-func runBench(cfg experiments.Config, flags *config.Experiments, stdout io.Writer) error {
+// it out and/or compare it against a pinned baseline. Bench runs register
+// their rows in the run registry (when armed) so `serd runs compare` can
+// track the perf trajectory without digging up BENCH_core.json files.
+func runBench(cfg experiments.Config, flags *config.Experiments, store *runstore.Store, stdout io.Writer) error {
 	start := time.Now()
 	rows, err := experiments.CoreBench(cfg)
 	if err != nil {
@@ -303,6 +353,41 @@ func runBench(cfg experiments.Config, flags *config.Experiments, stdout io.Write
 	for _, r := range rows {
 		fmt.Fprintf(stdout, "%-16s %6d entities  %8.1f ent/s  JSD=%.4f  attempts=%.0f\n",
 			r.Dataset, r.Entities, r.EntitiesPerSec, r.JSD, r.Attempts)
+	}
+	if store != nil {
+		entry := runstore.Entry{
+			RunID:  runstore.SyntheticRunID("experiments-bench", flags.Seed, start.UnixNano()),
+			Tool:   "experiments",
+			Seed:   flags.Seed,
+			Status: journal.StatusDone,
+			Config: map[string]string{
+				"bench":    "core",
+				"sizecap":  strconv.Itoa(flags.SizeCap),
+				"matchcap": strconv.Itoa(flags.MatchCap),
+			},
+			Start:       start,
+			WallSeconds: time.Since(start).Seconds(),
+			Artifacts:   runstore.Artifacts{Report: flags.BenchOut},
+		}
+		var names []string
+		for _, r := range rows {
+			names = append(names, r.Dataset)
+			entry.Bench = append(entry.Bench, runstore.BenchRow{
+				Dataset:        r.Dataset,
+				Entities:       r.Entities,
+				WallSeconds:    r.WallSeconds,
+				EntitiesPerSec: r.EntitiesPerSec,
+				JSD:            r.JSD,
+				PeakRSSBytes:   r.PeakRSSBytes,
+				GCPauseSeconds: r.GCPauseSeconds,
+			})
+		}
+		entry.Dataset = strings.Join(names, ",")
+		if regErr := store.Put(entry); regErr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: run store: %v (bench not registered)\n", regErr)
+		} else {
+			fmt.Fprintf(stdout, "run registered: %s (serd runs show %s)\n", entry.ShortID(), entry.ShortID())
+		}
 	}
 	if flags.BenchOut != "" {
 		if err := experiments.WriteCoreBench(flags.BenchOut, rep); err != nil {

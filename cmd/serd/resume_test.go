@@ -36,6 +36,15 @@ func TestMain(m *testing.M) {
 			os.Exit(1)
 		}
 	}
+	// The run registry defaults to ~/.serd/runs; tests must never write
+	// into the real home directory, so the whole test process (and every
+	// re-exec'd subprocess, which inherits the env) gets a sandbox HOME.
+	if home, err := os.MkdirTemp("", "serd-test-home-*"); err == nil {
+		os.Setenv("HOME", home)
+		code := m.Run()
+		os.RemoveAll(home)
+		os.Exit(code)
+	}
 	os.Exit(m.Run())
 }
 

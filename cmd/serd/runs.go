@@ -1,0 +1,420 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"serd/internal/pipeline"
+	"serd/internal/runstore"
+	"serd/internal/trace"
+)
+
+const runsUsage = `usage: serd runs <command> [flags]
+
+Browse the cross-run registry every serd/experiments/datagen run
+registers itself into (default ~/.serd/runs; runs take -run-store DIR
+to relocate it, -run-store=off to opt out).
+
+commands:
+  list                     registered runs, oldest first
+                           (-tool, -status filters; -n last N; -q ids only)
+  show      <id>           one run in full (unique id prefixes accepted)
+  compare   <A> <B>        attribute wall-clock, peak-RSS, ε and fidelity
+                           deltas between two runs; exit 3 past thresholds
+  burn-down                cumulative ε spend per dataset group
+  gc        -keep N        delete all but the newest N entries
+  serve     -addr :9091    the /runs JSON+HTML dashboard, standalone
+
+common flags:
+  -store DIR               registry directory (default ~/.serd/runs)
+`
+
+// runsStore opens the registry for a CLI subcommand. Unlike the run
+// binaries (which degrade to warnings), the runs CLI hard-fails: a user
+// asking to browse a registry that cannot open wants the error.
+func runsStore(dir string) (*runstore.Store, error) {
+	if dir == "" {
+		dir = runstore.DefaultDir()
+		if dir == "" {
+			return nil, errors.New("runs: no home directory; pass -store DIR")
+		}
+	}
+	if dir == runstore.Off {
+		return nil, errors.New("runs: -store off makes no sense here; pass a directory")
+	}
+	return runstore.Open(dir)
+}
+
+func runRuns(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprint(stdout, runsUsage)
+		return errors.New("runs: missing command")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet("serd runs "+sub, flag.ContinueOnError)
+	storeDir := fs.String("store", "", "registry directory (default ~/.serd/runs)")
+
+	switch sub {
+	case "list":
+		tool := fs.String("tool", "", "only runs of this tool (serd, datagen, experiments)")
+		status := fs.String("status", "", "only runs with this terminal status (done, failed, aborted)")
+		n := fs.Int("n", 0, "only the newest N runs (0 = all)")
+		quiet := fs.Bool("q", false, "print run ids only (for scripting)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		s, err := runsStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		entries, err := s.List()
+		if err != nil {
+			return err
+		}
+		var filtered []runstore.Entry
+		for _, e := range entries {
+			if *tool != "" && e.Tool != *tool {
+				continue
+			}
+			if *status != "" && e.Status != *status {
+				continue
+			}
+			filtered = append(filtered, e)
+		}
+		if *n > 0 && len(filtered) > *n {
+			filtered = filtered[len(filtered)-*n:]
+		}
+		if *quiet {
+			for _, e := range filtered {
+				fmt.Fprintln(stdout, e.RunID)
+			}
+			return nil
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(stdout, "no runs registered in %s\n", s.Dir())
+			return nil
+		}
+		fmt.Fprintf(stdout, "%-14s %-12s %-16s %6s %-8s %-20s %9s %10s\n",
+			"run", "tool", "dataset", "seed", "status", "start", "wall", "ε")
+		for _, e := range filtered {
+			eps := "-"
+			if e.Privacy != nil {
+				eps = fmt.Sprintf("%.4g", e.Privacy.Epsilon)
+			}
+			start := "-"
+			if !e.Start.IsZero() {
+				start = e.Start.Format("2006-01-02 15:04:05")
+			}
+			fmt.Fprintf(stdout, "%-14s %-12s %-16s %6d %-8s %-20s %8.2fs %10s\n",
+				e.ShortID(), e.Tool, e.Dataset, e.Seed, e.Status, start, e.WallSeconds, eps)
+		}
+		return nil
+
+	case "show":
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return errors.New("runs show: want exactly one run id")
+		}
+		s, err := runsStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		e, err := s.Get(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		printRun(stdout, e)
+		return nil
+
+	case "compare":
+		opts := runstore.CompareOptions{}
+		fs.Float64Var(&opts.WallThreshold, "wall-threshold", 0.25, "allowed fractional wall-clock growth per stage and in total")
+		fs.Float64Var(&opts.EpsThreshold, "eps-threshold", 0.01, "allowed fractional ε growth per group and in total")
+		fs.Float64Var(&opts.MetricThreshold, "metric-threshold", 0.25, "allowed fractional fidelity (jsd) drift")
+		fs.Float64Var(&opts.RSSThreshold, "rss-threshold", 0.50, "allowed fractional peak-RSS growth")
+		fs.Float64Var(&opts.MinSeconds, "min-seconds", 0.05, "absolute wall-clock growth below which a stage never regresses")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 2 {
+			return errors.New("runs compare: want exactly two run ids")
+		}
+		s, err := runsStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		a, err := s.Get(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b, err := s.Get(fs.Arg(1))
+		if err != nil {
+			return err
+		}
+		cmp := runstore.Compare(a, b, opts)
+		printComparison(stdout, cmp)
+		if cmp.Regressed() {
+			return fmt.Errorf("%w: %d axis(es) past threshold between %s and %s",
+				runstore.ErrRegression, len(cmp.Regressions), a.ShortID(), b.ShortID())
+		}
+		return nil
+
+	case "burn-down":
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		s, err := runsStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		entries, err := s.List()
+		if err != nil {
+			return err
+		}
+		burns := runstore.ComputeBurnDown(entries)
+		if len(burns) == 0 {
+			fmt.Fprintf(stdout, "no ε spent by any run registered in %s\n", s.Dir())
+			return nil
+		}
+		for _, b := range burns {
+			fmt.Fprintf(stdout, "%s — cumulative ε %.6g over %d run(s)\n", b.Dataset, b.Total, len(b.Points))
+			for _, p := range b.Points {
+				id := p.RunID
+				if len(id) > 12 {
+					id = id[:12]
+				}
+				fmt.Fprintf(stdout, "  %-14s %-8s +%-10.6g Σ %.6g\n", id, p.Status, p.Epsilon, p.Cumulative)
+			}
+		}
+		return nil
+
+	case "gc":
+		keep := fs.Int("keep", 50, "entries to keep (newest)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		s, err := runsStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		removed, err := s.GC(*keep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "removed %d entr%s, kept the newest %d\n", removed, plural(removed, "y", "ies"), *keep)
+		return nil
+
+	case "serve":
+		addr := fs.String("addr", ":9091", "listen address for the runs dashboard")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		s, err := runsStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		return serveRuns(*addr, s, stdout)
+
+	default:
+		fmt.Fprint(stdout, runsUsage)
+		return fmt.Errorf("runs: unknown command %q", sub)
+	}
+}
+
+// testHookRunsServing mirrors testHookServing for `serd runs serve`.
+var testHookRunsServing = func(addr string) {}
+
+// serveRuns runs the standalone dashboard until SIGINT/SIGTERM.
+func serveRuns(addr string, s *runstore.Store, stdout io.Writer) error {
+	mux := http.NewServeMux()
+	h := runstore.Handler(s, nil)
+	mux.Handle("/runs", h)
+	mux.Handle("/runs/", h)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/runs", http.StatusFound)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("runs serve: %w", err)
+	}
+
+	ctx, stop := pipeline.SignalContext(context.Background())
+	defer stop()
+	lnErr := make(chan error, 1)
+	go func() { lnErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "runs dashboard: http://%s/runs (store %s)\n", ln.Addr(), s.Dir())
+	testHookRunsServing(ln.Addr().String())
+	select {
+	case err := <-lnErr:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func printRun(w io.Writer, e runstore.Entry) {
+	fmt.Fprintf(w, "run %s (%s)\n", e.RunID, e.Tool)
+	fmt.Fprintf(w, "  dataset %s  seed %d  status %s", e.Dataset, e.Seed, e.Status)
+	if e.Error != "" {
+		fmt.Fprintf(w, " (%s)", e.Error)
+	}
+	fmt.Fprintln(w)
+	if !e.Start.IsZero() {
+		fmt.Fprintf(w, "  start %s  wall %.2fs\n", e.Start.Format(time.RFC3339), e.WallSeconds)
+	}
+	if len(e.Config) > 0 {
+		fmt.Fprintln(w, "  config:")
+		keys := make([]string, 0, len(e.Config))
+		for k := range e.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "    %-16s %s\n", k, e.Config[k])
+		}
+	}
+	if len(e.Stages) > 0 {
+		fmt.Fprintln(w, "  stages:")
+		for _, st := range e.Stages {
+			fmt.Fprintf(w, "    %-28s ×%-4d %9.3fs\n", st.Name, st.Count, st.Seconds)
+		}
+	}
+	if e.Runtime != nil {
+		fmt.Fprintf(w, "  runtime: peak RSS %.1f MiB, GC pause %.4fs over %d cycle(s)\n",
+			float64(e.Runtime.PeakRSSBytes)/(1<<20), e.Runtime.GCPauseSeconds, e.Runtime.NumGC)
+	}
+	if e.Privacy != nil {
+		fmt.Fprintf(w, "  privacy: composed ε=%.6g δ=%.2g over %d charge(s)\n",
+			e.Privacy.Epsilon, e.Privacy.Delta, e.Privacy.Charges)
+		for _, g := range e.Privacy.Groups {
+			fmt.Fprintf(w, "    group %-20s ε=%.6g (%d charge(s))\n", g.Group, g.Epsilon, g.Charges)
+		}
+	}
+	if len(e.Lineage) > 0 {
+		fmt.Fprintln(w, "  lineage:")
+		for _, l := range e.Lineage {
+			fmt.Fprintf(w, "    %-7s %s  sha %s\n", l.Role, l.Dir, l.SHA)
+		}
+	}
+	if len(e.Summary) > 0 {
+		fmt.Fprintln(w, "  summary:")
+		keys := make([]string, 0, len(e.Summary))
+		for k := range e.Summary {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "    %-28s %g\n", k, e.Summary[k])
+		}
+	}
+	if len(e.Bench) > 0 {
+		fmt.Fprintln(w, "  bench:")
+		for _, b := range e.Bench {
+			fmt.Fprintf(w, "    %-16s %6d entities  %8.1f ent/s  jsd %.4f\n", b.Dataset, b.Entities, b.EntitiesPerSec, b.JSD)
+		}
+	}
+	a := e.Artifacts
+	if a.OutDir != "" || a.Journal != "" || a.Trace != "" || a.Report != "" || a.Checkpoints != "" {
+		fmt.Fprintln(w, "  artifacts:")
+		for _, kv := range [][2]string{{"out", a.OutDir}, {"journal", a.Journal}, {"trace", a.Trace}, {"report", a.Report}, {"checkpoints", a.Checkpoints}} {
+			if kv[1] != "" {
+				fmt.Fprintf(w, "    %-12s %s\n", kv[0], kv[1])
+			}
+		}
+	}
+}
+
+func printComparison(w io.Writer, c *runstore.Comparison) {
+	fmt.Fprintf(w, "comparing %s (%s, %s) -> %s (%s, %s)\n",
+		c.A.ShortID(), c.A.Tool, c.A.Status, c.B.ShortID(), c.B.Tool, c.B.Status)
+	fmt.Fprintf(w, "wall: %.3fs -> %.3fs (%+.3fs)%s\n", c.Wall.A, c.Wall.B, c.Wall.Diff(), regressedMark(c.Wall))
+	if len(c.Stages) > 0 {
+		fmt.Fprintf(w, "\n%-28s %10s %10s %9s\n", "stage", "A s", "B s", "delta")
+		for _, d := range c.Stages {
+			fmt.Fprintf(w, "%-28s %10.3f %10.3f %+8.3f%s\n", d.Name, d.A, d.B, d.Diff(), regressedMark(d))
+		}
+	}
+	if c.PeakRSS.A > 0 || c.PeakRSS.B > 0 {
+		fmt.Fprintf(w, "\npeak RSS: %.1f MiB -> %.1f MiB%s\n", c.PeakRSS.A/(1<<20), c.PeakRSS.B/(1<<20), regressedMark(c.PeakRSS))
+	}
+	if c.Epsilon.A != 0 || c.Epsilon.B != 0 {
+		fmt.Fprintf(w, "\ncomposed ε: %.6g -> %.6g%s\n", c.Epsilon.A, c.Epsilon.B, regressedMark(c.Epsilon))
+		for _, d := range c.Groups {
+			fmt.Fprintf(w, "  group %-20s %.6g -> %.6g%s\n", d.Name, d.A, d.B, regressedMark(d))
+		}
+	}
+	if len(c.Metrics) > 0 {
+		fmt.Fprintf(w, "\n%-28s %12s %12s\n", "metric", "A", "B")
+		for _, d := range c.Metrics {
+			fmt.Fprintf(w, "%-28s %12g %12g%s\n", d.Name, d.A, d.B, regressedMark(d))
+		}
+	}
+	if len(c.ConfigDiff) > 0 {
+		fmt.Fprintln(w, "\nconfig differences:")
+		keys := make([]string, 0, len(c.ConfigDiff))
+		for k := range c.ConfigDiff {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := c.ConfigDiff[k]
+			fmt.Fprintf(w, "  %-16s %q -> %q\n", k, v[0], v[1])
+		}
+	}
+	// Opportunistic trace attribution: when both runs kept their .jsonl
+	// traces, the diff pins the wall-clock delta to chunk groups too.
+	if c.A.Artifacts.Trace != "" && c.B.Artifacts.Trace != "" {
+		if ta, err := trace.Load(c.A.Artifacts.Trace); err == nil {
+			if tb, err := trace.Load(c.B.Artifacts.Trace); err == nil {
+				d := trace.DiffTraces(ta, tb)
+				if len(d.Children) > 0 {
+					fmt.Fprintf(w, "\ntrace attribution (top chunk groups):\n")
+					for i, r := range d.Children {
+						if i >= 5 {
+							break
+						}
+						fmt.Fprintf(w, "  %-40s %+8.3fs (%5.1f%%)\n", r.Key, r.Delta, 100*r.Share)
+					}
+				}
+			}
+		}
+	}
+	if c.Regressed() {
+		fmt.Fprintln(w, "\nREGRESSIONS:")
+		for _, r := range c.Regressions {
+			fmt.Fprintln(w, "  ✗", r)
+		}
+	} else {
+		fmt.Fprintln(w, "\nno regressions: B holds A on every gated axis")
+	}
+}
+
+func regressedMark(d runstore.Delta) string {
+	if d.Regressed {
+		return "   ✗ REGRESSED"
+	}
+	return ""
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"serd/internal/checkpoint"
 	"serd/internal/config"
 	"serd/internal/journal"
+	"serd/internal/runstore"
 	"serd/internal/telemetry"
 	"serd/internal/trace"
 )
@@ -32,13 +34,20 @@ type synthConfig struct {
 	cp          *checkpoint.Checkpointer
 	snap        *checkpoint.Snapshot
 	openPhases  map[string]int
+	// store/live wire the run registry: store mounts /runs on the live
+	// inspector, live carries the in-flight status the dashboard shows.
+	// Both may be nil (registry off).
+	store *runstore.Store
+	live  *runstore.LiveRun
 }
 
 // synth runs the pipeline proper: transformer-bank training (or the rule
 // synthesizer), core synthesis, dataset/report output and the optional
 // privacy audit. ctx cancels it cooperatively at the next
-// minibatch/chunk/iteration boundary.
-func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer) error {
+// minibatch/chunk/iteration boundary. The returned RuntimeStats are the
+// sampler's final accounting, valid on the error path too so failed runs
+// still register their resource profile.
+func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer) (rtStats telemetry.RuntimeStats, err error) {
 	flags := cfg.flags
 	// The registry feeds the live inspector and the run report; it stays
 	// on even without -metrics-addr so the report is always complete. The
@@ -71,12 +80,22 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 	// bench trajectory tracks. It observes only the Go runtime — never the
 	// synthesis state — so it cannot perturb outputs.
 	sampler := telemetry.StartSampler(reg, bus, 0)
-	defer sampler.Stop()
+	defer func() {
+		// Stop is idempotent; this fills the named return on every exit
+		// path (the happy path below already stopped it for the report).
+		rtStats = sampler.Stop()
+	}()
 
 	if flags.MetricsAddr != "" {
-		srv, err := telemetry.ServeWith(flags.MetricsAddr, reg, bus)
+		// The run registry rides the inspector's listener: /runs lists the
+		// store's history with this run pinned live at the top.
+		var extra map[string]http.Handler
+		if cfg.store != nil {
+			extra = map[string]http.Handler{"/runs/": runstore.Handler(cfg.store, cfg.live)}
+		}
+		srv, err := telemetry.ServeWithExtra(flags.MetricsAddr, reg, bus, extra)
 		if err != nil {
-			return fmt.Errorf("metrics server: %w", err)
+			return rtStats, fmt.Errorf("metrics server: %w", err)
 		}
 		defer func() {
 			// Graceful drain on every exit path (including the signal
@@ -86,7 +105,11 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 			defer cancel()
 			srv.Shutdown(sctx) //nolint:errcheck // best-effort drain at exit
 		}()
-		fmt.Fprintf(stdout, "metrics: http://%s/ (metrics.json, metrics, events, debug/pprof)\n", srv.Addr())
+		endpoints := "metrics.json, metrics, events, debug/pprof"
+		if cfg.store != nil {
+			endpoints += ", runs"
+		}
+		fmt.Fprintf(stdout, "metrics: http://%s/ (%s)\n", srv.Addr(), endpoints)
 		testHookServing(srv.Addr())
 	}
 
@@ -105,7 +128,7 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		}
 		exp, err := trace.NewExporter(bus, flags.TracePath, hdr)
 		if err != nil {
-			return err
+			return rtStats, err
 		}
 		defer func() {
 			if err := exp.Close(); err != nil {
@@ -123,7 +146,7 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		}
 		corpus, err := readLines(filepath.Join(flags.In, "background_"+col.Name+".txt"))
 		if err != nil {
-			return fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
+			return rtStats, fmt.Errorf("textual column %q needs a background corpus: %w", col.Name, err)
 		}
 		if flags.Transformer {
 			txOpts := serd.TransformerOptions{
@@ -146,13 +169,13 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 			}
 			ts, err := serd.TrainTransformerContext(ctx, corpus, col.Sim, txOpts)
 			if err != nil {
-				return fmt.Errorf("training transformer bank for column %q: %w", col.Name, err)
+				return rtStats, fmt.Errorf("training transformer bank for column %q: %w", col.Name, err)
 			}
 			if cfg.cp != nil && (txOpts.Resume == nil || !txOpts.Resume.Done) {
 				// Terminal per-column checkpoint: a crash in any later
 				// phase resumes without retraining this bank.
 				if err := cfg.cp.SaveTrain(ts.CheckpointState(col.Name)); err != nil {
-					return err
+					return rtStats, err
 				}
 			}
 			fmt.Fprintf(stdout, "transformer bank for %q trained (ε=%.4f at δ=%g)\n", col.Name, ts.Epsilon(), flags.DPDelta)
@@ -161,7 +184,7 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		}
 		rs, err := serd.NewRuleSynthesizer(col.Sim, corpus)
 		if err != nil {
-			return err
+			return rtStats, err
 		}
 		synths[col.Name] = rs
 	}
@@ -205,39 +228,39 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 	if flags.LoadDist != "" {
 		f, err := os.Open(flags.LoadDist)
 		if err != nil {
-			return err
+			return rtStats, err
 		}
 		opts.Learned, err = serd.LoadDistributions(f)
 		f.Close()
 		if err != nil {
-			return err
+			return rtStats, err
 		}
 		fmt.Fprintf(stdout, "reusing O-distribution from %s\n", flags.LoadDist)
 	}
 	res, err := serd.SynthesizeContext(ctx, real, opts)
 	if err != nil {
-		return err
+		return rtStats, err
 	}
 	if flags.SaveDist != "" {
 		f, err := os.Create(flags.SaveDist)
 		if err != nil {
-			return err
+			return rtStats, err
 		}
 		if err := serd.SaveDistributions(f, res.OReal); err != nil {
 			f.Close()
-			return err
+			return rtStats, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return rtStats, err
 		}
 		fmt.Fprintf(stdout, "saved O-distribution to %s\n", flags.SaveDist)
 	}
 	if err := serd.SaveDataset(flags.Out, res.Syn); err != nil {
-		return err
+		return rtStats, err
 	}
 	if cfg.jr != nil {
 		if err := cfg.jr.Lineage("output", flags.Out); err != nil {
-			return err
+			return rtStats, err
 		}
 	}
 	fmt.Fprintf(stdout, "synthesized %+v -> %s\n", res.Syn.Stats(), flags.Out)
@@ -246,7 +269,7 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 
 	if flags.Audit {
 		if err := privacyAudit(cfg, real, res.Syn, stdout); err != nil {
-			return err
+			return rtStats, err
 		}
 	}
 
@@ -262,8 +285,8 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 			path = filepath.Join(flags.Out, "run_report.json")
 		}
 		// Final sample before the snapshot so the report's gauges and
-		// Runtime block agree.
-		rtStats := sampler.Stop()
+		// Runtime block agree (also the named return the registry records).
+		rtStats = sampler.Stop()
 		rep := &serd.RunReport{
 			Tool:        "serd",
 			Dataset:     filepath.Base(filepath.Clean(flags.In)),
@@ -289,11 +312,11 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 			rep.Privacy = cfg.ledger.Summary()
 		}
 		if err := serd.WriteRunReport(path, rep); err != nil {
-			return fmt.Errorf("run report: %w", err)
+			return rtStats, fmt.Errorf("run report: %w", err)
 		}
 		fmt.Fprintf(stdout, "run report -> %s\n", path)
 	}
-	return nil
+	return rtStats, nil
 }
 
 // privacyAudit computes the Table III privacy metrics over the run's real

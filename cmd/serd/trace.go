@@ -40,7 +40,7 @@ func runTrace(args []string, stdout io.Writer) error {
 		if fs.NArg() != 1 {
 			return errors.New("trace summary: want exactly one trace file")
 		}
-		t, err := trace.Load(fs.Arg(0))
+		t, err := loadTrace(stdout, fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -50,7 +50,7 @@ func runTrace(args []string, stdout io.Writer) error {
 		if fs.NArg() != 1 {
 			return errors.New("trace critical-path: want exactly one trace file")
 		}
-		t, err := trace.Load(fs.Arg(0))
+		t, err := loadTrace(stdout, fs.Arg(0))
 		if err != nil {
 			return err
 		}
@@ -60,11 +60,11 @@ func runTrace(args []string, stdout io.Writer) error {
 		if fs.NArg() != 2 {
 			return errors.New("trace diff: want exactly two trace files")
 		}
-		base, err := trace.Load(fs.Arg(0))
+		base, err := loadTrace(stdout, fs.Arg(0))
 		if err != nil {
 			return err
 		}
-		other, err := trace.Load(fs.Arg(1))
+		other, err := loadTrace(stdout, fs.Arg(1))
 		if err != nil {
 			return err
 		}
@@ -74,6 +74,20 @@ func runTrace(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, traceUsage)
 		return fmt.Errorf("trace: unknown command %q", sub)
 	}
+}
+
+// loadTrace wraps trace.Load with the CLI's truncation warning: a trace
+// whose tail record was cut mid-write still analyzes, but the reader
+// deserves to know the numbers stop at the crash point.
+func loadTrace(w io.Writer, path string) (*trace.Trace, error) {
+	t, err := trace.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if t.Truncated {
+		fmt.Fprintf(w, "warning: %s: final record truncated mid-write (crashed run?); skipped it\n", path)
+	}
+	return t, nil
 }
 
 func printSummary(w io.Writer, s trace.Summary) {

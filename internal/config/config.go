@@ -44,6 +44,7 @@ var sharedSpecs = []Spec{
 	{Name: "workers", Def: int(0), Usage: "worker count for the parallel S2/S3 hot path (0 = GOMAXPROCS); outputs are bit-identical at any value"},
 	{Name: "metrics-addr", Def: "", Usage: "serve the live run inspector on this address (e.g. :9090); with -trace or on serd, /events streams span/metric events as SSE"},
 	{Name: "trace", Def: "", Usage: "write a Chrome trace-event JSON here plus a compact .jsonl trace next to it (analyze with 'serd trace'); tracing never changes outputs"},
+	{Name: "run-store", Def: "", Usage: "run-registry directory for cross-run history ('serd runs'); default ~/.serd/runs, 'off' disables registration"},
 	{Name: "report", Def: "", Usage: "run-report path (with an -out directory, default <out>/run_report.json)"},
 	{Name: "no-report", Def: false, Usage: "skip writing the run report"},
 	{Name: "journal", Def: "", Usage: "event-journal path (default <out>/journal.jsonl)"},
@@ -152,6 +153,7 @@ type Serd struct {
 	CheckpointEvery     int
 	Resume              bool
 	TracePath           string
+	RunStore            string
 }
 
 // RegisterSerd binds cmd/serd's full flag surface into fs.
@@ -191,6 +193,7 @@ func RegisterSerd(fs *flag.FlagSet) *Serd {
 	b.integer(&c.CheckpointEvery, "checkpoint-every")
 	b.boolean(&c.Resume, "resume")
 	b.str(&c.TracePath, "trace")
+	b.str(&c.RunStore, "run-store")
 	return c
 }
 
@@ -242,6 +245,7 @@ type Experiments struct {
 	BenchAgainst   string
 	BenchThreshold float64
 	TracePath      string
+	RunStore       string
 }
 
 // RegisterExperiments binds cmd/experiments' flag surface into fs.
@@ -261,6 +265,7 @@ func RegisterExperiments(fs *flag.FlagSet) *Experiments {
 	fs.StringVar(&c.BenchAgainst, "bench-against", "", "compare the core bench against this baseline BENCH_core.json, exiting non-zero on a throughput regression (skips the tables)")
 	fs.Float64Var(&c.BenchThreshold, "bench-threshold", 0.30, "allowed fractional throughput drop for -bench-against")
 	b.str(&c.TracePath, "trace")
+	b.str(&c.RunStore, "run-store")
 	return c
 }
 
@@ -285,6 +290,8 @@ type Datagen struct {
 	NoReport    bool
 	JournalPath string
 	NoJournal   bool
+	TracePath   string
+	RunStore    string
 }
 
 // RegisterDatagen binds cmd/datagen's flag surface into fs.
@@ -302,6 +309,8 @@ func RegisterDatagen(fs *flag.FlagSet) *Datagen {
 	b.boolean(&c.NoReport, "no-report")
 	b.str(&c.JournalPath, "journal")
 	b.boolean(&c.NoJournal, "no-journal")
+	b.str(&c.TracePath, "trace")
+	b.str(&c.RunStore, "run-store")
 	return c
 }
 

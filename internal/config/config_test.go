@@ -110,6 +110,8 @@ func TestCoreSharedFlagsPresent(t *testing.T) {
 		"seed":         {"serd", "experiments", "datagen"},
 		"metrics-addr": {"serd", "experiments", "datagen"},
 		"report":       {"serd", "experiments", "datagen"},
+		"trace":        {"serd", "experiments", "datagen"},
+		"run-store":    {"serd", "experiments", "datagen"},
 		"workers":      {"serd", "experiments"},
 		"transformer":  {"serd", "experiments"},
 		"journal":      {"serd", "datagen"},

@@ -72,6 +72,7 @@ func CoreBench(cfg Config) ([]CoreBenchRow, error) {
 		snap := reg.Snapshot()
 		eps, _ := reg.Gauge("core.s2.entities_per_sec")
 		jsd, _ := reg.Gauge("core.s2.jsd_final")
+		rss, _ := telemetry.ReadPeakRSS() // 0 (omitted) where unsupported
 		rows = append(rows, CoreBenchRow{
 			Dataset:               name,
 			Entities:              syn.A.Len() + syn.B.Len(),
@@ -82,7 +83,7 @@ func CoreBench(cfg Config) ([]CoreBenchRow, error) {
 			RejectedDiscriminator: snap.Counters["core.s2.rejected.discriminator"],
 			RejectedDistribution:  snap.Counters["core.s2.rejected.distribution"],
 			EMIterations:          snap.Counters["gmm.em.iterations"],
-			PeakRSSBytes:          telemetry.ReadPeakRSS(),
+			PeakRSSBytes:          rss,
 			GCPauseSeconds:        float64(after.PauseTotalNs-before.PauseTotalNs) / 1e9,
 		})
 	}
@@ -151,13 +152,17 @@ func ReadCoreBench(path string) (CoreBenchReport, error) {
 //     meaningless);
 //   - a baseline dataset missing from the current run;
 //   - S2 throughput more than threshold (a fraction, e.g. 0.30) below the
-//     baseline's for any dataset.
+//     baseline's for any dataset;
+//   - peak RSS or GC pause time (the schema-v2 memory axis) more than
+//     threshold above the baseline's, for datasets where the baseline
+//     actually recorded those columns.
 //
 // Faster runs, extra datasets and fidelity improvements are not problems.
 // Schema versions are deliberately not compared: a v1 baseline (no memory
-// axis) holds a v2 run to throughput exactly as before, so pinned
-// baselines survive schema additions. An empty result means the run holds
-// the baseline.
+// axis, the v2 columns zero) holds a v2 run to throughput exactly as
+// before — a zero baseline column asserts nothing, so pinned baselines
+// survive schema additions. An empty result means the run holds the
+// baseline.
 func CompareCoreBench(baseline, current CoreBenchReport, threshold float64) []string {
 	var problems []string
 	if baseline.Seed != current.Seed || baseline.SizeCap != current.SizeCap || baseline.MatchCap != current.MatchCap {
@@ -176,14 +181,34 @@ func CompareCoreBench(baseline, current CoreBenchReport, threshold float64) []st
 			problems = append(problems, fmt.Sprintf("dataset %s present in the baseline but not benched now", base.Dataset))
 			continue
 		}
-		if base.EntitiesPerSec <= 0 {
-			continue // nothing to hold the run to
+		if base.EntitiesPerSec > 0 {
+			floor := base.EntitiesPerSec * (1 - threshold)
+			if now.EntitiesPerSec < floor {
+				problems = append(problems, fmt.Sprintf(
+					"dataset %s: S2 throughput %.1f ent/s is %.0f%% below the %.1f ent/s baseline (floor %.1f at the %.0f%% threshold)",
+					base.Dataset, now.EntitiesPerSec, 100*(1-now.EntitiesPerSec/base.EntitiesPerSec), base.EntitiesPerSec, floor, 100*threshold))
+			}
 		}
-		floor := base.EntitiesPerSec * (1 - threshold)
-		if now.EntitiesPerSec < floor {
-			problems = append(problems, fmt.Sprintf(
-				"dataset %s: S2 throughput %.1f ent/s is %.0f%% below the %.1f ent/s baseline (floor %.1f at the %.0f%% threshold)",
-				base.Dataset, now.EntitiesPerSec, 100*(1-now.EntitiesPerSec/base.EntitiesPerSec), base.EntitiesPerSec, floor, 100*threshold))
+		// Schema-v2 memory axis. A v1 baseline stores zeros here, which
+		// assert nothing — only a baseline that measured the column holds
+		// the current run to it.
+		if base.PeakRSSBytes > 0 {
+			ceil := float64(base.PeakRSSBytes) * (1 + threshold)
+			if float64(now.PeakRSSBytes) > ceil {
+				problems = append(problems, fmt.Sprintf(
+					"dataset %s: peak RSS %.1f MiB is %.0f%% above the %.1f MiB baseline (ceiling %.1f MiB at the %.0f%% threshold)",
+					base.Dataset, float64(now.PeakRSSBytes)/(1<<20), 100*(float64(now.PeakRSSBytes)/float64(base.PeakRSSBytes)-1),
+					float64(base.PeakRSSBytes)/(1<<20), ceil/(1<<20), 100*threshold))
+			}
+		}
+		if base.GCPauseSeconds > 0 {
+			ceil := base.GCPauseSeconds * (1 + threshold)
+			if now.GCPauseSeconds > ceil {
+				problems = append(problems, fmt.Sprintf(
+					"dataset %s: GC pause %.4fs is %.0f%% above the %.4fs baseline (ceiling %.4fs at the %.0f%% threshold)",
+					base.Dataset, now.GCPauseSeconds, 100*(now.GCPauseSeconds/base.GCPauseSeconds-1),
+					base.GCPauseSeconds, ceil, 100*threshold))
+			}
 		}
 	}
 	return problems

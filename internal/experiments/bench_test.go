@@ -92,6 +92,54 @@ func TestCompareCoreBenchOldSchema(t *testing.T) {
 	}
 }
 
+// TestCompareCoreBenchMemoryAxis exercises the schema-v2 columns: runs
+// blowing past the baseline's peak RSS or GC pause beyond the threshold
+// are reported, within-threshold growth and improvements are not.
+func TestCompareCoreBenchMemoryAxis(t *testing.T) {
+	v2 := func(rss uint64, gc float64) CoreBenchReport {
+		rep := benchReport(100)
+		rep.SchemaVersion = CoreBenchSchemaVersion
+		for i := range rep.Rows {
+			rep.Rows[i].PeakRSSBytes = rss
+			rep.Rows[i].GCPauseSeconds = gc
+		}
+		return rep
+	}
+	base := v2(100<<20, 0.010)
+
+	if p := CompareCoreBench(base, v2(100<<20, 0.010), 0.30); len(p) != 0 {
+		t.Errorf("identical memory profile flagged: %v", p)
+	}
+	if p := CompareCoreBench(base, v2(120<<20, 0.012), 0.30); len(p) != 0 {
+		t.Errorf("20%% growth within the 30%% threshold flagged: %v", p)
+	}
+	if p := CompareCoreBench(base, v2(50<<20, 0.002), 0.30); len(p) != 0 {
+		t.Errorf("memory improvement flagged: %v", p)
+	}
+
+	p := CompareCoreBench(base, v2(200<<20, 0.010), 0.30) // 2x RSS on both datasets
+	if len(p) != 2 {
+		t.Fatalf("RSS blowup: got %d problems, want 2: %v", len(p), p)
+	}
+	if !strings.Contains(p[0], "peak RSS") || !strings.Contains(p[0], "Restaurant") {
+		t.Errorf("RSS problem text: %q", p[0])
+	}
+
+	p = CompareCoreBench(base, v2(100<<20, 0.025), 0.30) // 2.5x GC pause
+	if len(p) != 2 || !strings.Contains(p[0], "GC pause") {
+		t.Errorf("GC pause blowup: %v", p)
+	}
+
+	// Both axes regressing on both datasets stack with the throughput gate.
+	slow := v2(200<<20, 0.025)
+	for i := range slow.Rows {
+		slow.Rows[i].EntitiesPerSec /= 10
+	}
+	if p := CompareCoreBench(base, slow, 0.30); len(p) != 6 {
+		t.Errorf("full regression: got %d problems, want 6: %v", len(p), p)
+	}
+}
+
 func TestCoreBenchReportRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench", "BENCH_core.json")
 	rep := benchReport(123)

@@ -96,8 +96,9 @@ type Journal struct {
 	f     *os.File  // non-nil for file-backed journals; enables fsync
 	seq   int
 	chain string
-	bytes int64 // bytes written so far — a checkpoint's truncation offset
-	err   error // first write error; subsequent emits are dropped
+	first string // first event's chain hash — the run's registry id
+	bytes int64  // bytes written so far — a checkpoint's truncation offset
+	err   error  // first write error; subsequent emits are dropped
 	now   func() time.Time
 }
 
@@ -180,7 +181,24 @@ func Resume(path string, seq int, chain string, offset int64) (*Journal, error) 
 	j.seq = seq
 	j.chain = chain
 	j.bytes = offset
+	if len(events) > 0 {
+		j.first = events[0].Chain
+	}
 	return j, nil
+}
+
+// First returns the first event's chain hash — the run's identity in
+// the run registry (internal/runstore). It commits to the run's opening
+// event (tool, seed, journaled config for run_start journals), so a
+// resumed run keeps the id of the run it replays. Empty until the first
+// event is emitted.
+func (j *Journal) First() string {
+	if j == nil {
+		return ""
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.first
 }
 
 // Seam returns the journal's current position — event count, chain head and
@@ -288,6 +306,9 @@ func (j *Journal) emit(typ string, data any, durS float64) {
 		return
 	}
 	j.chain = ev.Chain
+	if j.seq == 1 {
+		j.first = ev.Chain
+	}
 	if durableTypes[typ] {
 		j.syncLocked()
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"log/slog"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -207,5 +208,69 @@ func TestJournalConcurrency(t *testing.T) {
 	}
 	if i := VerifyChain(events); i != -1 {
 		t.Errorf("concurrent writes broke the chain at %d", i)
+	}
+}
+
+// TestFirstChainHash pins the run-registry identity contract: First is
+// the first event's chain hash, stable across later appends, and a
+// resumed journal keeps the id of the run it replays.
+func TestFirstChainHash(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf)
+	j.now = fixedClock()
+	if j.First() != "" {
+		t.Fatal("First non-empty before any event")
+	}
+	j.RunStart("serd", 7, map[string]string{"size_a": "10"})
+	first := j.First()
+	if first == "" {
+		t.Fatal("First empty after run_start")
+	}
+	j.PhaseStart("core.s1")
+	j.PhaseEnd("core.s1", 0.5)
+	if j.First() != first {
+		t.Fatal("First drifted across appends")
+	}
+	j.RunEnd(StatusDone, "", nil, 1)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Chain != first {
+		t.Fatalf("First = %s, events[0].Chain = %s", first, events[0].Chain)
+	}
+	var nilJ *Journal
+	if nilJ.First() != "" {
+		t.Fatal("nil Journal First should be empty")
+	}
+}
+
+// TestFirstSurvivesResume: a resumed journal re-derives First from the
+// verified prefix, so the run keeps its registry id across a crash.
+func TestFirstSurvivesResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.RunStart("serd", 7, nil)
+	first := j.First()
+	j.PhaseStart("core.s1")
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	seq, chain, offset := j.Seam()
+	j.Close()
+
+	r, err := Resume(path, seq, chain, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.First() != first {
+		t.Fatalf("resumed First = %s, want %s", r.First(), first)
 	}
 }

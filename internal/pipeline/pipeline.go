@@ -45,7 +45,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"serd/internal/checkpoint"
 	"serd/internal/journal"
@@ -143,6 +146,38 @@ func Stopped(ctx context.Context, cp *checkpoint.Checkpointer) error {
 	return nil
 }
 
+// TerminalStatus maps a run's final error to its journaled terminal
+// status plus message — the single definition of "which errors are a
+// clean abort vs a failure", shared by every binary's RunEnd call.
+// Budget exhaustion, checkpoint interrupts and context cancellation are
+// deliberate stops (StatusAborted); anything else failed.
+func TerminalStatus(err error) (status, msg string) {
+	if err == nil {
+		return journal.StatusDone, ""
+	}
+	if errors.Is(err, journal.ErrBudgetExceeded) || cancellation(err) {
+		return journal.StatusAborted, err.Error()
+	}
+	return journal.StatusFailed, err.Error()
+}
+
+// stageSleep reads SERD_STAGE_SLEEP_MS: a test/CI hook that dwells
+// inside every non-silent stage's span for that many milliseconds. The
+// sleep lands between span start and the stage body, so the extra time
+// is attributed to the stage's phase timing (journal dur_s, trace span,
+// run-registry stage table) while dataset and stripped-journal bytes
+// stay untouched — durations are volatile, outside the hash chain. Used
+// by the CI runs-smoke job to manufacture a wall-clock regression that
+// `serd runs compare` must catch. Re-read on every Engine.Run so tests
+// can flip it between in-process runs.
+func stageSleep() time.Duration {
+	ms, err := strconv.Atoi(os.Getenv("SERD_STAGE_SLEEP_MS"))
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
 // Engine sequences stages over a shared Env.
 type Engine struct {
 	Env Env
@@ -170,6 +205,7 @@ func (e *Engine) Run(ctx context.Context, stages ...Stage) error {
 	}
 	rec := telemetry.OrNop(e.Env.Metrics)
 	tr := trace.FromRecorder(rec)
+	dwell := stageSleep()
 	for i := range stages {
 		st := &stages[i]
 		if st.Skip != nil && st.Skip() {
@@ -179,6 +215,9 @@ func (e *Engine) Run(ctx context.Context, stages ...Stage) error {
 		var tspan *trace.Phase
 		if !st.Silent {
 			span = rec.StartSpan(st.Name)
+			if dwell > 0 {
+				time.Sleep(dwell) // inside the span: attributed to this stage
+			}
 		} else if tr != nil {
 			// Silent stages stay out of the registry and the journal (that
 			// invariant is load-bearing for resume), but the trace tree

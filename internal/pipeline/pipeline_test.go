@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"serd/internal/checkpoint"
+	"serd/internal/journal"
 	"serd/internal/telemetry"
 )
 
@@ -242,5 +244,53 @@ func TestEngineSaveErrorNamesStage(t *testing.T) {
 	})
 	if err == nil || err.Error() != `pipeline: stage "core.s1" save: disk full` {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTerminalStatus(t *testing.T) {
+	cases := []struct {
+		err    error
+		status string
+	}{
+		{nil, journal.StatusDone},
+		{errors.New("disk full"), journal.StatusFailed},
+		{fmt.Errorf("wrapped: %w", journal.ErrBudgetExceeded), journal.StatusAborted},
+		{checkpoint.ErrInterrupted, journal.StatusAborted},
+		{context.Canceled, journal.StatusAborted},
+		{context.DeadlineExceeded, journal.StatusAborted},
+		{&StageError{Stage: "core.s2", Err: context.Canceled}, journal.StatusAborted},
+	}
+	for _, c := range cases {
+		status, msg := TerminalStatus(c.err)
+		if status != c.status {
+			t.Errorf("TerminalStatus(%v) = %q, want %q", c.err, status, c.status)
+		}
+		if (c.err == nil) != (msg == "") {
+			t.Errorf("TerminalStatus(%v) msg = %q", c.err, msg)
+		}
+	}
+}
+
+// TestStageSleepHook: SERD_STAGE_SLEEP_MS dwells inside each non-silent
+// stage's span, so the slowdown is attributed to stage phase timings.
+func TestStageSleepHook(t *testing.T) {
+	t.Setenv("SERD_STAGE_SLEEP_MS", "30")
+	eng := New(Env{Metrics: telemetry.NewRegistry()})
+	start := time.Now()
+	err := eng.Run(context.Background(),
+		Stage{Name: "a", Run: func(context.Context, *Env) error { return nil }},
+		Stage{Name: "quiet", Silent: true, Run: func(context.Context, *Env) error { return nil }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One dwell for "a"; the silent stage must not sleep.
+	if d := time.Since(start); d < 30*time.Millisecond || d > 300*time.Millisecond {
+		t.Errorf("run took %v, want one ~30ms dwell", d)
+	}
+
+	t.Setenv("SERD_STAGE_SLEEP_MS", "not-a-number")
+	if err := eng.Run(context.Background(), Stage{Name: "b"}); err != nil {
+		t.Errorf("garbage env value must be ignored: %v", err)
 	}
 }

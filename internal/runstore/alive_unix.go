@@ -1,0 +1,20 @@
+//go:build unix
+
+package runstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// processAlive reports whether pid names a live process: signal 0
+// probes existence without delivering anything. EPERM still means
+// alive (just not ours).
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || err == syscall.EPERM
+}

@@ -1,0 +1,214 @@
+package runstore
+
+import (
+	"strings"
+	"testing"
+
+	"serd/internal/telemetry"
+)
+
+func baseEntry() Entry {
+	return Entry{
+		RunID:       "aaaa11112222",
+		Tool:        "serd",
+		Dataset:     "Restaurant",
+		Status:      "done",
+		WallSeconds: 10,
+		Stages: []StageTime{
+			{Name: "core.s1", Count: 1, Seconds: 4},
+			{Name: "core.s2", Count: 1, Seconds: 6},
+		},
+		Runtime: &telemetry.RuntimeStats{PeakRSSBytes: 100 << 20},
+		Privacy: &Privacy{Epsilon: 1.0, Charges: 2, Groups: []GroupSpend{
+			{Group: "name", Charges: 1, Epsilon: 0.6},
+			{Group: "addr", Charges: 1, Epsilon: 0.4},
+		}},
+		Summary: map[string]float64{"jsd": 0.05, "entities": 200},
+		Config:  map[string]string{"seed": "1"},
+	}
+}
+
+func TestCompareIdenticalHolds(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	c := Compare(a, b, CompareOptions{})
+	if c.Regressed() {
+		t.Fatalf("identical runs regressed: %v", c.Regressions)
+	}
+	if len(c.Stages) != 2 || len(c.Groups) != 2 {
+		t.Fatalf("joined axes: %d stages, %d groups", len(c.Stages), len(c.Groups))
+	}
+}
+
+func TestCompareImprovementHolds(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	b.WallSeconds = 5
+	b.Stages[1].Seconds = 2
+	b.Summary["jsd"] = 0.02
+	b.Runtime = &telemetry.RuntimeStats{PeakRSSBytes: 50 << 20}
+	if c := Compare(a, b, CompareOptions{}); c.Regressed() {
+		t.Fatalf("improvement flagged as regression: %v", c.Regressions)
+	}
+}
+
+func TestCompareWallRegression(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	b.WallSeconds = 20
+	c := Compare(a, b, CompareOptions{})
+	if !c.Wall.Regressed || !c.Regressed() {
+		t.Fatalf("2x wall-clock not flagged: %+v", c.Wall)
+	}
+	found := false
+	for _, r := range c.Regressions {
+		if strings.Contains(r, "wall-clock") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no wall-clock line in %v", c.Regressions)
+	}
+}
+
+func TestCompareMinSecondsFloor(t *testing.T) {
+	// Millisecond-scale growth far past the fraction must not gate: the
+	// absolute floor filters scheduler jitter.
+	a, b := baseEntry(), baseEntry()
+	a.WallSeconds, b.WallSeconds = 0.010, 0.040
+	a.Stages, b.Stages = nil, nil
+	a.Runtime, b.Runtime = nil, nil
+	if c := Compare(a, b, CompareOptions{}); c.Regressed() {
+		t.Fatalf("sub-MinSeconds jitter flagged: %v", c.Regressions)
+	}
+}
+
+func TestCompareStageRegression(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	b.Stages = []StageTime{
+		{Name: "core.s1", Count: 1, Seconds: 4},
+		{Name: "core.s2", Count: 1, Seconds: 12}, // 2x
+	}
+	c := Compare(a, b, CompareOptions{})
+	if !c.Regressed() {
+		t.Fatal("stage slowdown not flagged")
+	}
+	var hit bool
+	for _, d := range c.Stages {
+		if d.Name == "core.s2" && d.Regressed {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("core.s2 delta not marked regressed: %+v", c.Stages)
+	}
+	// A brand-new expensive stage (A side 0) regresses too.
+	b.Stages = append(b.Stages, StageTime{Name: "core.s4", Count: 1, Seconds: 1})
+	if c := Compare(a, b, CompareOptions{}); !c.Regressed() {
+		t.Fatal("new expensive stage not flagged")
+	}
+}
+
+func TestCompareEpsilonRegression(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	b.Privacy = &Privacy{Epsilon: 1.2, Charges: 2, Groups: []GroupSpend{
+		{Group: "name", Charges: 1, Epsilon: 0.8},
+		{Group: "addr", Charges: 1, Epsilon: 0.4},
+	}}
+	c := Compare(a, b, CompareOptions{})
+	if !c.Epsilon.Regressed {
+		t.Fatalf("ε growth 1.0 -> 1.2 not flagged: %+v", c.Epsilon)
+	}
+	var groupHit bool
+	for _, g := range c.Groups {
+		if g.Name == "name" && g.Regressed {
+			groupHit = true
+		}
+	}
+	if !groupHit {
+		t.Fatalf("per-group ε growth not flagged: %+v", c.Groups)
+	}
+	// ε within 1% holds.
+	b.Privacy.Epsilon = 1.005
+	b.Privacy.Groups = a.Privacy.Groups
+	if c := Compare(a, b, CompareOptions{}); c.Epsilon.Regressed {
+		t.Fatalf("ε within threshold flagged: %v", c.Regressions)
+	}
+}
+
+func TestCompareRSSAndJSD(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	b.Runtime = &telemetry.RuntimeStats{PeakRSSBytes: 250 << 20} // 2.5x
+	b.Summary = map[string]float64{"jsd": 0.10, "entities": 100}
+	c := Compare(a, b, CompareOptions{})
+	if !c.PeakRSS.Regressed {
+		t.Fatalf("2.5x RSS not flagged: %+v", c.PeakRSS)
+	}
+	var jsdHit, entitiesHit bool
+	for _, d := range c.Metrics {
+		if d.Name == "jsd" && d.Regressed {
+			jsdHit = true
+		}
+		if d.Name == "entities" && d.Regressed {
+			entitiesHit = true
+		}
+	}
+	if !jsdHit {
+		t.Fatalf("jsd doubling not flagged: %+v", c.Metrics)
+	}
+	if entitiesHit {
+		t.Fatal("entities count must never gate (no known direction)")
+	}
+	// Missing baseline RSS asserts nothing.
+	a.Runtime = nil
+	if c := Compare(a, b, CompareOptions{}); c.PeakRSS.Regressed {
+		t.Fatal("RSS without baseline flagged")
+	}
+}
+
+func TestCompareConfigDiff(t *testing.T) {
+	a, b := baseEntry(), baseEntry()
+	b.Config = map[string]string{"seed": "2", "workers": "4"}
+	c := Compare(a, b, CompareOptions{})
+	if c.ConfigDiff["seed"] != [2]string{"1", "2"} {
+		t.Fatalf("seed diff = %v", c.ConfigDiff["seed"])
+	}
+	if c.ConfigDiff["workers"] != [2]string{"", "4"} {
+		t.Fatalf("workers diff = %v", c.ConfigDiff["workers"])
+	}
+	if Compare(a, a, CompareOptions{}).ConfigDiff != nil {
+		t.Fatal("identical config should have nil diff")
+	}
+}
+
+func TestComputeBurnDown(t *testing.T) {
+	mk := func(id, ds string, eps float64, status string) Entry {
+		e := Entry{RunID: id, Dataset: ds, Status: status}
+		if eps > 0 {
+			e.Privacy = &Privacy{Epsilon: eps, Charges: 1}
+		}
+		return e
+	}
+	entries := []Entry{
+		mk("r1", "Restaurant", 0.5, "done"),
+		mk("r2", "DBLP-ACM", 1.0, "done"),
+		mk("r3", "Restaurant", 0.25, "aborted"), // spent ε counts even aborted
+		mk("r4", "Restaurant", 0, "done"),       // no spend: skipped
+		mk("r5", "", 0.1, "done"),               // unknown dataset bucket
+	}
+	bd := ComputeBurnDown(entries)
+	if len(bd) != 3 {
+		t.Fatalf("burn-down groups = %d, want 3", len(bd))
+	}
+	byDS := map[string]BurnDown{}
+	for _, b := range bd {
+		byDS[b.Dataset] = b
+	}
+	rest := byDS["Restaurant"]
+	if rest.Total != 0.75 || len(rest.Points) != 2 {
+		t.Fatalf("Restaurant burn-down = %+v", rest)
+	}
+	if rest.Points[1].Cumulative != 0.75 {
+		t.Fatalf("cumulative = %v, want 0.75", rest.Points[1].Cumulative)
+	}
+	if _, ok := byDS["(unknown)"]; !ok {
+		t.Fatal("missing (unknown) bucket for dataset-less run")
+	}
+}

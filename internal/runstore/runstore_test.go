@@ -1,0 +1,313 @@
+package runstore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"serd/internal/journal"
+)
+
+func testEntry(id string, start time.Time) Entry {
+	return Entry{
+		RunID:       id,
+		Tool:        "serd",
+		Dataset:     "Restaurant",
+		Seed:        1,
+		Status:      journal.StatusDone,
+		Start:       start,
+		WallSeconds: 1.5,
+	}
+}
+
+func mustOpen(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestPutGetList(t *testing.T) {
+	s := mustOpen(t)
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	ids := []string{"aaaa11112222", "bbbb11112222", "bbbb33334444"}
+	for i, id := range ids {
+		if err := s.Put(testEntry(id, base.Add(time.Duration(i)*time.Hour))); err != nil {
+			t.Fatalf("Put(%s): %v", id, err)
+		}
+	}
+
+	got, err := s.Get("aaaa11112222")
+	if err != nil || got.RunID != "aaaa11112222" {
+		t.Fatalf("exact Get = %+v, %v", got, err)
+	}
+	got, err = s.Get("bbbb1111")
+	if err != nil || got.RunID != "bbbb11112222" {
+		t.Fatalf("prefix Get = %+v, %v", got, err)
+	}
+	if _, err := s.Get("bbbb"); err == nil || !strings.Contains(err.Error(), "at least 6") {
+		t.Fatalf("short prefix error = %v", err)
+	}
+	if _, err := s.Get("bbbb33"); err != nil {
+		t.Fatalf("unique 6-char prefix: %v", err)
+	}
+	s2 := mustOpen(t)
+	for _, id := range []string{"cccc11110000", "cccc11119999"} {
+		if err := s2.Put(testEntry(id, base)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s2.Get("cccc11"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous prefix error = %v", err)
+	}
+	if _, err := s.Get("ffffffffffff"); err == nil || !strings.Contains(err.Error(), "no run") {
+		t.Fatalf("missing run error = %v", err)
+	}
+
+	list, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("List len = %d, want 3", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i].Start.Before(list[i-1].Start) {
+			t.Fatalf("List not oldest-first: %v after %v", list[i].Start, list[i-1].Start)
+		}
+	}
+}
+
+func TestPutRejectsBadIDs(t *testing.T) {
+	s := mustOpen(t)
+	if err := s.Put(Entry{}); err == nil {
+		t.Fatal("Put with empty run id should fail")
+	}
+	if err := s.Put(Entry{RunID: "../escape"}); err == nil {
+		t.Fatal("Put with path separator in run id should fail")
+	}
+}
+
+func TestReRegisterOverwrites(t *testing.T) {
+	s := mustOpen(t)
+	e := testEntry("aaaa11112222", time.Now())
+	e.Status = journal.StatusFailed
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	e.Status = journal.StatusDone
+	if err := s.Put(e); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	got, err := s.Get(e.RunID)
+	if err != nil || got.Status != journal.StatusDone {
+		t.Fatalf("after re-register Get = %+v, %v", got, err)
+	}
+	list, err := s.List()
+	if err != nil || len(list) != 1 {
+		t.Fatalf("List after re-register = %d entries, %v", len(list), err)
+	}
+}
+
+func TestListSkipsForeignFiles(t *testing.T) {
+	s := mustOpen(t)
+	if err := s.Put(testEntry("aaaa11112222", time.Now())); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.Dir(), "runs", "garbage.json"), []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatalf("List with foreign file: %v", err)
+	}
+	if len(list) != 1 || list[0].RunID != "aaaa11112222" {
+		t.Fatalf("List = %+v, want just the real entry", list)
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := mustOpen(t)
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(testEntry(fmt.Sprintf("run%d00000000", i), base.Add(time.Duration(i)*time.Minute))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.GC(2)
+	if err != nil || n != 3 {
+		t.Fatalf("GC = %d, %v; want 3 removed", n, err)
+	}
+	list, err := s.List()
+	if err != nil || len(list) != 2 {
+		t.Fatalf("List after GC = %d entries, %v", len(list), err)
+	}
+	// Newest two survive.
+	if list[0].RunID != "run300000000" || list[1].RunID != "run400000000" {
+		t.Fatalf("GC kept %s, %s; want the newest two", list[0].RunID, list[1].RunID)
+	}
+	// The index was rewritten to match.
+	data, err := os.ReadFile(filepath.Join(s.Dir(), "index.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines != 2 {
+		t.Fatalf("index has %d lines after GC, want 2", lines)
+	}
+	// GC below the population is a no-op.
+	if n, err := s.GC(10); err != nil || n != 0 {
+		t.Fatalf("idle GC = %d, %v", n, err)
+	}
+	if _, err := s.GC(-1); err == nil {
+		t.Fatal("GC(-1) should fail")
+	}
+}
+
+func TestStaleLockFromDeadProcessIsBroken(t *testing.T) {
+	s := mustOpen(t)
+	// A lock held by a provably-dead PID must not wedge registration,
+	// regardless of age. PID 1 is alive; use an absurdly high one.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "index.lock"), []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.lockWait = 500 * time.Millisecond
+	if err := s.Put(testEntry("aaaa11112222", time.Now())); err != nil {
+		t.Fatalf("Put past dead-owner lock: %v", err)
+	}
+}
+
+func TestStaleLockByAgeIsBroken(t *testing.T) {
+	s := mustOpen(t)
+	lock := filepath.Join(s.Dir(), "index.lock")
+	// Unparseable owner: only the age rule can break it.
+	if err := os.WriteFile(lock, []byte("not-a-pid\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(lock, old, old); err != nil {
+		t.Fatal(err)
+	}
+	s.lockWait = 500 * time.Millisecond
+	if err := s.Put(testEntry("aaaa11112222", time.Now())); err != nil {
+		t.Fatalf("Put past aged lock: %v", err)
+	}
+}
+
+func TestHeldLockTimesOut(t *testing.T) {
+	s := mustOpen(t)
+	// A fresh lock owned by a live process (us) must be honored until
+	// lockWait, then fail with a pointer to the lock file.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "index.lock"), []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.lockWait = 50 * time.Millisecond
+	err := s.Put(testEntry("aaaa11112222", time.Now()))
+	if err == nil || !strings.Contains(err.Error(), "index.lock") {
+		t.Fatalf("Put under live lock = %v, want lock timeout", err)
+	}
+}
+
+func TestPutLeavesNoTempFiles(t *testing.T) {
+	s := mustOpen(t)
+	if err := s.Put(testEntry("aaaa11112222", time.Now())); err != nil {
+		t.Fatal(err)
+	}
+	des, err := os.ReadDir(filepath.Join(s.Dir(), "runs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if strings.Contains(de.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", de.Name())
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if s, err := Resolve(Off); s != nil || err != nil {
+		t.Fatalf("Resolve(off) = %v, %v; want nil, nil", s, err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Resolve(dir)
+	if err != nil || s == nil {
+		t.Fatalf("Resolve(dir) = %v, %v", s, err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("Resolve dir = %s, want %s", s.Dir(), dir)
+	}
+}
+
+func TestSyntheticRunID(t *testing.T) {
+	a := SyntheticRunID("experiments", 1, 1000)
+	if a != SyntheticRunID("experiments", 1, 1000) {
+		t.Fatal("SyntheticRunID not deterministic within a process")
+	}
+	if a == SyntheticRunID("serd", 1, 1000) || a == SyntheticRunID("experiments", 2, 1000) {
+		t.Fatal("SyntheticRunID must vary with tool and seed")
+	}
+	if len(a) != 64 {
+		t.Fatalf("SyntheticRunID len = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestEntryFromJournal(t *testing.T) {
+	var buf bytes.Buffer
+	jr := journal.New(&buf)
+	jr.RunStart("serd", 7, map[string]string{"in": "data/Restaurant", "size-a": "10"})
+	ledger := journal.NewLedger(jr)
+	if err := ledger.ChargeLaplace("audit.hr", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ledger.ChargeLaplace("audit.dcr", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	jr.PhaseStart("core.s1")
+	jr.PhaseEnd("core.s1", 1.25)
+	jr.PhaseStart("core.s2")
+	jr.PhaseEnd("core.s2", 2.5)
+	jr.RunEnd(journal.StatusDone, "", map[string]float64{"jsd": 0.04}, 4.0)
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := journal.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := EntryFromJournal(events)
+	if err != nil {
+		t.Fatalf("EntryFromJournal: %v", err)
+	}
+	if e.RunID != events[0].Chain {
+		t.Fatalf("RunID = %s, want first chain hash %s", e.RunID, events[0].Chain)
+	}
+	if e.Tool != "serd" || e.Seed != 7 || e.Status != journal.StatusDone {
+		t.Fatalf("entry header = %s/%d/%s", e.Tool, e.Seed, e.Status)
+	}
+	if e.Dataset != "Restaurant" {
+		t.Fatalf("Dataset = %q, want Restaurant (from config in)", e.Dataset)
+	}
+	if e.WallSeconds != 4.0 || e.Summary["jsd"] != 0.04 {
+		t.Fatalf("wall/summary = %v/%v", e.WallSeconds, e.Summary)
+	}
+	if len(e.Stages) != 2 || e.Stages[0].Name != "core.s1" || e.Stages[0].Seconds != 1.25 {
+		t.Fatalf("Stages = %+v", e.Stages)
+	}
+	if e.Privacy == nil || e.Privacy.Charges != 2 {
+		t.Fatalf("Privacy = %+v", e.Privacy)
+	}
+	// Ungrouped Laplace charges compose sequentially.
+	if got := e.Privacy.Epsilon; got < 0.299 || got > 0.301 {
+		t.Fatalf("composed ε = %v, want 0.3", got)
+	}
+
+	if _, err := EntryFromJournal(nil); err == nil {
+		t.Fatal("EntryFromJournal(nil) should fail")
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -38,12 +40,20 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 // ServeWith is Serve with an event bus attached: the /events SSE endpoint
 // streams the bus live. bus may be nil, in which case /events reports 404.
 func ServeWith(addr string, reg *Registry, bus *Bus) (*Server, error) {
+	return ServeWithExtra(addr, reg, bus, nil)
+}
+
+// ServeWithExtra is ServeWith plus caller-mounted routes: each extra
+// entry is mounted at its path prefix and listed on the index page. The
+// hook exists so higher layers (the run registry's /runs pages) can ride
+// the inspector's listener without this package importing them.
+func ServeWithExtra(addr string, reg *Registry, bus *Bus, extra map[string]http.Handler) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
 	s := &Server{lis: lis, bus: bus, closing: make(chan struct{})}
-	s.srv = &http.Server{Handler: handler(reg, bus, s.closing), ReadHeaderTimeout: 5 * time.Second}
+	s.srv = &http.Server{Handler: handler(reg, bus, s.closing, extra), ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(lis) //nolint:errcheck // ErrServerClosed after Close is the normal exit
 	return s, nil
 }
@@ -80,11 +90,21 @@ func (s *Server) markClosing() {
 // embedding into an existing mux. The /events endpoint reports 404 (no
 // bus); use ServeWith for the streaming inspector.
 func Handler(reg *Registry) http.Handler {
-	return handler(reg, nil, nil)
+	return handler(reg, nil, nil, nil)
 }
 
-func handler(reg *Registry, bus *Bus, closing <-chan struct{}) http.Handler {
+func handler(reg *Registry, bus *Bus, closing <-chan struct{}, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
+	extraPaths := make([]string, 0, len(extra))
+	for path, h := range extra {
+		mux.Handle(path, h)
+		if trimmed := strings.TrimSuffix(path, "/"); trimmed != "" && trimmed != path {
+			// "/runs/" also answers "/runs".
+			mux.Handle(trimmed, h)
+		}
+		extraPaths = append(extraPaths, path)
+	}
+	sort.Strings(extraPaths)
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -119,6 +139,9 @@ func handler(reg *Registry, bus *Bus, closing <-chan struct{}) http.Handler {
 		fmt.Fprintln(w, "  /metrics        Prometheus text exposition")
 		if bus != nil {
 			fmt.Fprintln(w, "  /events         live SSE stream (spans, metric deltas)")
+		}
+		for _, p := range extraPaths {
+			fmt.Fprintf(w, "  %-15s mounted by the running tool\n", p)
 		}
 		fmt.Fprintln(w, "  /debug/pprof/   runtime profiles")
 		fmt.Fprintf(w, "\n%d counters, %d gauges, %d histograms, %d phases recorded\n",

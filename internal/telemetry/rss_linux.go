@@ -8,19 +8,24 @@ import (
 	"strconv"
 )
 
-// ReadPeakRSS returns the process's peak resident set size in bytes, from
-// /proc/self/status VmHWM. Returns 0 if the value cannot be read — peak
-// RSS is best-effort telemetry, never load-bearing.
-func ReadPeakRSS() uint64 {
-	data, err := os.ReadFile("/proc/self/status")
+// procStatusPath is the peak-RSS source; a variable so tests can point
+// it at an unreadable file and exercise the unsupported-platform path.
+var procStatusPath = "/proc/self/status"
+
+// ReadPeakRSS returns the process's peak resident set size in bytes,
+// from /proc/self/status VmHWM. ok is false when the value cannot be
+// read (missing file, no VmHWM line) — callers must then omit the
+// metric entirely rather than record a misleading 0.
+func ReadPeakRSS() (rss uint64, ok bool) {
+	data, err := os.ReadFile(procStatusPath)
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	return parseVmHWM(data)
 }
 
 // parseVmHWM extracts "VmHWM:	  123456 kB" from a /proc status blob.
-func parseVmHWM(data []byte) uint64 {
+func parseVmHWM(data []byte) (uint64, bool) {
 	for _, line := range bytes.Split(data, []byte("\n")) {
 		rest, ok := bytes.CutPrefix(line, []byte("VmHWM:"))
 		if !ok {
@@ -28,13 +33,13 @@ func parseVmHWM(data []byte) uint64 {
 		}
 		fields := bytes.Fields(rest)
 		if len(fields) < 1 {
-			return 0
+			return 0, false
 		}
 		kb, err := strconv.ParseUint(string(fields[0]), 10, 64)
 		if err != nil {
-			return 0
+			return 0, false
 		}
-		return kb * 1024
+		return kb * 1024, true
 	}
-	return 0
+	return 0, false
 }

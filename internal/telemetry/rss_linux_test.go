@@ -2,17 +2,50 @@
 
 package telemetry
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
 
 func TestParseVmHWM(t *testing.T) {
 	data := []byte("Name:\tserd\nVmPeak:\t  123456 kB\nVmHWM:\t   2048 kB\nVmRSS:\t   1024 kB\n")
-	if got := parseVmHWM(data); got != 2048*1024 {
-		t.Errorf("parseVmHWM = %d, want %d", got, 2048*1024)
+	if got, ok := parseVmHWM(data); !ok || got != 2048*1024 {
+		t.Errorf("parseVmHWM = %d, %v, want %d, true", got, ok, 2048*1024)
 	}
-	if got := parseVmHWM([]byte("Name:\tserd\n")); got != 0 {
-		t.Errorf("parseVmHWM(no line) = %d", got)
+	if got, ok := parseVmHWM([]byte("Name:\tserd\n")); ok || got != 0 {
+		t.Errorf("parseVmHWM(no line) = %d, %v", got, ok)
 	}
-	if rss := ReadPeakRSS(); rss == 0 {
-		t.Error("ReadPeakRSS = 0 on linux")
+	if rss, ok := ReadPeakRSS(); !ok || rss == 0 {
+		t.Errorf("ReadPeakRSS = %d, %v on linux", rss, ok)
+	}
+}
+
+// TestSamplerWithoutPeakRSS fakes an unreadable status file (the darwin
+// shape) and requires the sampler to omit the gauge and leave the stats
+// field zero, instead of recording a misleading 0 gauge.
+func TestSamplerWithoutPeakRSS(t *testing.T) {
+	orig := procStatusPath
+	procStatusPath = filepath.Join(t.TempDir(), "does-not-exist")
+	defer func() { procStatusPath = orig }()
+
+	if rss, ok := ReadPeakRSS(); ok || rss != 0 {
+		t.Fatalf("ReadPeakRSS with unreadable status = %d, %v, want 0, false", rss, ok)
+	}
+
+	reg := NewRegistry()
+	s := StartSampler(reg, nil, time.Millisecond)
+	time.Sleep(10 * time.Millisecond)
+	stats := s.Stop()
+
+	if _, ok := reg.Gauge(GaugePeakRSS); ok {
+		t.Errorf("gauge %s recorded despite unreadable peak-RSS source", GaugePeakRSS)
+	}
+	if stats.PeakRSSBytes != 0 {
+		t.Errorf("stats.PeakRSSBytes = %d, want 0 (omitted)", stats.PeakRSSBytes)
+	}
+	// The other runtime gauges still sample normally.
+	if _, ok := reg.Gauge(GaugeHeapAlloc); !ok {
+		t.Errorf("gauge %s missing: degradation must be RSS-only", GaugeHeapAlloc)
 	}
 }

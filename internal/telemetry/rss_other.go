@@ -2,6 +2,7 @@
 
 package telemetry
 
-// ReadPeakRSS returns 0 on platforms without a portable peak-RSS source;
-// callers treat 0 as "unavailable".
-func ReadPeakRSS() uint64 { return 0 }
+// ReadPeakRSS reports unsupported on platforms without a portable
+// peak-RSS source (e.g. darwin); callers omit the gauge and the report
+// field instead of recording a misleading 0.
+func ReadPeakRSS() (rss uint64, ok bool) { return 0, false }

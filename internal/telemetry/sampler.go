@@ -11,8 +11,9 @@ import (
 // report and the core bench rows.
 type RuntimeStats struct {
 	// PeakRSSBytes is the process's high-water resident set size as
-	// reported by the OS (0 where unsupported).
-	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+	// reported by the OS. Omitted (not 0) on platforms without a
+	// readable peak-RSS source — see ReadPeakRSS.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes,omitempty"`
 	// HeapAllocBytes is the live heap at the final sample.
 	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
 	// HeapSysBytes is the heap memory obtained from the OS.
@@ -95,7 +96,7 @@ func (s *Sampler) sample() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	goroutines := runtime.NumGoroutine()
-	rss := ReadPeakRSS()
+	rss, rssOK := ReadPeakRSS()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -107,7 +108,7 @@ func (s *Sampler) sample() {
 	if goroutines > s.stats.MaxGoroutines {
 		s.stats.MaxGoroutines = goroutines
 	}
-	if rss > s.stats.PeakRSSBytes {
+	if rssOK && rss > s.stats.PeakRSSBytes {
 		s.stats.PeakRSSBytes = rss
 	}
 	s.stats.Samples++
@@ -121,7 +122,14 @@ func (s *Sampler) sample() {
 		{GaugeGCPause, float64(ms.PauseTotalNs) / 1e9},
 		{GaugeNumGC, float64(ms.NumGC)},
 		{GaugeGoroutines, float64(goroutines)},
-		{GaugePeakRSS, float64(s.stats.PeakRSSBytes)},
+	}
+	if rssOK {
+		// Platforms without a peak-RSS source omit the gauge entirely:
+		// a recorded 0 would read as "no memory used", not "unknown".
+		vals = append(vals, struct {
+			name string
+			v    float64
+		}{GaugePeakRSS, float64(s.stats.PeakRSSBytes)})
 	}
 	var changed []Attr
 	for _, kv := range vals {

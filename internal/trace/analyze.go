@@ -39,12 +39,21 @@ type Trace struct {
 	// Events and Dropped come from the footer (0 if the footer is
 	// missing, i.e. the run crashed mid-trace).
 	Events, Dropped uint64
+	// Truncated reports that the file's final record was cut mid-write
+	// (a crash or kill -9 during a flush) and was skipped. The rest of
+	// the trace loaded normally; callers should surface a warning.
+	Truncated bool
 }
 
 // Load reads a compact JSONL trace file and reconstructs the span tree.
 // Given the -trace flag's .json path (the Chrome-format export), it
 // transparently reads the sibling .jsonl instead, so `serd trace summary
 // out.json` just works.
+//
+// A file whose final record was cut mid-write (crash during a flush)
+// loads anyway: the truncated tail record is skipped and the trace's
+// Truncated flag is set. A decode failure anywhere else is still an
+// error — that is corruption, not truncation.
 func Load(path string) (*Trace, error) {
 	if strings.HasSuffix(path, ".json") {
 		if _, jsonl := Paths(path); fileExists(jsonl) {
@@ -57,8 +66,13 @@ func Load(path string) (*Trace, error) {
 	}
 	defer f.Close()
 
-	tr := &Trace{ByID: map[uint64]*Span{}}
-	var maxT int64
+	// Collect the non-empty lines up front so a decode failure can be
+	// classified: last line → truncated tail, earlier → corruption.
+	type rawLine struct {
+		no   int
+		text string
+	}
+	var lines []rawLine
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
 	lineNo := 0
@@ -71,9 +85,26 @@ func Load(path string) (*Trace, error) {
 		if lineNo == 1 && strings.Contains(line, `"traceEvents"`) {
 			return nil, fmt.Errorf("trace: %s is the Chrome-format export; pass the .jsonl trace file", path)
 		}
+		lines = append(lines, rawLine{no: lineNo, text: line})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read %s: %w", path, err)
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("trace: %s is empty — the run exited before writing any trace events", path)
+	}
+
+	tr := &Trace{ByID: map[uint64]*Span{}}
+	var maxT int64
+	for i, raw := range lines {
 		var l jsonlLine
-		if err := json.Unmarshal([]byte(line), &l); err != nil {
-			return nil, fmt.Errorf("trace: %s line %d: %w", path, lineNo, err)
+		if err := json.Unmarshal([]byte(raw.text), &l); err != nil {
+			if i == len(lines)-1 {
+				// The writer died mid-record; everything before it is intact.
+				tr.Truncated = true
+				break
+			}
+			return nil, fmt.Errorf("trace: %s line %d: %w", path, raw.no, err)
 		}
 		if l.T > maxT {
 			maxT = l.T
@@ -99,11 +130,8 @@ func Load(path string) (*Trace, error) {
 			tr.Events, tr.Dropped = l.Events, l.Dropped
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read %s: %w", path, err)
-	}
 	if len(tr.ByID) == 0 {
-		return nil, fmt.Errorf("trace: %s contains no spans", path)
+		return nil, fmt.Errorf("trace: %s contains no spans — the run may have been interrupted before any stage started", path)
 	}
 
 	ids := make([]uint64, 0, len(tr.ByID))

@@ -256,6 +256,66 @@ func TestLoadTruncatedTrace(t *testing.T) {
 	}
 }
 
+// TestLoadTornTailAndEmpty covers the mid-record truncation cases: a
+// tail record cut mid-write is skipped (Truncated set), a torn record
+// mid-file is corruption and errors, and an empty file explains itself.
+func TestLoadTornTailAndEmpty(t *testing.T) {
+	good := []string{
+		`{"k":"h","run":"dead","tool":"serd","seed":1,"start":1000}`,
+		`{"k":"ps","id":1,"name":"core.s1","t":1000}`,
+		`{"k":"pe","id":1,"t":2000,"dur":1000}`,
+	}
+
+	torn := filepath.Join(t.TempDir(), "torn.jsonl")
+	if err := os.WriteFile(torn, []byte(strings.Join(good, "\n")+"\n"+`{"k":"ps","id":2,"name":"core.`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Load(torn)
+	if err != nil {
+		t.Fatalf("torn tail should load: %v", err)
+	}
+	if !tr.Truncated {
+		t.Error("Truncated flag not set on torn tail")
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "core.s1" {
+		t.Errorf("intact prefix lost: %+v", tr.Roots)
+	}
+
+	// The same torn record anywhere but the tail is corruption.
+	mid := filepath.Join(t.TempDir(), "mid.jsonl")
+	body := good[0] + "\n" + `{"k":"ps","id":1,"name":"core.` + "\n" + good[2] + "\n"
+	if err := os.WriteFile(mid, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(mid); err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("mid-file corruption: %v", err)
+	}
+
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(empty); err == nil || !strings.Contains(err.Error(), "is empty") {
+		t.Errorf("empty trace: %v", err)
+	}
+	blank := filepath.Join(t.TempDir(), "blank.jsonl")
+	if err := os.WriteFile(blank, []byte("\n\n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(blank); err == nil || !strings.Contains(err.Error(), "is empty") {
+		t.Errorf("blank-lines trace: %v", err)
+	}
+
+	// A complete, healthy trace must not be flagged.
+	ok := filepath.Join(t.TempDir(), "ok.jsonl")
+	if err := os.WriteFile(ok, []byte(strings.Join(good, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if tr, err := Load(ok); err != nil || tr.Truncated {
+		t.Errorf("healthy trace: err=%v truncated=%v", err, tr != nil && tr.Truncated)
+	}
+}
+
 func mustJSONL(t *testing.T, chromePath string) string {
 	t.Helper()
 	_, jsonl := Paths(chromePath)

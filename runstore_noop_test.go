@@ -1,0 +1,78 @@
+package serd_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"serd"
+)
+
+// TestRunStoreIsByteNoop pins the registry's hard invariant: registering
+// a run is pure distillation of the already-finalized journal. A run
+// whose journal is registered into an armed store must leave a dataset
+// and a stripped journal byte-identical to an identical run with the
+// registry off — the store reads the record, it never shapes it.
+func TestRunStoreIsByteNoop(t *testing.T) {
+	base := t.TempDir()
+	dirOff := filepath.Join(base, "off")
+	dirArmed := filepath.Join(base, "armed")
+	storeDir := filepath.Join(base, "store")
+
+	// Registry off: the baseline journaled run.
+	journalOff := synthesizeJournaled(t, nil, dirOff, 0)
+
+	// Registry armed: the same run, then its journal distilled and
+	// registered at finalize — exactly what the run binaries do after the
+	// terminal journal event.
+	journalArmed := synthesizeJournaled(t, nil, dirArmed, 0)
+	jPath := filepath.Join(base, "run.journal.jsonl")
+	if err := os.WriteFile(jPath, journalArmed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := serd.ReadJournal(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := serd.RunEntryFromJournal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry.Artifacts.OutDir = dirArmed
+	entry.Artifacts.Journal = jPath
+	store, err := serd.OpenRunStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(entry); err != nil {
+		t.Fatal(err)
+	}
+
+	// Content addressing: the registered id IS the journal's first chain
+	// hash, so identical configs collapse to one identity across stores.
+	if entry.RunID == "" || entry.RunID != events[0].Chain {
+		t.Fatalf("run id %q != journal first chain %q", entry.RunID, events[0].Chain)
+	}
+	got, err := store.Get(entry.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != "done" || len(got.Stages) == 0 || got.Privacy == nil {
+		t.Fatalf("registered entry lost fields: %+v", got)
+	}
+
+	// The invariant itself: byte-identical dataset, byte-identical journal
+	// modulo the documented volatile fields (ts, dur_s) — including every
+	// chain hash.
+	want := readDataset(t, dirOff)
+	have := readDataset(t, dirArmed)
+	for name := range want {
+		if have[name] != want[name] {
+			t.Errorf("%s differs with the registry armed: registration perturbed the output", name)
+		}
+	}
+	off, armed := stripVolatile(t, journalOff), stripVolatile(t, journalArmed)
+	if off != armed {
+		t.Errorf("journals differ with the registry armed beyond ts/dur_s:\n%s\n---- vs ----\n%s", off, armed)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"serd/internal/journal"
 	"serd/internal/matcher"
 	"serd/internal/privacy"
+	"serd/internal/runstore"
 	"serd/internal/simfn"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
@@ -457,6 +458,55 @@ func AuditVerify(journalPath, datasetDir string) (*AuditVerifyResult, error) {
 
 // AuditDiffRuns compares two summarized runs.
 func AuditDiffRuns(a, b *AuditSummary) *AuditDiff { return journal.DiffRuns(a, b) }
+
+// Cross-run observability (see internal/runstore): the on-disk run
+// registry every journaled run registers into at finalize, keyed by the
+// journal's first chain hash, and the history/compare/burn-down tooling
+// behind `serd runs`. An armed registry is a hard byte-noop on dataset
+// and stripped-journal bytes (pinned by the root TestRunStoreIsByteNoop).
+type (
+	// RunStore is a run registry rooted at a directory.
+	RunStore = runstore.Store
+	// RunEntry is one registered run.
+	RunEntry = runstore.Entry
+	// RunComparison is the per-axis delta between two registered runs.
+	RunComparison = runstore.Comparison
+	// RunCompareOptions sets the regression thresholds for CompareRuns.
+	RunCompareOptions = runstore.CompareOptions
+	// EpsilonBurnDown is one dataset's cumulative ε trajectory over runs.
+	EpsilonBurnDown = runstore.BurnDown
+)
+
+// ErrRunRegression is wrapped by `serd runs compare` failures; the CLI
+// maps it to exit code 3 so CI can distinguish regression from error.
+var ErrRunRegression = runstore.ErrRegression
+
+// DefaultRunStoreDir is the default registry location (~/.serd/runs),
+// "" when no home directory is resolvable.
+func DefaultRunStoreDir() string { return runstore.DefaultDir() }
+
+// OpenRunStore opens (creating if needed) a run registry at dir.
+func OpenRunStore(dir string) (*RunStore, error) { return runstore.Open(dir) }
+
+// RunEntryFromJournal distills a finished journal's events into a
+// registry entry: run id (first chain hash), config, lineage, per-stage
+// wall-clock, ε spend and terminal status.
+func RunEntryFromJournal(events []JournalEvent) (RunEntry, error) {
+	return runstore.EntryFromJournal(events)
+}
+
+// CompareRuns diffs two registered runs axis by axis — wall-clock,
+// stage times, peak RSS, ε (total and per group), summary metrics —
+// flagging axes past their thresholds as regressions.
+func CompareRuns(a, b RunEntry, opts RunCompareOptions) *RunComparison {
+	return runstore.Compare(a, b, opts)
+}
+
+// ComputeEpsilonBurnDown folds registered runs into per-dataset
+// cumulative ε trajectories, behind `serd runs burn-down`.
+func ComputeEpsilonBurnDown(entries []RunEntry) []EpsilonBurnDown {
+	return runstore.ComputeBurnDown(entries)
+}
 
 // NewMetricsRegistry returns an empty, concurrency-safe registry.
 func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
