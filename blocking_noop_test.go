@@ -1,0 +1,89 @@
+package serd_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+
+	"serd"
+)
+
+// synthesizeStreamed mirrors synthesizeJournaled exactly — same sample,
+// seeds, ledger charge and journal shape — but writes the dataset through
+// the streaming writer armed on Options.Stream (with blocking off)
+// instead of SaveDataset at the end. It returns the raw journal bytes.
+func synthesizeStreamed(t *testing.T, dir string) []byte {
+	t.Helper()
+	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := serd.RuleSynthesizers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jr := serd.NewJournal(&buf)
+	jr.RunStart("test", 9, map[string]string{"dataset": "Restaurant"})
+	ledger := serd.NewPrivacyLedger(jr)
+	if err := ledger.ChargeSGD("bk0", "bank", 0.25, 1.1, 12, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := serd.NewStreamWriter(dir, g.ER.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := serd.NewMetricsRegistry()
+	res, err := serd.SynthesizeContext(context.Background(), g.ER, serd.Options{
+		Synthesizers: synths,
+		Seed:         9,
+		Metrics:      serd.JournalRecorder(jr, reg),
+		Journal:      jr,
+		Stream:       sw,
+	})
+	if err != nil {
+		sw.Abort()
+		t.Fatal(err)
+	}
+	if err := sw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	ledger.Finish()
+	jr.RunEnd("done", "", map[string]float64{"jsd": res.JSD}, 1)
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBlockingOffIsByteNoop pins the PR's compatibility invariant end to
+// end: a run with the streaming writer armed and no blocker configured
+// must produce a dataset and a journal byte-identical (modulo the
+// documented volatile fields ts/dur_s) to a plain run that saves the
+// dataset at the end. Streaming is an execution parameter and blocking
+// off means the paper's exact quadratic S3 — neither may leave a trace
+// in the outputs.
+func TestBlockingOffIsByteNoop(t *testing.T) {
+	base := t.TempDir()
+	dirPlain := filepath.Join(base, "plain")
+	dirStreamed := filepath.Join(base, "streamed")
+
+	journalPlain := synthesizeJournaled(t, nil, dirPlain, 0)
+	journalStreamed := synthesizeStreamed(t, dirStreamed)
+
+	want := readDataset(t, dirPlain)
+	got := readDataset(t, dirStreamed)
+	for name := range want {
+		if got[name] != want[name] {
+			t.Errorf("%s differs with the streaming writer armed: streaming perturbed the output", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("streamed dataset has %d files, plain has %d", len(got), len(want))
+	}
+	plain, streamed := stripVolatile(t, journalPlain), stripVolatile(t, journalStreamed)
+	if plain != streamed {
+		t.Errorf("journals differ with streaming armed beyond ts/dur_s:\n%s\n---- vs ----\n%s", plain, streamed)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"time"
 
+	"serd/internal/blocking"
 	"serd/internal/config"
 	"serd/internal/datagen"
 	"serd/internal/dataset"
@@ -81,13 +82,15 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		defer jr.Close()
-		jr.RunStart("datagen", flags.Seed, map[string]string{
+		runCfg := map[string]string{
 			"out":     flags.Out,
 			"dataset": flags.Dataset,
 			"size_a":  strconv.Itoa(flags.SizeA),
 			"size_b":  strconv.Itoa(flags.SizeB),
 			"matches": strconv.Itoa(flags.Matches),
-		})
+		}
+		flags.Blocking.JournaledConfig(runCfg)
+		jr.RunStart("datagen", flags.Seed, runCfg)
 	}
 
 	// The run registry is best-effort infrastructure: a store that fails
@@ -197,6 +200,16 @@ func run(args []string, stdout io.Writer) error {
 			summary[g.Name+".matches"] = float64(st.Matches)
 			fmt.Fprintf(stdout, "%-15s -> %s (|A|=%d |B|=%d |M|=%d, %d background corpora)\n",
 				g.Name, dir, st.SizeA, st.SizeB, st.Matches, len(gen.Background))
+
+			// With -s3-blocker, grade the blocker against this dataset's
+			// ground truth — here recall is exact, not a held-out bound, so
+			// a generation run doubles as a blocking dry-run before a long
+			// synthesis commits to the same configuration.
+			if flags.Blocking.Enabled() {
+				if err := gradeBlocker(flags, g.Name, gen.ER, jr, summary, stdout); err != nil {
+					return fmt.Errorf("%s: %w", g.Name, err)
+				}
+			}
 		}
 		return nil
 	}()
@@ -243,6 +256,46 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return err
+}
+
+// gradeBlocker evaluates the configured blocker against a generated
+// dataset's ground-truth matches and journals the result as a blocking
+// event (source "datagen"), mirroring what a blocked synthesis run would
+// record — except the recall here is exact.
+func gradeBlocker(flags *config.Datagen, name string, e *dataset.ER, jr *journal.Journal, summary map[string]float64, stdout io.Writer) error {
+	bl, err := flags.Blocking.Build(e.Schema())
+	if err != nil {
+		return err
+	}
+	cands, err := bl.Candidates(e.A, e.B)
+	if err != nil {
+		return err
+	}
+	q := blocking.Evaluate(e, cands)
+	if jr != nil {
+		jr.Blocking(journal.BlockingData{
+			Source:         "datagen." + name,
+			Blocker:        bl.Describe(),
+			Candidates:     q.Candidates,
+			PairSpace:      float64(e.A.Len()) * float64(e.B.Len()),
+			ReductionRatio: q.ReductionRatio,
+			RecallBound:    q.Recall,
+			HeldOutMatches: len(e.Matches),
+			RecallFloor:    flags.Blocking.RecallFloor,
+		})
+		if floor := flags.Blocking.RecallFloor; floor > 0 && q.Recall < floor {
+			jr.Warning("datagen."+name, "blocking recall below configured floor", map[string]string{
+				"blocker": bl.Describe(),
+				"recall":  strconv.FormatFloat(q.Recall, 'g', -1, 64),
+				"floor":   strconv.FormatFloat(floor, 'g', -1, 64),
+			})
+		}
+	}
+	summary[name+".blocking_recall"] = q.Recall
+	summary[name+".blocking_reduction"] = q.ReductionRatio
+	fmt.Fprintf(stdout, "%-15s    blocking %s: candidates=%d reduction=%.4f recall=%.4f\n",
+		name, bl.Describe(), q.Candidates, q.ReductionRatio, q.Recall)
+	return nil
 }
 
 // registerDatagenRun distills the finished journal into a registry entry.

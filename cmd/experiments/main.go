@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"serd/internal/config"
+	"serd/internal/datagen"
 	"serd/internal/experiments"
 	"serd/internal/journal"
 	"serd/internal/pipeline"
@@ -99,6 +100,9 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(os.Stderr, "experiments: run store: %v (run will not be registered)\n", storeErr)
 	}
 
+	if flags.ScaleOut != "" || flags.ScaleAgainst != "" {
+		return runScaleBench(ctx, cfg, flags, stdout)
+	}
 	if flags.BenchOut != "" || flags.BenchAgainst != "" {
 		return runBench(cfg, flags, store, stdout)
 	}
@@ -408,6 +412,91 @@ func runBench(cfg experiments.Config, flags *config.Experiments, store *runstore
 			return fmt.Errorf("core bench regressed on %d dataset(s)", len(problems))
 		}
 		fmt.Fprintf(stdout, "core bench holds the %s baseline (threshold %.0f%%)\n", flags.BenchAgainst, 100*flags.BenchThreshold)
+	}
+	return nil
+}
+
+// runScaleBench is the scale-gate path: synthesize at each -bench-scale-sizes
+// entity count, unblocked and blocked, and write/compare BENCH_scale.json.
+// The unblocked (quadratic-S3) twin is skipped above 2k entities per side:
+// past that the full |A|×|B| scoring pass dominates wall time — the wall
+// the blocked rows exist to demonstrate the way around.
+func runScaleBench(ctx context.Context, cfg experiments.Config, flags *config.Experiments, stdout io.Writer) error {
+	var sizes []int
+	for _, s := range strings.Split(flags.ScaleSizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("-bench-scale-sizes: %w", err)
+		}
+		sizes = append(sizes, n)
+	}
+	name := "Restaurant"
+	if len(cfg.Datasets) > 0 {
+		name = cfg.Datasets[0]
+	}
+	opts := experiments.ScaleBenchOptions{
+		Dataset:      name,
+		Seed:         flags.Seed,
+		Sizes:        sizes,
+		RecallFloor:  flags.Blocking.RecallFloor,
+		UnblockedCap: 2_000,
+		Workers:      flags.Workers,
+	}
+	if flags.Blocking.Enabled() {
+		// Resolve the -s3-blocker flags against the generator's schema (a
+		// minimal generation is the cheapest way to obtain it).
+		gen, err := datagen.ByName(name)
+		if err != nil {
+			return err
+		}
+		probe, err := gen.Gen(datagen.Config{Seed: flags.Seed, SizeA: 2, SizeB: 2, Matches: 1})
+		if err != nil {
+			return err
+		}
+		opts.Blocker, err = flags.Blocking.Build(probe.ER.Schema())
+		if err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	rows, err := experiments.ScaleBench(ctx, opts)
+	if err != nil {
+		return fmt.Errorf("scale bench: %w", err)
+	}
+	rep := experiments.ScaleBenchReport{
+		SchemaVersion: experiments.ScaleBenchSchemaVersion,
+		Time:          start,
+		Seed:          flags.Seed,
+		Dataset:       name,
+		Rows:          rows,
+	}
+	for _, r := range rows {
+		mode := "unblocked"
+		if r.Blocked {
+			mode = r.Blocker
+		}
+		fmt.Fprintf(stdout, "%8d entities  %-40s %8.1f ent/s  %12.0f pairs scored  wall=%.1fs  rss=%.1f MiB\n",
+			r.Entities, mode, r.EntitiesPerSec, r.PairsScored, r.WallSeconds, float64(r.PeakRSSBytes)/(1<<20))
+	}
+	if flags.ScaleOut != "" {
+		if err := experiments.WriteScaleBench(flags.ScaleOut, rep); err != nil {
+			return fmt.Errorf("scale bench: %w", err)
+		}
+		fmt.Fprintf(stdout, "scale bench -> %s (%s)\n", flags.ScaleOut, time.Since(start).Round(time.Millisecond))
+	}
+	if flags.ScaleAgainst != "" {
+		baseline, err := experiments.ReadScaleBench(flags.ScaleAgainst)
+		if err != nil {
+			return fmt.Errorf("scale bench baseline: %w", err)
+		}
+		problems := experiments.CompareScaleBench(baseline, rep, flags.BenchThreshold)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "scale regression:", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("scale bench regressed on %d row(s)", len(problems))
+		}
+		fmt.Fprintf(stdout, "scale bench holds the %s baseline (threshold %.0f%%)\n", flags.ScaleAgainst, 100*flags.BenchThreshold)
 	}
 	return nil
 }

@@ -148,6 +148,14 @@ func auditShow(path string, stdout io.Writer) error {
 	if sum.Checkpoints > 0 {
 		fmt.Fprintf(stdout, "ε checkpoints: %d (final ε=%.4f)\n", sum.Checkpoints, sum.FinalCheckpoint)
 	}
+	for _, bl := range sum.Blocking {
+		fmt.Fprintf(stdout, "blocking [%s] %s: candidates=%d reduction=%.4f recall_bound=%.4f (on %d held-out matches)",
+			bl.Source, bl.Blocker, bl.Candidates, bl.ReductionRatio, bl.RecallBound, bl.HeldOutMatches)
+		if bl.RecallFloor > 0 {
+			fmt.Fprintf(stdout, " floor=%.4f", bl.RecallFloor)
+		}
+		fmt.Fprintln(stdout)
+	}
 	if sum.Synthesis != nil {
 		sy := sum.Synthesis
 		fmt.Fprintf(stdout, "synthesis: entities=%d matches=%d sampled=%d rejected=%d/%d jsd=%.4f\n",

@@ -189,11 +189,21 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		synths[col.Name] = rs
 	}
 
+	blocker, err := flags.Blocking.Build(cfg.schema)
+	if err != nil {
+		return rtStats, err
+	}
+	if blocker != nil {
+		fmt.Fprintf(stdout, "S3 blocking: %s\n", blocker.Describe())
+	}
+
 	opts := serd.Options{
 		SizeA:            flags.SizeA,
 		SizeB:            flags.SizeB,
 		Synthesizers:     synths,
 		DisableRejection: flags.NoReject,
+		S3Blocker:        blocker,
+		S3RecallFloor:    flags.Blocking.RecallFloor,
 		Metrics:          rec,
 		Journal:          cfg.jr,
 		Checkpoint:       cfg.cp,
@@ -237,8 +247,21 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		}
 		fmt.Fprintf(stdout, "reusing O-distribution from %s\n", flags.LoadDist)
 	}
+	// The output streams during S2 instead of materializing a second copy
+	// at the end: rows accumulate in temp files under -out and an atomic
+	// finalize publishes them only after synthesis succeeds, so a crashed
+	// or cancelled run never leaves a torn dataset behind.
+	sw, err := serd.NewStreamWriter(flags.Out, cfg.schema)
+	if err != nil {
+		return rtStats, err
+	}
+	opts.Stream = sw
 	res, err := serd.SynthesizeContext(ctx, real, opts)
 	if err != nil {
+		sw.Abort()
+		return rtStats, err
+	}
+	if err := sw.Finalize(); err != nil {
 		return rtStats, err
 	}
 	if flags.SaveDist != "" {
@@ -254,9 +277,6 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 			return rtStats, err
 		}
 		fmt.Fprintf(stdout, "saved O-distribution to %s\n", flags.SaveDist)
-	}
-	if err := serd.SaveDataset(flags.Out, res.Syn); err != nil {
-		return rtStats, err
 	}
 	if cfg.jr != nil {
 		if err := cfg.jr.Lineage("output", flags.Out); err != nil {

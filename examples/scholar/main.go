@@ -30,13 +30,20 @@ func main() {
 	// Shared real test split, with blocking-derived hard negatives — the
 	// labeling regime of real benchmarks.
 	r := rand.New(rand.NewSource(7))
-	train, test, err := serd.Split(serd.MixedWorkload(real.ER, 3, r), 0.3, r)
+	realPairs, err := serd.MixedWorkload(real.ER, 3, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test, err := serd.Split(realPairs, 0.3, r)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// Synthetic training workload: labeled pairs of E_syn under the same
 	// regime.
-	synTrain := serd.MixedWorkload(res.Syn, 3, r)
+	synTrain, err := serd.MixedWorkload(res.Syn, 3, r)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	type contender struct {
 		name string

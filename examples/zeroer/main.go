@@ -34,7 +34,10 @@ func main() {
 		serd.QGramBlocker{Column: 0}, // title
 		serd.QGramBlocker{Column: 1}, // authors
 	}
-	cands := blocker.Candidates(received.A, received.B)
+	cands, err := blocker.Candidates(received.A, received.B)
+	if err != nil {
+		log.Fatal(err)
+	}
 	q := serd.EvaluateBlocking(received, cands)
 	fmt.Printf("blocking: %d candidates, recall %.2f, reduction ratio %.2f\n",
 		q.Candidates, q.Recall, q.ReductionRatio)

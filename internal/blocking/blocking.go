@@ -8,6 +8,7 @@
 package blocking
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -17,8 +18,24 @@ import (
 
 // Blocker proposes candidate pairs between two relations.
 type Blocker interface {
-	// Candidates returns candidate pairs, each at most once.
-	Candidates(a, b *dataset.Relation) []dataset.Pair
+	// Candidates returns candidate pairs, each at most once. A key column
+	// outside the relations' schema is reported as an error naming the
+	// blocker and column, rather than panicking deep inside S3.
+	Candidates(a, b *dataset.Relation) ([]dataset.Pair, error)
+	// Describe names the blocker and its resolved parameters — the string
+	// journaled as the blocking configuration in audit trails.
+	Describe() string
+}
+
+// checkColumn validates a blocker's key column against both relations'
+// schemas before any entity value is indexed.
+func checkColumn(blocker string, col int, a, b *dataset.Relation) error {
+	for _, rel := range [...]*dataset.Relation{a, b} {
+		if n := rel.Schema.Len(); col < 0 || col >= n {
+			return fmt.Errorf("blocking: %s blocker: key column %d out of range for relation %q (%d columns)", blocker, col, rel.Name, n)
+		}
+	}
+	return nil
 }
 
 // QGram blocks on shared character q-grams of one key column: two entities
@@ -35,24 +52,35 @@ type QGram struct {
 	MaxPerEntity int
 }
 
+func (g QGram) defaults() QGram {
+	if g.Q == 0 {
+		g.Q = 3
+	}
+	if g.MinShared == 0 {
+		g.MinShared = 2
+	}
+	if g.MaxPerEntity == 0 {
+		g.MaxPerEntity = 64
+	}
+	return g
+}
+
+// Describe implements Blocker.
+func (g QGram) Describe() string {
+	d := g.defaults()
+	return fmt.Sprintf("qgram(col=%d,q=%d,min_shared=%d,max_per=%d)", d.Column, d.Q, d.MinShared, d.MaxPerEntity)
+}
+
 // Candidates implements Blocker.
-func (g QGram) Candidates(a, b *dataset.Relation) []dataset.Pair {
-	q := g.Q
-	if q == 0 {
-		q = 3
-	}
-	minShared := g.MinShared
-	if minShared == 0 {
-		minShared = 2
-	}
-	maxPer := g.MaxPerEntity
-	if maxPer == 0 {
-		maxPer = 64
+func (g QGram) Candidates(a, b *dataset.Relation) ([]dataset.Pair, error) {
+	d := g.defaults()
+	if err := checkColumn("qgram", d.Column, a, b); err != nil {
+		return nil, err
 	}
 	// Inverted index over B's key grams.
 	index := make(map[string][]int)
 	for j, e := range b.Entities {
-		for gram := range simfn.QGrams(strings.ToLower(e.Values[g.Column]), q) {
+		for gram := range simfn.QGrams(strings.ToLower(e.Values[d.Column]), d.Q) {
 			index[gram] = append(index[gram], j)
 		}
 	}
@@ -60,18 +88,18 @@ func (g QGram) Candidates(a, b *dataset.Relation) []dataset.Pair {
 	shared := make(map[int]int)
 	for i, e := range a.Entities {
 		clear(shared)
-		for gram := range simfn.QGrams(strings.ToLower(e.Values[g.Column]), q) {
+		for gram := range simfn.QGrams(strings.ToLower(e.Values[d.Column]), d.Q) {
 			for _, j := range index[gram] {
 				shared[j]++
 			}
 		}
 		cands := make([]int, 0, len(shared))
 		for j, n := range shared {
-			if n >= minShared {
+			if n >= d.MinShared {
 				cands = append(cands, j)
 			}
 		}
-		if len(cands) > maxPer {
+		if len(cands) > d.MaxPerEntity {
 			// Keep the strongest overlaps; ties break by index so the
 			// truncation is deterministic (cands comes out of a map).
 			sort.Slice(cands, func(x, y int) bool {
@@ -80,14 +108,14 @@ func (g QGram) Candidates(a, b *dataset.Relation) []dataset.Pair {
 				}
 				return cands[x] < cands[y]
 			})
-			cands = cands[:maxPer]
+			cands = cands[:d.MaxPerEntity]
 		}
 		sort.Ints(cands)
 		for _, j := range cands {
 			out = append(out, dataset.Pair{A: i, B: j})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Token blocks on shared lower-cased tokens of one key column.
@@ -99,15 +127,28 @@ type Token struct {
 	MaxPerToken int
 }
 
+func (t Token) defaults() Token {
+	if t.MaxPerToken == 0 {
+		t.MaxPerToken = 50
+	}
+	return t
+}
+
+// Describe implements Blocker.
+func (t Token) Describe() string {
+	d := t.defaults()
+	return fmt.Sprintf("token(col=%d,max_per_token=%d)", d.Column, d.MaxPerToken)
+}
+
 // Candidates implements Blocker.
-func (t Token) Candidates(a, b *dataset.Relation) []dataset.Pair {
-	maxPer := t.MaxPerToken
-	if maxPer == 0 {
-		maxPer = 50
+func (t Token) Candidates(a, b *dataset.Relation) ([]dataset.Pair, error) {
+	d := t.defaults()
+	if err := checkColumn("token", d.Column, a, b); err != nil {
+		return nil, err
 	}
 	index := make(map[string][]int)
 	for j, e := range b.Entities {
-		for _, tok := range strings.Fields(strings.ToLower(e.Values[t.Column])) {
+		for _, tok := range strings.Fields(strings.ToLower(e.Values[d.Column])) {
 			index[tok] = append(index[tok], j)
 		}
 	}
@@ -115,9 +156,9 @@ func (t Token) Candidates(a, b *dataset.Relation) []dataset.Pair {
 	seen := make(map[int]bool)
 	for i, e := range a.Entities {
 		clear(seen)
-		for _, tok := range strings.Fields(strings.ToLower(e.Values[t.Column])) {
+		for _, tok := range strings.Fields(strings.ToLower(e.Values[d.Column])) {
 			js := index[tok]
-			if len(js) > maxPer {
+			if len(js) > d.MaxPerToken {
 				continue // stop word
 			}
 			for _, j := range js {
@@ -128,7 +169,7 @@ func (t Token) Candidates(a, b *dataset.Relation) []dataset.Pair {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SortedNeighborhood sorts both relations by a key column and pairs
@@ -141,11 +182,24 @@ type SortedNeighborhood struct {
 	Window int
 }
 
+func (s SortedNeighborhood) defaults() SortedNeighborhood {
+	if s.Window == 0 {
+		s.Window = 5
+	}
+	return s
+}
+
+// Describe implements Blocker.
+func (s SortedNeighborhood) Describe() string {
+	d := s.defaults()
+	return fmt.Sprintf("sn(col=%d,window=%d)", d.Column, d.Window)
+}
+
 // Candidates implements Blocker.
-func (s SortedNeighborhood) Candidates(a, b *dataset.Relation) []dataset.Pair {
-	window := s.Window
-	if window == 0 {
-		window = 5
+func (s SortedNeighborhood) Candidates(a, b *dataset.Relation) ([]dataset.Pair, error) {
+	d := s.defaults()
+	if err := checkColumn("sorted-neighborhood", d.Column, a, b); err != nil {
+		return nil, err
 	}
 	type keyed struct {
 		key  string
@@ -154,16 +208,16 @@ func (s SortedNeighborhood) Candidates(a, b *dataset.Relation) []dataset.Pair {
 	}
 	all := make([]keyed, 0, a.Len()+b.Len())
 	for i, e := range a.Entities {
-		all = append(all, keyed{key: strings.ToLower(e.Values[s.Column]), idx: i, side: 0})
+		all = append(all, keyed{key: strings.ToLower(e.Values[d.Column]), idx: i, side: 0})
 	}
 	for j, e := range b.Entities {
-		all = append(all, keyed{key: strings.ToLower(e.Values[s.Column]), idx: j, side: 1})
+		all = append(all, keyed{key: strings.ToLower(e.Values[d.Column]), idx: j, side: 1})
 	}
 	sort.SliceStable(all, func(x, y int) bool { return all[x].key < all[y].key })
 	seen := make(map[dataset.Pair]bool)
 	var out []dataset.Pair
 	for x := range all {
-		for y := x + 1; y < len(all) && y <= x+window; y++ {
+		for y := x + 1; y < len(all) && y <= x+d.Window; y++ {
 			if all[x].side == all[y].side {
 				continue
 			}
@@ -177,26 +231,41 @@ func (s SortedNeighborhood) Candidates(a, b *dataset.Relation) []dataset.Pair {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Union combines blockers, deduplicating candidates — the usual way to
 // recover matches a single key misses.
 type Union []Blocker
 
-// Candidates implements Blocker.
-func (u Union) Candidates(a, b *dataset.Relation) []dataset.Pair {
+// Describe implements Blocker.
+func (u Union) Describe() string {
+	parts := make([]string, len(u))
+	for i, bl := range u {
+		parts[i] = bl.Describe()
+	}
+	return "union(" + strings.Join(parts, ",") + ")"
+}
+
+// Candidates implements Blocker. Members run in declaration order and the
+// first occurrence of each pair wins, so the union's candidate order is
+// deterministic for a fixed member list.
+func (u Union) Candidates(a, b *dataset.Relation) ([]dataset.Pair, error) {
 	seen := make(map[dataset.Pair]bool)
 	var out []dataset.Pair
 	for _, bl := range u {
-		for _, p := range bl.Candidates(a, b) {
+		cands, err := bl.Candidates(a, b)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cands {
 			if !seen[p] {
 				seen[p] = true
 				out = append(out, p)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Quality reports how well a candidate set covers the truth.
@@ -222,14 +291,23 @@ func Evaluate(e *dataset.ER, candidates []dataset.Pair) Quality {
 			hit++
 		}
 	}
+	return EvaluateCounts(e.A.Len(), e.B.Len(), len(e.Matches), hit, len(candidates))
+}
+
+// EvaluateCounts computes blocking quality from counts alone. The pair
+// space lenA·lenB is accumulated in float64: integer multiplication wraps
+// once the product passes the int range (a 1M×1M run already exceeds
+// 32-bit int; larger relations exceed 64-bit), which silently produced a
+// negative pair space and a reduction ratio above 1.
+func EvaluateCounts(lenA, lenB, matches, hits, candidates int) Quality {
 	recall := 0.0
-	if len(e.Matches) > 0 {
-		recall = float64(hit) / float64(len(e.Matches))
+	if matches > 0 {
+		recall = float64(hits) / float64(matches)
 	}
-	total := float64(e.A.Len() * e.B.Len())
+	total := float64(lenA) * float64(lenB)
 	rr := 0.0
 	if total > 0 {
-		rr = 1 - float64(len(candidates))/total
+		rr = 1 - float64(candidates)/total
 	}
-	return Quality{Recall: recall, ReductionRatio: rr, Candidates: len(candidates)}
+	return Quality{Recall: recall, ReductionRatio: rr, Candidates: candidates}
 }

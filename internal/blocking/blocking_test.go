@@ -1,6 +1,8 @@
 package blocking
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"serd/internal/datagen"
@@ -25,10 +27,19 @@ func titleCol(t *testing.T, g *datagen.Generated) int {
 	return ci
 }
 
+func mustCands(t *testing.T, bl Blocker, a, b *dataset.Relation) []dataset.Pair {
+	t.Helper()
+	cands, err := bl.Candidates(a, b)
+	if err != nil {
+		t.Fatalf("%s: %v", bl.Describe(), err)
+	}
+	return cands
+}
+
 func TestQGramBlockingRecallAndReduction(t *testing.T) {
 	g := fixture(t)
 	bl := QGram{Column: titleCol(t, g)}
-	cands := bl.Candidates(g.ER.A, g.ER.B)
+	cands := mustCands(t, bl, g.ER.A, g.ER.B)
 	q := Evaluate(g.ER, cands)
 	// Matching pairs have near-identical titles, so q-gram blocking must
 	// recover essentially all of them while pruning most of the pair space.
@@ -43,7 +54,7 @@ func TestQGramBlockingRecallAndReduction(t *testing.T) {
 func TestTokenBlockingRecall(t *testing.T) {
 	g := fixture(t)
 	bl := Token{Column: titleCol(t, g)}
-	q := Evaluate(g.ER, bl.Candidates(g.ER.A, g.ER.B))
+	q := Evaluate(g.ER, mustCands(t, bl, g.ER.A, g.ER.B))
 	if q.Recall < 0.95 {
 		t.Errorf("recall = %v", q.Recall)
 	}
@@ -52,7 +63,7 @@ func TestTokenBlockingRecall(t *testing.T) {
 func TestSortedNeighborhoodRecall(t *testing.T) {
 	g := fixture(t)
 	bl := SortedNeighborhood{Column: titleCol(t, g), Window: 8}
-	q := Evaluate(g.ER, bl.Candidates(g.ER.A, g.ER.B))
+	q := Evaluate(g.ER, mustCands(t, bl, g.ER.A, g.ER.B))
 	// Sorted neighborhood keys on the title prefix; case-folded duplicate
 	// titles sort adjacently. (Typo'd first characters can escape the
 	// window, so the bar is lower than index-based blocking.)
@@ -67,11 +78,11 @@ func TestSortedNeighborhoodRecall(t *testing.T) {
 func TestUnionImprovesRecall(t *testing.T) {
 	g := fixture(t)
 	col := titleCol(t, g)
-	single := Evaluate(g.ER, SortedNeighborhood{Column: col, Window: 3}.Candidates(g.ER.A, g.ER.B))
-	union := Evaluate(g.ER, Union{
+	single := Evaluate(g.ER, mustCands(t, SortedNeighborhood{Column: col, Window: 3}, g.ER.A, g.ER.B))
+	union := Evaluate(g.ER, mustCands(t, Union{
 		SortedNeighborhood{Column: col, Window: 3},
 		QGram{Column: col},
-	}.Candidates(g.ER.A, g.ER.B))
+	}, g.ER.A, g.ER.B))
 	if union.Recall < single.Recall {
 		t.Errorf("union recall %v below single %v", union.Recall, single.Recall)
 	}
@@ -86,7 +97,7 @@ func TestCandidatesAreUniqueAndInRange(t *testing.T) {
 		"snm":   SortedNeighborhood{Column: col},
 		"union": Union{QGram{Column: col}, Token{Column: col}},
 	} {
-		cands := bl.Candidates(g.ER.A, g.ER.B)
+		cands := mustCands(t, bl, g.ER.A, g.ER.B)
 		seen := make(map[dataset.Pair]bool, len(cands))
 		for _, p := range cands {
 			if seen[p] {
@@ -103,7 +114,7 @@ func TestCandidatesAreUniqueAndInRange(t *testing.T) {
 func TestQGramMaxPerEntityCaps(t *testing.T) {
 	g := fixture(t)
 	bl := QGram{Column: titleCol(t, g), MaxPerEntity: 3}
-	cands := bl.Candidates(g.ER.A, g.ER.B)
+	cands := mustCands(t, bl, g.ER.A, g.ER.B)
 	perA := map[int]int{}
 	for _, p := range cands {
 		perA[p.A]++
@@ -124,7 +135,7 @@ func TestEvaluateEmpty(t *testing.T) {
 func TestMinHashRecallAndDeterminism(t *testing.T) {
 	g := fixture(t)
 	bl := MinHash{Column: titleCol(t, g)}
-	a := bl.Candidates(g.ER.A, g.ER.B)
+	a := mustCands(t, bl, g.ER.A, g.ER.B)
 	q := Evaluate(g.ER, a)
 	// Near-duplicate titles have Jaccard ~0.8+; with 8 bands of 4 rows the
 	// collision probability at s=0.8 is ~0.97, so recall must be high.
@@ -134,7 +145,7 @@ func TestMinHashRecallAndDeterminism(t *testing.T) {
 	if q.ReductionRatio < 0.5 {
 		t.Errorf("minhash reduction = %v (candidates %d)", q.ReductionRatio, q.Candidates)
 	}
-	b := bl.Candidates(g.ER.A, g.ER.B)
+	b := mustCands(t, bl, g.ER.A, g.ER.B)
 	if len(a) != len(b) {
 		t.Fatal("minhash not deterministic")
 	}
@@ -149,7 +160,116 @@ func TestMinHashBandRounding(t *testing.T) {
 	g := fixture(t)
 	// Hashes not divisible by Bands must not panic.
 	bl := MinHash{Column: titleCol(t, g), Hashes: 30, Bands: 8}
-	if cands := bl.Candidates(g.ER.A, g.ER.B); len(cands) == 0 {
+	if cands := mustCands(t, bl, g.ER.A, g.ER.B); len(cands) == 0 {
 		t.Error("no candidates")
+	}
+}
+
+// TestEvaluateCountsHugeRelations is the overflow regression: relation
+// sizes past 2³² make the int pair-space product wrap (negative total,
+// reduction ratio above 1). The float64 path must stay in [0, 1].
+func TestEvaluateCountsHugeRelations(t *testing.T) {
+	side := 4_000_000_000 // 4e9 per side → 1.6e19 pairs, past int64 max
+	q := EvaluateCounts(side, side, 1_000_000, 950_000, 40_000_000_000)
+	if q.Recall != 0.95 {
+		t.Errorf("recall = %v, want 0.95", q.Recall)
+	}
+	want := 1 - 4e10/(float64(side)*float64(side))
+	if math.Abs(q.ReductionRatio-want) > 1e-12 {
+		t.Errorf("reduction ratio = %v, want %v", q.ReductionRatio, want)
+	}
+	if q.ReductionRatio < 0 || q.ReductionRatio > 1 {
+		t.Errorf("reduction ratio %v outside [0,1] — pair space overflowed", q.ReductionRatio)
+	}
+	// The pre-fix arithmetic, reproduced here, wraps negative — the exact
+	// failure mode the float64 pair space removes.
+	if wrapped := side * side; wrapped > 0 {
+		t.Errorf("expected int pair space to wrap at this size, got %d", wrapped)
+	}
+}
+
+func TestEvaluateDelegatesToCounts(t *testing.T) {
+	g := fixture(t)
+	cands := mustCands(t, QGram{Column: titleCol(t, g)}, g.ER.A, g.ER.B)
+	got := Evaluate(g.ER, cands)
+	set := make(map[dataset.Pair]bool, len(cands))
+	for _, p := range cands {
+		set[p] = true
+	}
+	hit := 0
+	for _, m := range g.ER.Matches {
+		if set[m] {
+			hit++
+		}
+	}
+	want := EvaluateCounts(g.ER.A.Len(), g.ER.B.Len(), len(g.ER.Matches), hit, len(cands))
+	if got != want {
+		t.Errorf("Evaluate = %+v, EvaluateCounts = %+v", got, want)
+	}
+}
+
+func TestOutOfRangeColumnErrors(t *testing.T) {
+	g := fixture(t)
+	bad := g.ER.Schema().Len() // one past the last column
+	for name, bl := range map[string]Blocker{
+		"qgram":   QGram{Column: bad},
+		"token":   Token{Column: bad},
+		"snm":     SortedNeighborhood{Column: bad},
+		"minhash": MinHash{Column: bad},
+		"union":   Union{QGram{Column: 0}, Token{Column: bad}},
+		"neg":     QGram{Column: -1},
+	} {
+		cands, err := bl.Candidates(g.ER.A, g.ER.B)
+		if err == nil {
+			t.Fatalf("%s: no error for out-of-range column", name)
+		}
+		if cands != nil {
+			t.Fatalf("%s: candidates returned alongside error", name)
+		}
+		if !strings.Contains(err.Error(), "column") {
+			t.Errorf("%s: error %q does not name the column", name, err)
+		}
+		if !strings.Contains(err.Error(), "blocking:") {
+			t.Errorf("%s: error %q does not name the package/blocker", name, err)
+		}
+	}
+}
+
+func TestUnionDedupDeterminism(t *testing.T) {
+	g := fixture(t)
+	col := titleCol(t, g)
+	u := Union{QGram{Column: col}, Token{Column: col}, SortedNeighborhood{Column: col}}
+	first := mustCands(t, u, g.ER.A, g.ER.B)
+	seen := make(map[dataset.Pair]bool, len(first))
+	for _, p := range first {
+		if seen[p] {
+			t.Fatalf("duplicate candidate %v in union output", p)
+		}
+		seen[p] = true
+	}
+	for run := 0; run < 3; run++ {
+		again := mustCands(t, u, g.ER.A, g.ER.B)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d candidates, first run had %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: candidate %d differs: %v vs %v", run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+func TestDescribeNamesBlockerAndParams(t *testing.T) {
+	for want, bl := range map[string]Blocker{
+		"qgram(col=2,q=3,min_shared=2,max_per=64)":                                      QGram{Column: 2},
+		"token(col=1,max_per_token=50)":                                                 Token{Column: 1},
+		"sn(col=0,window=5)":                                                            SortedNeighborhood{},
+		"minhash(col=0,q=3,hashes=32,bands=8,seed=0)":                                   MinHash{},
+		"union(qgram(col=0,q=3,min_shared=2,max_per=64),token(col=0,max_per_token=50))": Union{QGram{}, Token{}},
+	} {
+		if got := bl.Describe(); got != want {
+			t.Errorf("Describe() = %q, want %q", got, want)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package blocking
 
 import (
+	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
@@ -28,24 +29,38 @@ type MinHash struct {
 	Seed uint64
 }
 
-// Candidates implements Blocker.
-func (m MinHash) Candidates(a, b *dataset.Relation) []dataset.Pair {
-	q := m.Q
-	if q == 0 {
-		q = 3
+func (m MinHash) defaults() MinHash {
+	if m.Q == 0 {
+		m.Q = 3
 	}
-	hashes := m.Hashes
-	if hashes == 0 {
-		hashes = 32
+	if m.Hashes == 0 {
+		m.Hashes = 32
 	}
-	bands := m.Bands
-	if bands == 0 {
-		bands = 8
+	if m.Bands == 0 {
+		m.Bands = 8
 	}
-	if hashes%bands != 0 {
+	if m.Hashes%m.Bands != 0 {
 		// Round the sketch length up to a multiple of the band count.
-		hashes = (hashes/bands + 1) * bands
+		m.Hashes = (m.Hashes/m.Bands + 1) * m.Bands
 	}
+	return m
+}
+
+// Describe implements Blocker.
+func (m MinHash) Describe() string {
+	d := m.defaults()
+	return fmt.Sprintf("minhash(col=%d,q=%d,hashes=%d,bands=%d,seed=%d)", d.Column, d.Q, d.Hashes, d.Bands, d.Seed)
+}
+
+// Candidates implements Blocker.
+func (m MinHash) Candidates(a, b *dataset.Relation) ([]dataset.Pair, error) {
+	d := m.defaults()
+	if err := checkColumn("minhash", d.Column, a, b); err != nil {
+		return nil, err
+	}
+	q := d.Q
+	hashes := d.Hashes
+	bands := d.Bands
 	rows := hashes / bands
 
 	sketch := func(s string) []uint64 {
@@ -78,7 +93,7 @@ func (m MinHash) Candidates(a, b *dataset.Relation) []dataset.Pair {
 	}
 	index := make(map[bandKey][]int)
 	for j, e := range b.Entities {
-		sk := sketch(e.Values[m.Column])
+		sk := sketch(e.Values[d.Column])
 		for band := 0; band < bands; band++ {
 			index[bandKey{band, bandSig(sk, band, rows)}] = append(index[bandKey{band, bandSig(sk, band, rows)}], j)
 		}
@@ -87,7 +102,7 @@ func (m MinHash) Candidates(a, b *dataset.Relation) []dataset.Pair {
 	seen := make(map[int]bool)
 	for i, e := range a.Entities {
 		clear(seen)
-		sk := sketch(e.Values[m.Column])
+		sk := sketch(e.Values[d.Column])
 		var cands []int
 		for band := 0; band < bands; band++ {
 			for _, j := range index[bandKey{band, bandSig(sk, band, rows)}] {
@@ -102,7 +117,7 @@ func (m MinHash) Candidates(a, b *dataset.Relation) []dataset.Pair {
 			out = append(out, dataset.Pair{A: i, B: j})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // bandSig serializes one band of a sketch as a map key.

@@ -1,0 +1,124 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBlockingValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		c       Blocking
+		wantErr string
+	}{
+		{name: "off", c: Blocking{}},
+		{name: "qgram", c: Blocking{Blocker: "qgram", QGramQ: 4}},
+		{name: "union with floor", c: Blocking{Blocker: "union", RecallFloor: 0.9}},
+		{name: "unknown blocker", c: Blocking{Blocker: "lsh"}, wantErr: "-s3-blocker"},
+		{name: "params without blocker", c: Blocking{Window: 3}, wantErr: "require -s3-blocker"},
+		{name: "floor without blocker", c: Blocking{RecallFloor: 0.9}, wantErr: "require -s3-blocker"},
+		{name: "negative param", c: Blocking{Blocker: "qgram", MinShared: -1}, wantErr: ">= 0"},
+		{name: "floor above one", c: Blocking{Blocker: "sn", RecallFloor: 1.5}, wantErr: "[0,1]"},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestBlockingBuild(t *testing.T) {
+	schema, err := ParseSchema("year:num:1990:2000,name:text,addr:text")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Off builds nothing.
+	off := Blocking{}
+	if bl, err := off.Build(schema); err != nil || bl != nil {
+		t.Fatalf("Build with blocking off = %v, %v; want nil, nil", bl, err)
+	}
+
+	// Default key resolves to the first textual column, not column 0.
+	for _, name := range []string{"qgram", "token", "sn", "minhash", "union"} {
+		c := Blocking{Blocker: name}
+		bl, err := c.Build(schema)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if desc := bl.Describe(); !strings.Contains(desc, "col=1") {
+			t.Errorf("Build(%s).Describe() = %q, want key col=1 (first textual)", name, desc)
+		}
+	}
+
+	// Explicit key by name, with parameters visible in the description.
+	c := Blocking{Blocker: "qgram", Key: "addr", QGramQ: 4, MinShared: 3}
+	bl, err := c.Build(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := bl.Describe()
+	for _, want := range []string{"col=2", "q=4", "min_shared=3"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe() = %q, want substring %q", desc, want)
+		}
+	}
+
+	// Unknown key column is a hard error naming the flag.
+	bad := Blocking{Blocker: "qgram", Key: "venue"}
+	if _, err := bad.Build(schema); err == nil || !strings.Contains(err.Error(), "-block-key") {
+		t.Errorf("unknown key column error = %v, want it to name -block-key", err)
+	}
+
+	// No textual column and no explicit key: refuse rather than guess.
+	numOnly, err := ParseSchema("year:num:1990:2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	noText := Blocking{Blocker: "token"}
+	if _, err := noText.Build(numOnly); err == nil || !strings.Contains(err.Error(), "textual") {
+		t.Errorf("no-textual-column error = %v", err)
+	}
+
+	// Build re-validates, so a CLI-bypassing caller still gets the check.
+	invalid := Blocking{Blocker: "nope"}
+	if _, err := invalid.Build(schema); err == nil {
+		t.Error("invalid blocker name accepted by Build")
+	}
+}
+
+// TestBlockingJournaledConfigIsByteNoopWhenOff pins the off-is-absent
+// guarantee: journaled run configs from blocking-off runs must not change
+// when the blocking feature exists, or resume/journal byte-compatibility
+// breaks.
+func TestBlockingJournaledConfigIsByteNoopWhenOff(t *testing.T) {
+	c := &Serd{In: "in", Out: "out", SchemaSpec: "x:text"}
+	for k := range c.JournaledConfig() {
+		if strings.HasPrefix(k, "block") || strings.HasPrefix(k, "s3_") {
+			t.Errorf("blocking-off journaled config contains %q", k)
+		}
+	}
+	c.Blocking = Blocking{Blocker: "union", Key: "x", RecallFloor: 0.95}
+	cfg := c.JournaledConfig()
+	want := map[string]string{
+		"s3_blocker":         "union",
+		"block_key":          "x",
+		"block_qgram_q":      "0",
+		"block_min_shared":   "0",
+		"block_window":       "0",
+		"block_max_per":      "0",
+		"block_recall_floor": "0.95",
+	}
+	for k, v := range want {
+		if cfg[k] != v {
+			t.Errorf("config[%q] = %q, want %q", k, cfg[k], v)
+		}
+	}
+}

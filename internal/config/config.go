@@ -154,6 +154,7 @@ type Serd struct {
 	Resume              bool
 	TracePath           string
 	RunStore            string
+	Blocking            Blocking
 }
 
 // RegisterSerd binds cmd/serd's full flag surface into fs.
@@ -194,6 +195,7 @@ func RegisterSerd(fs *flag.FlagSet) *Serd {
 	b.boolean(&c.Resume, "resume")
 	b.str(&c.TracePath, "trace")
 	b.str(&c.RunStore, "run-store")
+	c.Blocking.register(b)
 	return c
 }
 
@@ -205,7 +207,7 @@ func (c *Serd) Validate() error {
 	if c.Resume && c.CheckpointDir == "" {
 		return errors.New("-resume requires -checkpoint-dir")
 	}
-	return nil
+	return c.Blocking.Validate()
 }
 
 // JournaledConfig is the run-parameter subset journaled at RunStart. The
@@ -227,6 +229,7 @@ func (c *Serd) JournaledConfig() map[string]string {
 	if c.BudgetWarn {
 		cfg["budget_mode"] = "warn"
 	}
+	c.Blocking.JournaledConfig(cfg)
 	return cfg
 }
 
@@ -244,8 +247,12 @@ type Experiments struct {
 	BenchOut       string
 	BenchAgainst   string
 	BenchThreshold float64
+	ScaleOut       string
+	ScaleSizes     string
+	ScaleAgainst   string
 	TracePath      string
 	RunStore       string
+	Blocking       Blocking
 }
 
 // RegisterExperiments binds cmd/experiments' flag surface into fs.
@@ -264,8 +271,12 @@ func RegisterExperiments(fs *flag.FlagSet) *Experiments {
 	fs.StringVar(&c.BenchOut, "bench-out", "", "run the core synthesis bench and write BENCH_core.json to this path (skips the tables)")
 	fs.StringVar(&c.BenchAgainst, "bench-against", "", "compare the core bench against this baseline BENCH_core.json, exiting non-zero on a throughput regression (skips the tables)")
 	fs.Float64Var(&c.BenchThreshold, "bench-threshold", 0.30, "allowed fractional throughput drop for -bench-against")
+	fs.StringVar(&c.ScaleOut, "bench-scale", "", "run the scale bench (entities/sec and peak RSS per size, unblocked and blocked) and write BENCH_scale.json to this path (skips the tables)")
+	fs.StringVar(&c.ScaleSizes, "bench-scale-sizes", "1000,10000", "comma-separated per-relation entity counts for -bench-scale, run in increasing order (VmHWM is a process-lifetime high-water mark)")
+	fs.StringVar(&c.ScaleAgainst, "bench-scale-against", "", "compare the scale bench against this baseline BENCH_scale.json, exiting non-zero on a throughput or peak-RSS regression (skips the tables)")
 	b.str(&c.TracePath, "trace")
 	b.str(&c.RunStore, "run-store")
+	c.Blocking.register(b)
 	return c
 }
 
@@ -274,7 +285,7 @@ func (c *Experiments) Validate() error {
 	if c.BenchThreshold < 0 {
 		return fmt.Errorf("-bench-threshold must be >= 0, got %g", c.BenchThreshold)
 	}
-	return nil
+	return c.Blocking.Validate()
 }
 
 // Datagen holds the parsed flags of cmd/datagen.
@@ -292,6 +303,7 @@ type Datagen struct {
 	NoJournal   bool
 	TracePath   string
 	RunStore    string
+	Blocking    Blocking
 }
 
 // RegisterDatagen binds cmd/datagen's flag surface into fs.
@@ -311,6 +323,7 @@ func RegisterDatagen(fs *flag.FlagSet) *Datagen {
 	b.boolean(&c.NoJournal, "no-journal")
 	b.str(&c.TracePath, "trace")
 	b.str(&c.RunStore, "run-store")
+	c.Blocking.register(b)
 	return c
 }
 
@@ -319,5 +332,5 @@ func (c *Datagen) Validate() error {
 	if c.Out == "" {
 		return errors.New("-out is required")
 	}
-	return nil
+	return c.Blocking.Validate()
 }

@@ -70,8 +70,24 @@ type Options struct {
 	// S3Blocker, when set, restricts S3's posterior labeling to the
 	// blocker's candidate pairs; pairs outside the candidate set are
 	// assumed non-matching. Nil labels every pair (the paper's exact S3,
-	// which is quadratic in the table sizes).
+	// which is quadratic in the table sizes). A blocked run journals a
+	// blocking event with the candidate count, reduction ratio and the
+	// measured recall bound on the S2-sampled match pairs.
 	S3Blocker blocking.Blocker
+	// S3RecallFloor, with a blocker set, is the minimum acceptable
+	// measured recall bound of the candidate set on the S2-sampled match
+	// pairs — the held-out labeled sample whose labels are known
+	// independently of S3. A bound below the floor journals a warning;
+	// the run continues, but the audit trail flags that blocking may have
+	// missed matches. 0 disables the check.
+	S3RecallFloor float64
+	// Stream, when set, receives every accepted entity the moment S2
+	// commits it and every match row during finalization, so dataset
+	// output needs no post-run whole-dataset save. The caller owns
+	// Finalize/Abort. Streaming is an execution parameter like Workers:
+	// the streamed bytes are identical to dataset.SaveDir's, no RNG draw
+	// moves, and it is excluded from the journaled configuration.
+	Stream *dataset.StreamWriter
 	// Progress, when set, is called after each accepted entity with the
 	// number of entities synthesized so far and the total target — hook
 	// for CLI progress output on long runs. It also fires (with the same
@@ -223,17 +239,19 @@ func bootstrap(vs *valueSynth, real *dataset.ER, opts Options, r *rand.Rand) (*d
 }
 
 // labelAllPairs implements S3: every pair not labeled during S2 gets the
-// posterior-probability label P_m(x) >= P_n(x) (Eq. 7 / §IV-C). With a
-// blocker, only candidate pairs are scored and the rest default to
-// non-matching. Scoring fans out over the pool — pairs are pure reads of
-// the relations, the sampled map and O_real — with per-slot results merged
-// deterministically (and sorted regardless).
+// posterior-probability label P_m(x) >= P_n(x) (Eq. 7 / §IV-C). With
+// blocked set, only the precomputed candidate pairs are scored and the
+// rest default to non-matching (the candidates come from runS3, which
+// journals the blocking tradeoff before labeling starts). Scoring fans
+// out over the pool — pairs are pure reads of the relations, the sampled
+// map and O_real — with per-slot results merged deterministically (and
+// sorted regardless).
 //
-// Cancellation is checked per row (per candidate with a blocker): workers
+// Cancellation is checked per row (per candidate when blocked): workers
 // skip remaining slots once the run is stopped, the partial labeling is
 // discarded, and the stop cause is returned. An untriggered context adds
 // one flag read per slot and changes nothing else.
-func labelAllPairs(ctx context.Context, cp *checkpoint.Checkpointer, oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset.Pair]bool, blocker blocking.Blocker, cache *dataset.SimCache, pool *parallel.Pool) ([]dataset.Pair, error) {
+func labelAllPairs(ctx context.Context, cp *checkpoint.Checkpointer, oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset.Pair]bool, cands []dataset.Pair, blocked bool, cache *dataset.SimCache, pool *parallel.Pool) ([]dataset.Pair, error) {
 	if err := pipeline.Stopped(ctx, cp); err != nil {
 		return nil, err
 	}
@@ -252,8 +270,7 @@ func labelAllPairs(ctx context.Context, cp *checkpoint.Checkpointer, oReal *gmm.
 		}
 		return oReal.IsMatch(cache.SimVector(a.Entities[p.A], b.Entities[p.B]))
 	}
-	if blocker != nil {
-		cands := blocker.Candidates(a, b)
+	if blocked {
 		hit := make([]bool, len(cands))
 		pool.Run("core.s3.label", len(cands), func(i int) {
 			if stopped() {

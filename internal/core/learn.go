@@ -104,7 +104,11 @@ func LearnDistributions(ctx context.Context, real *dataset.ER, opts LearnOptions
 		if hardN == 0 {
 			hardN = 2 * len(real.Matches)
 		}
-		for _, lp := range dataset.HardestNonMatches(real, blocker.Candidates(real.A, real.B), hardN) {
+		cands, err := blocker.Candidates(real.A, real.B)
+		if err != nil {
+			return nil, fmt.Errorf("core: hard-negative mining: %w", err)
+		}
+		for _, lp := range dataset.HardestNonMatches(real, cands, hardN) {
 			xn = append(xn, lp.Vector)
 		}
 	}

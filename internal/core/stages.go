@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"serd/internal/blocking"
 	"serd/internal/checkpoint"
 	"serd/internal/dataset"
 	"serd/internal/detrand"
@@ -260,6 +261,21 @@ func (st *synthRun) runSetup(context.Context, *pipeline.Env) error {
 		if err := st.src.SkipTo(st.resS2.Draws); err != nil {
 			return fmt.Errorf("core: resume: %w", err)
 		}
+		// Replay the restored pools into the stream: the resumed process
+		// starts a fresh output, so the rows accepted before the
+		// checkpoint must reach it before S2 appends new ones.
+		if st.opts.Stream != nil {
+			for _, e := range st.synA.Entities {
+				if err := st.opts.Stream.AppendA(e); err != nil {
+					return err
+				}
+			}
+			for _, e := range st.synB.Entities {
+				if err := st.opts.Stream.AppendB(e); err != nil {
+					return err
+				}
+			}
+		}
 		return nil
 	}
 	// S2 bootstrap: one fake A-entity.
@@ -267,7 +283,21 @@ func (st *synthRun) runSetup(context.Context, *pipeline.Env) error {
 	if err != nil {
 		return err
 	}
-	return st.synA.Append(first)
+	if err := st.synA.Append(first); err != nil {
+		return err
+	}
+	return st.streamEntity(true, first)
+}
+
+// streamEntity forwards one accepted entity to the stream writer, if any.
+func (st *synthRun) streamEntity(toA bool, e *dataset.Entity) error {
+	if st.opts.Stream == nil {
+		return nil
+	}
+	if toA {
+		return st.opts.Stream.AppendA(e)
+	}
+	return st.opts.Stream.AppendB(e)
 }
 
 // s2Complete reports whether the restored pools already hold every
@@ -419,8 +449,12 @@ func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
 				dist.commit(dist.deltaVectors(cand, src, r))
 			}
 
-			// S2-4: add e' and the sampled label.
+			// S2-4: add e' and the sampled label, streaming the accepted
+			// row out immediately when a stream writer is armed.
 			if err := dst.Append(cand); err != nil {
+				return err
+			}
+			if err := st.streamEntity(dstIsA, cand); err != nil {
 				return err
 			}
 			var p dataset.Pair
@@ -455,11 +489,25 @@ func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
 	return nil
 }
 
-// runS3 labels all remaining pairs by posterior (§IV-C). A cancel returns
-// behind a checkpoint of the completed S2 pools, from which a resume
-// skips S2 and re-runs S3 only.
+// runS3 labels all remaining pairs by posterior (§IV-C). With a blocker
+// the candidate set is computed once up front and its tradeoff — count,
+// reduction ratio, recall bound on the S2-sampled matches — is journaled
+// before labeling starts, so even an interrupted blocked run records what
+// its labeling was going to skip. A cancel returns behind a checkpoint of
+// the completed S2 pools, from which a resume skips S2 and re-runs S3
+// only.
 func (st *synthRun) runS3(ctx context.Context, _ *pipeline.Env) error {
-	matches, err := labelAllPairs(ctx, st.cp, st.oReal, st.synA, st.synB, st.sampled, st.opts.S3Blocker, st.cache, st.pool)
+	var cands []dataset.Pair
+	blocked := st.opts.S3Blocker != nil
+	if blocked {
+		var err error
+		cands, err = st.opts.S3Blocker.Candidates(st.synA, st.synB)
+		if err != nil {
+			return fmt.Errorf("core: s3 blocking: %w", err)
+		}
+		st.journalBlocking(cands)
+	}
+	matches, err := labelAllPairs(ctx, st.cp, st.oReal, st.synA, st.synB, st.sampled, cands, blocked, st.cache, st.pool)
 	if err != nil {
 		if serr := st.saveS2(); serr != nil {
 			return serr
@@ -468,6 +516,49 @@ func (st *synthRun) runS3(ctx context.Context, _ *pipeline.Env) error {
 	}
 	st.matches = matches
 	return nil
+}
+
+// journalBlocking measures the blocked-S3 tradeoff and records it: gauges
+// for live telemetry, a chained blocking event for the audit trail, and a
+// warning when the measured recall bound falls below the configured floor.
+// The recall bound is evaluated on the S2-sampled match pairs — labels
+// known independently of S3, so candidate-set coverage of them estimates
+// how many posterior matches blocking may cost (the sampled pairs
+// themselves are kept regardless; see labelAllPairs).
+func (st *synthRun) journalBlocking(cands []dataset.Pair) {
+	set := make(map[dataset.Pair]bool, len(cands))
+	for _, p := range cands {
+		set[p] = true
+	}
+	hits := 0
+	for _, p := range st.res.SampledMatchPairs {
+		if set[p] {
+			hits++
+		}
+	}
+	heldOut := len(st.res.SampledMatchPairs)
+	q := blocking.EvaluateCounts(st.synA.Len(), st.synB.Len(), heldOut, hits, len(cands))
+	st.rec.Set("core.s3.candidates", float64(len(cands)))
+	st.rec.Set("core.s3.reduction_ratio", q.ReductionRatio)
+	st.rec.Set("core.s3.recall_bound", q.Recall)
+	desc := st.opts.S3Blocker.Describe()
+	st.opts.Journal.Blocking(journal.BlockingData{
+		Source:         "core.s3",
+		Blocker:        desc,
+		Candidates:     len(cands),
+		PairSpace:      float64(st.synA.Len()) * float64(st.synB.Len()),
+		ReductionRatio: q.ReductionRatio,
+		RecallBound:    q.Recall,
+		HeldOutMatches: heldOut,
+		RecallFloor:    st.opts.S3RecallFloor,
+	})
+	if st.opts.S3RecallFloor > 0 && heldOut > 0 && q.Recall < st.opts.S3RecallFloor {
+		st.opts.Journal.Warning("core.s3", "blocking recall bound below configured floor", map[string]string{
+			"blocker":      desc,
+			"recall_bound": fmt.Sprintf("%.6g", q.Recall),
+			"floor":        fmt.Sprintf("%.6g", st.opts.S3RecallFloor),
+		})
+	}
 }
 
 // runFinalize assembles the Result: the synthesized ER dataset, the final
@@ -480,6 +571,15 @@ func (st *synthRun) runFinalize(context.Context, *pipeline.Env) error {
 		return err
 	}
 	st.res.Syn = syn
+	if st.opts.Stream != nil {
+		// Matches stream in their final sorted order, so the streamed
+		// matches.csv is byte-identical to a post-run SaveDir.
+		for _, p := range st.matches {
+			if err := st.opts.Stream.Match(st.synA.Entities[p.A].ID, st.synB.Entities[p.B].ID); err != nil {
+				return err
+			}
+		}
+	}
 	st.res.JSD = st.dist.finalJSD(st.r)
 	st.rec.Set("core.s2.jsd_final", st.res.JSD)
 	st.opts.Journal.Synthesis(journal.SynthesisData{

@@ -122,31 +122,6 @@ func ReadMatches(rd io.Reader, a, b *Relation) ([]Pair, error) {
 	return out, nil
 }
 
-// SaveDir writes an ER dataset to dir as A.csv, B.csv and matches.csv.
-func SaveDir(dir string, e *ER) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("dataset: create %s: %w", dir, err)
-	}
-	write := func(name string, fn func(io.Writer) error) error {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			return fmt.Errorf("dataset: create %s: %w", name, err)
-		}
-		defer f.Close()
-		if err := fn(f); err != nil {
-			return err
-		}
-		return f.Close()
-	}
-	if err := write("A.csv", func(w io.Writer) error { return WriteRelation(w, e.A) }); err != nil {
-		return err
-	}
-	if err := write("B.csv", func(w io.Writer) error { return WriteRelation(w, e.B) }); err != nil {
-		return err
-	}
-	return write("matches.csv", func(w io.Writer) error { return WriteMatches(w, e) })
-}
-
 // LoadDir reads an ER dataset written by SaveDir.
 func LoadDir(dir string, schema *Schema) (*ER, error) {
 	readRel := func(name, relName string) (*Relation, error) {

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// StreamWriter writes an ER dataset to a directory incrementally: entity
+// rows are appended as they are synthesized and match rows as they are
+// labeled, so peak memory on the output path is one CSV row regardless of
+// dataset size. Rows accumulate in temp files (A.csv.tmp etc.); Finalize
+// flushes, fsyncs, renames each temp over its final name and fsyncs the
+// directory, so readers — and the journal's lineage hashes — see either
+// the complete dataset or none of it, never a torn file. The emitted bytes
+// are identical to WriteRelation/WriteMatches over the same data.
+type StreamWriter struct {
+	dir   string
+	files [3]*streamFile // A, B, matches
+	err   error          // sticky: first write error poisons Finalize
+}
+
+type streamFile struct {
+	final string // final path
+	tmp   string // temp path rows accumulate in
+	f     *os.File
+	cw    *csv.Writer
+}
+
+// Stream file slots.
+const (
+	streamA = iota
+	streamB
+	streamMatches
+)
+
+// NewStreamWriter creates dir if needed, opens the temp files and writes
+// the CSV headers. The schema fixes the relation header for both sides.
+func NewStreamWriter(dir string, schema *Schema) (*StreamWriter, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("dataset: stream writer needs a schema")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: create %s: %w", dir, err)
+	}
+	sw := &StreamWriter{dir: dir}
+	relHeader := make([]string, 0, schema.Len()+1)
+	relHeader = append(relHeader, "id")
+	for _, c := range schema.Cols {
+		relHeader = append(relHeader, c.Name)
+	}
+	for slot, spec := range [3]struct {
+		name   string
+		header []string
+	}{
+		{"A.csv", relHeader},
+		{"B.csv", relHeader},
+		{"matches.csv", []string{"id_a", "id_b"}},
+	} {
+		final := filepath.Join(dir, spec.name)
+		tmp := final + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			sw.Abort()
+			return nil, fmt.Errorf("dataset: create %s: %w", tmp, err)
+		}
+		cw := csv.NewWriter(f)
+		sw.files[slot] = &streamFile{final: final, tmp: tmp, f: f, cw: cw}
+		if err := cw.Write(spec.header); err != nil {
+			sw.Abort()
+			return nil, fmt.Errorf("dataset: write %s header: %w", spec.name, err)
+		}
+	}
+	return sw, nil
+}
+
+func (sw *StreamWriter) write(slot int, row []string) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if err := sw.files[slot].cw.Write(row); err != nil {
+		sw.err = fmt.Errorf("dataset: stream %s: %w", filepath.Base(sw.files[slot].final), err)
+		return sw.err
+	}
+	return nil
+}
+
+// AppendA streams one A-side entity row.
+func (sw *StreamWriter) AppendA(e *Entity) error { return sw.appendEntity(streamA, e) }
+
+// AppendB streams one B-side entity row.
+func (sw *StreamWriter) AppendB(e *Entity) error { return sw.appendEntity(streamB, e) }
+
+func (sw *StreamWriter) appendEntity(slot int, e *Entity) error {
+	row := make([]string, 0, len(e.Values)+1)
+	row = append(row, e.ID)
+	row = append(row, e.Values...)
+	return sw.write(slot, row)
+}
+
+// Match streams one match row by entity ID.
+func (sw *StreamWriter) Match(idA, idB string) error {
+	return sw.write(streamMatches, []string{idA, idB})
+}
+
+// Finalize flushes and fsyncs every temp file, renames each over its final
+// name and fsyncs the directory. After Finalize returns nil the three CSVs
+// are durably in place; on error the temps are removed and any final files
+// from a previous dataset are untouched.
+func (sw *StreamWriter) Finalize() error {
+	if sw.err != nil {
+		sw.Abort()
+		return sw.err
+	}
+	// Flush + fsync + close every temp before renaming any of them, so a
+	// crash mid-Finalize can leave stale finals but never a torn one.
+	for _, sf := range sw.files {
+		sf.cw.Flush()
+		if err := sf.cw.Error(); err != nil {
+			sw.fail(fmt.Errorf("dataset: flush %s: %w", filepath.Base(sf.final), err))
+			return sw.err
+		}
+		if err := sf.f.Sync(); err != nil {
+			sw.fail(fmt.Errorf("dataset: sync %s: %w", filepath.Base(sf.final), err))
+			return sw.err
+		}
+		if err := sf.f.Close(); err != nil {
+			sw.fail(fmt.Errorf("dataset: close %s: %w", filepath.Base(sf.final), err))
+			return sw.err
+		}
+		sf.f = nil
+	}
+	for _, sf := range sw.files {
+		if err := os.Rename(sf.tmp, sf.final); err != nil {
+			sw.fail(fmt.Errorf("dataset: finalize %s: %w", filepath.Base(sf.final), err))
+			return sw.err
+		}
+	}
+	if d, err := os.Open(sw.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// fail records the error and removes the temps.
+func (sw *StreamWriter) fail(err error) {
+	if sw.err == nil {
+		sw.err = err
+	}
+	sw.Abort()
+}
+
+// Abort closes and removes the temp files, leaving any previously
+// finalized CSVs untouched. Safe to call more than once and after
+// Finalize (a no-op then: the temps are gone).
+func (sw *StreamWriter) Abort() {
+	for _, sf := range sw.files {
+		if sf == nil {
+			continue
+		}
+		if sf.f != nil {
+			sf.f.Close()
+			sf.f = nil
+		}
+		os.Remove(sf.tmp)
+	}
+}
+
+// SaveDir writes an ER dataset to dir as A.csv, B.csv and matches.csv via
+// the atomic streaming path: temp files, fsync, rename, directory fsync —
+// a crash mid-save can never leave torn CSVs whose bytes disagree with the
+// journaled lineage hashes.
+func SaveDir(dir string, e *ER) error {
+	sw, err := NewStreamWriter(dir, e.A.Schema)
+	if err != nil {
+		return err
+	}
+	for _, ent := range e.A.Entities {
+		if err := sw.AppendA(ent); err != nil {
+			sw.Abort()
+			return err
+		}
+	}
+	for _, ent := range e.B.Entities {
+		if err := sw.AppendB(ent); err != nil {
+			sw.Abort()
+			return err
+		}
+	}
+	for _, p := range e.Matches {
+		if err := sw.Match(e.A.Entities[p.A].ID, e.B.Entities[p.B].ID); err != nil {
+			sw.Abort()
+			return err
+		}
+	}
+	return sw.Finalize()
+}

@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamWriterBytesMatchBatchWriters pins that the streamed CSVs are
+// byte-identical to WriteRelation/WriteMatches output — the invariant that
+// keeps streaming a byte-noop for downstream hashing and diffing.
+func TestStreamWriterBytesMatchBatchWriters(t *testing.T) {
+	er := paperER(t)
+	dir := t.TempDir()
+	sw, err := NewStreamWriter(dir, er.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range er.A.Entities {
+		if err := sw.AppendA(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range er.B.Entities {
+		if err := sw.AppendB(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range er.Matches {
+		if err := sw.Match(er.A.Entities[p.A].ID, er.B.Entities[p.B].ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	var wantA, wantB, wantM bytes.Buffer
+	if err := WriteRelation(&wantA, er.A); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRelation(&wantB, er.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMatches(&wantM, er); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string][]byte{
+		"A.csv":       wantA.Bytes(),
+		"B.csv":       wantB.Bytes(),
+		"matches.csv": wantM.Bytes(),
+	} {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: streamed bytes differ from batch writer", name)
+		}
+	}
+}
+
+func TestStreamWriterFinalizeIsAtomic(t *testing.T) {
+	er := paperER(t)
+	dir := t.TempDir()
+	sw, err := NewStreamWriter(dir, er.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendA(er.A.Entities[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Before Finalize only temps exist — a reader (or lineage hasher) never
+	// sees a partial final file.
+	for _, name := range []string{"A.csv", "B.csv", "matches.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("%s exists before Finalize", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".tmp")); err != nil {
+			t.Errorf("%s.tmp missing before Finalize: %v", name, err)
+		}
+	}
+	if err := sw.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"A.csv", "B.csv", "matches.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("%s missing after Finalize: %v", name, err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, name+".tmp")); !os.IsNotExist(err) {
+			t.Errorf("%s.tmp left behind after Finalize", name)
+		}
+	}
+}
+
+func TestStreamWriterAbortLeavesPriorDataset(t *testing.T) {
+	er := paperER(t)
+	dir := t.TempDir()
+	if err := SaveDir(dir, er); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "A.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewStreamWriter(dir, er.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AppendA(er.A.Entities[0]); err != nil {
+		t.Fatal(err)
+	}
+	sw.Abort()
+	sw.Abort() // idempotent
+	after, err := os.ReadFile(filepath.Join(dir, "A.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("Abort touched the previously finalized A.csv")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("temp file %s left behind after Abort", e.Name())
+		}
+	}
+}
+
+func TestStreamWriterWriteAfterErrorIsSticky(t *testing.T) {
+	er := paperER(t)
+	sw, err := NewStreamWriter(t.TempDir(), er.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the underlying A file behind the writer's back to force a
+	// flush error, then confirm the error poisons Finalize.
+	sw.files[streamA].f.Close()
+	for i := 0; i < 2000; i++ { // enough rows to overflow the csv buffer
+		if err := sw.AppendA(er.A.Entities[0]); err != nil {
+			break
+		}
+	}
+	sw.files[streamA].cw.Flush()
+	if err := sw.Finalize(); err == nil {
+		t.Error("Finalize succeeded on a closed output file")
+	}
+}
+
+// TestSaveDirRoundTripAndAtomic pins that the rewritten SaveDir still
+// round-trips through LoadDir and leaves no temp files.
+func TestSaveDirRoundTripAndAtomic(t *testing.T) {
+	er := paperER(t)
+	dir := t.TempDir()
+	if err := SaveDir(dir, er); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDir(dir, er.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.A.Len() != er.A.Len() || back.B.Len() != er.B.Len() || len(back.Matches) != len(er.Matches) {
+		t.Errorf("round trip sizes differ: %+v", back.Stats())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".tmp" {
+			t.Errorf("SaveDir left temp file %s", e.Name())
+		}
+	}
+}

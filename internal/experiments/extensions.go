@@ -50,7 +50,10 @@ func (s *Suite) ScaleUp(factor float64) ([]ScaleRow, error) {
 		}
 
 		r := s.Rand(601)
-		pairs := s.workload(g.ER, 601)
+		pairs, err := s.workload(g.ER, 601)
+		if err != nil {
+			return nil, err
+		}
 		train, test, err := dataset.Split(pairs, s.cfg.TestFrac, r)
 		if err != nil {
 			return nil, err
@@ -65,7 +68,11 @@ func (s *Suite) ScaleUp(factor float64) ([]ScaleRow, error) {
 		realF1 := matcher.Evaluate(mReal, testX, testY).F1()
 
 		mSyn := &matcher.RandomForest{Trees: 20, Seed: s.cfg.Seed + 11}
-		synX, synY := dataset.Vectors(s.workload(res.Syn, 603))
+		synPairs, err := s.workload(res.Syn, 603)
+		if err != nil {
+			return nil, err
+		}
+		synX, synY := dataset.Vectors(synPairs)
 		if err := matcher.FitContext(s.ctx(), mSyn, synX, synY); err != nil {
 			return nil, err
 		}

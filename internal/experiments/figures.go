@@ -28,9 +28,12 @@ func textualBlocker(schema *dataset.Schema) blocking.Blocker {
 
 // workload materializes a labeled matcher workload with blocking-derived
 // hard negatives mixed in (the Magellan labeling regime).
-func (s *Suite) workload(er *dataset.ER, salt int64) []dataset.LabeledPair {
-	cands := textualBlocker(er.Schema()).Candidates(er.A, er.B)
-	return dataset.LabeledPairsMixed(er, s.cfg.NegPerPos, cands, s.Rand(salt))
+func (s *Suite) workload(er *dataset.ER, salt int64) ([]dataset.LabeledPair, error) {
+	cands, err := textualBlocker(er.Schema()).Candidates(er.A, er.B)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.LabeledPairsMixed(er, s.cfg.NegPerPos, cands, s.Rand(salt)), nil
 }
 
 // MatcherKind selects the matcher family of Exp-2/Exp-3.
@@ -78,7 +81,10 @@ func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			return nil, err
 		}
 		r := s.Rand(101)
-		pairs := s.workload(g.ER, 101)
+		pairs, err := s.workload(g.ER, 101)
+		if err != nil {
+			return nil, err
+		}
 		train, test, err := dataset.Split(pairs, s.cfg.TestFrac, r)
 		if err != nil {
 			return nil, err
@@ -101,7 +107,10 @@ func (s *Suite) ModelEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			synPairs := s.workload(syn, 103)
+			synPairs, err := s.workload(syn, 103)
+			if err != nil {
+				return nil, err
+			}
 			synX, synY := dataset.Vectors(synPairs)
 			m, err := s.newMatcher(kind)
 			if err != nil {
@@ -132,7 +141,10 @@ func (s *Suite) DataEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			return nil, err
 		}
 		r := s.Rand(201)
-		pairs := s.workload(g.ER, 201)
+		pairs, err := s.workload(g.ER, 201)
+		if err != nil {
+			return nil, err
+		}
 		train, test, err := dataset.Split(pairs, s.cfg.TestFrac, r)
 		if err != nil {
 			return nil, err
@@ -164,7 +176,10 @@ func (s *Suite) DataEvaluation(kind MatcherKind) ([]EvalRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			cands := textualBlocker(syn.Schema()).Candidates(syn.A, syn.B)
+			cands, err := textualBlocker(syn.Schema()).Candidates(syn.A, syn.B)
+			if err != nil {
+				return nil, err
+			}
 			tsyn := sampleTestSet(syn, posN, negN, cands, s.Rand(203))
 			synX, synY := dataset.Vectors(tsyn)
 			met := matcher.Evaluate(mReal, synX, synY)

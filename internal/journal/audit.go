@@ -40,6 +40,7 @@ type RunSummary struct {
 	Checkpoints         int
 	FinalCheckpoint     float64
 	Synthesis           *SynthesisData
+	Blocking            []BlockingData
 	Logs                []LogData
 	Warnings            []WarningData
 	Status              string
@@ -119,6 +120,12 @@ func Summarize(events []Event) (*RunSummary, error) {
 				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
 			}
 			s.Synthesis = &d
+		case "blocking":
+			var d BlockingData
+			if err := json.Unmarshal(ev.Data, &d); err != nil {
+				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
+			}
+			s.Blocking = append(s.Blocking, d)
 		case "warning":
 			var d WarningData
 			if err := json.Unmarshal(ev.Data, &d); err != nil {

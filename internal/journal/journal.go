@@ -85,6 +85,7 @@ var durableTypes = map[string]bool{
 	"budget":             true,
 	"lineage":            true,
 	"resume":             true,
+	"blocking":           true,
 	"run_end":            true,
 }
 
@@ -408,6 +409,40 @@ type SynthesisData struct {
 
 // Synthesis emits the synthesis summary event.
 func (j *Journal) Synthesis(d SynthesisData) { j.emit("synthesis", d, 0) }
+
+// BlockingData records the blocked-S3 tradeoff: which blocker pruned the
+// pair space, how hard, and the measured recall bound on the held-out
+// labeled sample (the S2-sampled match pairs, whose labels are known
+// independently of S3). It is the audit trail's answer to "what may
+// blocking have missed?" — a run whose labeling skipped most of the pair
+// space says so durably, next to the lineage hashes of the dataset it
+// produced.
+type BlockingData struct {
+	// Source names the stage that blocked ("core.s3", "datagen").
+	Source string `json:"source"`
+	// Blocker is the blocker's self-description with resolved parameters,
+	// e.g. "qgram(col=0,q=3,min_shared=2,max_per=64)".
+	Blocker string `json:"blocker"`
+	// Candidates is the candidate-pair count.
+	Candidates int `json:"candidates"`
+	// PairSpace is |A|·|B| (float64: past ~3G×3G entities the product
+	// exceeds int64).
+	PairSpace float64 `json:"pair_space"`
+	// ReductionRatio is 1 − candidates/pair_space.
+	ReductionRatio float64 `json:"reduction_ratio"`
+	// RecallBound is the fraction of held-out labeled matches present in
+	// the candidate set.
+	RecallBound float64 `json:"recall_bound"`
+	// HeldOutMatches is the held-out labeled sample's size.
+	HeldOutMatches int `json:"held_out_matches"`
+	// RecallFloor is the configured minimum acceptable recall bound
+	// (0 = unenforced). A bound below the floor additionally journals a
+	// warning event.
+	RecallFloor float64 `json:"recall_floor,omitempty"`
+}
+
+// Blocking emits a blocking event.
+func (j *Journal) Blocking(d BlockingData) { j.emit("blocking", d, 0) }
 
 // Terminal run statuses.
 const (

@@ -179,6 +179,13 @@ func EvaluateBlocking(e *ER, candidates []Pair) BlockingQuality {
 	return blocking.Evaluate(e, candidates)
 }
 
+// EvaluateBlockingCounts is EvaluateBlocking from raw counts, computing
+// the pair space in float64 so relations past ~3 billion rows per side
+// cannot overflow the product.
+func EvaluateBlockingCounts(lenA, lenB, matches, hits, candidates int) BlockingQuality {
+	return blocking.EvaluateCounts(lenA, lenB, matches, hits, candidates)
+}
+
 // ValidateDataset checks a dataset's structural invariants (unique IDs,
 // arity, match indices, numeric parseability) and returns every violation.
 func ValidateDataset(e *ER) []error { return dataset.Validate(e) }
@@ -362,6 +369,10 @@ type (
 	AuditVerifyResult = journal.VerifyResult
 	// AuditDiff is the delta between two summarized runs.
 	AuditDiff = journal.Diff
+	// BlockingEvent is the journaled record of a blocked S3: the blocker
+	// configuration, candidate count, reduction ratio and the measured
+	// recall bound on the held-out sampled matches.
+	BlockingEvent = journal.BlockingData
 )
 
 // Budget enforcement modes for PrivacyLedger.SetBudget.
@@ -647,7 +658,7 @@ func TrainTestSplit(e *ER, negPerPos int, testFrac float64, r *rand.Rand) (train
 // regime: every match plus negPerPos negatives per match, half of which
 // are the hardest blocking candidates (q-gram blocking unioned over the
 // textual columns) and half uniform.
-func MixedWorkload(e *ER, negPerPos int, r *rand.Rand) []LabeledPair {
+func MixedWorkload(e *ER, negPerPos int, r *rand.Rand) ([]LabeledPair, error) {
 	var union BlockerUnion
 	for i, col := range e.Schema().Cols {
 		if col.Kind == Textual {
@@ -656,9 +667,13 @@ func MixedWorkload(e *ER, negPerPos int, r *rand.Rand) []LabeledPair {
 	}
 	var cands []Pair
 	if len(union) > 0 {
-		cands = union.Candidates(e.A, e.B)
+		var err error
+		cands, err = union.Candidates(e.A, e.B)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return dataset.LabeledPairsMixed(e, negPerPos, cands, r)
+	return dataset.LabeledPairsMixed(e, negPerPos, cands, r), nil
 }
 
 // Split divides a labeled workload into stratified train and test sets.
@@ -702,6 +717,18 @@ func LaplaceRelease(value, sensitivity, epsilon float64, r *rand.Rand) float64 {
 // SaveDataset writes an ER dataset to a directory (A.csv, B.csv,
 // matches.csv); LoadDataset reads it back.
 func SaveDataset(dir string, e *ER) error { return dataset.SaveDir(dir, e) }
+
+// StreamWriter streams a dataset to disk row by row with an atomic
+// finalize, so synthesized entities need not accumulate in memory twice.
+// Arm it via Options.Stream; the streamed bytes are identical to
+// SaveDataset's. See internal/dataset.StreamWriter.
+type StreamWriter = dataset.StreamWriter
+
+// NewStreamWriter opens a streaming dataset writer under dir. Call
+// Finalize to publish atomically, Abort to discard.
+func NewStreamWriter(dir string, schema *Schema) (*StreamWriter, error) {
+	return dataset.NewStreamWriter(dir, schema)
+}
 
 // LoadDataset reads a dataset written by SaveDataset.
 func LoadDataset(dir string, schema *Schema) (*ER, error) { return dataset.LoadDir(dir, schema) }

@@ -132,10 +132,13 @@ func TestBlockingAndZeroERFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Blocking: candidates must cover the matches and prune the space.
-	cands := serd.BlockerUnion{
+	cands, err := serd.BlockerUnion{
 		serd.QGramBlocker{Column: 0},
 		serd.TokenBlocker{Column: 0},
 	}.Candidates(real.ER.A, real.ER.B)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q := serd.EvaluateBlocking(real.ER, cands)
 	if q.Recall < 0.9 {
 		t.Errorf("blocking recall = %v", q.Recall)
@@ -248,7 +251,10 @@ func TestAuditHelpersFacade(t *testing.T) {
 		t.Errorf("NNDR of synthesized data = %v, want high (private)", nndr)
 	}
 	// Threshold tuning and cross validation over the mixed workload.
-	pairs := serd.MixedWorkload(real.ER, 3, r)
+	pairs, err := serd.MixedWorkload(real.ER, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := &serd.LogisticRegression{}
 	xs, ys := serd.Vectors(pairs)
 	if err := m.Fit(xs, ys); err != nil {
