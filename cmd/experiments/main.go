@@ -92,6 +92,14 @@ func run(args []string, stdout io.Writer) error {
 	if flags.Datasets != "" {
 		cfg.Datasets = strings.Split(flags.Datasets, ",")
 	}
+	// -s1-generator threads through the whole suite: every SERD synthesis
+	// (tables, figures, ablations) runs on the selected backend, so any
+	// experiment can be rerun under a DP S1 fit.
+	gen, err := flags.Generators.Build()
+	if err != nil {
+		return err
+	}
+	cfg.Generator = gen
 
 	// The run registry is best-effort: a store that fails to open warns
 	// and the run proceeds unregistered, never changing its exit status.
@@ -105,6 +113,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if flags.BenchOut != "" || flags.BenchAgainst != "" {
 		return runBench(cfg, flags, store, stdout)
+	}
+	if flags.DPBenchOut != "" || flags.DPBenchAgainst != "" {
+		return runDPBench(ctx, cfg, flags, stdout)
 	}
 
 	reg := telemetry.NewRegistry()
@@ -412,6 +423,71 @@ func runBench(cfg experiments.Config, flags *config.Experiments, store *runstore
 			return fmt.Errorf("core bench regressed on %d dataset(s)", len(problems))
 		}
 		fmt.Fprintf(stdout, "core bench holds the %s baseline (threshold %.0f%%)\n", flags.BenchAgainst, 100*flags.BenchThreshold)
+	}
+	return nil
+}
+
+// runDPBench is the same-ε head-to-head path: per (backend × dataset × ε)
+// one full synthesis — the gmm reference stack against the privbayes DP
+// backend — measuring downstream matcher F1, JSD, wall-clock and peak RSS,
+// written/compared as BENCH_dpbench.json. The CI gate pins the DP backend's
+// utility-privacy trade-off alongside the perf gates.
+func runDPBench(ctx context.Context, cfg experiments.Config, flags *config.Experiments, stdout io.Writer) error {
+	var epsilons []float64
+	for _, s := range strings.Split(flags.DPBenchEps, ",") {
+		e, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("-bench-dp-eps: %w", err)
+		}
+		if e <= 0 {
+			return fmt.Errorf("-bench-dp-eps: ε %g must be positive", e)
+		}
+		epsilons = append(epsilons, e)
+	}
+	opts := experiments.DPBenchOptions{
+		Datasets: cfg.Datasets,
+		Epsilons: epsilons,
+		Seed:     flags.Seed,
+		Size:     flags.SizeCap,
+		Workers:  flags.Workers,
+	}.WithDefaults()
+	start := time.Now()
+	rows, err := experiments.DPBench(ctx, opts)
+	if err != nil {
+		return fmt.Errorf("dp bench: %w", err)
+	}
+	rep := experiments.DPBenchReport{
+		SchemaVersion: experiments.DPBenchSchemaVersion,
+		Time:          start,
+		Seed:          flags.Seed,
+		Size:          opts.Size,
+		Datasets:      opts.Datasets,
+		Epsilons:      epsilons,
+		Rows:          rows,
+	}
+	for _, r := range rows {
+		fmt.Fprintf(stdout, "%-14s %-10s eps=%-5g spent=%-8.4f F1=%.4f  JSD=%.4f  wall=%.2fs  rss=%.1f MiB\n",
+			r.Dataset, r.Backend, r.Epsilon, r.EpsilonSpent, r.F1, r.JSD, r.WallSeconds, float64(r.PeakRSSBytes)/(1<<20))
+	}
+	if flags.DPBenchOut != "" {
+		if err := experiments.WriteDPBench(flags.DPBenchOut, rep); err != nil {
+			return fmt.Errorf("dp bench: %w", err)
+		}
+		fmt.Fprintf(stdout, "dp bench -> %s (%s)\n", flags.DPBenchOut, time.Since(start).Round(time.Millisecond))
+	}
+	if flags.DPBenchAgainst != "" {
+		baseline, err := experiments.ReadDPBench(flags.DPBenchAgainst)
+		if err != nil {
+			return fmt.Errorf("dp bench baseline: %w", err)
+		}
+		problems := experiments.CompareDPBench(baseline, rep, flags.BenchThreshold)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "bench regression:", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("dp bench regressed on %d cell(s)", len(problems))
+		}
+		fmt.Fprintf(stdout, "dp bench holds the %s baseline (threshold %.0f%%)\n", flags.DPBenchAgainst, 100*flags.BenchThreshold)
 	}
 	return nil
 }

@@ -110,6 +110,16 @@ func auditShow(path string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "  %-16s %s\n", k, sum.Config[k])
 		}
 	}
+	// The core.generator config event exists only when an explicit S1
+	// backend was requested; its absence means the paper's default GMM
+	// stack ran (the byte-noop path journals nothing extra).
+	if gen := sum.Configs["core.generator"]; gen != nil {
+		fmt.Fprintf(stdout, "s1 generator: %s", gen["backend"])
+		if d := gen["describe"]; d != "" {
+			fmt.Fprintf(stdout, " (%s)", d)
+		}
+		fmt.Fprintln(stdout)
+	}
 	for _, lin := range sum.Lineage {
 		fmt.Fprintf(stdout, "lineage %-7s %s  %s\n", lin.Role, shortHash(lin.Combined), lin.Dir)
 		for _, name := range sortedKeys(lin.Files) {
@@ -130,6 +140,14 @@ func auditShow(path string, stdout io.Writer) error {
 	for _, fit := range sum.Fits {
 		fmt.Fprintf(stdout, "gmm fit %-14s dim=%d components=%d samples=%d logL=%.2f\n",
 			fit.Name, fit.Dim, fit.Components, fit.Samples, fit.LogLikelihood)
+	}
+	for _, fit := range sum.GenFits {
+		fmt.Fprintf(stdout, "generator fit %-8s backend=%s dim=%d samples=%d",
+			fit.Name, fit.Backend, fit.Dim, fit.Samples)
+		if fit.Detail != "" {
+			fmt.Fprintf(stdout, " %s", fit.Detail)
+		}
+		fmt.Fprintln(stdout)
 	}
 	if len(sum.Charges) > 0 {
 		fmt.Fprintln(stdout, "privacy ledger:")

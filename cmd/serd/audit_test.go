@@ -180,6 +180,44 @@ func TestAuditShowAndDiff(t *testing.T) {
 	}
 }
 
+// TestAuditShowSurfacesGenerator pins the backend-visibility contract:
+// an explicit -s1-generator run renders its backend name, backend-tagged
+// fit lines, and the per-backend ε group in `audit show`, while a
+// default run keeps the legacy gmm-fit shape with no generator block.
+func TestAuditShowSurfacesGenerator(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	writeSampleInput(t, inDir)
+	outPB := synthesizeRun(t, dir, inDir, "pb", "-s1-generator", "privbayes", "-gen-epsilon", "2")
+
+	var show bytes.Buffer
+	if err := run([]string{"audit", "show", outPB}, &show); err != nil {
+		t.Fatalf("audit show: %v", err)
+	}
+	for _, want := range []string{
+		"s1 generator: privbayes",
+		"generator fit s1.match",
+		"backend=privbayes",
+		"group=s1.privbayes",
+	} {
+		if !strings.Contains(show.String(), want) {
+			t.Errorf("audit show missing %q:\n%s", want, show.String())
+		}
+	}
+
+	outDefault := synthesizeRun(t, dir, inDir, "default")
+	show.Reset()
+	if err := run([]string{"audit", "show", outDefault}, &show); err != nil {
+		t.Fatalf("audit show (default): %v", err)
+	}
+	if strings.Contains(show.String(), "s1 generator:") {
+		t.Errorf("default run leaked a generator block:\n%s", show.String())
+	}
+	if !strings.Contains(show.String(), "gmm fit s1.match") {
+		t.Errorf("default run lost its gmm fit lines:\n%s", show.String())
+	}
+}
+
 func TestAuditUsageErrors(t *testing.T) {
 	for _, args := range [][]string{
 		{"audit"},

@@ -215,6 +215,15 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("flag mismatch with the journaled run: %s was %q, now %q; a resume must replay the same run", k, v, runCfg[k])
 			}
 		}
+		// And the reverse direction: run parameters journaled only when
+		// their feature is on (block_*, s1_generator/generator_*) are
+		// absent from an original run that ran without them, so a resume
+		// that switches the feature ON appears only in runCfg.
+		for k, v := range runCfg {
+			if _, ok := sum.Config[k]; !ok {
+				return fmt.Errorf("flag mismatch with the journaled run: %s=%q was not set on the original run; a resume must replay the same run", k, v)
+			}
+		}
 		restoredCharges = sum.Charges
 		openPhases = journal.OpenPhases(prefix)
 		jr.Resumed(journal.ResumeData{

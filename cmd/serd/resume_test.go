@@ -317,6 +317,12 @@ func TestRunResumeRejectsMismatchedFlags(t *testing.T) {
 			"-seed", "7", "-no-journal", "-checkpoint-dir", "ckpt", "-resume"}, "journal seam"},
 		{"no-dir", []string{"-in", "in", "-out", "out", "-schema", "name:text,address:text,city:cat,flavor:cat",
 			"-seed", "7", "-resume"}, "-checkpoint-dir"},
+		// The generator family is a run parameter like block_*: switching
+		// the backend ON for a resume of a default-stack run must refuse
+		// (the s1_generator/generator_* keys were never journaled, so only
+		// the reverse-direction guard can catch it).
+		{"generator-on", []string{"-in", "in", "-out", "out", "-schema", "name:text,address:text,city:cat,flavor:cat",
+			"-seed", "7", "-s1-generator", "privbayes", "-checkpoint-dir", "ckpt", "-resume"}, "flag mismatch"},
 	}
 	for _, c := range cases {
 		err := run(c.args, io.Discard)
@@ -328,6 +334,112 @@ func TestRunResumeRejectsMismatchedFlags(t *testing.T) {
 	// The original flags still resume fine.
 	if err := run(append(args, "-resume"), io.Discard); err != nil {
 		t.Fatalf("matching resume: %v", err)
+	}
+}
+
+// TestRunResumeRejectsGeneratorMismatch pins the guard rails around a run
+// that DID use a pluggable backend: resuming it without the flag, or with
+// different backend parameters, must refuse to splice onto the checkpoint.
+func TestRunResumeRejectsGeneratorMismatch(t *testing.T) {
+	root := t.TempDir()
+	chdir(t, root)
+	writeSampleInput(t, "in")
+
+	schema := "name:text,address:text,city:cat,flavor:cat"
+	args := []string{
+		"-in", "in", "-out", "out", "-schema", schema,
+		"-seed", "7", "-s1-generator", "privbayes", "-gen-epsilon", "2",
+		"-checkpoint-dir", "ckpt", "-checkpoint-every", "8",
+	}
+	oldHook := testHookCheckpointer
+	testHookCheckpointer = func(cp *checkpoint.Checkpointer) {
+		cp.FaultHook = func(m checkpoint.Meta) error {
+			if m.Phase == "s2" {
+				return checkpoint.ErrInterrupted
+			}
+			return nil
+		}
+	}
+	err := run(args, io.Discard)
+	testHookCheckpointer = oldHook
+	if !errors.Is(err, checkpoint.ErrInterrupted) {
+		t.Fatalf("killed run: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"backend-off", []string{"-in", "in", "-out", "out", "-schema", schema,
+			"-seed", "7", "-checkpoint-dir", "ckpt", "-resume"}, "flag mismatch"},
+		{"backend-swapped", []string{"-in", "in", "-out", "out", "-schema", schema,
+			"-seed", "7", "-s1-generator", "gmm", "-checkpoint-dir", "ckpt", "-resume"}, "flag mismatch"},
+		{"epsilon-changed", []string{"-in", "in", "-out", "out", "-schema", schema,
+			"-seed", "7", "-s1-generator", "privbayes", "-gen-epsilon", "3", "-checkpoint-dir", "ckpt", "-resume"}, "flag mismatch"},
+	}
+	for _, c := range cases {
+		err := run(c.args, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+
+	// The original flags still resume fine.
+	if err := run(append(args, "-resume"), io.Discard); err != nil {
+		t.Fatalf("matching resume: %v", err)
+	}
+}
+
+// TestRunPrivBayesKillAndResumeSweep is the fault-injection harness over
+// the DP backend: the run is killed after EVERY checkpoint save in turn —
+// the S1 boundary and each periodic mid-S2 save — and each resume must
+// reproduce the uninterrupted run byte for byte, with `audit verify`
+// passing (the restored ledger must not double-charge the privbayes fit)
+// and `audit diff` clean against the baseline.
+func TestRunPrivBayesKillAndResumeSweep(t *testing.T) {
+	root := t.TempDir()
+	chdir(t, root)
+	writeSampleInput(t, "in")
+
+	base := []string{
+		"-in", "in", "-out", "out",
+		"-schema", "name:text,address:text,city:cat,flavor:cat",
+		"-seed", "7", "-s1-generator", "privbayes", "-gen-epsilon", "2",
+	}
+	if err := run(base, io.Discard); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	copyDir(t, "out", "base")
+
+	// Count the checkpoint saves of an uninterrupted checkpointed run, then
+	// kill after each one.
+	args := append(base, "-checkpoint-dir", "ckpt", "-checkpoint-every", "8")
+	for _, dir := range []string{"out", "ckpt"} {
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	oldHook := testHookCheckpointer
+	testHookCheckpointer = func(cp *checkpoint.Checkpointer) {
+		cp.FaultHook = func(m checkpoint.Meta) error {
+			total++
+			return nil
+		}
+	}
+	err := run(args, io.Discard)
+	testHookCheckpointer = oldHook
+	if err != nil {
+		t.Fatalf("counting run: %v", err)
+	}
+	if total < 2 {
+		t.Fatalf("only %d checkpoint saves; the sweep needs at least the S1 boundary and one mid-S2 save", total)
+	}
+	for k := 1; k <= total; k++ {
+		t.Run(fmt.Sprintf("kill-after-save-%d", k), func(t *testing.T) {
+			killAndResume(t, args, k, func(checkpoint.Meta) bool { return true })
+		})
 	}
 }
 

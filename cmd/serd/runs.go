@@ -268,6 +268,13 @@ func serveRuns(addr string, s *runstore.Store, stdout io.Writer) error {
 	}
 }
 
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 func plural(n int, one, many string) string {
 	if n == 1 {
 		return one
@@ -284,6 +291,9 @@ func printRun(w io.Writer, e runstore.Entry) {
 	fmt.Fprintln(w)
 	if !e.Start.IsZero() {
 		fmt.Fprintf(w, "  start %s  wall %.2fs\n", e.Start.Format(time.RFC3339), e.WallSeconds)
+	}
+	if e.Generator != "" {
+		fmt.Fprintf(w, "  generator %s\n", e.Generator)
 	}
 	if len(e.Config) > 0 {
 		fmt.Fprintln(w, "  config:")
@@ -350,6 +360,12 @@ func printRun(w io.Writer, e runstore.Entry) {
 func printComparison(w io.Writer, c *runstore.Comparison) {
 	fmt.Fprintf(w, "comparing %s (%s, %s) -> %s (%s, %s)\n",
 		c.A.ShortID(), c.A.Tool, c.A.Status, c.B.ShortID(), c.B.Tool, c.B.Status)
+	if c.A.Generator != "" || c.B.Generator != "" {
+		// A cross-backend comparison is a deliberate trade-off study, not
+		// drift — name both backends up front so the ε/fidelity deltas
+		// below read as "privbayes vs gmm", not as a regression mystery.
+		fmt.Fprintf(w, "generator: %s -> %s\n", orDash(c.A.Generator), orDash(c.B.Generator))
+	}
 	fmt.Fprintf(w, "wall: %.3fs -> %.3fs (%+.3fs)%s\n", c.Wall.A, c.Wall.B, c.Wall.Diff(), regressedMark(c.Wall))
 	if len(c.Stages) > 0 {
 		fmt.Fprintf(w, "\n%-28s %10s %10s %9s\n", "stage", "A s", "B s", "delta")

@@ -173,6 +173,69 @@ func TestRunsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunsSurfaceGeneratorBackend pins satellite visibility for S1
+// backends: `runs show` names the backend for both the default stack and
+// an explicit -s1-generator run, and a cross-backend `runs compare`
+// leads with the backend pair plus the s1_generator config delta so the
+// ε gate it trips reads as a deliberate trade-off, not silent drift.
+func TestRunsSurfaceGeneratorBackend(t *testing.T) {
+	dir := t.TempDir()
+	inDir := filepath.Join(dir, "in")
+	storeDir := filepath.Join(dir, "store")
+	writeSampleInput(t, inDir)
+
+	var out bytes.Buffer
+	if err := run(synthArgs(inDir, filepath.Join(dir, "outGMM"), storeDir, 7), &out); err != nil {
+		t.Fatalf("gmm run: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	pbArgs := append(synthArgs(inDir, filepath.Join(dir, "outPB"), storeDir, 7),
+		"-s1-generator", "privbayes", "-gen-epsilon", "2")
+	if err := run(pbArgs, &out); err != nil {
+		t.Fatalf("privbayes run: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"runs", "list", "-store", storeDir, "-q"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	ids := strings.Fields(out.String())
+	if len(ids) != 2 {
+		t.Fatalf("runs list -q = %q, want 2 ids", ids)
+	}
+	idGMM, idPB := ids[0], ids[1]
+
+	out.Reset()
+	if err := run([]string{"runs", "show", "-store", storeDir, idGMM}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "generator gmm") {
+		t.Errorf("runs show (default) missing the gmm backend:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"runs", "show", "-store", storeDir, idPB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"generator privbayes", "group s1.privbayes"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("runs show (privbayes) missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Cross-backend compare: privbayes spends ε the gmm run never did, so
+	// the ε axis regresses by design — the output must say WHY up front.
+	out.Reset()
+	err := run([]string{"runs", "compare", "-store", storeDir, idGMM, idPB}, &out)
+	if !errors.Is(err, runstore.ErrRegression) {
+		t.Fatalf("cross-backend compare err = %v, want ErrRegression\n%s", err, out.String())
+	}
+	for _, want := range []string{"generator: gmm -> privbayes", "s1_generator"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("cross-backend compare missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestRunsRunIDIsJournalFirstChain pins the content-addressing contract:
 // the registered id equals the journal's first chain hash and re-running
 // the identical config re-registers under the same id.

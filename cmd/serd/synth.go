@@ -197,17 +197,29 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		fmt.Fprintf(stdout, "S3 blocking: %s\n", blocker.Describe())
 	}
 
+	gen, err := flags.Generators.Build()
+	if err != nil {
+		return rtStats, err
+	}
+	if gen != nil {
+		fmt.Fprintf(stdout, "S1 generator: %s\n", gen.Describe())
+	}
+
 	opts := serd.Options{
 		SizeA:            flags.SizeA,
 		SizeB:            flags.SizeB,
 		Synthesizers:     synths,
 		DisableRejection: flags.NoReject,
 		S3Blocker:        blocker,
-		S3RecallFloor:    flags.Blocking.RecallFloor,
-		Metrics:          rec,
-		Journal:          cfg.jr,
-		Checkpoint:       cfg.cp,
-		Seed:             flags.Seed,
+		Generator:        gen,
+		// The ledger always rides along: the default GMM path never touches
+		// it, DP backends (privbayes) charge their fit through it.
+		Privacy:       cfg.ledger,
+		S3RecallFloor: flags.Blocking.RecallFloor,
+		Metrics:       rec,
+		Journal:       cfg.jr,
+		Checkpoint:    cfg.cp,
+		Seed:          flags.Seed,
 		// Workers is an execution parameter, not a run parameter: it is
 		// deliberately absent from the journaled RunStart config so runs at
 		// different worker counts produce identical journals.
@@ -265,11 +277,17 @@ func synth(ctx context.Context, cfg synthConfig, real *serd.ER, stdout io.Writer
 		return rtStats, err
 	}
 	if flags.SaveDist != "" {
+		// The JSON distribution format is the GMM joint's; generator
+		// backends round-trip through checkpoints instead.
+		joint, ok := res.OReal.(*serd.Joint)
+		if !ok {
+			return rtStats, fmt.Errorf("-save-dist supports only the default gmm backend, not -s1-generator %s", flags.Generators.Name)
+		}
 		f, err := os.Create(flags.SaveDist)
 		if err != nil {
 			return rtStats, err
 		}
-		if err := serd.SaveDistributions(f, res.OReal); err != nil {
+		if err := serd.SaveDistributions(f, joint); err != nil {
 			f.Close()
 			return rtStats, err
 		}

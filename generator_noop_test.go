@@ -1,0 +1,182 @@
+package serd_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"serd"
+)
+
+// synthesizeWithGenerator mirrors synthesizeJournaled exactly — same
+// sample, seeds, ledger charge and journal shape — but runs S1 through the
+// given pluggable backend. It returns the raw journal bytes.
+func synthesizeWithGenerator(t *testing.T, dir string, gen serd.Generator) []byte {
+	t.Helper()
+	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := serd.RuleSynthesizers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	jr := serd.NewJournal(&buf)
+	jr.RunStart("test", 9, map[string]string{"dataset": "Restaurant"})
+	ledger := serd.NewPrivacyLedger(jr)
+	if err := ledger.ChargeSGD("bk0", "bank", 0.25, 1.1, 12, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	reg := serd.NewMetricsRegistry()
+	res, err := serd.SynthesizeContext(context.Background(), g.ER, serd.Options{
+		Synthesizers: synths,
+		Seed:         9,
+		Metrics:      serd.JournalRecorder(jr, reg),
+		Journal:      jr,
+		Generator:    gen,
+		Privacy:      ledger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serd.SaveDataset(dir, res.Syn); err != nil {
+		t.Fatal(err)
+	}
+	ledger.Finish()
+	jr.RunEnd("done", "", map[string]float64{"jsd": res.JSD}, 1)
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGeneratorDefaultIsByteNoop pins the PR's compatibility invariant: with
+// no -s1-generator configured (Options.Generator nil) the run must be
+// byte-identical to a pre-backend build. Two halves make that checkable
+// in-repo:
+//
+//  1. Journal shape: the default path journals the legacy gmm_fit events and
+//     nothing generator-flavored — no generator_fit event, no core.generator
+//     config — so its stripped journal matches the pre-refactor byte stream
+//     (the chain hashes then agree line by line, which
+//     TestJournaledSynthesisDeterministic already holds stable).
+//  2. Math: an explicit GMMGenerator run — the same fit routed through the
+//     Generator interface — produces a byte-identical dataset, proving the
+//     interface seam adds no float drift; only its journal differs (by
+//     design: an explicit backend is journaled).
+func TestGeneratorDefaultIsByteNoop(t *testing.T) {
+	base := t.TempDir()
+	dirDefault := filepath.Join(base, "default")
+	dirGMM := filepath.Join(base, "gmm-backend")
+
+	journalDefault := synthesizeJournaled(t, nil, dirDefault, 0)
+	journalGMM := synthesizeWithGenerator(t, dirGMM, serd.GMMGenerator{})
+
+	nd := stripVolatile(t, journalDefault)
+	if strings.Contains(nd, `"type":"generator_fit"`) || strings.Contains(nd, "core.generator") {
+		t.Errorf("default-path journal leaks generator events — not a byte-noop:\n%s", nd)
+	}
+	if n := strings.Count(nd, `"type":"gmm_fit"`); n != 2 {
+		t.Errorf("default-path journal has %d gmm_fit events, want the legacy 2", n)
+	}
+
+	ng := stripVolatile(t, journalGMM)
+	if !strings.Contains(ng, `"type":"generator_fit"`) || !strings.Contains(ng, `"backend":"gmm"`) {
+		t.Errorf("explicit gmm backend journal missing generator_fit event:\n%s", ng)
+	}
+
+	want := readDataset(t, dirDefault)
+	got := readDataset(t, dirGMM)
+	for name := range want {
+		if got[name] != want[name] {
+			t.Errorf("%s differs between the default stack and the gmm backend: the Generator seam perturbed the math", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("gmm-backend dataset has %d files, default has %d", len(got), len(want))
+	}
+}
+
+// TestPrivBayesLedgerVerifies runs the DP backend end to end through the
+// public surface and holds the accounting honest: the fit's single dp_sgd
+// ledger entry must recompute from its journaled (noise, steps, q, δ)
+// within EpsilonTolerance (1e-9) under serd audit verify's math, and the
+// composed budget must not exceed the requested ε.
+func TestPrivBayesLedgerVerifies(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out")
+	jPath := filepath.Join(dir, "journal.jsonl")
+
+	g, err := serd.Sample("Restaurant", serd.SampleConfig{Seed: 3, SizeA: 40, SizeB: 40, Matches: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synths, err := serd.RuleSynthesizers(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := serd.CreateJournal(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.RunStart("test", 9, map[string]string{"dataset": "Restaurant", "s1_generator": "privbayes"})
+	ledger := serd.NewPrivacyLedger(jr)
+	const wantEps = 2.0
+	res, err := serd.SynthesizeContext(context.Background(), g.ER, serd.Options{
+		Synthesizers: synths,
+		Seed:         9,
+		Journal:      jr,
+		Generator:    serd.PrivBayesGenerator{Epsilon: wantEps},
+		Privacy:      ledger,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := serd.SaveDataset(out, res.Syn); err != nil {
+		t.Fatal(err)
+	}
+	eps, _ := ledger.Finish()
+	jr.RunEnd("done", "", map[string]float64{"jsd": res.JSD}, 1)
+	if err := jr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if eps > wantEps+1e-9 {
+		t.Errorf("composed ε=%v exceeds the requested budget %v", eps, wantEps)
+	}
+	if eps < wantEps*0.5 {
+		t.Errorf("composed ε=%v implausibly far under the requested budget %v — charge missing?", eps, wantEps)
+	}
+
+	vr, err := serd.AuditVerify(jPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.OK() {
+		t.Fatalf("privbayes run failed audit verify: %v", vr.Problems)
+	}
+	if math.Abs(vr.RecomputedEpsilon-vr.RecordedEpsilon) > 1e-9 {
+		t.Errorf("recomputed ε=%v vs recorded ε=%v: drift beyond 1e-9", vr.RecomputedEpsilon, vr.RecordedEpsilon)
+	}
+
+	events, err := serd.ReadJournal(jPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := serd.SummarizeJournal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.GenFits) != 2 {
+		t.Fatalf("summary has %d generator_fit events, want 2 (M and N)", len(sum.GenFits))
+	}
+	for _, f := range sum.GenFits {
+		if f.Backend != "privbayes" {
+			t.Errorf("generator_fit backend = %q, want privbayes", f.Backend)
+		}
+	}
+}

@@ -15,7 +15,16 @@ import (
 // S1State is the pipeline state right after S1: the learned O_real and the
 // main RNG stream position.
 type S1State struct {
+	// Joint is the default GMM stack's O_real (Backend empty) — the
+	// legacy payload shape, kept so old checkpoints restore unchanged.
 	Joint *gmm.JointState
+	// Backend tags a pluggable-generator payload ("gmm", "privbayes");
+	// empty means the default stack with Joint set. Resume refuses a
+	// backend mismatch against the configured run.
+	Backend string
+	// Gen is the backend's gob-encoded fitted-distribution state
+	// (Backend != "" only); opaque to this package.
+	Gen []byte
 	// Draws is the core RNG stream position (detrand draw count).
 	Draws uint64
 }
@@ -52,8 +61,11 @@ type DistSnap struct {
 // position. Sampled and the matched index sets are stored sorted so the
 // payload (and its SHA) is deterministic.
 type S2State struct {
-	Joint *gmm.JointState
-	A, B  []EntityState
+	// Joint / Backend / Gen carry O_real exactly as in S1State.
+	Joint   *gmm.JointState
+	Backend string
+	Gen     []byte
+	A, B    []EntityState
 	// Sampled lists the S2-sampled pair labels in (A, B) order.
 	Sampled []PairLabelState
 	// MatchedA and MatchedB are the sorted indices with a sampled match

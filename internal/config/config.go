@@ -155,6 +155,7 @@ type Serd struct {
 	TracePath           string
 	RunStore            string
 	Blocking            Blocking
+	Generators          Generators
 }
 
 // RegisterSerd binds cmd/serd's full flag surface into fs.
@@ -196,6 +197,7 @@ func RegisterSerd(fs *flag.FlagSet) *Serd {
 	b.str(&c.TracePath, "trace")
 	b.str(&c.RunStore, "run-store")
 	c.Blocking.register(b)
+	c.Generators.register(b)
 	return c
 }
 
@@ -207,7 +209,10 @@ func (c *Serd) Validate() error {
 	if c.Resume && c.CheckpointDir == "" {
 		return errors.New("-resume requires -checkpoint-dir")
 	}
-	return c.Blocking.Validate()
+	if err := c.Blocking.Validate(); err != nil {
+		return err
+	}
+	return c.Generators.Validate()
 }
 
 // JournaledConfig is the run-parameter subset journaled at RunStart. The
@@ -230,6 +235,7 @@ func (c *Serd) JournaledConfig() map[string]string {
 		cfg["budget_mode"] = "warn"
 	}
 	c.Blocking.JournaledConfig(cfg)
+	c.Generators.JournaledConfig(cfg)
 	return cfg
 }
 
@@ -250,9 +256,13 @@ type Experiments struct {
 	ScaleOut       string
 	ScaleSizes     string
 	ScaleAgainst   string
+	DPBenchOut     string
+	DPBenchAgainst string
+	DPBenchEps     string
 	TracePath      string
 	RunStore       string
 	Blocking       Blocking
+	Generators     Generators
 }
 
 // RegisterExperiments binds cmd/experiments' flag surface into fs.
@@ -274,9 +284,13 @@ func RegisterExperiments(fs *flag.FlagSet) *Experiments {
 	fs.StringVar(&c.ScaleOut, "bench-scale", "", "run the scale bench (entities/sec and peak RSS per size, unblocked and blocked) and write BENCH_scale.json to this path (skips the tables)")
 	fs.StringVar(&c.ScaleSizes, "bench-scale-sizes", "1000,10000", "comma-separated per-relation entity counts for -bench-scale, run in increasing order (VmHWM is a process-lifetime high-water mark)")
 	fs.StringVar(&c.ScaleAgainst, "bench-scale-against", "", "compare the scale bench against this baseline BENCH_scale.json, exiting non-zero on a throughput or peak-RSS regression (skips the tables)")
+	fs.StringVar(&c.DPBenchOut, "bench-dp", "", "run the DP backend head-to-head (matcher-F1, JSD, wall, peak RSS per backend × dataset × ε) and write BENCH_dpbench.json to this path (skips the tables)")
+	fs.StringVar(&c.DPBenchAgainst, "bench-dp-against", "", "compare the DP head-to-head against this baseline BENCH_dpbench.json, exiting non-zero on a fidelity/utility/resource regression (skips the tables)")
+	fs.StringVar(&c.DPBenchEps, "bench-dp-eps", "0.5,2", "comma-separated ε values for the -bench-dp matrix")
 	b.str(&c.TracePath, "trace")
 	b.str(&c.RunStore, "run-store")
 	c.Blocking.register(b)
+	c.Generators.register(b)
 	return c
 }
 
@@ -285,7 +299,10 @@ func (c *Experiments) Validate() error {
 	if c.BenchThreshold < 0 {
 		return fmt.Errorf("-bench-threshold must be >= 0, got %g", c.BenchThreshold)
 	}
-	return c.Blocking.Validate()
+	if err := c.Blocking.Validate(); err != nil {
+		return err
+	}
+	return c.Generators.Validate()
 }
 
 // Datagen holds the parsed flags of cmd/datagen.
@@ -304,6 +321,7 @@ type Datagen struct {
 	TracePath   string
 	RunStore    string
 	Blocking    Blocking
+	Generators  Generators
 }
 
 // RegisterDatagen binds cmd/datagen's flag surface into fs.
@@ -324,6 +342,7 @@ func RegisterDatagen(fs *flag.FlagSet) *Datagen {
 	b.str(&c.TracePath, "trace")
 	b.str(&c.RunStore, "run-store")
 	c.Blocking.register(b)
+	c.Generators.register(b)
 	return c
 }
 
@@ -332,5 +351,16 @@ func (c *Datagen) Validate() error {
 	if c.Out == "" {
 		return errors.New("-out is required")
 	}
-	return c.Blocking.Validate()
+	if err := c.Blocking.Validate(); err != nil {
+		return err
+	}
+	if err := c.Generators.Validate(); err != nil {
+		return err
+	}
+	// datagen generates surrogate data and never runs S1: the flag family
+	// is bound for cross-tool parity, but a value cannot take effect here.
+	if c.Generators.Enabled() {
+		return errors.New("-s1-generator selects a synthesis backend; datagen never runs S1 (use serd or experiments)")
+	}
+	return nil
 }

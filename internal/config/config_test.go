@@ -117,6 +117,10 @@ func TestCoreSharedFlagsPresent(t *testing.T) {
 		"journal":      {"serd", "datagen"},
 		"no-journal":   {"serd", "datagen"},
 		"no-report":    {"serd", "datagen"},
+		"s1-generator": {"serd", "experiments", "datagen"},
+		"gen-epsilon":  {"serd", "experiments", "datagen"},
+		"gen-delta":    {"serd", "experiments", "datagen"},
+		"gen-bins":     {"serd", "experiments", "datagen"},
 	}
 	for name, owners := range want {
 		if _, ok := SharedSpec(name); !ok {

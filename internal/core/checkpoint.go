@@ -14,13 +14,15 @@ import (
 // restore rebuilds the exact position via the gmm exact-state constructors,
 // so a resumed run continues bit-for-bit.
 
-// captureS2 snapshots the mid-S2 pipeline position. Map-derived fields
-// (sampled labels, matched index sets) are sorted so the serialized payload
-// — and therefore the checkpoint's SHA — is deterministic.
-func captureS2(oReal *gmm.Joint, synA, synB *dataset.Relation, sampled map[dataset.Pair]bool,
+// captureS2 snapshots the mid-S2 pipeline position, except the
+// O-distribution payload — the caller fills Joint or Backend/Gen from
+// synthRun.distSnapshot, which knows which backend produced it.
+// Map-derived fields (sampled labels, matched index sets) are sorted so
+// the serialized payload — and therefore the checkpoint's SHA — is
+// deterministic.
+func captureS2(synA, synB *dataset.Relation, sampled map[dataset.Pair]bool,
 	matched map[*dataset.Relation]map[int]bool, res *Result, rejections int, dist *distState, draws uint64) *checkpoint.S2State {
 	st := &checkpoint.S2State{
-		Joint:                   oReal.State(),
 		A:                       captureEntities(synA),
 		B:                       captureEntities(synB),
 		MatchedA:                sortedKeys(matched[synA]),

@@ -10,6 +10,7 @@ import (
 	"serd/internal/checkpoint"
 	"serd/internal/dataset"
 	"serd/internal/gan"
+	"serd/internal/generator"
 	"serd/internal/gmm"
 	"serd/internal/journal"
 	"serd/internal/parallel"
@@ -33,6 +34,18 @@ type Options struct {
 	Learn LearnOptions
 	// Learned supplies a precomputed O_real, skipping S1.
 	Learned *gmm.Joint
+	// Generator selects the S1 generative backend; nil runs the paper's
+	// built-in GMM stack (the default path, byte-identical to the
+	// pre-generator pipeline). With a backend set, S1 calls its Fit and
+	// checkpoints carry the backend-tagged gob state instead of the GMM
+	// joint; resuming with a different backend than the checkpoint's is
+	// refused. Ignored when Learned is set.
+	Generator generator.Generator
+	// Privacy is the run's privacy ledger, handed to DP backends so their
+	// fit releases are charged (and `serd audit verify` can recompute
+	// their ε). Nil skips the accounting. The default GMM path never
+	// touches it.
+	Privacy *journal.Ledger
 	// Synthesizers maps each textual column name to its string synthesizer
 	// (§VI). Required for every textual column.
 	Synthesizers map[string]textsynth.Synthesizer
@@ -183,8 +196,10 @@ type Result struct {
 	// Syn is the synthesized dataset E_syn, with M_syn holding both the
 	// pairs sampled as matching in S2 and the pairs labeled matching in S3.
 	Syn *dataset.ER
-	// OReal is the learned O-distribution of the real dataset.
-	OReal *gmm.Joint
+	// OReal is the learned O-distribution of the real dataset: a
+	// *gmm.Joint on the default path, the configured backend's fitted
+	// distribution under Options.Generator.
+	OReal generator.Dist
 	// JSD is the final Monte-Carlo JSD between O_syn and O_real (0 when
 	// too few vectors accumulated to estimate O_syn).
 	JSD float64
@@ -251,7 +266,7 @@ func bootstrap(vs *valueSynth, real *dataset.ER, opts Options, r *rand.Rand) (*d
 // skip remaining slots once the run is stopped, the partial labeling is
 // discarded, and the stop cause is returned. An untriggered context adds
 // one flag read per slot and changes nothing else.
-func labelAllPairs(ctx context.Context, cp *checkpoint.Checkpointer, oReal *gmm.Joint, a, b *dataset.Relation, sampled map[dataset.Pair]bool, cands []dataset.Pair, blocked bool, cache *dataset.SimCache, pool *parallel.Pool) ([]dataset.Pair, error) {
+func labelAllPairs(ctx context.Context, cp *checkpoint.Checkpointer, oReal generator.Dist, a, b *dataset.Relation, sampled map[dataset.Pair]bool, cands []dataset.Pair, blocked bool, cache *dataset.SimCache, pool *parallel.Pool) ([]dataset.Pair, error) {
 	if err := pipeline.Stopped(ctx, cp); err != nil {
 		return nil, err
 	}

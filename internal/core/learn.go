@@ -5,157 +5,35 @@
 // entity and a similarity vector from O_real and synthesizes a counterpart
 // entity per column type, subject to the entity-rejection checks of §V;
 // S3 labels all remaining pairs by posterior probability.
+//
+// S1 is a pluggable seam: Options.Generator swaps the paper's GMM stack
+// for any generator.Generator backend (e.g. the PrivBayes-style DP
+// synthesizer); the fit logic itself lives in internal/generator, and the
+// functions here are thin delegates kept for API stability.
 package core
 
 import (
 	"context"
-	"fmt"
-	"math/rand"
 
-	"serd/internal/blocking"
 	"serd/internal/dataset"
+	"serd/internal/generator"
 	"serd/internal/gmm"
-	"serd/internal/journal"
-	"serd/internal/parallel"
-	"serd/internal/telemetry"
 )
 
-// LearnOptions controls S1.
-type LearnOptions struct {
-	// MaxComponents bounds the AIC search for the number of mixture
-	// components g (default 3).
-	MaxComponents int
-	// MaxNonMatching caps the number of non-matching pairs sampled for
-	// learning the N-distribution (default 20·|M|, at least 2000). The
-	// quadratic non-matching space is always down-sampled in practice.
-	MaxNonMatching int
-	// Blocker supplies the candidate generator whose hardest non-matching
-	// pairs are mixed into X− (count = HardNonMatching). Real benchmark
-	// label sets are built from blocking survivors, so their N-distribution
-	// gives the near-miss clusters real weight; a uniform X− sample would
-	// miss them entirely and the synthesized dataset would teach matchers
-	// nothing about the decision boundary. Nil selects a q-gram union
-	// blocker over the textual columns; set NoHardNegatives to disable.
-	Blocker blocking.Blocker
-	// HardNonMatching is the number of hardest candidates mixed into X−
-	// (default 2·|M|).
-	HardNonMatching int
-	// NoHardNegatives restricts X− to the uniform sample (the literal
-	// reading of the paper's "all non-matching pairs", down-sampled).
-	NoHardNegatives bool
-	// Metrics receives S1 telemetry (EM iteration counts and log-likelihood
-	// trajectories, threaded into gmm.FitOptions). Nil disables recording.
-	Metrics telemetry.Recorder
-	// Journal, when set, receives one gmm_fit provenance event per fitted
-	// mixture (dimensionality, AIC-selected component count, sample count
-	// and final log-likelihood).
-	Journal *journal.Journal
-	// Rand drives sampling and EM initialization.
-	Rand *rand.Rand
-	// Pool, when set, parallelizes the EM E-steps (bit-identical at any
-	// worker count; see gmm.FitOptions.Pool).
-	Pool *parallel.Pool
-}
-
-func (o LearnOptions) withDefaults(matches int) LearnOptions {
-	if o.MaxComponents == 0 {
-		// Real pair spaces carry several non-matching clusters (random
-		// pairs, key-sharing siblings, same-location pairs) plus clean and
-		// dirty match clusters; four components give AIC room to find them.
-		o.MaxComponents = 4
-	}
-	if o.MaxNonMatching == 0 {
-		o.MaxNonMatching = 20 * matches
-		if o.MaxNonMatching < 2000 {
-			o.MaxNonMatching = 2000
-		}
-	}
-	if o.Rand == nil {
-		o.Rand = rand.New(rand.NewSource(1))
-	}
-	o.Metrics = telemetry.OrNop(o.Metrics)
-	return o
-}
+// LearnOptions controls S1. It is an alias of generator.FitOptions: the
+// same options drive the default GMM path and every pluggable backend.
+type LearnOptions = generator.FitOptions
 
 // LearnDistributions performs S1: computes X+ and X− of the real dataset
 // and fits the M- and N-distributions with EM, selecting the component
 // count by AIC (§IV-A). π is |X+| / (|X+| + |X−|) over the full pair space.
 // Cancellation propagates into the EM fits (checked per iteration); no
 // partial S1 state survives a canceled learn.
+//
+// This is the default no-flag path: it journals the legacy gmm_fit
+// events, so pre-generator runs stay byte-identical. The GMM backend
+// behind the Generator interface runs the same fit but journals generic
+// generator_fit events (generator.GMM).
 func LearnDistributions(ctx context.Context, real *dataset.ER, opts LearnOptions) (*gmm.Joint, error) {
-	if real == nil {
-		return nil, fmt.Errorf("core: nil dataset")
-	}
-	if len(real.Matches) < 2 {
-		return nil, fmt.Errorf("core: need at least 2 matching pairs to learn the M-distribution, have %d", len(real.Matches))
-	}
-	opts = opts.withDefaults(len(real.Matches))
-	xp := real.MatchingVectors()
-	xn := real.NonMatchingVectors(opts.MaxNonMatching, opts.Rand)
-	if len(xn) < 2 {
-		return nil, fmt.Errorf("core: need at least 2 non-matching pairs, have %d", len(xn))
-	}
-	if !opts.NoHardNegatives {
-		blocker := opts.Blocker
-		if blocker == nil {
-			blocker = defaultBlocker(real.Schema())
-		}
-		hardN := opts.HardNonMatching
-		if hardN == 0 {
-			hardN = 2 * len(real.Matches)
-		}
-		cands, err := blocker.Candidates(real.A, real.B)
-		if err != nil {
-			return nil, fmt.Errorf("core: hard-negative mining: %w", err)
-		}
-		for _, lp := range dataset.HardestNonMatches(real, cands, hardN) {
-			xn = append(xn, lp.Vector)
-		}
-	}
-	fit := gmm.FitOptions{Rand: opts.Rand, Metrics: opts.Metrics, Pool: opts.Pool}
-	mModel, err := gmm.FitAIC(ctx, xp, opts.MaxComponents, fit)
-	if err != nil {
-		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)
-	}
-	if opts.Journal != nil {
-		opts.Journal.GMMFit(fitSummary("s1.match", mModel, xp))
-	}
-	nModel, err := gmm.FitAIC(ctx, xn, opts.MaxComponents, fit)
-	if err != nil {
-		return nil, fmt.Errorf("core: fitting N-distribution: %w", err)
-	}
-	if opts.Journal != nil {
-		opts.Journal.GMMFit(fitSummary("s1.nonmatch", nModel, xn))
-	}
-	// π = |X+| / (|X+| + |X−|) over the learning sets (§II-B). Note that S2
-	// uses a separate sampling fraction (Options.MatchFraction) so that the
-	// synthesized dataset reproduces the real match count.
-	pi := float64(len(xp)) / float64(len(xp)+len(xn))
-	return gmm.NewJoint(mModel, nModel, pi)
-}
-
-// fitSummary distills one fitted mixture into its journal event.
-func fitSummary(name string, m *gmm.Model, xs [][]float64) journal.GMMFitData {
-	return journal.GMMFitData{
-		Name:          name,
-		Dim:           m.Dim(),
-		Components:    len(m.Comps),
-		Samples:       len(xs),
-		LogLikelihood: m.LogLikelihood(xs),
-	}
-}
-
-// defaultBlocker unions q-gram blocking over the textual columns (falling
-// back to the first column when none are textual).
-func defaultBlocker(schema *dataset.Schema) blocking.Blocker {
-	var union blocking.Union
-	for i, col := range schema.Cols {
-		if col.Kind == dataset.Textual {
-			union = append(union, blocking.QGram{Column: i})
-		}
-	}
-	if len(union) == 0 {
-		return blocking.QGram{Column: 0}
-	}
-	return union
+	return generator.FitGMM(ctx, real, opts, true)
 }

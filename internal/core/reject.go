@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"serd/internal/dataset"
+	"serd/internal/generator"
 	"serd/internal/gmm"
 	"serd/internal/parallel"
 )
@@ -17,7 +18,7 @@ import (
 // α·JSD(O_syn, O_real) (Eq. 10) using common random numbers so Monte-Carlo
 // noise cancels between the two estimates.
 type distState struct {
-	oReal      *gmm.Joint
+	oReal      generator.Dist
 	schema     *dataset.Schema
 	opts       Options
 	pool       *parallel.Pool
@@ -37,7 +38,7 @@ type delta struct {
 	pos, neg [][]float64
 }
 
-func newDistState(oReal *gmm.Joint, opts Options, pool *parallel.Pool, cache *dataset.SimCache) *distState {
+func newDistState(oReal generator.Dist, opts Options, pool *parallel.Pool, cache *dataset.SimCache) *distState {
 	return &distState{oReal: oReal, opts: opts, pool: pool, cache: cache}
 }
 

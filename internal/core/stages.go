@@ -11,6 +11,7 @@ import (
 	"serd/internal/checkpoint"
 	"serd/internal/dataset"
 	"serd/internal/detrand"
+	"serd/internal/generator"
 	"serd/internal/gmm"
 	"serd/internal/journal"
 	"serd/internal/parallel"
@@ -42,7 +43,7 @@ type synthRun struct {
 	resS1 *checkpoint.S1State
 	resS2 *checkpoint.S2State
 
-	oReal      *gmm.Joint
+	oReal      generator.Dist
 	vs         *valueSynth
 	cache      *dataset.SimCache
 	synA, synB *dataset.Relation
@@ -101,6 +102,15 @@ func Synthesize(ctx context.Context, real *dataset.ER, opts Options) (*Result, e
 			"rejection":      fmt.Sprint(!opts.DisableRejection),
 			"seed":           fmt.Sprint(opts.Seed),
 		})
+		if opts.Generator != nil && opts.Learned == nil {
+			// Record which backend produced O_real. Absent on the default
+			// path, so no-flag journals stay byte-identical to pre-generator
+			// builds.
+			opts.Journal.Config("core.generator", map[string]string{
+				"backend":  opts.Generator.Name(),
+				"describe": opts.Generator.Describe(),
+			})
+		}
 	}
 	eng := pipeline.New(pipeline.Env{
 		Metrics:    st.rec,
@@ -127,13 +137,13 @@ func (st *synthRun) stages() []pipeline.Stage {
 	}
 	switch {
 	case st.resS2 != nil:
-		// The joint rides in the S2 state; no span, no save — the journal
-		// prefix already holds the s1 phase events.
+		// The O-distribution rides in the S2 state; no span, no save — the
+		// journal prefix already holds the s1 phase events.
 		s1.Silent = true
 		s1.Run = func(context.Context, *pipeline.Env) error {
-			oReal, err := gmm.JointFromState(st.resS2.Joint)
+			oReal, err := st.restoreDist(st.resS2.Joint, st.resS2.Backend, st.resS2.Gen)
 			if err != nil {
-				return fmt.Errorf("core: resume: %w", err)
+				return err
 			}
 			st.oReal = oReal
 			return nil
@@ -141,9 +151,9 @@ func (st *synthRun) stages() []pipeline.Stage {
 	case st.resS1 != nil:
 		s1.Silent = true
 		s1.Run = func(context.Context, *pipeline.Env) error {
-			oReal, err := gmm.JointFromState(st.resS1.Joint)
+			oReal, err := st.restoreDist(st.resS1.Joint, st.resS1.Backend, st.resS1.Gen)
 			if err != nil {
-				return fmt.Errorf("core: resume: %w", err)
+				return err
 			}
 			if err := st.src.SkipTo(st.resS1.Draws); err != nil {
 				return fmt.Errorf("core: resume: %w", err)
@@ -157,7 +167,13 @@ func (st *synthRun) stages() []pipeline.Stage {
 			// The save runs after the stage's span has ended, so the
 			// checkpoint's journal seam includes the s1 phase_end event.
 			s1.Save = func() error {
-				return st.cp.SaveS1(&checkpoint.S1State{Joint: st.oReal.State(), Draws: st.src.Draws()})
+				s := &checkpoint.S1State{Draws: st.src.Draws()}
+				var err error
+				s.Joint, s.Backend, s.Gen, err = st.distSnapshot()
+				if err != nil {
+					return err
+				}
+				return st.cp.SaveS1(s)
 			}
 		}
 	}
@@ -193,10 +209,53 @@ func (st *synthRun) stages() []pipeline.Stage {
 	}
 }
 
-// runS1 learns O_real (paper §IV-A) on a fresh run.
+// distSnapshot captures st.oReal for a checkpoint: the legacy JointState
+// on the default path (Backend empty, so old builds can still read the
+// file), the backend-tagged gob payload when a generator drives S1.
+func (st *synthRun) distSnapshot() (joint *gmm.JointState, backend string, gen []byte, err error) {
+	if st.opts.Generator == nil {
+		return st.oReal.(*gmm.Joint).State(), "", nil, nil
+	}
+	data, err := st.opts.Generator.State(st.oReal)
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil, st.opts.Generator.Name(), data, nil
+}
+
+// restoreDist rebuilds O_real from a checkpoint's (possibly backend-
+// tagged) payload, refusing a mixed-backend resume: a checkpoint written
+// by one S1 backend cannot continue under another, because the restored
+// distribution would disagree with the journaled prefix.
+func (st *synthRun) restoreDist(joint *gmm.JointState, backend string, gen []byte) (generator.Dist, error) {
+	if backend == "" {
+		if st.opts.Generator != nil {
+			return nil, fmt.Errorf("core: resume: checkpoint was written by the default gmm stack but the run is configured with -s1-generator %s; resume without the flag or restart fresh", st.opts.Generator.Name())
+		}
+		oReal, err := gmm.JointFromState(joint)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: %w", err)
+		}
+		return oReal, nil
+	}
+	if st.opts.Generator == nil {
+		return nil, fmt.Errorf("core: resume: checkpoint was written by generator backend %q but the run is configured with the default gmm stack; pass -s1-generator %s or restart fresh", backend, backend)
+	}
+	if name := st.opts.Generator.Name(); name != backend {
+		return nil, fmt.Errorf("core: resume: checkpoint was written by generator backend %q but the run is configured with -s1-generator %s; resume with the original backend or restart fresh", backend, name)
+	}
+	oReal, err := st.opts.Generator.FromState(gen)
+	if err != nil {
+		return nil, fmt.Errorf("core: resume: %w", err)
+	}
+	return oReal, nil
+}
+
+// runS1 learns O_real (paper §IV-A) on a fresh run, via the configured
+// generator backend when one is set.
 func (st *synthRun) runS1(ctx context.Context, _ *pipeline.Env) error {
-	st.oReal = st.opts.Learned
-	if st.oReal != nil {
+	if st.opts.Learned != nil {
+		st.oReal = st.opts.Learned
 		return nil
 	}
 	learn := st.opts.Learn
@@ -211,6 +270,17 @@ func (st *synthRun) runS1(ctx context.Context, _ *pipeline.Env) error {
 	}
 	if learn.Pool == nil {
 		learn.Pool = st.pool
+	}
+	if gen := st.opts.Generator; gen != nil {
+		if learn.Privacy == nil {
+			learn.Privacy = st.opts.Privacy
+		}
+		oReal, err := gen.Fit(ctx, st.real, learn)
+		if err != nil {
+			return err
+		}
+		st.oReal = oReal
+		return nil
 	}
 	oReal, err := LearnDistributions(ctx, st.real, learn)
 	if err != nil {
@@ -314,7 +384,13 @@ func (st *synthRun) saveS2() error {
 	if st.cp == nil {
 		return nil
 	}
-	return st.cp.SaveS2(captureS2(st.oReal, st.synA, st.synB, st.sampled, st.matched, st.res, st.rejections, st.dist, st.src.Draws()))
+	s2 := captureS2(st.synA, st.synB, st.sampled, st.matched, st.res, st.rejections, st.dist, st.src.Draws())
+	var err error
+	s2.Joint, s2.Backend, s2.Gen, err = st.distSnapshot()
+	if err != nil {
+		return err
+	}
+	return st.cp.SaveS2(s2)
 }
 
 // runS2 is the S2 synthesis loop: one new entity per iteration, with the
@@ -414,9 +490,9 @@ func (st *synthRun) runS2(ctx context.Context, _ *pipeline.Env) error {
 			// S2-2: sample a similarity vector from O_real.
 			var x []float64
 			if matching {
-				x = oReal.M.SampleClamped(r)
+				x = oReal.SampleMatching(r)
 			} else {
-				x = oReal.N.SampleClamped(r)
+				x = oReal.SampleNonMatching(r)
 			}
 			// S2-3: synthesize e' from e and x.
 			id := fmt.Sprintf("sb%d", dst.Len()+1)

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDPBenchMatrixAndRoundTrip(t *testing.T) {
+	opts := DPBenchOptions{
+		Datasets: []string{"Restaurant"},
+		Epsilons: []float64{0.5, 2},
+		Seed:     7,
+		Size:     30,
+	}
+	rows, err := DPBench(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 dataset × 2 ε × 2 backends.
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[r.Backend]++
+		if r.F1 < 0 || r.F1 > 1 {
+			t.Errorf("%s/%s: F1=%v outside [0,1]", r.Dataset, r.Backend, r.F1)
+		}
+		if r.JSD < 0 || r.JSD > 1 {
+			t.Errorf("%s/%s: JSD=%v outside [0,1]", r.Dataset, r.Backend, r.JSD)
+		}
+		switch r.Backend {
+		case "gmm":
+			if r.EpsilonSpent != 0 {
+				t.Errorf("gmm row spent ε=%v, want 0 (non-private reference)", r.EpsilonSpent)
+			}
+		case "privbayes":
+			if r.EpsilonSpent <= 0 || r.EpsilonSpent > r.Epsilon+1e-9 {
+				t.Errorf("privbayes row at eps=%g spent ε=%v, want in (0, %g]", r.Epsilon, r.EpsilonSpent, r.Epsilon)
+			}
+		default:
+			t.Errorf("unexpected backend %q", r.Backend)
+		}
+	}
+	if seen["gmm"] != 2 || seen["privbayes"] != 2 {
+		t.Errorf("backend row counts = %v, want 2 each", seen)
+	}
+
+	rep := DPBenchReport{SchemaVersion: DPBenchSchemaVersion, Time: time.Now(), Seed: opts.Seed, Size: opts.Size,
+		Datasets: opts.Datasets, Epsilons: opts.Epsilons, Rows: rows}
+	path := filepath.Join(t.TempDir(), "BENCH_dpbench.json")
+	if err := WriteDPBench(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDPBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Seed != rep.Seed {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	if problems := CompareDPBench(back, rep, 0.3); len(problems) != 0 {
+		t.Errorf("self-compare found problems: %v", problems)
+	}
+}
+
+func TestCompareDPBenchFlagsRegressions(t *testing.T) {
+	base := DPBenchReport{Seed: 7, Size: 30, Rows: []DPBenchRow{
+		{Backend: "privbayes", Dataset: "Restaurant", Epsilon: 2, EpsilonSpent: 1.99, F1: 0.8, JSD: 0.1, WallSeconds: 2, PeakRSSBytes: 100 << 20},
+	}}
+
+	cur := base
+	cur.Rows = []DPBenchRow{{Backend: "privbayes", Dataset: "Restaurant", Epsilon: 2, EpsilonSpent: 1.99, F1: 0.4, JSD: 0.1, WallSeconds: 2, PeakRSSBytes: 100 << 20}}
+	if p := CompareDPBench(base, cur, 0.1); len(p) != 1 {
+		t.Errorf("F1 collapse: got %d problems (%v), want 1", len(p), p)
+	}
+
+	cur.Rows = []DPBenchRow{{Backend: "privbayes", Dataset: "Restaurant", Epsilon: 2, EpsilonSpent: 2.5, F1: 0.8, JSD: 0.1, WallSeconds: 2, PeakRSSBytes: 100 << 20}}
+	if p := CompareDPBench(base, cur, 0.1); len(p) != 1 {
+		t.Errorf("budget overshoot: got %d problems (%v), want 1", len(p), p)
+	}
+
+	cur.Rows = []DPBenchRow{{Backend: "privbayes", Dataset: "Restaurant", Epsilon: 2, EpsilonSpent: 1.99, F1: 0.8, JSD: 0.5, WallSeconds: 2, PeakRSSBytes: 100 << 20}}
+	if p := CompareDPBench(base, cur, 0.1); len(p) != 1 {
+		t.Errorf("JSD blowup: got %d problems (%v), want 1", len(p), p)
+	}
+
+	cur.Rows = nil
+	if p := CompareDPBench(base, cur, 0.1); len(p) != 1 {
+		t.Errorf("missing cell: got %d problems (%v), want 1", len(p), p)
+	}
+
+	cur = DPBenchReport{Seed: 8, Size: 30, Rows: base.Rows}
+	if p := CompareDPBench(base, cur, 0.1); len(p) != 1 {
+		t.Errorf("workload mismatch: got %d problems (%v), want 1", len(p), p)
+	}
+
+	// Better cells are not regressions.
+	cur = base
+	cur.Rows = []DPBenchRow{{Backend: "privbayes", Dataset: "Restaurant", Epsilon: 2, EpsilonSpent: 1.9, F1: 0.9, JSD: 0.05, WallSeconds: 1, PeakRSSBytes: 90 << 20}}
+	if p := CompareDPBench(base, cur, 0.1); len(p) != 0 {
+		t.Errorf("improvement flagged as regression: %v", p)
+	}
+}

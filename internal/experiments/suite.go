@@ -17,6 +17,7 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/embench"
 	"serd/internal/gan"
+	"serd/internal/generator"
 	"serd/internal/telemetry"
 	"serd/internal/textsynth"
 )
@@ -67,6 +68,9 @@ type Config struct {
 	// UseGAN enables the paper's GAN path: cold start from the generator
 	// and discriminator rejection at β = 0.6 (§IV-B2, §V case 1).
 	UseGAN bool
+	// Generator selects the pluggable S1 backend for the SERD syntheses
+	// (nil = the paper's default GMM stack; see -s1-generator).
+	Generator generator.Generator
 	// Workers sets the worker count for the parallel S2/S3 hot path
 	// (threaded into core.Options.Workers; 0 = GOMAXPROCS). Results are
 	// bit-identical at any worker count.
@@ -252,6 +256,7 @@ func (s *Suite) runSERDLocked(g *datagen.Generated, minus bool) (*core.Result, e
 		Metrics:          s.cfg.Metrics,
 		Seed:             s.cfg.Seed + 5,
 		Workers:          s.cfg.Workers,
+		Generator:        s.cfg.Generator,
 	}
 	if s.cfg.UseGAN {
 		opts.GAN, opts.GANDecode, err = s.trainGAN(g)

@@ -1,0 +1,191 @@
+package generator
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"serd/internal/blocking"
+	"serd/internal/dataset"
+	"serd/internal/gmm"
+	"serd/internal/journal"
+	"serd/internal/telemetry"
+)
+
+// GMM is the paper's own S1 backend: X+/X− construction with hard-negative
+// mining, EM fits with AIC component selection, π = |X+|/(|X+|+|X−|).
+// It spends no privacy budget — the GMM stack's DP story lives in the
+// transformer bank, not in S1 — which makes it the non-private reference
+// point of the DP head-to-head bench.
+type GMM struct{}
+
+// Name implements Generator.
+func (GMM) Name() string { return "gmm" }
+
+// Describe implements Generator.
+func (GMM) Describe() string { return "gmm(em, aic)" }
+
+// Fit implements Generator: the exact fit of core.LearnDistributions, but
+// journaling generic generator_fit events instead of the legacy gmm_fit
+// pair (the default no-flag path keeps emitting gmm_fit via
+// core.LearnDistributions, preserving the byte-noop invariant).
+func (g GMM) Fit(ctx context.Context, real *dataset.ER, opts FitOptions) (Dist, error) {
+	return FitGMM(ctx, real, opts, false)
+}
+
+// State implements Generator: the gob-encoded gmm.JointState.
+func (GMM) State(d Dist) ([]byte, error) {
+	j, ok := d.(*gmm.Joint)
+	if !ok {
+		return nil, fmt.Errorf("generator: gmm backend cannot snapshot a %T", d)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(j.State()); err != nil {
+		return nil, fmt.Errorf("generator: gmm state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// FromState implements Generator.
+func (GMM) FromState(data []byte) (Dist, error) {
+	var st gmm.JointState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("generator: gmm state: %w", err)
+	}
+	return gmm.JointFromState(&st)
+}
+
+// WithDefaults resolves the fit-option defaults against the real match
+// count — exported so core's thin LearnDistributions delegate and the
+// backends share one resolution.
+func (o FitOptions) WithDefaults(matches int) FitOptions {
+	if o.MaxComponents == 0 {
+		// Real pair spaces carry several non-matching clusters (random
+		// pairs, key-sharing siblings, same-location pairs) plus clean and
+		// dirty match clusters; four components give AIC room to find them.
+		o.MaxComponents = 4
+	}
+	if o.MaxNonMatching == 0 {
+		o.MaxNonMatching = 20 * matches
+		if o.MaxNonMatching < 2000 {
+			o.MaxNonMatching = 2000
+		}
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	o.Metrics = telemetry.OrNop(o.Metrics)
+	return o
+}
+
+// LearningVectors computes the S1 training sets: X+ (all matching pairs)
+// and X− (a down-sampled uniform non-matching sample, plus the blocker's
+// hardest non-matching candidates unless NoHardNegatives). Every backend
+// learns from the same vectors, so backend comparisons differ only in the
+// density model, never the data.
+func LearningVectors(real *dataset.ER, opts FitOptions) (xp, xn [][]float64, err error) {
+	if real == nil {
+		return nil, nil, fmt.Errorf("core: nil dataset")
+	}
+	if len(real.Matches) < 2 {
+		return nil, nil, fmt.Errorf("core: need at least 2 matching pairs to learn the M-distribution, have %d", len(real.Matches))
+	}
+	xp = real.MatchingVectors()
+	xn = real.NonMatchingVectors(opts.MaxNonMatching, opts.Rand)
+	if len(xn) < 2 {
+		return nil, nil, fmt.Errorf("core: need at least 2 non-matching pairs, have %d", len(xn))
+	}
+	if !opts.NoHardNegatives {
+		blocker := opts.Blocker
+		if blocker == nil {
+			blocker = DefaultBlocker(real.Schema())
+		}
+		hardN := opts.HardNonMatching
+		if hardN == 0 {
+			hardN = 2 * len(real.Matches)
+		}
+		cands, err := blocker.Candidates(real.A, real.B)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: hard-negative mining: %w", err)
+		}
+		for _, lp := range dataset.HardestNonMatches(real, cands, hardN) {
+			xn = append(xn, lp.Vector)
+		}
+	}
+	return xp, xn, nil
+}
+
+// FitGMM performs the paper's S1 (§IV-A): computes X+ and X− and fits the
+// M- and N-distributions with EM, selecting the component count by AIC.
+// π is |X+| / (|X+| + |X−|) over the full pair space. Cancellation
+// propagates into the EM fits (checked per iteration); no partial S1
+// state survives a canceled learn. legacyEvents selects the pre-generator
+// gmm_fit journal events (core.LearnDistributions, the default pipeline
+// path) over the generic generator_fit events (the -s1-generator path).
+func FitGMM(ctx context.Context, real *dataset.ER, opts FitOptions, legacyEvents bool) (*gmm.Joint, error) {
+	if real != nil {
+		opts = opts.WithDefaults(len(real.Matches))
+	}
+	xp, xn, err := LearningVectors(real, opts)
+	if err != nil {
+		return nil, err
+	}
+	fit := gmm.FitOptions{Rand: opts.Rand, Metrics: opts.Metrics, Pool: opts.Pool}
+	mModel, err := gmm.FitAIC(ctx, xp, opts.MaxComponents, fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting M-distribution: %w", err)
+	}
+	journalGMMFit(opts.Journal, "s1.match", mModel, xp, legacyEvents)
+	nModel, err := gmm.FitAIC(ctx, xn, opts.MaxComponents, fit)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting N-distribution: %w", err)
+	}
+	journalGMMFit(opts.Journal, "s1.nonmatch", nModel, xn, legacyEvents)
+	// π = |X+| / (|X+| + |X−|) over the learning sets (§II-B). Note that S2
+	// uses a separate sampling fraction (Options.MatchFraction) so that the
+	// synthesized dataset reproduces the real match count.
+	pi := float64(len(xp)) / float64(len(xp)+len(xn))
+	return gmm.NewJoint(mModel, nModel, pi)
+}
+
+// journalGMMFit emits one fitted mixture's provenance event in the
+// requested dialect.
+func journalGMMFit(j *journal.Journal, name string, m *gmm.Model, xs [][]float64, legacy bool) {
+	if j == nil {
+		return
+	}
+	if legacy {
+		j.GMMFit(journal.GMMFitData{
+			Name:          name,
+			Dim:           m.Dim(),
+			Components:    len(m.Comps),
+			Samples:       len(xs),
+			LogLikelihood: m.LogLikelihood(xs),
+		})
+		return
+	}
+	j.GeneratorFit(journal.GeneratorFitData{
+		Backend: "gmm",
+		Name:    name,
+		Dim:     m.Dim(),
+		Samples: len(xs),
+		Detail:  fmt.Sprintf("components=%d loglik=%.6g", len(m.Comps), m.LogLikelihood(xs)),
+	})
+}
+
+// DefaultBlocker unions q-gram blocking over the textual columns (falling
+// back to the first column when none are textual).
+func DefaultBlocker(schema *dataset.Schema) blocking.Blocker {
+	var union blocking.Union
+	for i, col := range schema.Cols {
+		if col.Kind == dataset.Textual {
+			union = append(union, blocking.QGram{Column: i})
+		}
+	}
+	if len(union) == 0 {
+		return blocking.QGram{Column: 0}
+	}
+	return union
+}

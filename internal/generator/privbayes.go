@@ -1,0 +1,476 @@
+package generator
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"serd/internal/dataset"
+	"serd/internal/dp"
+	"serd/internal/journal"
+)
+
+// PrivBayes is a marginal-based differentially private S1 backend in the
+// style of Zhang et al.'s PrivBayes: each similarity-vector dimension is
+// discretized into Bins buckets, every pairwise marginal of the matching
+// and non-matching training sets is released through the Gaussian
+// mechanism, a Chow-Liu tree (maximum-spanning-tree over the mutual
+// information of the *noisy* marginals — free post-processing) gives a
+// Bayesian network per side, and sampling is ancestral with uniform
+// jitter inside each bucket.
+//
+// The privacy accounting is the same RDP machinery the DP-SGD transformer
+// uses: all K releases (2·C(d,2) pairwise tables plus the (|X+|,|X−|)
+// size release; K = 3 when d = 1) are sensitivity-1 Gaussian releases
+// with one shared noise multiplier σ, composed sequentially as K steps at
+// sampling rate q = 1. σ is solved from the requested (ε, δ) with
+// dp.NoiseForEpsilon and the whole fit is charged to the ledger as one
+// dp_sgd entry, so `serd audit verify` recomputes its ε with zero new
+// verifier code.
+type PrivBayes struct {
+	// Epsilon is the total (ε, δ)-DP budget of the fit (default 1).
+	Epsilon float64
+	// Delta is the δ at which ε is accounted (default 1e-5).
+	Delta float64
+	// Bins is the per-dimension discretization granularity (default 8).
+	Bins int
+}
+
+func (p PrivBayes) withDefaults() PrivBayes {
+	if p.Epsilon == 0 {
+		p.Epsilon = 1
+	}
+	if p.Delta == 0 {
+		p.Delta = 1e-5
+	}
+	if p.Bins == 0 {
+		p.Bins = 8
+	}
+	return p
+}
+
+// Name implements Generator.
+func (PrivBayes) Name() string { return "privbayes" }
+
+// Describe implements Generator.
+func (p PrivBayes) Describe() string {
+	p = p.withDefaults()
+	return fmt.Sprintf("privbayes(eps=%g, delta=%g, bins=%d)", p.Epsilon, p.Delta, p.Bins)
+}
+
+// Fit implements Generator. The budget is registered with the ledger
+// before any noise is drawn (charge-then-release, like the transformer
+// bank), the marginal releases check ctx between tables, and every noise
+// draw comes from opts.Rand in a fixed order — so a fixed seed gives a
+// bit-identical fitted network.
+func (p PrivBayes) Fit(ctx context.Context, real *dataset.ER, opts FitOptions) (Dist, error) {
+	p = p.withDefaults()
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return nil, fmt.Errorf("generator: privbayes: delta %g outside (0, 1)", p.Delta)
+	}
+	if p.Bins < 2 {
+		return nil, fmt.Errorf("generator: privbayes: bins %d cannot represent a distribution; want >= 2", p.Bins)
+	}
+	if real != nil {
+		opts = opts.WithDefaults(len(real.Matches))
+	}
+	xp, xn, err := LearningVectors(real, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := real.Schema().Len()
+	pairs := d * (d - 1) / 2
+	if pairs == 0 {
+		pairs = 1 // d == 1: one 1-way marginal per side
+	}
+	releases := 2*pairs + 1
+	sigma, err := dp.NoiseForEpsilon(1, releases, p.Epsilon, p.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("generator: privbayes: %w", err)
+	}
+	if opts.Privacy != nil {
+		if err := opts.Privacy.ChargeSGD("s1.privbayes", "s1.privbayes", 1, sigma, releases, p.Delta); err != nil {
+			return nil, fmt.Errorf("generator: privbayes: %w", err)
+		}
+	}
+	mNet, err := fitPrivNet(ctx, xp, d, p.Bins, sigma, opts.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("generator: privbayes: M-network: %w", err)
+	}
+	journalPrivFit(opts.Journal, "s1.match", d, len(xp), p.Bins, pairs, sigma)
+	nNet, err := fitPrivNet(ctx, xn, d, p.Bins, sigma, opts.Rand)
+	if err != nil {
+		return nil, fmt.Errorf("generator: privbayes: N-network: %w", err)
+	}
+	journalPrivFit(opts.Journal, "s1.nonmatch", d, len(xn), p.Bins, pairs, sigma)
+	// The size release: noisy |X+| and |X−| give π without touching the
+	// exact counts. Clamping to ≥1 keeps π strictly inside (0, 1).
+	nPos := float64(len(xp)) + sigma*opts.Rand.NormFloat64()
+	nNeg := float64(len(xn)) + sigma*opts.Rand.NormFloat64()
+	nPos = math.Max(nPos, 1)
+	nNeg = math.Max(nNeg, 1)
+	return &privDist{Bins: p.Bins, Pi: nPos / (nPos + nNeg), M: mNet, N: nNet}, nil
+}
+
+func journalPrivFit(j *journal.Journal, name string, dim, samples, bins, pairs int, sigma float64) {
+	if j == nil {
+		return
+	}
+	j.GeneratorFit(journal.GeneratorFitData{
+		Backend: "privbayes",
+		Name:    name,
+		Dim:     dim,
+		Samples: samples,
+		Detail:  fmt.Sprintf("bins=%d marginals=%d sigma=%.6g", bins, pairs, sigma),
+	})
+}
+
+// State implements Generator: the gob-encoded fitted networks.
+func (PrivBayes) State(d Dist) ([]byte, error) {
+	pd, ok := d.(*privDist)
+	if !ok {
+		return nil, fmt.Errorf("generator: privbayes backend cannot snapshot a %T", d)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pd); err != nil {
+		return nil, fmt.Errorf("generator: privbayes state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// FromState implements Generator.
+func (PrivBayes) FromState(data []byte) (Dist, error) {
+	pd := &privDist{}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(pd); err != nil {
+		return nil, fmt.Errorf("generator: privbayes state: %w", err)
+	}
+	if err := pd.validate(); err != nil {
+		return nil, fmt.Errorf("generator: privbayes state: %w", err)
+	}
+	return pd, nil
+}
+
+// privNet is one side's fitted Bayesian network: a tree (each node has at
+// most one parent) over the discretized dimensions. All probability
+// tables are smoothed strictly positive, so log densities are finite.
+type privNet struct {
+	Dim int
+	// Order is the ancestral sampling order (Order[0] is the root).
+	Order []int
+	// Parent[i] is the parent dimension of dimension i, -1 for the root.
+	Parent []int
+	// Root is the root dimension's marginal, len Bins.
+	Root []float64
+	// Cond[i] is P(i = b | parent = pb) flattened as [pb*Bins + b]; nil
+	// for the root.
+	Cond [][]float64
+}
+
+// fitPrivNet releases the noisy pairwise marginals of xs and assembles
+// the Chow-Liu network. One record lands in exactly one cell per table,
+// so each table is a sensitivity-1 vector query; noise is N(0, σ²) i.i.d.
+// per cell drawn from r in cell order.
+func fitPrivNet(ctx context.Context, xs [][]float64, dim, bins int, sigma float64, r *rand.Rand) (*privNet, error) {
+	binned := make([][]int, len(xs))
+	for i, x := range xs {
+		b := make([]int, dim)
+		for k, v := range x {
+			b[k] = binOf(v, bins)
+		}
+		binned[i] = b
+	}
+	if dim == 1 {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		table := make([]float64, bins)
+		for _, b := range binned {
+			table[b[0]]++
+		}
+		for c := range table {
+			table[c] += sigma * r.NormFloat64()
+		}
+		return &privNet{Dim: 1, Order: []int{0}, Parent: []int{-1}, Root: smooth(table), Cond: make([][]float64, 1)}, nil
+	}
+	// Pairwise marginal releases, (i, j) in lexicographic order — the
+	// noise-draw order is part of the fit's definition.
+	tables := make(map[[2]int][]float64)
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+			t := make([]float64, bins*bins)
+			for _, b := range binned {
+				t[b[i]*bins+b[j]]++
+			}
+			for c := range t {
+				t[c] += sigma * r.NormFloat64()
+			}
+			tables[[2]int{i, j}] = t
+		}
+	}
+	// Everything below is post-processing of the released tables: the
+	// structure and the CPTs spend no additional budget.
+	mi := make(map[[2]int]float64, len(tables))
+	for k, t := range tables {
+		mi[k] = mutualInfo(smooth(t), bins)
+	}
+	order, parent := chowLiu(dim, mi)
+	net := &privNet{Dim: dim, Order: order, Parent: parent, Cond: make([][]float64, dim)}
+	root := order[0]
+	// Root marginal, marginalized from the lexicographically smallest
+	// pairwise table containing the root.
+	other := 0
+	if root == 0 {
+		other = 1
+	}
+	net.Root = marginalize(smooth(pairTable(tables, root, other, bins)), bins)
+	for _, i := range order[1:] {
+		net.Cond[i] = conditional(smooth(pairTable(tables, parent[i], i, bins)), bins)
+	}
+	return net, nil
+}
+
+// pairTable returns the (p, c) joint table oriented parent-major: cell
+// [pb*bins + cb]. Tables are stored for i < j, so the (j, i) orientation
+// is a transpose.
+func pairTable(tables map[[2]int][]float64, p, c, bins int) []float64 {
+	if p < c {
+		return tables[[2]int{p, c}]
+	}
+	src := tables[[2]int{c, p}]
+	out := make([]float64, bins*bins)
+	for cb := 0; cb < bins; cb++ {
+		for pb := 0; pb < bins; pb++ {
+			out[pb*bins+cb] = src[cb*bins+pb]
+		}
+	}
+	return out
+}
+
+// smooth clamps noisy counts to ≥ 0, adds half a pseudocount per cell and
+// normalizes to a strictly positive probability table.
+func smooth(counts []float64) []float64 {
+	out := make([]float64, len(counts))
+	sum := 0.0
+	for i, c := range counts {
+		v := math.Max(c, 0) + 0.5
+		out[i] = v
+		sum += v
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// mutualInfo computes I(i; j) of a normalized bins×bins joint table.
+func mutualInfo(p []float64, bins int) float64 {
+	pi := make([]float64, bins)
+	pj := make([]float64, bins)
+	for a := 0; a < bins; a++ {
+		for b := 0; b < bins; b++ {
+			pi[a] += p[a*bins+b]
+			pj[b] += p[a*bins+b]
+		}
+	}
+	mi := 0.0
+	for a := 0; a < bins; a++ {
+		for b := 0; b < bins; b++ {
+			v := p[a*bins+b]
+			mi += v * math.Log(v/(pi[a]*pj[b]))
+		}
+	}
+	return mi
+}
+
+// chowLiu grows the maximum-spanning tree over the pairwise mutual
+// information with Prim's algorithm from node 0, ties broken toward the
+// smallest node index — fully deterministic for a given mi map.
+func chowLiu(dim int, mi map[[2]int]float64) (order, parent []int) {
+	parent = make([]int, dim)
+	for i := range parent {
+		parent[i] = -1
+	}
+	inTree := make([]bool, dim)
+	inTree[0] = true
+	order = []int{0}
+	for len(order) < dim {
+		bestV, bestU := -1, -1
+		best := math.Inf(-1)
+		for v := 0; v < dim; v++ {
+			if inTree[v] {
+				continue
+			}
+			for u := 0; u < dim; u++ {
+				if !inTree[u] {
+					continue
+				}
+				key := [2]int{min(u, v), max(u, v)}
+				if w := mi[key]; w > best {
+					best, bestV, bestU = w, v, u
+				}
+			}
+		}
+		inTree[bestV] = true
+		parent[bestV] = bestU
+		order = append(order, bestV)
+	}
+	return order, parent
+}
+
+// marginalize sums a parent-major joint table over the child.
+func marginalize(p []float64, bins int) []float64 {
+	out := make([]float64, bins)
+	for pb := 0; pb < bins; pb++ {
+		for cb := 0; cb < bins; cb++ {
+			out[pb] += p[pb*bins+cb]
+		}
+	}
+	return out
+}
+
+// conditional converts a parent-major joint table to P(child | parent),
+// flattened [pb*bins + cb]. Rows are renormalized per parent bucket.
+func conditional(p []float64, bins int) []float64 {
+	out := make([]float64, bins*bins)
+	for pb := 0; pb < bins; pb++ {
+		sum := 0.0
+		for cb := 0; cb < bins; cb++ {
+			sum += p[pb*bins+cb]
+		}
+		for cb := 0; cb < bins; cb++ {
+			out[pb*bins+cb] = p[pb*bins+cb] / sum
+		}
+	}
+	return out
+}
+
+func binOf(v float64, bins int) int {
+	b := int(v * float64(bins))
+	if b < 0 {
+		return 0
+	}
+	if b >= bins {
+		return bins - 1
+	}
+	return b
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// privDist is the fitted PrivBayes O-distribution. Fields are exported
+// for gob; the type itself stays package-private — callers only see the
+// Dist interface.
+type privDist struct {
+	Bins int
+	Pi   float64
+	M, N *privNet
+}
+
+func (p *privDist) validate() error {
+	if p.M == nil || p.N == nil || p.M.Dim != p.N.Dim {
+		return fmt.Errorf("inconsistent networks")
+	}
+	if p.Bins < 1 || p.Pi <= 0 || p.Pi >= 1 {
+		return fmt.Errorf("bins=%d pi=%g out of range", p.Bins, p.Pi)
+	}
+	return nil
+}
+
+// Dim implements Dist.
+func (p *privDist) Dim() int { return p.M.Dim }
+
+// Sample implements Dist.
+func (p *privDist) Sample(r *rand.Rand) ([]float64, bool) {
+	if r.Float64() < p.Pi {
+		return p.M.sample(p.Bins, r), true
+	}
+	return p.N.sample(p.Bins, r), false
+}
+
+// SampleMatching implements Dist.
+func (p *privDist) SampleMatching(r *rand.Rand) []float64 { return p.M.sample(p.Bins, r) }
+
+// SampleNonMatching implements Dist.
+func (p *privDist) SampleNonMatching(r *rand.Rand) []float64 { return p.N.sample(p.Bins, r) }
+
+// LogPDF implements Dist with log-sum-exp stability; π is strictly inside
+// (0, 1) by construction.
+func (p *privDist) LogPDF(x []float64) float64 {
+	lm := math.Log(p.Pi) + p.M.logPDF(p.Bins, x)
+	ln := math.Log(1-p.Pi) + p.N.logPDF(p.Bins, x)
+	hi := math.Max(lm, ln)
+	return hi + math.Log(math.Exp(lm-hi)+math.Exp(ln-hi))
+}
+
+// PosteriorMatch implements Dist (sigmoid of the log-odds, like
+// gmm.Joint).
+func (p *privDist) PosteriorMatch(x []float64) float64 {
+	lm := math.Log(p.Pi) + p.M.logPDF(p.Bins, x)
+	ln := math.Log(1-p.Pi) + p.N.logPDF(p.Bins, x)
+	return 1 / (1 + math.Exp(ln-lm))
+}
+
+// IsMatch implements Dist.
+func (p *privDist) IsMatch(x []float64) bool { return p.PosteriorMatch(x) >= 0.5 }
+
+// sample draws one vector by ancestral sampling: a bucket per dimension
+// in tree order, then uniform jitter inside the bucket — two RNG draws
+// per dimension, in a fixed order.
+func (n *privNet) sample(bins int, r *rand.Rand) []float64 {
+	bin := make([]int, n.Dim)
+	x := make([]float64, n.Dim)
+	for _, i := range n.Order {
+		var probs []float64
+		if n.Parent[i] < 0 {
+			probs = n.Root
+		} else {
+			pb := bin[n.Parent[i]]
+			probs = n.Cond[i][pb*bins : (pb+1)*bins]
+		}
+		b := drawBucket(probs, r)
+		bin[i] = b
+		x[i] = (float64(b) + r.Float64()) / float64(bins)
+	}
+	return x
+}
+
+// logPDF evaluates the network's log density at x: the bucket-vector
+// probability times bins^dim (each bucket has volume bins^-dim).
+func (n *privNet) logPDF(bins int, x []float64) float64 {
+	sum := float64(n.Dim) * math.Log(float64(bins))
+	for _, i := range n.Order {
+		b := binOf(x[i], bins)
+		if n.Parent[i] < 0 {
+			sum += math.Log(n.Root[b])
+			continue
+		}
+		pb := binOf(x[n.Parent[i]], bins)
+		sum += math.Log(n.Cond[i][pb*bins+b])
+	}
+	return sum
+}
+
+// drawBucket inverts the bucket CDF; probabilities sum to 1, with the
+// last bucket absorbing float slop.
+func drawBucket(probs []float64, r *rand.Rand) int {
+	u := r.Float64()
+	acc := 0.0
+	for b, p := range probs {
+		acc += p
+		if u < acc {
+			return b
+		}
+	}
+	return len(probs) - 1
+}

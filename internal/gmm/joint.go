@@ -78,12 +78,30 @@ func (j *Joint) Sample(r *rand.Rand) (x []float64, matching bool) {
 	return j.N.SampleClamped(r), false
 }
 
+// SampleMatching draws a similarity vector from the M-distribution,
+// clamped to [0, 1] — S2-2's draw for a pair sampled as matching.
+func (j *Joint) SampleMatching(r *rand.Rand) []float64 { return j.M.SampleClamped(r) }
+
+// SampleNonMatching draws a similarity vector from the N-distribution,
+// clamped to [0, 1].
+func (j *Joint) SampleNonMatching(r *rand.Rand) []float64 { return j.N.SampleClamped(r) }
+
+// Dist is the minimal distribution surface the JSD estimators need:
+// anything that samples similarity vectors and evaluates its own log
+// density. *Joint implements it, as does every pluggable S1 backend's
+// fitted distribution — which is what lets the rejection check compare
+// O_syn (always a *Joint) against a non-GMM O_real.
+type Dist interface {
+	Sample(r *rand.Rand) (x []float64, matching bool)
+	LogPDF(x []float64) float64
+}
+
 // JSD estimates the Jensen-Shannon divergence between the O-distributions p
 // and q (Eq. 3) by Monte-Carlo with n samples from each side:
 // JSD = ½ E_p[log p/m] + ½ E_q[log q/m], m = (p+q)/2. The result is in
 // [0, log 2] up to sampling noise and is symmetric in distribution (the
 // estimator uses both directions).
-func JSD(p, q *Joint, n int, r *rand.Rand) float64 {
+func JSD(p, q Dist, n int, r *rand.Rand) float64 {
 	if n <= 0 {
 		n = 256
 	}
@@ -96,7 +114,7 @@ func JSD(p, q *Joint, n int, r *rand.Rand) float64 {
 
 // halfSum accumulates n samples of log a/m, m = (a+b)/2, drawn from a —
 // one direction of the JSD estimator, undivided.
-func halfSum(a, b *Joint, n int, r *rand.Rand) float64 {
+func halfSum(a, b Dist, n int, r *rand.Rand) float64 {
 	sum := 0.0
 	for i := 0; i < n; i++ {
 		x, _ := a.Sample(r)
@@ -123,7 +141,7 @@ const jsdStripe = 32
 // score two mixtures with common random numbers pass the same seed to both
 // calls; substream i then draws the same underlying sample stream in each,
 // and the Monte-Carlo noise cancels exactly as with the serial estimator.
-func JSDStriped(p, q *Joint, n int, seed int64, pool *parallel.Pool) float64 {
+func JSDStriped(p, q Dist, n int, seed int64, pool *parallel.Pool) float64 {
 	if n <= 0 {
 		n = 256
 	}

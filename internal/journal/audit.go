@@ -23,13 +23,17 @@ type PhaseSummary struct {
 
 // RunSummary is a journal distilled for display and diffing.
 type RunSummary struct {
-	Tool        string
-	Seed        int64
-	Config      map[string]string
-	Configs     map[string]map[string]string // named config events (e.g. core.options)
-	Lineage     []LineageData
-	Phases      []PhaseSummary
-	Fits        []GMMFitData
+	Tool    string
+	Seed    int64
+	Config  map[string]string
+	Configs map[string]map[string]string // named config events (e.g. core.options)
+	Lineage []LineageData
+	Phases  []PhaseSummary
+	Fits    []GMMFitData
+	// GenFits holds the generic generator_fit summaries of runs driven by
+	// an -s1-generator backend; legacy gmm_fit events land in Fits, and
+	// both decode side by side so old journals keep reading.
+	GenFits     []GeneratorFitData
 	Charges     []Entry
 	LedgerEps   float64
 	LedgerDelta float64
@@ -89,6 +93,12 @@ func Summarize(events []Event) (*RunSummary, error) {
 				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
 			}
 			s.Fits = append(s.Fits, d)
+		case "generator_fit":
+			var d GeneratorFitData
+			if err := json.Unmarshal(ev.Data, &d); err != nil {
+				return nil, fmt.Errorf("journal: event %d (%s): %w", ev.Seq, ev.Type, err)
+			}
+			s.GenFits = append(s.GenFits, d)
 		case "ledger_charge":
 			var d Entry
 			if err := json.Unmarshal(ev.Data, &d); err != nil {

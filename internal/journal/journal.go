@@ -382,8 +382,32 @@ type GMMFitData struct {
 	LogLikelihood float64 `json:"loglik"`
 }
 
-// GMMFit emits a gmm_fit event.
+// GMMFit emits a gmm_fit event — the legacy fit-summary event of the
+// default GMM stack, kept (and still emitted on the default path) so
+// pre-generator journals and the byte-noop invariant both hold. Runs with
+// an -s1-generator backend emit generator_fit instead.
 func (j *Journal) GMMFit(d GMMFitData) { j.emit("gmm_fit", d, 0) }
+
+// GeneratorFitData summarizes one fitted distribution of a pluggable S1
+// backend — the generic successor of GMMFitData, carrying the backend
+// identifier plus a backend-specific detail string instead of the
+// GMM-only component count and log-likelihood.
+type GeneratorFitData struct {
+	// Backend is the generator's stable identifier ("gmm", "privbayes").
+	Backend string `json:"backend"`
+	// Name distinguishes the fit ("s1.match", "s1.nonmatch").
+	Name string `json:"name"`
+	// Dim is the similarity-vector dimensionality.
+	Dim int `json:"dim"`
+	// Samples is the training-set size.
+	Samples int `json:"samples"`
+	// Detail is the backend's own fit summary (e.g. "components=3
+	// loglik=412.1" for gmm, "bins=8 marginals=6 sigma=2.3" for privbayes).
+	Detail string `json:"detail,omitempty"`
+}
+
+// GeneratorFit emits a generator_fit event.
+func (j *Journal) GeneratorFit(d GeneratorFitData) { j.emit("generator_fit", d, 0) }
 
 // CheckpointData is one ε reading from the RDP accountant mid-training.
 type CheckpointData struct {

@@ -32,6 +32,15 @@ func EntryFromJournal(events []journal.Event) (Entry, error) {
 	e.Error = sum.StatusError
 	e.Summary = sum.Summary
 	e.WallSeconds = sum.WallS
+	// Backend name: the explicit core.generator config event wins; a
+	// default-path run that journaled GMM fits ran the gmm stack.
+	if gen := sum.Configs["core.generator"]; gen != nil {
+		e.Generator = gen["backend"]
+	} else if len(sum.Fits) > 0 {
+		e.Generator = "gmm"
+	} else if len(sum.GenFits) > 0 {
+		e.Generator = sum.GenFits[0].Backend
+	}
 	if ts := events[0].TS; ts != "" {
 		if t, err := time.Parse(time.RFC3339Nano, ts); err == nil {
 			e.Start = t

@@ -119,6 +119,10 @@ type Entry struct {
 	Status string            `json:"status"`
 	Error  string            `json:"error,omitempty"`
 	Config map[string]string `json:"config,omitempty"`
+	// Generator is the S1 synthesis backend ("gmm", "privbayes"), taken
+	// from the journaled core.generator config event. Empty when the run
+	// predates pluggable backends or never ran S1.
+	Generator string `json:"generator,omitempty"`
 	// Start is the run's wall-clock start; Registered when the entry was
 	// written. Both volatile — excluded from nothing, the registry is
 	// not part of the determinism contract.

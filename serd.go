@@ -40,6 +40,7 @@ import (
 	"serd/internal/dataset"
 	"serd/internal/dp"
 	"serd/internal/embench"
+	"serd/internal/generator"
 	"serd/internal/gmm"
 	"serd/internal/journal"
 	"serd/internal/matcher"
@@ -115,6 +116,20 @@ type (
 	LearnOptions = core.LearnOptions
 	// Joint is the learned O-distribution (π, M, N).
 	Joint = gmm.Joint
+)
+
+// Pluggable S1 generative backends (see internal/generator). The default —
+// Options.Generator nil — is the paper's GMM stack, byte-identical to
+// pre-backend builds.
+type (
+	// Generator fits an O-distribution under an optional DP budget.
+	Generator = generator.Generator
+	// Dist is a fitted O-distribution a Generator produces.
+	Dist = generator.Dist
+	// GMMGenerator is the paper's GMM stack behind the Generator seam.
+	GMMGenerator = generator.GMM
+	// PrivBayesGenerator is the marginal-based DP synthesizer.
+	PrivBayesGenerator = generator.PrivBayes
 )
 
 // String synthesis (see internal/textsynth and internal/transformer).
